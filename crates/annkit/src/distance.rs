@@ -1,0 +1,178 @@
+//! Distance kernels used throughout the substrate.
+//!
+//! IVFPQ (and the UpANNS paper) use L2 distance; inner-product is provided
+//! because DEEP1B-style embedding workloads are usually maximum-inner-product
+//! searches that Faiss maps onto the same machinery.
+
+/// The similarity metric of an index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Squared Euclidean distance (smaller is closer).
+    L2,
+    /// Negative inner product (smaller is closer), so that all metrics can be
+    /// minimized uniformly.
+    InnerProduct,
+}
+
+impl Metric {
+    /// Computes the metric between two vectors (smaller = closer for both).
+    #[inline]
+    pub fn distance(self, a: &[f32], b: &[f32]) -> f32 {
+        match self {
+            Metric::L2 => l2_squared(a, b),
+            Metric::InnerProduct => -inner_product(a, b),
+        }
+    }
+}
+
+/// Squared L2 distance between two equal-length vectors.
+///
+/// # Panics
+/// Panics (in debug builds) if the lengths differ.
+#[inline]
+pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "distance dimension mismatch");
+    // Manual 4-way unrolling: the auto-vectorizer handles the chunks and the
+    // scalar tail handles the remainder; this is the standard shape Faiss and
+    // the perf-book recommend for reductions.
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        for lane in 0..4 {
+            let d = a[i + lane] - b[i + lane];
+            acc[lane] += d * d;
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Plain inner product of two equal-length vectors.
+#[inline]
+pub fn inner_product(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "distance dimension mismatch");
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        for lane in 0..4 {
+            acc[lane] += a[i + lane] * b[i + lane];
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Squared L2 norm of a vector.
+#[inline]
+pub fn norm_squared(a: &[f32]) -> f32 {
+    inner_product(a, a)
+}
+
+/// Finds the index of the closest centroid to `v` among `centroids` (a flat
+/// row-major buffer of `k` rows of length `dim`), returning
+/// `(index, distance)`.
+///
+/// # Panics
+/// Panics if `centroids` is empty or not a multiple of `dim`.
+pub fn nearest_centroid(v: &[f32], centroids: &[f32], dim: usize) -> (usize, f32) {
+    assert!(!centroids.is_empty(), "no centroids");
+    assert!(centroids.len() % dim == 0, "centroid buffer not a multiple of dim");
+    let mut best = 0usize;
+    let mut best_d = f32::INFINITY;
+    for (i, c) in centroids.chunks_exact(dim).enumerate() {
+        let d = l2_squared(v, c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    (best, best_d)
+}
+
+/// Finds the indices of the `n` closest centroids to `v`, ordered from
+/// closest to furthest. Used for cluster filtering (selecting `nprobe`
+/// clusters per query).
+pub fn nearest_centroids(v: &[f32], centroids: &[f32], dim: usize, n: usize) -> Vec<(usize, f32)> {
+    assert!(centroids.len() % dim == 0, "centroid buffer not a multiple of dim");
+    let k = centroids.len() / dim;
+    let mut all: Vec<(usize, f32)> = centroids
+        .chunks_exact(dim)
+        .enumerate()
+        .map(|(i, c)| (i, l2_squared(v, c)))
+        .collect();
+    let n = n.min(k);
+    all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    all.truncate(n);
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_matches_naive() {
+        let a: Vec<f32> = (0..13).map(|i| i as f32 * 0.5).collect();
+        let b: Vec<f32> = (0..13).map(|i| (i as f32) * -0.25 + 1.0).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| (x - y) * (x - y)).sum();
+        let fast = l2_squared(&a, &b);
+        assert!((naive - fast).abs() < 1e-3, "{naive} vs {fast}");
+    }
+
+    #[test]
+    fn inner_product_matches_naive() {
+        let a: Vec<f32> = (0..9).map(|i| i as f32).collect();
+        let b: Vec<f32> = (0..9).map(|i| (i as f32) * 2.0).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((inner_product(&a, &b) - naive).abs() < 1e-3);
+    }
+
+    #[test]
+    fn metric_orders_consistently() {
+        let q = vec![1.0, 0.0];
+        let close = vec![1.0, 0.1];
+        let far = vec![-1.0, 0.0];
+        assert!(Metric::L2.distance(&q, &close) < Metric::L2.distance(&q, &far));
+        assert!(
+            Metric::InnerProduct.distance(&q, &close) < Metric::InnerProduct.distance(&q, &far)
+        );
+    }
+
+    #[test]
+    fn norm_is_self_inner_product() {
+        let v = vec![3.0, 4.0];
+        assert_eq!(norm_squared(&v), 25.0);
+    }
+
+    #[test]
+    fn nearest_centroid_picks_minimum() {
+        let centroids = vec![0.0, 0.0, /* c0 */ 10.0, 10.0, /* c1 */ 2.0, 2.0 /* c2 */];
+        let (idx, d) = nearest_centroid(&[1.9, 2.1], &centroids, 2);
+        assert_eq!(idx, 2);
+        assert!(d < 0.1);
+    }
+
+    #[test]
+    fn nearest_centroids_sorted_and_truncated() {
+        let centroids = vec![0.0, 0.0, 10.0, 10.0, 2.0, 2.0, 5.0, 5.0];
+        let top = nearest_centroids(&[0.1, 0.1], &centroids, 2, 3);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, 0);
+        assert_eq!(top[1].0, 2);
+        assert_eq!(top[2].0, 3);
+        assert!(top[0].1 <= top[1].1 && top[1].1 <= top[2].1);
+
+        // n larger than the number of centroids is clamped.
+        let all = nearest_centroids(&[0.0, 0.0], &centroids, 2, 100);
+        assert_eq!(all.len(), 4);
+    }
+}

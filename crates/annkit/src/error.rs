@@ -1,0 +1,92 @@
+//! Error type shared across the substrate.
+
+use std::fmt;
+
+/// Errors produced by the ANNS substrate.
+///
+/// The substrate is deliberately strict: dimension mismatches and invalid
+/// parameters are programming errors in the layers above, so most APIs panic
+/// on those, and `AnnError` is reserved for conditions that legitimately occur
+/// at runtime (I/O failures, malformed dataset files, infeasible training
+/// requests).
+#[derive(Debug)]
+pub enum AnnError {
+    /// A dataset file could not be read or written.
+    Io(std::io::Error),
+    /// A dataset file exists but its contents are not a valid
+    /// `fvecs`/`bvecs`/`ivecs` stream.
+    MalformedFile {
+        /// Human-readable description of what went wrong.
+        reason: String,
+    },
+    /// Training was requested with fewer points than clusters/centroids.
+    InsufficientTrainingData {
+        /// Number of points supplied.
+        points: usize,
+        /// Number of centroids requested.
+        requested: usize,
+    },
+    /// A parameter combination is invalid (e.g. dimension not divisible by M).
+    InvalidParameter {
+        /// Human-readable description of the invalid parameter.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnnError::Io(e) => write!(f, "I/O error: {e}"),
+            AnnError::MalformedFile { reason } => write!(f, "malformed dataset file: {reason}"),
+            AnnError::InsufficientTrainingData { points, requested } => write!(
+                f,
+                "insufficient training data: {points} points for {requested} centroids"
+            ),
+            AnnError::InvalidParameter { reason } => write!(f, "invalid parameter: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for AnnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnnError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for AnnError {
+    fn from(e: std::io::Error) -> Self {
+        AnnError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AnnError::InsufficientTrainingData {
+            points: 10,
+            requested: 100,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10"));
+        assert!(s.contains("100"));
+
+        let e = AnnError::InvalidParameter {
+            reason: "dim % m != 0".into(),
+        };
+        assert!(e.to_string().contains("dim % m != 0"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: AnnError = io.into();
+        assert!(matches!(e, AnnError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,70 @@
+//! # annkit — ANNS substrate for the UpANNS reproduction
+//!
+//! This crate provides every algorithmic building block that the UpANNS paper
+//! (SC '25) takes for granted, implemented from scratch:
+//!
+//! * dense vector datasets and distance kernels ([`vector`], [`distance`]),
+//! * k-means / k-means++ coarse quantization ([`kmeans`]),
+//! * product quantization — codebook training, encoding, decoding ([`pq`]),
+//! * the inverted-file index with per-cluster residual PQ codes ([`ivf`]),
+//! * asymmetric-distance lookup tables (LUTs) and ADC scans ([`lut`]),
+//! * bounded heaps and exact top-k selection ([`topk`]),
+//! * brute-force exact search and recall metrics ([`flat`], [`recall`]),
+//! * synthetic SIFT1B/DEEP1B/SPACEV1B-like dataset generators with skewed
+//!   cluster popularity and injected code co-occurrence ([`synthetic`]),
+//! * skewed (Zipfian) query workload generators ([`workload`]),
+//! * `fvecs`/`bvecs`/`ivecs` dataset file I/O ([`io`]).
+//!
+//! Higher layers (`baselines`, `upanns`) build the CPU/GPU/PIM search engines
+//! on top of these primitives.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use annkit::prelude::*;
+//!
+//! // A tiny synthetic SIFT-like dataset.
+//! let spec = SyntheticSpec::sift_like(2_000).with_clusters(16).with_seed(7);
+//! let dataset = spec.generate();
+//!
+//! // Train an IVFPQ index: 16 coarse clusters, M=8 sub-quantizers.
+//! let params = IvfPqParams::new(16, 8).with_train_size(1_000);
+//! let index = IvfPqIndex::train(&dataset, &params, 7);
+//!
+//! // Query it exactly (ADC over all probed clusters).
+//! let query = dataset.vector(0);
+//! let result = index.search(query, 4, 10);
+//! assert_eq!(result.len(), 10);
+//! ```
+
+pub mod distance;
+pub mod error;
+pub mod flat;
+pub mod io;
+pub mod ivf;
+pub mod kmeans;
+pub mod lut;
+pub mod pq;
+pub mod recall;
+pub mod synthetic;
+pub mod topk;
+pub mod vector;
+pub mod workload;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::distance::{l2_squared, Metric};
+    pub use crate::flat::FlatIndex;
+    pub use crate::ivf::{IvfPqIndex, IvfPqParams, ListEntry};
+    pub use crate::kmeans::{KMeans, KMeansParams};
+    pub use crate::lut::LookupTable;
+    pub use crate::pq::{PqCode, ProductQuantizer};
+    pub use crate::recall::{recall_at_k, RecallReport};
+    pub use crate::synthetic::{DatasetKind, SyntheticSpec};
+    pub use crate::topk::{Neighbor, TopK};
+    pub use crate::vector::Dataset;
+    pub use crate::workload::{QueryBatch, WorkloadSpec};
+}
+
+pub use error::AnnError;
+pub use vector::Dataset;

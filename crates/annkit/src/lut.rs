@@ -1,0 +1,219 @@
+//! Asymmetric-distance lookup tables (LUTs) and ADC scans.
+//!
+//! Stage (b) of IVFPQ's online pipeline precomputes, for each sub-quantizer
+//! `sub` and each codebook entry `code`, the squared distance between the
+//! query's residual sub-vector and that centroid. Stage (c) then approximates
+//! the query↔point distance by summing `m` table lookups — the Asymmetric
+//! Distance Computation (ADC). The LUT is the central data structure the
+//! UpANNS DPU kernel keeps in WRAM (8 KB at `m = 16` with `u16` entries).
+
+use crate::distance::l2_squared;
+use crate::pq::{ProductQuantizer, KSUB};
+
+/// A lookup table of `m * 256` partial distances for one (query, cluster)
+/// pair.
+#[derive(Debug, Clone)]
+pub struct LookupTable {
+    m: usize,
+    /// Row-major: entry `(sub, code)` is at `sub * KSUB + code`.
+    table: Vec<f32>,
+}
+
+impl LookupTable {
+    /// Builds the LUT for a query residual (`query - centroid`) against the
+    /// quantizer's codebooks.
+    ///
+    /// # Panics
+    /// Panics if `residual.len() != pq.dim()`.
+    pub fn build(pq: &ProductQuantizer, residual: &[f32]) -> Self {
+        assert_eq!(residual.len(), pq.dim(), "LUT residual dimension mismatch");
+        let m = pq.m();
+        let dsub = pq.dsub();
+        let mut table = vec![0.0f32; m * KSUB];
+        for sub in 0..m {
+            let rv = &residual[sub * dsub..(sub + 1) * dsub];
+            for code in 0..KSUB {
+                table[sub * KSUB + code] = l2_squared(rv, pq.centroid(sub, code as u8));
+            }
+        }
+        Self { m, table }
+    }
+
+    /// Number of sub-quantizers.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Partial distance for `(sub, code)`.
+    #[inline]
+    pub fn get(&self, sub: usize, code: u8) -> f32 {
+        self.table[sub * KSUB + code as usize]
+    }
+
+    /// Looks up a *direct address* `sub * 256 + code`, the flattened layout
+    /// UpANNS's PIM-friendly encoding addresses to avoid multiplications on
+    /// the DPU (§4.3).
+    #[inline]
+    pub fn get_flat(&self, flat_index: usize) -> f32 {
+        self.table[flat_index]
+    }
+
+    /// ADC distance of a single PQ code: the sum of `m` table lookups.
+    ///
+    /// # Panics
+    /// Panics if `code.len() != self.m()`.
+    #[inline]
+    pub fn adc_distance(&self, code: &[u8]) -> f32 {
+        assert_eq!(code.len(), self.m, "ADC code length mismatch");
+        let mut sum = 0.0f32;
+        for (sub, &c) in code.iter().enumerate() {
+            sum += self.table[sub * KSUB + c as usize];
+        }
+        sum
+    }
+
+    /// Scans a packed code buffer (`n` codes of `m` bytes each) and returns
+    /// the ADC distance of every code. This is the memory-bound inner loop
+    /// that dominates billion-scale IVFPQ (Figure 1 / Figure 19).
+    pub fn adc_scan(&self, packed_codes: &[u8]) -> Vec<f32> {
+        assert!(
+            packed_codes.len() % self.m == 0,
+            "packed code buffer not a multiple of m"
+        );
+        packed_codes
+            .chunks_exact(self.m)
+            .map(|code| {
+                let mut sum = 0.0f32;
+                for (sub, &c) in code.iter().enumerate() {
+                    sum += self.table[sub * KSUB + c as usize];
+                }
+                sum
+            })
+            .collect()
+    }
+
+    /// The raw table (`m * 256` floats).
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.table
+    }
+
+    /// Size of the LUT in bytes when stored at `bytes_per_entry` precision.
+    /// The paper stores `u16` entries: 8 KB for `m = 16`.
+    pub fn size_bytes(&self, bytes_per_entry: usize) -> usize {
+        self.m * KSUB * bytes_per_entry
+    }
+
+    /// Quantizes the table to `u16` with a per-table scale, mirroring the
+    /// fixed-point LUT the DPU kernel stores in WRAM. Returns the quantized
+    /// entries and the scale such that `value ≈ entry as f32 * scale`.
+    pub fn quantize_u16(&self) -> (Vec<u16>, f32) {
+        let max = self
+            .table
+            .iter()
+            .copied()
+            .fold(0.0f32, f32::max)
+            .max(f32::MIN_POSITIVE);
+        let scale = max / (u16::MAX as f32);
+        let q = self
+            .table
+            .iter()
+            .map(|&v| ((v / scale).round().min(u16::MAX as f32)) as u16)
+            .collect();
+        (q, scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::Dataset;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup(dim: usize, m: usize) -> (ProductQuantizer, Dataset) {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut ds = Dataset::new(dim);
+        let mut v = vec![0.0f32; dim];
+        for _ in 0..400 {
+            for x in v.iter_mut() {
+                *x = rng.gen_range(-1.0..1.0);
+            }
+            ds.push(&v);
+        }
+        (ProductQuantizer::train(&ds, m, 3), ds)
+    }
+
+    #[test]
+    fn adc_equals_decoded_distance() {
+        // The ADC distance via the LUT must equal the exact distance between
+        // the residual and the decoded (reconstructed) code, because both sum
+        // the same per-subspace squared distances.
+        let (pq, ds) = setup(8, 4);
+        let residual = ds.vector(3).to_vec();
+        let lut = LookupTable::build(&pq, &residual);
+        for i in 0..20 {
+            let code = pq.encode(ds.vector(i));
+            let adc = lut.adc_distance(&code);
+            let exact = l2_squared(&residual, &pq.decode(&code));
+            assert!(
+                (adc - exact).abs() < 1e-3,
+                "ADC {adc} vs exact {exact} at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_matches_individual_lookups() {
+        let (pq, ds) = setup(8, 4);
+        let lut = LookupTable::build(&pq, ds.vector(0));
+        let codes: Vec<Vec<u8>> = (0..10).map(|i| pq.encode(ds.vector(i))).collect();
+        let packed = crate::pq::pack_codes(&codes, 4);
+        let scanned = lut.adc_scan(&packed);
+        assert_eq!(scanned.len(), 10);
+        for (i, code) in codes.iter().enumerate() {
+            assert_eq!(scanned[i], lut.adc_distance(code));
+        }
+    }
+
+    #[test]
+    fn flat_addressing_matches_2d() {
+        let (pq, ds) = setup(8, 4);
+        let lut = LookupTable::build(&pq, ds.vector(1));
+        for sub in 0..4usize {
+            for code in [0u8, 17, 255] {
+                assert_eq!(lut.get(sub, code), lut.get_flat(sub * 256 + code as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn size_and_quantization() {
+        let (pq, ds) = setup(16, 16);
+        let lut = LookupTable::build(&pq, ds.vector(0));
+        assert_eq!(lut.size_bytes(2), 16 * 256 * 2); // the paper's 8 KB
+        let (q, scale) = lut.quantize_u16();
+        assert_eq!(q.len(), 16 * 256);
+        // Quantized values must reconstruct within one quantization step.
+        for (i, &orig) in lut.as_flat().iter().enumerate() {
+            let rec = q[i] as f32 * scale;
+            assert!((rec - orig).abs() <= scale + 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_residual_gives_centroid_norms() {
+        let (pq, _) = setup(8, 4);
+        let zero = vec![0.0f32; 8];
+        let lut = LookupTable::build(&pq, &zero);
+        // Distance from zero to each centroid equals its squared norm.
+        for sub in 0..4 {
+            for code in [0u8, 100, 200] {
+                let c = pq.centroid(sub, code);
+                let norm: f32 = c.iter().map(|x| x * x).sum();
+                assert!((lut.get(sub, code) - norm).abs() < 1e-4);
+            }
+        }
+    }
+}

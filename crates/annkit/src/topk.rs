@@ -1,0 +1,316 @@
+//! Bounded heaps and top-k selection.
+//!
+//! IVFPQ's final stage keeps the `k` smallest approximate distances seen so
+//! far. The canonical structure is a bounded *max*-heap of size `k`: a new
+//! candidate is inserted only if it beats the current worst (the root), which
+//! is exactly the structure the UpANNS DPU kernel keeps per tasklet
+//! (Figure 6) and later converts to a min-heap for the pruned merge
+//! (Figure 9, reproduced in `upanns::topk_prune`).
+
+use std::cmp::Ordering;
+
+/// A candidate neighbor: dataset row id plus its (approximate) distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Row identifier within the dataset.
+    pub id: u64,
+    /// Distance to the query (smaller is closer).
+    pub distance: f32,
+}
+
+impl Neighbor {
+    /// Creates a neighbor.
+    #[inline]
+    pub fn new(id: u64, distance: f32) -> Self {
+        Self { id, distance }
+    }
+}
+
+impl Eq for Neighbor {}
+
+impl PartialOrd for Neighbor {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Neighbor {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Total order by distance, then id, treating NaN as the greatest
+        // possible distance so it never wins a top-k slot.
+        match self
+            .distance
+            .partial_cmp(&other.distance)
+        {
+            Some(o) => o.then(self.id.cmp(&other.id)),
+            None => {
+                if self.distance.is_nan() && other.distance.is_nan() {
+                    self.id.cmp(&other.id)
+                } else if self.distance.is_nan() {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+        }
+    }
+}
+
+/// A bounded max-heap keeping the `k` smallest [`Neighbor`]s pushed into it.
+///
+/// `push` is O(log k) once the heap is full and O(1) when the candidate is
+/// worse than the current k-th best, which is the common case during scans
+/// and the reason the structure (rather than a sort) is used in every engine
+/// in this repository.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    k: usize,
+    /// Binary max-heap laid out in a flat vector (root at index 0).
+    heap: Vec<Neighbor>,
+    /// Number of candidates offered (for pruning statistics).
+    pushed: u64,
+    /// Number of candidates actually inserted into the heap.
+    inserted: u64,
+}
+
+impl TopK {
+    /// Creates a collector for the `k` nearest neighbors.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "top-k size must be positive");
+        Self {
+            k,
+            heap: Vec::with_capacity(k),
+            pushed: 0,
+            inserted: 0,
+        }
+    }
+
+    /// The configured `k`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of neighbors currently held (≤ k).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no neighbor has been accepted yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The current worst (largest) distance in the heap, or `f32::INFINITY`
+    /// if the heap is not yet full. A candidate with a distance ≥ this bound
+    /// can never enter the result.
+    #[inline]
+    pub fn threshold(&self) -> f32 {
+        if self.heap.len() < self.k {
+            f32::INFINITY
+        } else {
+            self.heap[0].distance
+        }
+    }
+
+    /// Offers a candidate; returns `true` if it was inserted.
+    #[inline]
+    pub fn push(&mut self, id: u64, distance: f32) -> bool {
+        self.pushed += 1;
+        if self.heap.len() < self.k {
+            self.heap.push(Neighbor::new(id, distance));
+            self.sift_up(self.heap.len() - 1);
+            self.inserted += 1;
+            true
+        } else if Neighbor::new(id, distance) < self.heap[0] {
+            self.heap[0] = Neighbor::new(id, distance);
+            self.sift_down(0);
+            self.inserted += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Merges another collector into this one.
+    pub fn merge(&mut self, other: &TopK) {
+        for n in &other.heap {
+            self.push(n.id, n.distance);
+        }
+    }
+
+    /// Total number of candidates offered via [`push`](Self::push).
+    #[inline]
+    pub fn offered(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Number of candidates that actually entered the heap.
+    #[inline]
+    pub fn accepted(&self) -> u64 {
+        self.inserted
+    }
+
+    /// Consumes the collector, returning neighbors sorted from closest to
+    /// furthest.
+    pub fn into_sorted(mut self) -> Vec<Neighbor> {
+        self.heap
+            .sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+        self.heap
+    }
+
+    /// Returns the neighbors sorted from closest to furthest without
+    /// consuming the collector.
+    pub fn sorted(&self) -> Vec<Neighbor> {
+        let mut v = self.heap.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+        v
+    }
+
+    /// Exposes the raw (heap-ordered) contents; used by the pruned merge in
+    /// `upanns::topk_prune`, which re-heapifies them as a min-heap.
+    pub fn as_heap_slice(&self) -> &[Neighbor] {
+        &self.heap
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i] > self.heap[parent] {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut largest = i;
+            if l < n && self.heap[l] > self.heap[largest] {
+                largest = l;
+            }
+            if r < n && self.heap[r] > self.heap[largest] {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+}
+
+/// Exact top-k by full sort; O(n log n). Used as the reference in tests and by
+/// the "GPU" baseline whose top-k stage is modeled as a sort-based selection.
+pub fn topk_by_sort(candidates: &[(u64, f32)], k: usize) -> Vec<Neighbor> {
+    let mut v: Vec<Neighbor> = candidates
+        .iter()
+        .map(|&(id, d)| Neighbor::new(id, d))
+        .collect();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+    v.truncate(k);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest() {
+        let mut tk = TopK::new(3);
+        for (i, d) in [5.0, 1.0, 4.0, 0.5, 9.0, 2.0].iter().enumerate() {
+            tk.push(i as u64, *d);
+        }
+        let out = tk.into_sorted();
+        let dists: Vec<f32> = out.iter().map(|n| n.distance).collect();
+        assert_eq!(dists, vec![0.5, 1.0, 2.0]);
+        let ids: Vec<u64> = out.iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 1, 5]);
+    }
+
+    #[test]
+    fn threshold_tracks_worst() {
+        let mut tk = TopK::new(2);
+        assert_eq!(tk.threshold(), f32::INFINITY);
+        tk.push(0, 3.0);
+        assert_eq!(tk.threshold(), f32::INFINITY); // not full yet
+        tk.push(1, 1.0);
+        assert_eq!(tk.threshold(), 3.0);
+        tk.push(2, 2.0);
+        assert_eq!(tk.threshold(), 2.0);
+        assert!(!tk.push(3, 10.0));
+    }
+
+    #[test]
+    fn matches_sort_reference() {
+        let candidates: Vec<(u64, f32)> = (0..200)
+            .map(|i| (i as u64, ((i * 37) % 101) as f32 * 0.7))
+            .collect();
+        let mut tk = TopK::new(10);
+        for &(id, d) in &candidates {
+            tk.push(id, d);
+        }
+        let heap_out = tk.into_sorted();
+        let sort_out = topk_by_sort(&candidates, 10);
+        assert_eq!(heap_out.len(), sort_out.len());
+        for (a, b) in heap_out.iter().zip(&sort_out) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.distance, b.distance);
+        }
+    }
+
+    #[test]
+    fn merge_combines_collectors() {
+        let mut a = TopK::new(3);
+        a.push(1, 1.0);
+        a.push(2, 5.0);
+        let mut b = TopK::new(3);
+        b.push(3, 0.5);
+        b.push(4, 4.0);
+        a.merge(&b);
+        let ids: Vec<u64> = a.into_sorted().iter().map(|n| n.id).collect();
+        assert_eq!(ids, vec![3, 1, 4]);
+    }
+
+    #[test]
+    fn counts_offered_and_accepted() {
+        let mut tk = TopK::new(1);
+        tk.push(0, 1.0);
+        tk.push(1, 2.0);
+        tk.push(2, 0.5);
+        assert_eq!(tk.offered(), 3);
+        assert_eq!(tk.accepted(), 2);
+    }
+
+    #[test]
+    fn nan_never_wins() {
+        let mut tk = TopK::new(2);
+        tk.push(0, f32::NAN);
+        tk.push(1, 1.0);
+        tk.push(2, 2.0);
+        let out = tk.into_sorted();
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|n| !n.distance.is_nan()));
+    }
+
+    #[test]
+    fn fewer_candidates_than_k() {
+        let mut tk = TopK::new(10);
+        tk.push(7, 3.0);
+        let out = tk.into_sorted();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].id, 7);
+    }
+}

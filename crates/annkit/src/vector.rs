@@ -1,0 +1,280 @@
+//! Dense vector datasets stored in flat, cache-friendly row-major layout.
+
+/// A dense, row-major collection of `f32` vectors of a fixed dimension.
+///
+/// The storage is a single contiguous allocation (`len * dim` floats), which
+/// matches how billion-scale ANNS systems lay out raw vectors and keeps scans
+/// sequential. Vector `i` occupies `data[i*dim .. (i+1)*dim]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset of the given dimension.
+    ///
+    /// # Panics
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        Self {
+            dim,
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates an empty dataset with capacity reserved for `n` vectors.
+    pub fn with_capacity(dim: usize, n: usize) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        Self {
+            dim,
+            data: Vec::with_capacity(dim * n),
+        }
+    }
+
+    /// Builds a dataset from a flat buffer of `n * dim` floats.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not a multiple of `dim`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "vector dimension must be positive");
+        assert!(
+            data.len() % dim == 0,
+            "flat buffer length {} is not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        Self { dim, data }
+    }
+
+    /// Builds a dataset from a slice of rows.
+    ///
+    /// # Panics
+    /// Panics if any row has a different length than the first.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        assert!(!rows.is_empty(), "cannot infer dimension from zero rows");
+        let dim = rows[0].len();
+        let mut ds = Dataset::with_capacity(dim, rows.len());
+        for row in rows {
+            ds.push(row);
+        }
+        ds
+    }
+
+    /// Vector dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vectors stored.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Whether the dataset holds no vectors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Appends one vector.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.dim()`.
+    #[inline]
+    pub fn push(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        self.data.extend_from_slice(v);
+    }
+
+    /// Returns vector `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    #[inline]
+    pub fn vector(&self, i: usize) -> &[f32] {
+        let start = i * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    /// Returns a mutable slice of vector `i`.
+    #[inline]
+    pub fn vector_mut(&mut self, i: usize) -> &mut [f32] {
+        let start = i * self.dim;
+        &mut self.data[start..start + self.dim]
+    }
+
+    /// The underlying flat buffer.
+    #[inline]
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Iterates over all vectors in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &[f32]> + '_ {
+        self.data.chunks_exact(self.dim)
+    }
+
+    /// Returns a new dataset containing the vectors at `indices`, in order.
+    pub fn gather(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::with_capacity(self.dim, indices.len());
+        for &i in indices {
+            out.push(self.vector(i));
+        }
+        out
+    }
+
+    /// Splits each vector into `m` equally sized sub-vectors and returns the
+    /// `sub`-th sub-dataset (used for product quantization training).
+    ///
+    /// # Panics
+    /// Panics if `dim % m != 0` or `sub >= m`.
+    pub fn subspace(&self, m: usize, sub: usize) -> Dataset {
+        assert!(self.dim % m == 0, "dim {} not divisible by m {}", self.dim, m);
+        assert!(sub < m, "subspace index out of range");
+        let dsub = self.dim / m;
+        let mut out = Dataset::with_capacity(dsub, self.len());
+        for v in self.iter() {
+            out.push(&v[sub * dsub..(sub + 1) * dsub]);
+        }
+        out
+    }
+
+    /// Total number of bytes of the raw (uncompressed) vector payload.
+    pub fn raw_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Element-wise residual `self[i] - other`, written into `out`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    #[inline]
+    pub fn residual_into(&self, i: usize, other: &[f32], out: &mut [f32]) {
+        let v = self.vector(i);
+        assert_eq!(v.len(), other.len());
+        assert_eq!(v.len(), out.len());
+        for ((o, a), b) in out.iter_mut().zip(v).zip(other) {
+            *o = a - b;
+        }
+    }
+}
+
+/// Computes `a - b` into a freshly allocated vector.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn residual(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "residual dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Computes the element-wise mean of the rows of `vectors` (each of length
+/// `dim`), returning the centroid. Returns a zero vector when `vectors` is
+/// empty.
+pub fn mean_vector(dim: usize, vectors: impl Iterator<Item = impl AsRef<[f32]>>) -> Vec<f32> {
+    let mut sum = vec![0.0f64; dim];
+    let mut count = 0usize;
+    for v in vectors {
+        let v = v.as_ref();
+        debug_assert_eq!(v.len(), dim);
+        for (s, x) in sum.iter_mut().zip(v) {
+            *s += *x as f64;
+        }
+        count += 1;
+    }
+    if count == 0 {
+        return vec![0.0; dim];
+    }
+    sum.iter().map(|s| (*s / count as f64) as f32).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Dataset {
+        Dataset::from_rows(&[
+            vec![1.0, 2.0, 3.0, 4.0],
+            vec![5.0, 6.0, 7.0, 8.0],
+            vec![9.0, 10.0, 11.0, 12.0],
+        ])
+    }
+
+    #[test]
+    fn push_and_access() {
+        let ds = small();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.dim(), 4);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.vector(1), &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(ds.iter().count(), 3);
+        assert_eq!(ds.raw_bytes(), 3 * 4 * 4);
+    }
+
+    #[test]
+    fn from_flat_roundtrip() {
+        let ds = Dataset::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.vector(1), &[3.0, 4.0]);
+        assert_eq!(ds.as_flat(), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of dim")]
+    fn from_flat_rejects_ragged() {
+        let _ = Dataset::from_flat(3, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn push_rejects_wrong_dim() {
+        let mut ds = Dataset::new(3);
+        ds.push(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let ds = small();
+        let g = ds.gather(&[2, 0]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.vector(0), ds.vector(2));
+        assert_eq!(g.vector(1), ds.vector(0));
+    }
+
+    #[test]
+    fn subspace_splits_evenly() {
+        let ds = small();
+        let s0 = ds.subspace(2, 0);
+        let s1 = ds.subspace(2, 1);
+        assert_eq!(s0.dim(), 2);
+        assert_eq!(s0.vector(0), &[1.0, 2.0]);
+        assert_eq!(s1.vector(0), &[3.0, 4.0]);
+        assert_eq!(s1.vector(2), &[11.0, 12.0]);
+    }
+
+    #[test]
+    fn residual_and_mean() {
+        let r = residual(&[3.0, 5.0], &[1.0, 1.0]);
+        assert_eq!(r, vec![2.0, 4.0]);
+
+        let m = mean_vector(2, [[0.0f32, 2.0], [2.0, 4.0]].iter());
+        assert_eq!(m, vec![1.0, 3.0]);
+
+        let empty: Vec<Vec<f32>> = vec![];
+        assert_eq!(mean_vector(2, empty.iter()), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn residual_into_matches_residual() {
+        let ds = small();
+        let c = vec![1.0, 1.0, 1.0, 1.0];
+        let mut out = vec![0.0; 4];
+        ds.residual_into(1, &c, &mut out);
+        assert_eq!(out, residual(ds.vector(1), &c));
+    }
+}

@@ -1,0 +1,284 @@
+//! Skewed query workload generation.
+//!
+//! The UpANNS evaluation stresses that real query streams are heavily skewed:
+//! popular clusters receive up to 500× more queries than unpopular ones
+//! (Figure 4a), which is what makes the PIM-aware data placement (Opt1)
+//! necessary. This module generates query batches whose *cluster popularity*
+//! follows a Zipf distribution over the generative clusters, plus helpers to
+//! measure the resulting access-frequency histogram.
+
+use crate::synthetic::SyntheticDataset;
+use crate::vector::Dataset;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification of a query workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of queries to generate.
+    pub num_queries: usize,
+    /// Zipf exponent of cluster popularity (0 = uniform; ≈1.0 reproduces the
+    /// several-hundred-fold skew of Figure 4a at reduced scale).
+    pub popularity_skew: f64,
+    /// Additional perturbation applied to a query relative to the sampled
+    /// base vector, as a fraction of the dataset's within-cluster noise.
+    pub query_noise: f32,
+    /// RNG seed for query sampling.
+    pub seed: u64,
+    /// Seed of the cluster-popularity ranking. Two workloads with different
+    /// `seed`s but the same `popularity_seed` draw different queries from the
+    /// *same* popularity distribution — which is how real query streams
+    /// behave (the paper: "query patterns typically change ... incrementally").
+    /// Change this seed to model a major pattern shift.
+    pub popularity_seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A workload of `num_queries` queries with the default (paper-like) skew.
+    pub fn new(num_queries: usize) -> Self {
+        Self {
+            num_queries,
+            popularity_skew: 1.0,
+            query_noise: 0.5,
+            seed: 0xBEEF,
+            popularity_seed: 0x9_0DD,
+        }
+    }
+
+    /// Overrides the popularity skew exponent.
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        self.popularity_skew = skew;
+        self
+    }
+
+    /// Overrides the RNG seed (which queries get sampled).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the popularity-ranking seed (which clusters are hot) — use
+    /// this to model a major query-pattern shift.
+    pub fn with_popularity_seed(mut self, seed: u64) -> Self {
+        self.popularity_seed = seed;
+        self
+    }
+
+    /// Generates a query batch against a synthetic dataset: each query picks a
+    /// cluster by Zipf popularity, then perturbs a random member of that
+    /// cluster.
+    pub fn generate(&self, dataset: &SyntheticDataset) -> QueryBatch {
+        assert!(self.num_queries > 0, "workload must contain queries");
+        let k = dataset.centers.len();
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+
+        // Zipf popularity over clusters; cluster ranks are shuffled so that
+        // popularity is independent of both cluster id and cluster size
+        // (matching the paper's observation that hot clusters are not simply
+        // the big ones). The shuffle uses the dedicated popularity seed so
+        // workloads drawn with different sampling seeds share a popularity
+        // distribution unless the caller shifts it deliberately.
+        let mut pop_rng = SmallRng::seed_from_u64(self.popularity_seed);
+        let mut rank_of: Vec<usize> = (0..k).collect();
+        for i in (1..k).rev() {
+            let j = pop_rng.gen_range(0..=i);
+            rank_of.swap(i, j);
+        }
+        let weights: Vec<f64> = (0..k)
+            .map(|c| 1.0 / ((rank_of[c] + 1) as f64).powf(self.popularity_skew))
+            .collect();
+        let total: f64 = weights.iter().sum();
+
+        // Pre-index members per cluster for sampling.
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for (i, &c) in dataset.cluster_of.iter().enumerate() {
+            members[c].push(i);
+        }
+
+        let dim = dataset.vectors.dim();
+        let noise = self.query_noise * cluster_noise_estimate(dataset);
+        let mut queries = Dataset::with_capacity(dim, self.num_queries);
+        let mut target_cluster = Vec::with_capacity(self.num_queries);
+        let mut v = vec![0.0f32; dim];
+
+        for _ in 0..self.num_queries {
+            // Sample a cluster proportionally to its weight.
+            let mut t = rng.gen::<f64>() * total;
+            let mut chosen = k - 1;
+            for (c, w) in weights.iter().enumerate() {
+                t -= w;
+                if t <= 0.0 {
+                    chosen = c;
+                    break;
+                }
+            }
+            // Fall back to the cluster center when a cluster has no members
+            // (cannot happen with the default generator, but keeps the API
+            // robust for hand-built datasets).
+            let base: &[f32] = if members[chosen].is_empty() {
+                dataset.centers.vector(chosen)
+            } else {
+                let m = members[chosen][rng.gen_range(0..members[chosen].len())];
+                dataset.vectors.vector(m)
+            };
+            for (x, b) in v.iter_mut().zip(base) {
+                *x = b + rng.gen_range(-1.0f32..1.0) * noise;
+            }
+            queries.push(&v);
+            target_cluster.push(chosen);
+        }
+
+        QueryBatch {
+            queries,
+            target_cluster,
+        }
+    }
+}
+
+/// A generated batch of queries plus the generative cluster each was aimed at.
+#[derive(Debug, Clone)]
+pub struct QueryBatch {
+    /// The query vectors.
+    pub queries: Dataset,
+    /// The generative cluster each query was sampled from (ground truth for
+    /// skew analysis; engines never see this).
+    pub target_cluster: Vec<usize>,
+}
+
+impl QueryBatch {
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Histogram of target-cluster popularity (Figure 4a's access-frequency
+    /// distribution), indexed by cluster id.
+    pub fn access_frequency(&self, num_clusters: usize) -> Vec<usize> {
+        let mut freq = vec![0usize; num_clusters];
+        for &c in &self.target_cluster {
+            if c < num_clusters {
+                freq[c] += 1;
+            }
+        }
+        freq
+    }
+
+    /// Max/min (non-zero) ratio of the access-frequency histogram — the skew
+    /// statistic quoted in the paper ("popular clusters receive 500× more
+    /// queries than others").
+    pub fn access_skew_ratio(&self, num_clusters: usize) -> f64 {
+        let freq = self.access_frequency(num_clusters);
+        let max = freq.iter().copied().max().unwrap_or(0);
+        let min = freq.iter().copied().filter(|&f| f > 0).min().unwrap_or(1);
+        max as f64 / min as f64
+    }
+}
+
+/// Per-cluster access frequencies normalized to probabilities, as used by the
+/// data-placement algorithm (its `f_i` input). Computed from a *historical*
+/// query batch, mirroring how the paper derives frequencies from past
+/// workload.
+pub fn cluster_frequencies(batch: &QueryBatch, num_clusters: usize) -> Vec<f64> {
+    let freq = batch.access_frequency(num_clusters);
+    let total: usize = freq.iter().sum();
+    if total == 0 {
+        return vec![1.0 / num_clusters as f64; num_clusters];
+    }
+    freq.iter().map(|&f| f as f64 / total as f64).collect()
+}
+
+/// Rough estimate of within-cluster spread used to scale query perturbation.
+fn cluster_noise_estimate(dataset: &SyntheticDataset) -> f32 {
+    // Use the average absolute deviation of a small sample of vectors from
+    // their cluster center.
+    let sample = dataset.vectors.len().min(200);
+    if sample == 0 {
+        return 1.0;
+    }
+    let dim = dataset.vectors.dim();
+    let mut total = 0.0f64;
+    for i in 0..sample {
+        let c = dataset.cluster_of[i];
+        let v = dataset.vectors.vector(i);
+        let center = dataset.centers.vector(c);
+        let dev: f32 = v
+            .iter()
+            .zip(center)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / dim as f32;
+        total += dev as f64;
+    }
+    (total / sample as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticSpec;
+
+    fn dataset() -> SyntheticDataset {
+        SyntheticSpec::sift_like(1200)
+            .with_clusters(24)
+            .with_seed(2)
+            .generate_with_meta()
+    }
+
+    #[test]
+    fn generates_requested_queries() {
+        let ds = dataset();
+        let batch = WorkloadSpec::new(300).with_seed(1).generate(&ds);
+        assert_eq!(batch.len(), 300);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.queries.dim(), 128);
+        assert_eq!(batch.target_cluster.len(), 300);
+    }
+
+    #[test]
+    fn skewed_workload_is_more_imbalanced_than_uniform() {
+        let ds = dataset();
+        let skewed = WorkloadSpec::new(2000).with_skew(1.2).with_seed(3).generate(&ds);
+        let uniform = WorkloadSpec::new(2000).with_skew(0.0).with_seed(3).generate(&ds);
+        assert!(
+            skewed.access_skew_ratio(24) > 3.0 * uniform.access_skew_ratio(24).max(1.0),
+            "skewed {} vs uniform {}",
+            skewed.access_skew_ratio(24),
+            uniform.access_skew_ratio(24)
+        );
+    }
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let ds = dataset();
+        let batch = WorkloadSpec::new(500).with_seed(7).generate(&ds);
+        let freqs = cluster_frequencies(&batch, 24);
+        assert_eq!(freqs.len(), 24);
+        let sum: f64 = freqs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert!(freqs.iter().all(|&f| f >= 0.0));
+    }
+
+    #[test]
+    fn empty_history_falls_back_to_uniform_frequencies() {
+        let batch = QueryBatch {
+            queries: Dataset::new(4),
+            target_cluster: vec![],
+        };
+        let freqs = cluster_frequencies(&batch, 10);
+        assert!(freqs.iter().all(|&f| (f - 0.1).abs() < 1e-12));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let ds = dataset();
+        let a = WorkloadSpec::new(100).with_seed(11).generate(&ds);
+        let b = WorkloadSpec::new(100).with_seed(11).generate(&ds);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.target_cluster, b.target_cluster);
+    }
+}

@@ -1,0 +1,109 @@
+//! The engine abstraction shared by every search backend in the repository.
+
+use crate::workload_stats::WorkloadStats;
+use annkit::topk::Neighbor;
+use annkit::vector::Dataset;
+use pim_sim::energy::EnergyModel;
+use pim_sim::stats::StageBreakdown;
+
+/// The outcome of searching one query batch on some engine.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// Per-query neighbor lists, closest first.
+    pub results: Vec<Vec<Neighbor>>,
+    /// Simulated end-to-end seconds for the whole batch.
+    pub seconds: f64,
+    /// Simulated time split by pipeline stage.
+    pub breakdown: StageBreakdown,
+    /// Work counters collected during the functional execution.
+    pub stats: WorkloadStats,
+}
+
+impl SearchOutcome {
+    /// Number of queries answered.
+    pub fn batch_size(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Queries per second implied by the simulated batch time.
+    pub fn qps(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.results.len() as f64 / self.seconds
+        }
+    }
+
+    /// Mean latency per query in seconds (batch time / batch size).
+    pub fn mean_latency(&self) -> f64 {
+        if self.results.is_empty() {
+            0.0
+        } else {
+            self.seconds / self.results.len() as f64
+        }
+    }
+
+    /// QPS per watt under `energy`'s peak-power approximation (Figure 12b).
+    pub fn qps_per_watt(&self, energy: &EnergyModel) -> f64 {
+        energy.qps_per_watt(self.qps())
+    }
+
+    /// QPS per dollar of hardware (§5.2's cost-efficiency comparison).
+    pub fn qps_per_dollar(&self, energy: &EnergyModel) -> f64 {
+        energy.qps_per_dollar(self.qps())
+    }
+}
+
+/// A search engine that answers IVFPQ queries and reports simulated timing.
+///
+/// Implemented by [`CpuFaissEngine`](crate::cpu::CpuFaissEngine),
+/// [`GpuFaissEngine`](crate::gpu::GpuFaissEngine), and the PIM engines in the
+/// `upanns` crate, so the benchmark harness can sweep all of them uniformly.
+pub trait AnnEngine {
+    /// Short display name ("Faiss-CPU", "Faiss-GPU", "PIM-naive", "UpANNS").
+    fn name(&self) -> &str;
+
+    /// Searches a batch of queries, returning the `k` nearest neighbors of
+    /// each, probing `nprobe` clusters per query.
+    fn search_batch(&mut self, queries: &Dataset, nprobe: usize, k: usize) -> SearchOutcome;
+
+    /// The peak-power / price model of the hardware this engine represents.
+    fn energy_model(&self) -> EnergyModel;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(batch: usize, seconds: f64) -> SearchOutcome {
+        SearchOutcome {
+            results: vec![vec![Neighbor::new(0, 0.0)]; batch],
+            seconds,
+            breakdown: StageBreakdown::new(),
+            stats: WorkloadStats::default(),
+        }
+    }
+
+    #[test]
+    fn qps_and_latency() {
+        let o = outcome(1000, 0.5);
+        assert_eq!(o.batch_size(), 1000);
+        assert!((o.qps() - 2000.0).abs() < 1e-9);
+        assert!((o.mean_latency() - 0.0005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_outcomes() {
+        let o = outcome(0, 0.0);
+        assert_eq!(o.qps(), 0.0);
+        assert_eq!(o.mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn efficiency_uses_energy_model() {
+        let o = outcome(300, 1.0);
+        let em = EnergyModel::new("x", 150.0, 3000.0);
+        assert!((o.qps_per_watt(&em) - 2.0).abs() < 1e-9);
+        assert!((o.qps_per_dollar(&em) - 0.1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared functional execution of the IVFPQ pipeline with work counting.
+//!
+//! The CPU and GPU baselines answer queries identically (they run the same
+//! algorithm on the same index); what differs is how long the hardware takes.
+//! This module runs the four-stage pipeline once, returns the actual results
+//! and the [`WorkloadStats`] that the per-architecture timing models consume.
+
+use crate::workload_stats::WorkloadStats;
+use annkit::ivf::IvfPqIndex;
+use annkit::topk::{Neighbor, TopK};
+use annkit::vector::Dataset;
+
+/// The outcome of a functional pipeline execution.
+#[derive(Debug, Clone)]
+pub struct FunctionalRun {
+    /// Per-query neighbor lists, closest first.
+    pub results: Vec<Vec<Neighbor>>,
+    /// Aggregated work counters.
+    pub stats: WorkloadStats,
+    /// Candidates scanned per query (used by the GPU top-k model, whose cost
+    /// is per-query rather than aggregate).
+    pub per_query_candidates: Vec<u64>,
+}
+
+/// Runs cluster filtering, LUT construction, ADC distance calculation and
+/// top-k selection for every query, counting the work of each stage.
+///
+/// # Panics
+/// Panics if `queries.dim() != index.dim()` or `k == 0`.
+pub fn run_ivfpq(
+    index: &IvfPqIndex,
+    queries: &Dataset,
+    nprobe: usize,
+    k: usize,
+) -> FunctionalRun {
+    assert_eq!(queries.dim(), index.dim(), "query dimension mismatch");
+    assert!(k > 0, "k must be positive");
+    let m = index.m();
+    let nprobe = nprobe.min(index.nlist()).max(1);
+
+    let mut stats = WorkloadStats {
+        queries: queries.len(),
+        k,
+        nprobe,
+        ..WorkloadStats::default()
+    };
+    let mut results = Vec::with_capacity(queries.len());
+    let mut per_query_candidates = Vec::with_capacity(queries.len());
+
+    for q in queries.iter() {
+        // Stage (a): cluster filtering.
+        let probed = index.filter_clusters(q, nprobe);
+        stats.centroid_comparisons += index.nlist() as u64;
+
+        // Stages (b)+(c)+(d) per probed cluster.
+        let mut topk = TopK::new(k);
+        let mut candidates_this_query = 0u64;
+        for &(cluster, _) in &probed {
+            let lut = index.build_lut(q, cluster);
+            stats.luts_built += 1;
+            stats.lut_entries += (m * 256) as u64;
+
+            let list = index.list(cluster);
+            let distances = lut.adc_scan(list.packed_codes());
+            candidates_this_query += list.len() as u64;
+            stats.candidates_scanned += list.len() as u64;
+            stats.lut_lookups += (list.len() * m) as u64;
+            stats.code_bytes_read += (list.len() * m) as u64;
+
+            for (i, &d) in distances.iter().enumerate() {
+                topk.push(list.ids()[i], d);
+            }
+        }
+        stats.topk_candidates += topk.offered();
+        stats.topk_insertions += topk.accepted();
+        per_query_candidates.push(candidates_this_query);
+        results.push(topk.into_sorted());
+    }
+
+    FunctionalRun {
+        results,
+        stats,
+        per_query_candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annkit::ivf::IvfPqParams;
+    use annkit::synthetic::SyntheticSpec;
+
+    fn small_index() -> (IvfPqIndex, Dataset) {
+        let data = SyntheticSpec::sift_like(1200)
+            .with_clusters(8)
+            .with_seed(3)
+            .generate();
+        let index = IvfPqIndex::train(&data, &IvfPqParams::new(8, 16).with_train_size(600), 1);
+        (index, data)
+    }
+
+    #[test]
+    fn matches_reference_search() {
+        let (index, data) = small_index();
+        let queries = data.gather(&[0, 100, 500]);
+        let run = run_ivfpq(&index, &queries, 4, 10);
+        let reference = index.search_batch(&queries, 4, 10);
+        assert_eq!(run.results.len(), reference.len());
+        for (a, b) in run.results.iter().zip(&reference) {
+            let ids_a: Vec<u64> = a.iter().map(|n| n.id).collect();
+            let ids_b: Vec<u64> = b.iter().map(|n| n.id).collect();
+            assert_eq!(ids_a, ids_b);
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let (index, data) = small_index();
+        let queries = data.gather(&[1, 2, 3, 4]);
+        let run = run_ivfpq(&index, &queries, 3, 5);
+        let s = &run.stats;
+        assert_eq!(s.queries, 4);
+        assert_eq!(s.nprobe, 3);
+        assert_eq!(s.k, 5);
+        assert_eq!(s.luts_built, 12);
+        assert_eq!(s.lut_entries, 12 * 16 * 256);
+        assert_eq!(s.lut_lookups, s.candidates_scanned * 16);
+        assert_eq!(s.code_bytes_read, s.candidates_scanned * 16);
+        assert_eq!(s.centroid_comparisons, 4 * 8);
+        assert_eq!(
+            run.per_query_candidates.iter().sum::<u64>(),
+            s.candidates_scanned
+        );
+        assert!(s.topk_candidates >= s.topk_insertions);
+    }
+
+    #[test]
+    fn nprobe_is_clamped_to_nlist() {
+        let (index, data) = small_index();
+        let queries = data.gather(&[7]);
+        let run = run_ivfpq(&index, &queries, 100, 3);
+        // nprobe clamped to 8: every list scanned, so every indexed vector is
+        // a candidate.
+        assert_eq!(run.stats.candidates_scanned, index.ntotal());
+        assert_eq!(run.stats.nprobe, 8);
+    }
+}

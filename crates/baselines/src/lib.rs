@@ -1,0 +1,42 @@
+//! # baselines — Faiss-CPU-like and Faiss-GPU-like IVFPQ engines
+//!
+//! The UpANNS paper compares against the CPU and GPU implementations of IVFPQ
+//! in Meta's Faiss library on the hardware of Table 1. Neither that hardware
+//! nor CUDA is available here, so this crate provides:
+//!
+//! * [`hardware`] — the Table 1 hardware specifications (capacity, peak
+//!   power, bandwidth, price) as data,
+//! * [`engine`] — the [`AnnEngine`](engine::AnnEngine) trait and
+//!   [`SearchOutcome`](engine::SearchOutcome) type shared by every engine in
+//!   the repository (CPU, GPU, PIM-naive, UpANNS),
+//! * [`cpu`] — a functional IVFPQ engine whose stage times follow a roofline
+//!   model of the paper's dual-Xeon platform,
+//! * [`gpu`] — a functional IVFPQ engine whose stage times follow an A100
+//!   model, including the low-parallelism top-k stage that dominates GPU
+//!   runtime (Figure 19) and the 80 GB capacity limit that makes DEEP1B
+//!   configurations go out-of-memory (Figure 12).
+//!
+//! Both engines share the *functional* search path of
+//! [`annkit::ivf::IvfPqIndex`], so their answers (and hence recall) are
+//! identical; only their timing models differ. This mirrors the paper's
+//! setup, where all baselines implement the same IVFPQ algorithm.
+
+pub mod cpu;
+pub mod engine;
+pub mod exec;
+pub mod gpu;
+pub mod hardware;
+pub mod workload_stats;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::cpu::{CpuFaissEngine, CpuSpec};
+    pub use crate::engine::{AnnEngine, SearchOutcome};
+    pub use crate::gpu::{GpuFaissEngine, GpuSpec};
+    pub use crate::hardware::{HardwareSpec, hardware_table};
+    pub use crate::workload_stats::WorkloadStats;
+}
+
+pub use cpu::CpuFaissEngine;
+pub use engine::{AnnEngine, SearchOutcome};
+pub use gpu::GpuFaissEngine;

@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks of the two extensions built on top of the
+//! paper's core system: the §4.1.2 adaptive reaction to query-pattern drift
+//! (drift measurement, planning, incremental replica adjustment) and the
+//! §5.5 multi-host sharding helpers. Both run on the host CPU between query
+//! batches, so their cost must stay far below a batch's search time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use upanns::adaptive::{
+    adapt_placement, measure_drift, plan_adaptation, AdaptationPolicy,
+};
+use upanns::multihost::shard_ranges;
+use upanns::placement::{place_pim_aware, PlacementInput};
+
+fn skewed_freqs(clusters: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..clusters)
+        .map(|i| 1.0 / ((i % 211) + 1) as f64 + rng.gen_range(0.0..1e-3))
+        .collect()
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adaptive");
+    group.sample_size(20);
+    let policy = AdaptationPolicy::default();
+
+    for &clusters in &[1024usize, 4096] {
+        let dpus = 896;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let sizes: Vec<usize> = (0..clusters)
+            .map(|_| rng.gen_range(50_000..400_000))
+            .collect();
+        let old = skewed_freqs(clusters, 11);
+        // A moderate drift: a handful of clusters heat up sharply.
+        let mut new = old.clone();
+        let boost: f64 = old.iter().sum::<f64>() * 0.02;
+        for i in 0..(clusters / 50).max(1) {
+            new[(i * 37) % clusters] += boost;
+        }
+        let input = PlacementInput::new(sizes.clone(), old.clone(), dpus, usize::MAX / 2);
+        let placement = place_pim_aware(&input);
+
+        group.bench_with_input(
+            BenchmarkId::new("measure_drift", clusters),
+            &clusters,
+            |b, _| b.iter(|| std::hint::black_box(measure_drift(&old, &new, &policy))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("plan_adaptation", clusters),
+            &clusters,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(plan_adaptation(&placement, &sizes, &old, &new, &policy))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("adapt_placement", clusters),
+            &clusters,
+            |b, _| {
+                b.iter(|| {
+                    std::hint::black_box(adapt_placement(
+                        &placement, &sizes, &old, &new, 0, &policy,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sharding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multihost");
+    group.sample_size(30);
+    for &hosts in &[2usize, 8, 32] {
+        group.bench_with_input(BenchmarkId::new("shard_ranges", hosts), &hosts, |b, &h| {
+            b.iter(|| std::hint::black_box(shard_ranges(1_000_000_000, h)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive, bench_sharding);
+criterion_main!(benches);

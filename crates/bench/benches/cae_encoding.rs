@@ -1,0 +1,48 @@
+//! Criterion microbenchmark of Opt3's offline cost: ECG mining and the
+//! co-occurrence-aware re-encoding of a cluster.
+
+use annkit::ivf::{IvfPqIndex, IvfPqParams};
+use annkit::synthetic::SyntheticSpec;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use upanns::cooccurrence::{mine_cluster_combos, MiningParams};
+use upanns::encoding::CaeList;
+
+fn bench_mining_and_encoding(c: &mut Criterion) {
+    let data = SyntheticSpec::sift_like(6_000)
+        .with_clusters(4)
+        .with_cooccurrence(0.4)
+        .with_seed(5)
+        .generate();
+    let index = IvfPqIndex::train(&data, &IvfPqParams::new(4, 16).with_train_size(2_000), 1);
+    // The largest cluster's packed codes.
+    let cluster = (0..index.nlist())
+        .max_by_key(|&c| index.list(c).len())
+        .unwrap();
+    let packed = index.list(cluster).packed_codes().to_vec();
+    let n_vectors = index.list(cluster).len() as u64;
+    let params = MiningParams::default();
+
+    let mut group = c.benchmark_group("cae_offline");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(n_vectors));
+    group.bench_with_input(
+        BenchmarkId::new("mine_combos", n_vectors),
+        &packed,
+        |b, packed| {
+            b.iter(|| std::hint::black_box(mine_cluster_combos(packed, 16, &params)));
+        },
+    );
+
+    let combos = mine_cluster_combos(&packed, 16, &params);
+    group.bench_with_input(
+        BenchmarkId::new("encode_cluster", n_vectors),
+        &packed,
+        |b, packed| {
+            b.iter(|| std::hint::black_box(CaeList::encode(packed, 16, &combos)));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_mining_and_encoding);
+criterion_main!(benches);

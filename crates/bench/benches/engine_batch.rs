@@ -1,0 +1,49 @@
+//! Criterion benchmark of end-to-end batch search on every engine at a small,
+//! fixed scale. This measures the wall-clock cost of the *reproduction*
+//! (functional execution + cost accounting); the simulated QPS figures come
+//! from the `figures` binary instead.
+
+use annkit::synthetic::DatasetKind;
+use baselines::engine::AnnEngine;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use upanns_bench::{EvalContext, EvalParams};
+
+fn bench_engines(c: &mut Criterion) {
+    let params = EvalParams {
+        n: 8_000,
+        nlist: 64,
+        nprobes: vec![8],
+        dpus: 64,
+        batch: 64,
+        train_size: 3_000,
+        ..EvalParams::default()
+    };
+    let ctx = EvalContext::build(DatasetKind::SiftLike, &params);
+    let nprobe = 8;
+    let k = 10;
+
+    let mut group = c.benchmark_group("engine_batch");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(params.batch as u64));
+
+    group.bench_function("faiss_cpu", |b| {
+        let mut engine = ctx.cpu();
+        b.iter(|| std::hint::black_box(engine.search_batch(&ctx.queries, nprobe, k).qps()));
+    });
+    group.bench_function("faiss_gpu", |b| {
+        let mut engine = ctx.gpu();
+        b.iter(|| std::hint::black_box(engine.search_batch(&ctx.queries, nprobe, k).qps()));
+    });
+    group.bench_function("pim_naive", |b| {
+        let mut engine = ctx.pim_naive();
+        b.iter(|| std::hint::black_box(engine.search_batch(&ctx.queries, nprobe, k).qps()));
+    });
+    group.bench_function("upanns", |b| {
+        let mut engine = ctx.upanns();
+        b.iter(|| std::hint::black_box(engine.search_batch(&ctx.queries, nprobe, k).qps()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion microbenchmark of the PIM simulator itself: MRAM cost-model
+//! evaluation, DMA-charged tasklet reads and a full parallel-region launch.
+//! These quantify the *simulation* overhead per modeled unit of work, which
+//! bounds how large an experiment the harness can run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pim_sim::config::PimConfig;
+use pim_sim::cost::CostModel;
+use pim_sim::host::PimSystem;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let cm = CostModel::default();
+    let mut group = c.benchmark_group("cost_model");
+    group.throughput(Throughput::Elements(2048));
+    group.bench_function("mram_transfer_cycles_sweep", |b| {
+        b.iter(|| {
+            let mut total = 0u64;
+            for bytes in (8..=2048).step_by(8) {
+                total += cm.mram_transfer_cycles(bytes);
+            }
+            std::hint::black_box(total)
+        });
+    });
+    group.bench_function("region_compute_cycles", |b| {
+        let per_tasklet: Vec<u64> = (0..24).map(|i| 1_000 + i * 37).collect();
+        b.iter(|| std::hint::black_box(cm.region_compute_cycles(&per_tasklet)));
+    });
+    group.finish();
+}
+
+fn bench_kernel_launch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_launch");
+    group.sample_size(20);
+    for &dpus in &[16usize, 128] {
+        let mut sys = PimSystem::new(PimConfig::with_dpus(dpus).scaled_to(dpus));
+        let mut addrs = Vec::new();
+        for d in 0..dpus {
+            let addr = sys.mram_alloc(d, 64 * 1024).unwrap();
+            sys.dpu_mut(d)
+                .mram_mut()
+                .write(addr, &vec![7u8; 64 * 1024])
+                .unwrap();
+            addrs.push(addr);
+        }
+        group.throughput(Throughput::Elements(dpus as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dpus), &dpus, |b, &dpus| {
+            b.iter(|| {
+                let report = sys.execute("bench", |ctx| {
+                    let addr = addrs[ctx.dpu_id()];
+                    ctx.parallel("scan", 11, |t| {
+                        for chunk in 0..16usize {
+                            let _ = t.mram_read(addr + chunk * 256, 256);
+                            t.charge_arith(256, 0);
+                        }
+                    });
+                });
+                std::hint::black_box((report.max_dpu_seconds, dpus))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_model, bench_kernel_launch);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion microbenchmark of Opt1: Algorithm 1 (data placement) and
+//! Algorithm 2 (query scheduling). The paper argues the scheduling overhead
+//! is negligible (`O(|Q| × nprobe)`); this bench quantifies it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use upanns::placement::{place_pim_aware, place_round_robin, PlacementInput};
+use upanns::scheduling::schedule_queries;
+
+fn skewed_input(clusters: usize, dpus: usize, seed: u64) -> PlacementInput {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let sizes: Vec<usize> = (0..clusters)
+        .map(|i| 200_000 / (i + 1) + rng.gen_range(10..100))
+        .collect();
+    let freqs: Vec<f64> = (0..clusters)
+        .map(|i| 1.0 / ((i % 97) + 1) as f64)
+        .collect();
+    PlacementInput::new(sizes, freqs, dpus, usize::MAX / 2)
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    group.sample_size(20);
+    for &(clusters, dpus) in &[(1024usize, 896usize), (4096, 896), (4096, 2560)] {
+        let input = skewed_input(clusters, dpus, 7);
+        let label = format!("c{clusters}_d{dpus}");
+        group.bench_with_input(BenchmarkId::new("pim_aware", &label), &input, |b, input| {
+            b.iter(|| std::hint::black_box(place_pim_aware(input)));
+        });
+        group.bench_with_input(BenchmarkId::new("round_robin", &label), &input, |b, input| {
+            b.iter(|| std::hint::black_box(place_round_robin(input)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scheduling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_scheduling");
+    group.sample_size(20);
+    let input = skewed_input(1024, 896, 11);
+    let placement = place_pim_aware(&input);
+    let mut rng = SmallRng::seed_from_u64(3);
+    for &(queries, nprobe) in &[(1000usize, 32usize), (1000, 64)] {
+        let filtered: Vec<Vec<usize>> = (0..queries)
+            .map(|_| {
+                let mut probes: Vec<usize> =
+                    (0..nprobe).map(|_| rng.gen_range(0..1024)).collect();
+                probes.sort_unstable();
+                probes.dedup();
+                probes
+            })
+            .collect();
+        let label = format!("q{queries}_p{nprobe}");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&label),
+            &filtered,
+            |b, filtered| {
+                b.iter(|| {
+                    std::hint::black_box(schedule_queries(
+                        filtered,
+                        &placement,
+                        &input.cluster_sizes,
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement, bench_scheduling);
+criterion_main!(benches);

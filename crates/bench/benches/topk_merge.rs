@@ -1,0 +1,54 @@
+//! Criterion microbenchmark of top-k selection: heap maintenance during the
+//! scan and the Opt4 pruned merge of thread-local heaps (Figure 9 /
+//! Figure 15).
+
+use annkit::topk::TopK;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use upanns::topk_prune::merge_thread_local;
+
+fn candidate_stream(n: usize) -> Vec<(u64, f32)> {
+    (0..n)
+        .map(|i| (i as u64, ((i as u64 * 2654435761) % 1_000_000) as f32))
+        .collect()
+}
+
+fn bench_heap_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_heap_push");
+    group.sample_size(20);
+    let candidates = candidate_stream(100_000);
+    for &k in &[10usize, 100] {
+        group.throughput(Throughput::Elements(candidates.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let mut heap = TopK::new(k);
+                for &(id, d) in &candidates {
+                    heap.push(id, d);
+                }
+                std::hint::black_box(heap.threshold())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pruned_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk_merge");
+    group.sample_size(30);
+    for &(tasklets, k) in &[(11usize, 10usize), (11, 100), (24, 100)] {
+        let mut locals = vec![TopK::new(k); tasklets];
+        for (i, &(id, d)) in candidate_stream(50_000).iter().enumerate() {
+            locals[i % tasklets].push(id, d);
+        }
+        let label = format!("t{tasklets}_k{k}");
+        group.bench_with_input(BenchmarkId::new("naive", &label), &locals, |b, locals| {
+            b.iter(|| std::hint::black_box(merge_thread_local(locals, k, false)));
+        });
+        group.bench_with_input(BenchmarkId::new("pruned", &label), &locals, |b, locals| {
+            b.iter(|| std::hint::black_box(merge_thread_local(locals, k, true)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_heap_push, bench_pruned_merge);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Diagnostic: prints the per-DPU scheduled-workload distribution of the
+//! PIM-aware placement + scheduling on a reduced configuration, and dissects
+//! the critical (most loaded) DPU. Used to verify that the Figure 11 balance
+//! behaviour holds and to debug deviations.
+//!
+//! ```text
+//! cargo run -p upanns-bench --release --bin balance_probe [-- nlist dpus nprobe batch]
+//! ```
+
+use annkit::ivf::{IvfPqIndex, IvfPqParams};
+use annkit::synthetic::SyntheticSpec;
+use annkit::workload::WorkloadSpec;
+use upanns::builder::frequencies_from_queries;
+use upanns::placement::{place_pim_aware, PlacementInput};
+use upanns::scheduling::schedule_queries;
+
+fn main() {
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let nlist = args.first().copied().unwrap_or(512);
+    let dpus = args.get(1).copied().unwrap_or(112);
+    let nprobe = args.get(2).copied().unwrap_or(8);
+    let batch = args.get(3).copied().unwrap_or(500);
+    let n = 20_000;
+
+    println!("n={n} nlist={nlist} dpus={dpus} nprobe={nprobe} batch={batch}");
+    let dataset = SyntheticSpec::sift_like(n)
+        .with_clusters((nlist / 4).clamp(16, 512))
+        .with_seed(0xABCD)
+        .generate_with_meta();
+    let index = IvfPqIndex::train(
+        &dataset.vectors,
+        &IvfPqParams::new(nlist, 16).with_train_size(10_000).with_coarse_iterations(8),
+        1,
+    );
+    let history = WorkloadSpec::new(batch * 4).with_seed(2).generate(&dataset).queries;
+    let queries = WorkloadSpec::new(batch).with_seed(3).generate(&dataset).queries;
+
+    let sizes = index.list_sizes();
+    let freqs = frequencies_from_queries(&index, &history, nprobe);
+    let input = PlacementInput::new(sizes.clone(), freqs.clone(), dpus, usize::MAX / 2);
+    let placement = place_pim_aware(&input);
+    println!(
+        "placement: {} replicas total, static max/avg = {:.2}",
+        placement.total_replicas(),
+        placement.max_to_avg_workload()
+    );
+
+    let filtered: Vec<Vec<usize>> = queries
+        .iter()
+        .map(|q| index.filter_clusters(q, nprobe).into_iter().map(|(c, _)| c).collect())
+        .collect();
+    let schedule = schedule_queries(&filtered, &placement, &sizes);
+    let mut loads: Vec<(usize, u64)> = schedule
+        .dpu_workload
+        .iter()
+        .copied()
+        .enumerate()
+        .filter(|(_, w)| *w > 0)
+        .collect();
+    loads.sort_by_key(|&(_, w)| std::cmp::Reverse(w));
+    let total: u64 = loads.iter().map(|(_, w)| w).sum();
+    let avg = total as f64 / loads.len() as f64;
+    println!(
+        "schedule: {} busy DPUs, avg workload {:.0} vectors, max/avg = {:.2}",
+        loads.len(),
+        avg,
+        schedule.max_to_avg_workload()
+    );
+    println!("top 8 DPUs by scheduled workload:");
+    for &(d, w) in loads.iter().take(8) {
+        println!("  dpu {d:4}  {w:8} vectors  ({:.2}x avg)  {} assignments", w as f64 / avg, schedule.per_dpu[d].len());
+    }
+    let (critical, _) = loads[0];
+    println!("critical DPU {critical} composition (cluster, size, replicas, assignments):");
+    let mut per_cluster: std::collections::BTreeMap<usize, usize> = Default::default();
+    for a in &schedule.per_dpu[critical] {
+        *per_cluster.entry(a.cluster).or_default() += 1;
+    }
+    let mut rows: Vec<_> = per_cluster.into_iter().collect();
+    rows.sort_by_key(|&(c, cnt)| std::cmp::Reverse(cnt * sizes[c]));
+    for (c, cnt) in rows.iter().take(10) {
+        println!(
+            "  cluster {c:5}  size {:5}  replicas {}  assignments {cnt}  load {}",
+            sizes[*c],
+            placement.replicas(*c),
+            cnt * sizes[*c]
+        );
+    }
+}

@@ -1,0 +1,735 @@
+//! Regenerates every table and figure of the UpANNS paper's evaluation
+//! section on the reduced-scale, simulated reproduction.
+//!
+//! ```text
+//! cargo run -p upanns-bench --release --bin figures -- all
+//! cargo run -p upanns-bench --release --bin figures -- fig10 fig12
+//! cargo run -p upanns-bench --release --bin figures -- fig10 --full   # full IVF sweep
+//! ```
+//!
+//! Each experiment prints a markdown table and writes a CSV under
+//! `results/`. EXPERIMENTS.md records the mapping to the paper's artifacts
+//! and the measured-vs-paper comparison.
+
+use annkit::flat::FlatIndex;
+use annkit::recall::recall_at_k;
+use annkit::synthetic::DatasetKind;
+use annkit::workload::WorkloadSpec;
+use baselines::engine::AnnEngine;
+use baselines::gpu::{GpuFaissEngine, GpuMemoryCheck};
+use baselines::hardware::hardware_table_markdown;
+use pim_sim::config::PimConfig;
+use pim_sim::cost::CostModel;
+use pim_sim::energy::EnergyModel;
+use std::collections::HashMap;
+use upanns::config::UpAnnsConfig;
+use upanns_bench::{fmt, EvalContext, EvalParams, ResultTable};
+
+/// Lazily built evaluation contexts, keyed by (dataset kind, nlist).
+struct ContextCache {
+    params: EvalParams,
+    map: HashMap<(DatasetKind, usize), EvalContext>,
+}
+
+impl ContextCache {
+    fn new(params: EvalParams) -> Self {
+        Self {
+            params,
+            map: HashMap::new(),
+        }
+    }
+
+    fn get(&mut self, kind: DatasetKind, nlist: usize) -> &EvalContext {
+        let params = self.params.clone();
+        self.map.entry((kind, nlist)).or_insert_with(|| {
+            eprintln!("[figures] building context: {} with |C| = {nlist} ...", kind.name());
+            EvalContext::build_with_nlist(kind, &params, nlist)
+        })
+    }
+
+    fn default_nlist(&self) -> usize {
+        self.params.nlist
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let full = raw.iter().any(|a| a == "--full");
+    let mut ids: Vec<String> = raw.into_iter().filter(|a| a != "--full").collect();
+    let all_ids = [
+        "tab1", "fig1", "fig4", "fig7", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+        "fig16", "fig17", "fig18", "fig19", "fig20", "headline",
+    ];
+    if ids.is_empty() || ids.iter().any(|i| i == "all") {
+        ids = all_ids.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut cache = ContextCache::new(EvalParams::default());
+    println!("# UpANNS reproduction — regenerated tables and figures\n");
+    println!(
+        "(reduced scale: N = {}, |C| = {}, {} DPUs, batch = {}, work-scale = {:.0}x; see EXPERIMENTS.md)",
+        cache.params.n,
+        cache.params.nlist,
+        cache.params.dpus,
+        cache.params.batch,
+        cache.params.work_scale()
+    );
+
+    for id in &ids {
+        let tables = match id.as_str() {
+            "tab1" => tab1(),
+            "fig1" => fig1(&mut cache),
+            "fig4" => fig4(&mut cache),
+            "fig7" => fig7(),
+            "fig10" => fig10(&mut cache, full),
+            "fig11" => fig11(&mut cache),
+            "fig12" => fig12(&mut cache),
+            "fig13" => fig13(&mut cache),
+            "fig14" => fig14(&mut cache),
+            "fig15" => fig15(&mut cache),
+            "fig16" => fig16(&mut cache),
+            "fig17" => fig17(&mut cache),
+            "fig18" => fig18(&mut cache),
+            "fig19" => fig19(&mut cache),
+            "fig20" => fig20(&mut cache),
+            "headline" => headline(&mut cache),
+            other => {
+                eprintln!("unknown experiment id '{other}' (known: {all_ids:?})");
+                Vec::new()
+            }
+        };
+        for table in tables {
+            print!("{}", table.to_markdown());
+            match table.write_csv("results") {
+                Ok(path) => println!("\n(csv: {})", path.display()),
+                Err(e) => eprintln!("failed to write CSV for {}: {e}", table.name),
+            }
+        }
+    }
+}
+
+/// Table 1: hardware specifications.
+fn tab1() -> Vec<ResultTable> {
+    let mut t = ResultTable::new(
+        "tab1_hardware",
+        &["hardware", "price_usd", "memory_gib", "peak_watts", "bandwidth_gb_s"],
+    );
+    for spec in baselines::hardware::hardware_table() {
+        t.push_row(vec![
+            spec.name.to_string(),
+            fmt(spec.price_usd, 0),
+            fmt(spec.memory_gib(), 0),
+            fmt(spec.peak_watts, 0),
+            fmt(spec.bandwidth_gb_s(), 1),
+        ]);
+    }
+    println!("{}", hardware_table_markdown());
+    vec![t]
+}
+
+/// Figure 1: CPU/GPU stage breakdown as the dataset scales 1M → 100M → 1B.
+fn fig1(cache: &mut ContextCache) -> Vec<ResultTable> {
+    let nlist = cache.default_nlist();
+    let n = cache.params.n as f64;
+    let nprobe = *cache.params.nprobes.last().unwrap_or(&16);
+    let k = cache.params.k;
+    let ctx = cache.get(DatasetKind::SiftLike, nlist);
+    let mut t = ResultTable::new(
+        "fig1_breakdown_vs_scale",
+        &["device", "modeled_scale", "cluster_filtering", "lut_construction", "distance_calc", "topk"],
+    );
+    for &(label, modeled) in &[("1M", 1e6), ("100M", 1e8), ("1B", 1e9)] {
+        let scale = (modeled / n).max(1.0);
+        let mut cpu = baselines::cpu::CpuFaissEngine::new(&ctx.index)
+            .with_billion_scale_regime(false)
+            .with_work_scale(scale);
+        let out = cpu.search_batch(&ctx.queries, nprobe, k);
+        t.push_row(vec![
+            "CPU".into(),
+            label.into(),
+            fmt(out.breakdown.fraction("cluster_filtering"), 3),
+            fmt(out.breakdown.fraction("lut_construction"), 3),
+            fmt(out.breakdown.fraction("distance_calc"), 3),
+            fmt(out.breakdown.fraction("topk"), 3),
+        ]);
+        let mut gpu = GpuFaissEngine::new(&ctx.index).with_work_scale(scale);
+        let out = gpu.search_batch(&ctx.queries, nprobe, k);
+        t.push_row(vec![
+            "GPU".into(),
+            label.into(),
+            fmt(out.breakdown.fraction("cluster_filtering"), 3),
+            fmt(out.breakdown.fraction("lut_construction"), 3),
+            fmt(out.breakdown.fraction("distance_calc"), 3),
+            fmt(out.breakdown.fraction("topk"), 3),
+        ]);
+    }
+    vec![t]
+}
+
+/// Figure 4: skew of access frequency, cluster size and workload (SPACEV-like).
+fn fig4(cache: &mut ContextCache) -> Vec<ResultTable> {
+    let nlist = cache.default_nlist();
+    let batch = cache.params.batch;
+    let seed = cache.params.seed;
+    let ctx = cache.get(DatasetKind::SpacevLike, nlist);
+    let history = WorkloadSpec::new(batch * 8)
+        .with_seed(seed + 9)
+        .generate(&ctx.dataset);
+    let freq = upanns::builder::frequencies_from_queries(&ctx.index, &history.queries, 16);
+    let sizes = ctx.index.list_sizes();
+    let workloads: Vec<f64> = sizes
+        .iter()
+        .zip(&freq)
+        .map(|(&s, &f)| s as f64 * f)
+        .collect();
+
+    let mut t = ResultTable::new(
+        "fig4_skew",
+        &["distribution", "min", "p50", "p99", "max", "max_over_min"],
+    );
+    let mut add = |name: &str, values: Vec<f64>| {
+        let mut v: Vec<f64> = values.into_iter().filter(|&x| x > 0.0).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        if v.is_empty() {
+            return;
+        }
+        let pick = |p: f64| v[((v.len() - 1) as f64 * p) as usize];
+        t.push_row(vec![
+            name.into(),
+            fmt(v[0], 3),
+            fmt(pick(0.5), 3),
+            fmt(pick(0.99), 3),
+            fmt(v[v.len() - 1], 3),
+            fmt(v[v.len() - 1] / v[0], 1),
+        ]);
+    };
+    add("access_frequency", freq.clone());
+    add("cluster_size", sizes.iter().map(|&s| s as f64).collect());
+    add("workload", workloads);
+    vec![t]
+}
+
+/// Figure 7: MRAM read latency vs transfer size.
+fn fig7() -> Vec<ResultTable> {
+    let cm = CostModel::default();
+    let clock = PimConfig::default().clock_hz;
+    let mut t = ResultTable::new(
+        "fig7_mram_latency",
+        &["bytes", "latency_cycles", "latency_ns", "bandwidth_mb_s"],
+    );
+    let mut bytes = 8usize;
+    while bytes <= 2048 {
+        let cycles = cm.mram_transfer_cycles(bytes);
+        let ns = cycles as f64 / clock * 1e9;
+        let bw = bytes as f64 / (cycles as f64 / clock) / 1e6;
+        t.push_row(vec![
+            bytes.to_string(),
+            cycles.to_string(),
+            fmt(ns, 1),
+            fmt(bw, 1),
+        ]);
+        bytes *= 2;
+    }
+    vec![t]
+}
+
+/// Figures 10: QPS of UpANNS / PIM-naive / Faiss-CPU (normalized to CPU).
+fn fig10(cache: &mut ContextCache, full: bool) -> Vec<ResultTable> {
+    let base_nlist = cache.default_nlist();
+    let nlists: Vec<usize> = if full {
+        vec![base_nlist, base_nlist * 2, base_nlist * 4]
+    } else {
+        vec![base_nlist]
+    };
+    let nprobes = cache.params.nprobes.clone();
+    let k = cache.params.k;
+    let mut t = ResultTable::new(
+        "fig10_qps_vs_cpu",
+        &["dataset", "nlist", "nprobe", "cpu_qps", "pim_naive_qps", "upanns_qps", "naive_over_cpu", "upanns_over_cpu"],
+    );
+    for kind in DatasetKind::all() {
+        for &nlist in &nlists {
+            let ctx = cache.get(kind, nlist);
+            let mut cpu = ctx.cpu();
+            let mut naive = ctx.pim_naive();
+            let mut upanns = ctx.upanns();
+            for &nprobe in &nprobes {
+                let c = cpu.search_batch(&ctx.queries, nprobe, k);
+                let nv = naive.search_batch(&ctx.queries, nprobe, k);
+                let u = upanns.search_batch(&ctx.queries, nprobe, k);
+                t.push_row(vec![
+                    kind.name().into(),
+                    nlist.to_string(),
+                    nprobe.to_string(),
+                    fmt(c.qps(), 1),
+                    fmt(nv.qps(), 1),
+                    fmt(u.qps(), 1),
+                    fmt(nv.qps() / c.qps(), 2),
+                    fmt(u.qps() / c.qps(), 2),
+                ]);
+            }
+        }
+    }
+    vec![t]
+}
+
+/// Figure 11: max/avg DPU workload ratio, PIM-aware placement vs naive.
+fn fig11(cache: &mut ContextCache) -> Vec<ResultTable> {
+    let nlist = cache.default_nlist();
+    let nprobes = cache.params.nprobes.clone();
+    let k = cache.params.k;
+    let mut t = ResultTable::new(
+        "fig11_balance_ratio",
+        &["dataset", "nprobe", "pim_naive_max_over_avg", "upanns_max_over_avg"],
+    );
+    for kind in DatasetKind::all() {
+        let ctx = cache.get(kind, nlist);
+        let mut naive = ctx.pim_naive();
+        let mut upanns = ctx.upanns();
+        for &nprobe in &nprobes {
+            naive.search_batch(&ctx.queries, nprobe, k);
+            upanns.search_batch(&ctx.queries, nprobe, k);
+            t.push_row(vec![
+                kind.name().into(),
+                nprobe.to_string(),
+                fmt(naive.last_balance_ratio(), 2),
+                fmt(upanns.last_balance_ratio(), 2),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// Figure 12: QPS and QPS/W of UpANNS vs Faiss-GPU (with the DEEP OOM case).
+fn fig12(cache: &mut ContextCache) -> Vec<ResultTable> {
+    let nlist = cache.default_nlist();
+    let nprobes = cache.params.nprobes.clone();
+    let k = cache.params.k;
+    let dpus = cache.params.dpus;
+    let mut t = ResultTable::new(
+        "fig12_vs_gpu",
+        &["dataset", "nprobe", "gpu_qps", "upanns_qps", "upanns_over_gpu", "gpu_qps_per_w", "upanns_qps_per_w", "qps_per_w_ratio", "gpu_1b_memory"],
+    );
+    let pim_energy = EnergyModel::pim(&PimConfig::with_dpus(dpus));
+    let gpu_energy = EnergyModel::paper_gpu();
+    for kind in DatasetKind::all() {
+        let ctx = cache.get(kind, nlist);
+        let mut gpu = ctx.gpu();
+        let mut upanns = ctx.upanns();
+        // The paper's DEEP1B GPU configuration keeps raw vectors resident and
+        // goes out of memory at 10⁹ vectors (blue X in Figure 12).
+        let store_raw = matches!(kind, DatasetKind::DeepLike);
+        let memory = match GpuFaissEngine::new(&ctx.index).check_memory(1_000_000_000, store_raw) {
+            GpuMemoryCheck::Fits { required } => format!("{:.0} GB", required as f64 / 1e9),
+            GpuMemoryCheck::OutOfMemory { required, .. } => {
+                format!("OOM ({:.0} GB > 80 GB)", required as f64 / 1e9)
+            }
+        };
+        for &nprobe in &nprobes {
+            let g = gpu.search_batch(&ctx.queries, nprobe, k);
+            let u = upanns.search_batch(&ctx.queries, nprobe, k);
+            t.push_row(vec![
+                kind.name().into(),
+                nprobe.to_string(),
+                fmt(g.qps(), 1),
+                fmt(u.qps(), 1),
+                fmt(u.qps() / g.qps(), 2),
+                fmt(g.qps_per_watt(&gpu_energy), 3),
+                fmt(u.qps_per_watt(&pim_energy), 3),
+                fmt(u.qps_per_watt(&pim_energy) / g.qps_per_watt(&gpu_energy), 2),
+                memory.clone(),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// Figure 13: QPS vs tasklets per DPU (saturation at 11).
+fn fig13(cache: &mut ContextCache) -> Vec<ResultTable> {
+    let nlist = cache.default_nlist();
+    let nprobe = cache.params.nprobes[cache.params.nprobes.len() / 2];
+    let k = cache.params.k;
+    let work_scale = cache.params.work_scale();
+    let ctx = cache.get(DatasetKind::SiftLike, nlist);
+    let mut t = ResultTable::new(
+        "fig13_tasklets",
+        &["tasklets", "qps", "speedup_vs_1_tasklet"],
+    );
+    let mut base_qps = 0.0;
+    for &tasklets in &[1usize, 2, 4, 6, 8, 11, 16, 24] {
+        let config = UpAnnsConfig::upanns()
+            .with_work_scale(work_scale)
+            .with_tasklets(tasklets);
+        let mut engine = ctx.upanns_with(config);
+        let out = engine.search_batch(&ctx.queries, nprobe, k);
+        if tasklets == 1 {
+            base_qps = out.qps();
+        }
+        t.push_row(vec![
+            tasklets.to_string(),
+            fmt(out.qps(), 1),
+            fmt(out.qps() / base_qps.max(1e-9), 2),
+        ]);
+    }
+    vec![t]
+}
+
+/// Figure 14: co-occurrence aware encoding gains vs length reduction rate.
+fn fig14(cache: &mut ContextCache) -> Vec<ResultTable> {
+    let nlist = cache.default_nlist();
+    let nprobes = cache.params.nprobes.clone();
+    let k = cache.params.k;
+    let work_scale = cache.params.work_scale();
+    let mut t = ResultTable::new(
+        "fig14_cae",
+        &["dataset", "nprobe", "length_reduction_rate", "qps_without_cae", "qps_with_cae", "improvement"],
+    );
+    for kind in DatasetKind::all() {
+        let ctx = cache.get(kind, nlist);
+        let mut with_cae = ctx.upanns();
+        let mut without_cae = ctx.upanns_with(
+            UpAnnsConfig::upanns()
+                .with_work_scale(work_scale)
+                .with_cooccurrence(false),
+        );
+        let rate = with_cae.mean_reduction_rate();
+        for &nprobe in &nprobes {
+            let on = with_cae.search_batch(&ctx.queries, nprobe, k);
+            let off = without_cae.search_batch(&ctx.queries, nprobe, k);
+            t.push_row(vec![
+                kind.name().into(),
+                nprobe.to_string(),
+                fmt(rate, 3),
+                fmt(off.qps(), 1),
+                fmt(on.qps(), 1),
+                fmt(on.qps() / off.qps(), 3),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// Figure 15: top-k stage time with and without pruning, k = 10..100.
+fn fig15(cache: &mut ContextCache) -> Vec<ResultTable> {
+    let nlist = cache.default_nlist();
+    let nprobe = cache.params.nprobes[cache.params.nprobes.len() / 2];
+    let work_scale = cache.params.work_scale();
+    let ctx = cache.get(DatasetKind::SiftLike, nlist);
+    let mut pruned = ctx.upanns();
+    let mut unpruned = ctx.upanns_with(
+        UpAnnsConfig::upanns()
+            .with_work_scale(work_scale)
+            .with_topk_pruning(false),
+    );
+    let mut t = ResultTable::new(
+        "fig15_topk_pruning",
+        &["k", "topk_seconds_no_pruning", "topk_seconds_pruned", "reduction", "pruned_comparisons_fraction"],
+    );
+    for &k in &[10usize, 20, 50, 100] {
+        let off = unpruned.search_batch(&ctx.queries, nprobe, k);
+        let on = pruned.search_batch(&ctx.queries, nprobe, k);
+        let frac_pruned = 1.0
+            - on.stats.topk_insertions as f64 / on.stats.topk_candidates.max(1) as f64;
+        t.push_row(vec![
+            k.to_string(),
+            fmt(off.breakdown.seconds("topk"), 6),
+            fmt(on.breakdown.seconds("topk"), 6),
+            fmt(off.breakdown.seconds("topk") / on.breakdown.seconds("topk").max(1e-12), 2),
+            fmt(frac_pruned, 3),
+        ]);
+    }
+    vec![t]
+}
+
+/// Figure 16: per-query latency vs batch size for UpANNS / PIM-naive / CPU.
+fn fig16(cache: &mut ContextCache) -> Vec<ResultTable> {
+    let nlist = cache.default_nlist();
+    let nprobe = cache.params.nprobes[0];
+    let k = cache.params.k;
+    let seed = cache.params.seed;
+    let ctx = cache.get(DatasetKind::SiftLike, nlist);
+    let mut upanns = ctx.upanns();
+    let mut naive = ctx.pim_naive();
+    let mut cpu = ctx.cpu();
+    let mut t = ResultTable::new(
+        "fig16_batch_size",
+        &["batch_size", "engine", "batch_latency_ms", "ms_per_query", "qps"],
+    );
+    for &bs in &[10usize, 100, 1000] {
+        let batch = WorkloadSpec::new(bs)
+            .with_seed(seed + 100 + bs as u64)
+            .generate(&ctx.dataset);
+        for (name, out) in [
+            ("UpANNS", upanns.search_batch(&batch.queries, nprobe, k)),
+            ("PIM-naive", naive.search_batch(&batch.queries, nprobe, k)),
+            ("Faiss-CPU", cpu.search_batch(&batch.queries, nprobe, k)),
+        ] {
+            t.push_row(vec![
+                bs.to_string(),
+                name.into(),
+                fmt(out.seconds * 1e3, 3),
+                fmt(out.mean_latency() * 1e3, 3),
+                fmt(out.qps(), 1),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// Figure 17: QPS vs MRAM read size (vectors per read).
+fn fig17(cache: &mut ContextCache) -> Vec<ResultTable> {
+    let nlist = cache.default_nlist();
+    let nprobe = cache.params.nprobes[cache.params.nprobes.len() / 2];
+    let k = cache.params.k;
+    let work_scale = cache.params.work_scale();
+    let mut t = ResultTable::new(
+        "fig17_mram_read_size",
+        &["dataset", "vectors_per_read", "read_bytes", "qps"],
+    );
+    for kind in DatasetKind::all() {
+        let ctx = cache.get(kind, nlist);
+        for &vectors in &[2usize, 4, 8, 16, 32, 64] {
+            let config = UpAnnsConfig::upanns()
+                .with_work_scale(work_scale)
+                .with_mram_read_vectors(vectors);
+            let read_bytes = config.mram_read_bytes(ctx.index.m());
+            let mut engine = ctx.upanns_with(config);
+            let out = engine.search_batch(&ctx.queries, nprobe, k);
+            t.push_row(vec![
+                kind.name().into(),
+                vectors.to_string(),
+                read_bytes.to_string(),
+                fmt(out.qps(), 1),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// Figure 18: QPS vs top-k size for UpANNS / Faiss-CPU / Faiss-GPU.
+fn fig18(cache: &mut ContextCache) -> Vec<ResultTable> {
+    let nlist = cache.default_nlist();
+    let nprobe = cache.params.nprobes[0];
+    let mut t = ResultTable::new(
+        "fig18_topk_size",
+        &["dataset", "k", "cpu_qps", "gpu_qps", "upanns_qps", "upanns_over_cpu", "upanns_over_gpu"],
+    );
+    for kind in DatasetKind::all() {
+        let ctx = cache.get(kind, nlist);
+        let mut cpu = ctx.cpu();
+        let mut gpu = ctx.gpu();
+        let mut upanns = ctx.upanns();
+        for &k in &[1usize, 10, 50, 100] {
+            let c = cpu.search_batch(&ctx.queries, nprobe, k);
+            let g = gpu.search_batch(&ctx.queries, nprobe, k);
+            let u = upanns.search_batch(&ctx.queries, nprobe, k);
+            t.push_row(vec![
+                kind.name().into(),
+                k.to_string(),
+                fmt(c.qps(), 1),
+                fmt(g.qps(), 1),
+                fmt(u.qps(), 1),
+                fmt(u.qps() / c.qps(), 2),
+                fmt(u.qps() / g.qps(), 2),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// Figure 19: stage time breakdown of CPU / GPU / UpANNS.
+fn fig19(cache: &mut ContextCache) -> Vec<ResultTable> {
+    let nlist = cache.default_nlist();
+    let nprobe = cache.params.nprobes[cache.params.nprobes.len() / 2];
+    let mut t = ResultTable::new(
+        "fig19_breakdown",
+        &["dataset", "engine", "k", "cluster_filtering", "lut_construction", "distance_calc", "topk", "other"],
+    );
+    for kind in DatasetKind::all() {
+        let ctx = cache.get(kind, nlist);
+        for &k in &[10usize, 100] {
+            let mut cpu = ctx.cpu();
+            let mut gpu = ctx.gpu();
+            let mut upanns = ctx.upanns();
+            for (name, out) in [
+                ("Faiss-CPU", cpu.search_batch(&ctx.queries, nprobe, k)),
+                ("Faiss-GPU", gpu.search_batch(&ctx.queries, nprobe, k)),
+                ("UpANNS", upanns.search_batch(&ctx.queries, nprobe, k)),
+            ] {
+                let main: f64 = ["cluster_filtering", "lut_construction", "distance_calc", "topk"]
+                    .iter()
+                    .map(|s| out.breakdown.fraction(s))
+                    .sum();
+                t.push_row(vec![
+                    kind.name().into(),
+                    name.into(),
+                    k.to_string(),
+                    fmt(out.breakdown.fraction("cluster_filtering"), 3),
+                    fmt(out.breakdown.fraction("lut_construction"), 3),
+                    fmt(out.breakdown.fraction("distance_calc"), 3),
+                    fmt(out.breakdown.fraction("topk"), 3),
+                    fmt((1.0 - main).max(0.0), 3),
+                ]);
+            }
+        }
+    }
+    vec![t]
+}
+
+/// Figure 20: scalability with the number of DPUs + linear extrapolation.
+fn fig20(cache: &mut ContextCache) -> Vec<ResultTable> {
+    let nlist = cache.default_nlist();
+    let nprobe = cache.params.nprobes[cache.params.nprobes.len() / 2];
+    let k = cache.params.k;
+    // The paper's scalability study uses a 500M-scale dataset.
+    let work_scale = (5e8 / cache.params.n as f64).max(1.0);
+    let base_params = cache.params.clone();
+    let ctx = cache.get(DatasetKind::SiftLike, nlist);
+    let mut gpu = GpuFaissEngine::new(&ctx.index).with_work_scale(work_scale);
+    let gpu_out = gpu.search_batch(&ctx.queries, nprobe, k);
+
+    let mut t = ResultTable::new(
+        "fig20_scalability",
+        &["dpus", "measured_or_predicted", "qps", "watts", "qps_over_gpu"],
+    );
+    let mut samples = Vec::new();
+    for &dpus in &[512usize, 640, 768, 896] {
+        let config = UpAnnsConfig::upanns().with_work_scale(work_scale);
+        let mut params = base_params.clone();
+        params.dpus = dpus;
+        let engine_ctx = EvalContextProxy { ctx, params };
+        let mut engine = engine_ctx.build_engine(config);
+        let out = engine.search_batch(&ctx.queries, nprobe, k);
+        samples.push((dpus as f64, out.qps()));
+        t.push_row(vec![
+            dpus.to_string(),
+            "measured".into(),
+            fmt(out.qps(), 1),
+            fmt(PimConfig::with_dpus(dpus).peak_watts(), 1),
+            fmt(out.qps() / gpu_out.qps(), 2),
+        ]);
+    }
+    // Linear regression, as the paper does, to project to the 20-DIMM limit.
+    let (a, b) = linear_fit(&samples);
+    for &dpus in &[1280usize, 1654, 2048, 2560] {
+        let qps = a * dpus as f64 + b;
+        t.push_row(vec![
+            dpus.to_string(),
+            if dpus == 1654 {
+                "predicted (iso-power with A100)".into()
+            } else {
+                "predicted".into()
+            },
+            fmt(qps, 1),
+            fmt(PimConfig::with_dpus(dpus).peak_watts(), 1),
+            fmt(qps / gpu_out.qps(), 2),
+        ]);
+    }
+    let mut g = ResultTable::new("fig20_gpu_reference", &["gpu_qps", "gpu_watts"]);
+    g.push_row(vec![fmt(gpu_out.qps(), 1), fmt(300.0, 0)]);
+    vec![t, g]
+}
+
+/// The headline claims of §1 / §5.2.
+fn headline(cache: &mut ContextCache) -> Vec<ResultTable> {
+    let nlist = cache.default_nlist();
+    let nprobe = cache.params.nprobes[cache.params.nprobes.len() / 2];
+    let k = cache.params.k;
+    let dpus = cache.params.dpus;
+    let mut t = ResultTable::new(
+        "headline_claims",
+        &["dataset", "metric", "paper", "measured"],
+    );
+    let pim_energy = EnergyModel::pim(&PimConfig::with_dpus(dpus));
+    let gpu_energy = EnergyModel::paper_gpu();
+    let cpu_energy = EnergyModel::paper_cpu();
+    for kind in DatasetKind::all() {
+        let ctx = cache.get(kind, nlist);
+        let mut cpu = ctx.cpu();
+        let mut gpu = ctx.gpu();
+        let mut naive = ctx.pim_naive();
+        let mut upanns = ctx.upanns();
+        let c = cpu.search_batch(&ctx.queries, nprobe, k);
+        let g = gpu.search_batch(&ctx.queries, nprobe, k);
+        let nv = naive.search_batch(&ctx.queries, nprobe, k);
+        let u = upanns.search_batch(&ctx.queries, nprobe, k);
+        let exact = FlatIndex::new(&ctx.dataset.vectors).search_batch(&ctx.queries, k);
+        t.push_row(vec![
+            kind.name().into(),
+            "UpANNS QPS / Faiss-CPU QPS".into(),
+            "1.6x - 4.3x".into(),
+            fmt(u.qps() / c.qps(), 2),
+        ]);
+        t.push_row(vec![
+            kind.name().into(),
+            "UpANNS QPS / Faiss-GPU QPS".into(),
+            "~1x (comparable)".into(),
+            fmt(u.qps() / g.qps(), 2),
+        ]);
+        t.push_row(vec![
+            kind.name().into(),
+            "UpANNS QPS / PIM-naive QPS".into(),
+            "up to 3.1x".into(),
+            fmt(u.qps() / nv.qps(), 2),
+        ]);
+        t.push_row(vec![
+            kind.name().into(),
+            "UpANNS QPS/W / GPU QPS/W".into(),
+            "~2.3x".into(),
+            fmt(u.qps_per_watt(&pim_energy) / g.qps_per_watt(&gpu_energy), 2),
+        ]);
+        t.push_row(vec![
+            kind.name().into(),
+            "UpANNS QPS/$ / GPU QPS/$".into(),
+            "up to 9.3x".into(),
+            fmt(u.qps_per_dollar(&pim_energy) / g.qps_per_dollar(&gpu_energy), 2),
+        ]);
+        t.push_row(vec![
+            kind.name().into(),
+            "recall@10 UpANNS vs Faiss-CPU (identical)".into(),
+            "identical".into(),
+            format!(
+                "{} vs {}",
+                fmt(recall_at_k(&u.results, &exact, k), 3),
+                fmt(recall_at_k(&c.results, &exact, k), 3)
+            ),
+        ]);
+        let _ = cpu_energy.peak_watts; // CPU efficiency is implied by the QPS ratio.
+    }
+    vec![t]
+}
+
+/// Helper for Figure 20: builds an engine against an existing context but a
+/// different DPU count.
+struct EvalContextProxy<'a> {
+    ctx: &'a EvalContext,
+    params: EvalParams,
+}
+
+impl<'a> EvalContextProxy<'a> {
+    fn build_engine(&self, config: UpAnnsConfig) -> upanns::engine::UpAnnsEngine<'a> {
+        let nprobe_max = self.params.nprobes.iter().copied().max().unwrap_or(16);
+        upanns::builder::UpAnnsBuilder::new(&self.ctx.index)
+            .with_config(config)
+            .with_pim_config(PimConfig::with_dpus(self.params.dpus))
+            .with_history(&self.ctx.history, nprobe_max)
+            .with_batch_capacity(upanns::builder::BatchCapacity {
+                batch_size: self.params.batch,
+                nprobe: nprobe_max,
+                max_k: 100,
+            })
+            .build()
+    }
+}
+
+/// Ordinary least squares for y = a·x + b.
+fn linear_fit(samples: &[(f64, f64)]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let sx: f64 = samples.iter().map(|(x, _)| x).sum();
+    let sy: f64 = samples.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = samples.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = samples.iter().map(|(x, y)| x * y).sum();
+    let a = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let b = (sy - a * sx) / n;
+    (a, b)
+}

@@ -1,0 +1,424 @@
+//! The offline phase: mining, encoding, placement and MRAM loading.
+//!
+//! `UpAnnsBuilder` turns a trained [`IvfPqIndex`] plus (optionally) a
+//! historical query workload into a ready-to-query [`UpAnnsEngine`]:
+//!
+//! 1. derive per-cluster access frequencies from the historical workload,
+//! 2. run the PIM-aware data placement (Algorithm 1) — or the naive
+//!    round-robin distribution for the PIM-naive baseline,
+//! 3. mine high-frequency code combinations and re-encode every cluster
+//!    (Opt3), and
+//! 4. stage codebook, ids and code payloads into every DPU's MRAM.
+//!
+//! None of this counts toward query latency; the engine resets the simulated
+//! clock before every batch.
+
+use crate::config::UpAnnsConfig;
+use crate::cooccurrence::{mine_cluster_combos, ComboTable, MiningParams};
+use crate::encoding::CaeList;
+use crate::engine::UpAnnsEngine;
+use crate::kernel::{mailbox_slot_bytes, ClusterReplica, DpuStore, ListEncoding};
+use crate::placement::{place_pim_aware, place_round_robin, Placement, PlacementInput};
+use annkit::ivf::IvfPqIndex;
+use annkit::vector::Dataset;
+use pim_sim::config::PimConfig;
+use pim_sim::host::PimSystem;
+use std::collections::HashMap;
+
+/// Capacity hints for the per-DPU staging buffers allocated at build time.
+/// The engine grows them on demand if a batch exceeds the hints.
+#[derive(Debug, Clone)]
+pub struct BatchCapacity {
+    /// Expected number of queries per batch.
+    pub batch_size: usize,
+    /// Expected `nprobe`.
+    pub nprobe: usize,
+    /// Largest `k` that will be requested.
+    pub max_k: usize,
+}
+
+impl Default for BatchCapacity {
+    fn default() -> Self {
+        Self {
+            batch_size: 1_000,
+            nprobe: 32,
+            max_k: 100,
+        }
+    }
+}
+
+/// Builder of [`UpAnnsEngine`]s (and, with [`UpAnnsConfig::pim_naive`], of the
+/// PIM-naive baseline).
+pub struct UpAnnsBuilder<'a> {
+    index: &'a IvfPqIndex,
+    config: UpAnnsConfig,
+    pim_config: PimConfig,
+    frequencies: Option<Vec<f64>>,
+    placement_override: Option<Placement>,
+    capacity: BatchCapacity,
+    mining: MiningParams,
+}
+
+impl<'a> UpAnnsBuilder<'a> {
+    /// Creates a builder over a trained index with default configuration
+    /// (full UpANNS, the paper's 7-DIMM system).
+    pub fn new(index: &'a IvfPqIndex) -> Self {
+        Self {
+            index,
+            config: UpAnnsConfig::upanns(),
+            pim_config: PimConfig::paper_seven_dimms(),
+            frequencies: None,
+            placement_override: None,
+            capacity: BatchCapacity::default(),
+            mining: MiningParams::default(),
+        }
+    }
+
+    /// Sets the engine configuration (use [`UpAnnsConfig::pim_naive`] for the
+    /// baseline).
+    pub fn with_config(mut self, config: UpAnnsConfig) -> Self {
+        self.mining.max_combos = config.combos_per_cluster;
+        self.mining.combo_len = config.combo_len;
+        self.config = config;
+        self
+    }
+
+    /// Sets the simulated PIM hardware configuration (number of DPUs, etc.).
+    pub fn with_pim_config(mut self, pim: PimConfig) -> Self {
+        self.pim_config = pim;
+        self
+    }
+
+    /// Supplies per-cluster historical access frequencies directly.
+    pub fn with_frequencies(mut self, frequencies: Vec<f64>) -> Self {
+        assert_eq!(
+            frequencies.len(),
+            self.index.nlist(),
+            "one frequency per cluster required"
+        );
+        self.frequencies = Some(frequencies);
+        self
+    }
+
+    /// Derives per-cluster access frequencies from a historical query set by
+    /// running cluster filtering on it (the way the paper's offline phase
+    /// consumes past workload).
+    pub fn with_history(mut self, history: &Dataset, nprobe: usize) -> Self {
+        self.frequencies = Some(frequencies_from_queries(self.index, history, nprobe));
+        self
+    }
+
+    /// Uses an externally computed placement instead of running Algorithm 1
+    /// (or round-robin) inside the builder. This is how an adapted placement
+    /// from [`crate::adaptive`] is turned back into a ready engine after a
+    /// query-pattern shift (§4.1.2).
+    ///
+    /// The placement must target the same cluster count and DPU count the
+    /// builder is configured for; [`build`](Self::build) validates it.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement_override = Some(placement);
+        self
+    }
+
+    /// Sets the staging-buffer capacity hints.
+    pub fn with_batch_capacity(mut self, capacity: BatchCapacity) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Runs the offline phase and returns a ready engine.
+    pub fn build(self) -> UpAnnsEngine<'a> {
+        let index = self.index;
+        let nlist = index.nlist();
+        let m = index.m();
+        let num_dpus = self.pim_config.num_dpus;
+
+        // 1. Access frequencies (uniform when no history is supplied).
+        let frequencies = self
+            .frequencies
+            .unwrap_or_else(|| vec![1.0 / nlist as f64; nlist]);
+
+        // 2. Placement.
+        let bytes_per_vector = m.max(2) * 2 + 8;
+        let max_dpu_vectors = self
+            .config
+            .max_dpu_vectors
+            .unwrap_or(self.pim_config.mram_bytes / bytes_per_vector);
+        let mut placement_input = PlacementInput::new(
+            index.list_sizes(),
+            frequencies,
+            num_dpus,
+            max_dpu_vectors,
+        );
+        placement_input.threshold_rate = self.config.placement_threshold_rate;
+        let placement: Placement = match self.placement_override {
+            Some(p) => {
+                assert_eq!(
+                    p.dpu_workload.len(),
+                    num_dpus,
+                    "placement override targets a different DPU count"
+                );
+                p
+            }
+            None if self.config.pim_aware_placement => place_pim_aware(&placement_input),
+            None => place_round_robin(&placement_input),
+        };
+        placement
+            .validate(&placement_input)
+            .expect("placement must satisfy structural invariants");
+
+        // 3. Mining + re-encoding (Opt3).
+        let mut combos: HashMap<usize, ComboTable> = HashMap::new();
+        let mut encoded: HashMap<usize, CaeList> = HashMap::new();
+        if self.config.cooccurrence_encoding {
+            for c in 0..nlist {
+                let list = index.list(c);
+                if list.is_empty() {
+                    continue;
+                }
+                let table = mine_cluster_combos(list.packed_codes(), m, &self.mining);
+                let cae = CaeList::encode(list.packed_codes(), m, &table);
+                combos.insert(c, table);
+                encoded.insert(c, cae);
+            }
+        }
+
+        // 4. Stage everything into MRAM.
+        let mut sys = PimSystem::new(self.pim_config.clone());
+        let codebook = quantized_codebook(index);
+        let expected_assignments_per_dpu = ((self.capacity.batch_size * self.capacity.nprobe)
+            .div_ceil(num_dpus))
+        .max(8)
+            * 2;
+        let expected_queries_per_dpu = expected_assignments_per_dpu.min(self.capacity.batch_size);
+        let query_record_bytes = 8 + index.dim() * 4;
+        let mut stores = Vec::with_capacity(num_dpus);
+        for dpu in 0..num_dpus {
+            let mut store = DpuStore::default();
+            store.codebook_bytes = codebook.len();
+            store.codebook_addr = sys
+                .mram_alloc(dpu, codebook.len())
+                .expect("codebook fits in MRAM");
+            sys.dpu_mut(dpu)
+                .mram_mut()
+                .write(store.codebook_addr, &codebook)
+                .expect("codebook write");
+            store.query_buffer_bytes = expected_assignments_per_dpu * query_record_bytes;
+            store.query_buffer_addr = sys
+                .mram_alloc(dpu, store.query_buffer_bytes)
+                .expect("query buffer fits in MRAM");
+            store.mailbox_bytes =
+                expected_queries_per_dpu * mailbox_slot_bytes(self.capacity.max_k);
+            store.mailbox_addr = sys
+                .mram_alloc(dpu, store.mailbox_bytes)
+                .expect("mailbox fits in MRAM");
+            stores.push(store);
+        }
+
+        for (cluster, dpus) in placement.cluster_to_dpus.iter().enumerate() {
+            let list = index.list(cluster);
+            if list.is_empty() {
+                continue;
+            }
+            let mut ids_bytes = Vec::with_capacity(list.len() * 8);
+            for &id in list.ids() {
+                ids_bytes.extend_from_slice(&id.to_le_bytes());
+            }
+            let payload: Vec<u8> = match encoded.get(&cluster) {
+                Some(cae) => cae.to_bytes(),
+                None => list.packed_codes().to_vec(),
+            };
+            for &dpu in dpus {
+                let ids_addr = sys
+                    .mram_alloc(dpu, ids_bytes.len())
+                    .expect("ids fit in MRAM");
+                sys.dpu_mut(dpu)
+                    .mram_mut()
+                    .write(ids_addr, &ids_bytes)
+                    .expect("ids write");
+                let codes_addr = sys
+                    .mram_alloc(dpu, payload.len())
+                    .expect("codes fit in MRAM");
+                sys.dpu_mut(dpu)
+                    .mram_mut()
+                    .write(codes_addr, &payload)
+                    .expect("codes write");
+                let encoding = match encoded.get(&cluster) {
+                    Some(cae) => ListEncoding::CaeU16(cae.clone()),
+                    None => ListEncoding::PlainU8,
+                };
+                stores[dpu].replicas.insert(
+                    cluster,
+                    ClusterReplica {
+                        cluster,
+                        num_vectors: list.len(),
+                        ids_addr,
+                        codes_addr,
+                        codes_bytes: payload.len(),
+                        encoding,
+                    },
+                );
+            }
+        }
+
+        let reduction_rates: HashMap<usize, f64> = encoded
+            .iter()
+            .map(|(&c, cae)| (c, cae.reduction_rate()))
+            .collect();
+
+        UpAnnsEngine::from_parts(
+            index,
+            self.config,
+            placement,
+            combos,
+            reduction_rates,
+            stores,
+            sys,
+        )
+    }
+}
+
+/// Derives per-cluster access frequencies by cluster-filtering a historical
+/// query set (normalized to sum to 1).
+pub fn frequencies_from_queries(index: &IvfPqIndex, history: &Dataset, nprobe: usize) -> Vec<f64> {
+    let mut counts = vec![0u64; index.nlist()];
+    for q in history.iter() {
+        for (c, _) in index.filter_clusters(q, nprobe) {
+            counts[c] += 1;
+        }
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return vec![1.0 / index.nlist() as f64; index.nlist()];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+/// Quantizes the f32 codebook to 1 byte per component for MRAM staging (the
+/// representation whose size the paper quotes: 32 KB for SIFT). The values
+/// themselves are only used to account WRAM/MRAM traffic; the functional LUT
+/// is built from the full-precision codebook on the host side of the
+/// simulator.
+fn quantized_codebook(index: &IvfPqIndex) -> Vec<u8> {
+    let flat = index.pq().codebooks_flat();
+    let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+    for &x in flat {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    let range = (hi - lo).max(f32::MIN_POSITIVE);
+    flat.iter()
+        .map(|&x| (((x - lo) / range) * 255.0).round() as u8)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annkit::ivf::IvfPqParams;
+    use annkit::synthetic::SyntheticSpec;
+    use std::sync::OnceLock;
+
+    fn shared_index() -> &'static (IvfPqIndex, Dataset) {
+        static IX: OnceLock<(IvfPqIndex, Dataset)> = OnceLock::new();
+        IX.get_or_init(|| {
+            let data = SyntheticSpec::sift_like(1600)
+                .with_clusters(8)
+                .with_seed(8)
+                .generate();
+            let index =
+                IvfPqIndex::train(&data, &IvfPqParams::new(8, 16).with_train_size(700), 4);
+            (index, data)
+        })
+    }
+
+    #[test]
+    fn builds_an_engine_with_every_cluster_stored() {
+        let (index, _) = shared_index();
+        let engine = UpAnnsBuilder::new(index)
+            .with_pim_config(PimConfig::with_dpus(4))
+            .with_batch_capacity(BatchCapacity {
+                batch_size: 16,
+                nprobe: 4,
+                max_k: 10,
+            })
+            .build();
+        // Every non-empty cluster must be hosted by at least one DPU store.
+        for c in 0..index.nlist() {
+            if index.list(c).is_empty() {
+                continue;
+            }
+            let hosted = engine
+                .stores()
+                .iter()
+                .filter(|s| s.replicas.contains_key(&c))
+                .count();
+            assert!(hosted >= 1, "cluster {c} not staged on any DPU");
+            assert_eq!(hosted, engine.placement().replicas(c));
+        }
+    }
+
+    #[test]
+    fn pim_naive_uses_round_robin_and_plain_codes() {
+        let (index, _) = shared_index();
+        let engine = UpAnnsBuilder::new(index)
+            .with_config(UpAnnsConfig::pim_naive())
+            .with_pim_config(PimConfig::with_dpus(4))
+            .with_batch_capacity(BatchCapacity {
+                batch_size: 16,
+                nprobe: 4,
+                max_k: 10,
+            })
+            .build();
+        assert_eq!(engine.placement().total_replicas(), index.nlist());
+        for store in engine.stores() {
+            for replica in store.replicas.values() {
+                assert!(matches!(replica.encoding, ListEncoding::PlainU8));
+            }
+        }
+        assert!(engine.mean_reduction_rate() == 0.0);
+    }
+
+    #[test]
+    fn cae_build_records_reduction_rates() {
+        let (index, _) = shared_index();
+        let engine = UpAnnsBuilder::new(index)
+            .with_pim_config(PimConfig::with_dpus(4))
+            .with_batch_capacity(BatchCapacity {
+                batch_size: 16,
+                nprobe: 4,
+                max_k: 10,
+            })
+            .build();
+        assert!(engine.mean_reduction_rate() >= 0.0);
+        assert!(engine.mean_reduction_rate() < 1.0);
+    }
+
+    #[test]
+    fn history_frequencies_sum_to_one_and_bias_placement() {
+        let (index, data) = shared_index();
+        let history = data.gather(&(0..200).map(|i| i * 3 % 1600).collect::<Vec<_>>());
+        let freqs = frequencies_from_queries(index, &history, 3);
+        assert_eq!(freqs.len(), index.nlist());
+        assert!((freqs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+
+        let engine = UpAnnsBuilder::new(index)
+            .with_history(&history, 3)
+            .with_pim_config(PimConfig::with_dpus(4))
+            .with_batch_capacity(BatchCapacity {
+                batch_size: 16,
+                nprobe: 4,
+                max_k: 10,
+            })
+            .build();
+        assert!(engine.placement().max_to_avg_workload() < 2.0);
+    }
+
+    #[test]
+    fn quantized_codebook_has_expected_size() {
+        let (index, _) = shared_index();
+        let cb = quantized_codebook(index);
+        assert_eq!(cb.len(), index.dim() * 256);
+        assert_eq!(cb.len(), index.pq().codebooks_flat().len());
+    }
+}

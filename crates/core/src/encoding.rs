@@ -1,0 +1,336 @@
+//! Opt3 (online-format half): co-occurrence aware, PIM-friendly re-encoding.
+//!
+//! UpANNS stores encoded points as streams of 16-bit *direct addresses*
+//! instead of 8-bit codebook indices:
+//!
+//! * a direct entry `a < 256·m` addresses LUT slot `a` directly
+//!   (`a = position·256 + code`), so the DPU never multiplies (§4.3 notes
+//!   multiplications are ~32 cycles on the DPU);
+//! * a combination entry `a ≥ 256·m` addresses the cached partial sum of
+//!   mined combination `a − 256·m`, replacing 2–3 lookups + adds with one.
+//!
+//! Each re-encoded vector is stored as `[length, entry₀, …]`. The per-cluster
+//! *length reduction rate* (1 − avg-length / m) is the x-axis of Figure 14:
+//! higher reduction ⇒ fewer WRAM lookups, fewer adds and fewer MRAM bytes ⇒
+//! faster distance calculation.
+
+use crate::cooccurrence::ComboTable;
+use annkit::lut::LookupTable;
+
+/// A co-occurrence-aware encoded inverted list (one cluster).
+#[derive(Debug, Clone)]
+pub struct CaeList {
+    m: usize,
+    num_combos: usize,
+    /// Entry stream: for each vector, `[len, addr₀, …, addr_{len−1}]`.
+    entries: Vec<u16>,
+    /// Start offset of each vector's record within `entries`.
+    offsets: Vec<u32>,
+}
+
+impl CaeList {
+    /// Re-encodes a cluster's packed PQ codes (`n × m` bytes) using the mined
+    /// `combos`. Combos are applied greedily in table order (most frequent
+    /// first) without overlapping positions.
+    ///
+    /// # Panics
+    /// Panics if the packed buffer is not a multiple of `m` or if
+    /// `256·m + combos.len()` would not fit in a `u16` address.
+    pub fn encode(packed_codes: &[u8], m: usize, combos: &ComboTable) -> Self {
+        assert!(packed_codes.len() % m == 0, "packed codes not a multiple of m");
+        assert!(
+            256 * m + combos.len() <= u16::MAX as usize,
+            "address space overflow: m={m}, combos={}",
+            combos.len()
+        );
+        let n = packed_codes.len() / m;
+        let mut entries = Vec::with_capacity(n * (m + 1));
+        let mut offsets = Vec::with_capacity(n);
+
+        for code in packed_codes.chunks_exact(m) {
+            offsets.push(entries.len() as u32);
+            let mut covered = vec![false; m];
+            let mut record: Vec<u16> = Vec::with_capacity(m);
+
+            // Greedy non-overlapping combo matching, most frequent first.
+            for (idx, combo) in combos.combos().iter().enumerate() {
+                if combo.matches(code) && combo.positions().iter().all(|&p| !covered[p]) {
+                    for &p in &combo.positions() {
+                        covered[p] = true;
+                    }
+                    record.push((256 * m + idx) as u16);
+                }
+            }
+            // Remaining positions become direct LUT addresses.
+            for (p, &c) in code.iter().enumerate() {
+                if !covered[p] {
+                    record.push((p * 256 + c as usize) as u16);
+                }
+            }
+
+            entries.push(record.len() as u16);
+            entries.extend_from_slice(&record);
+        }
+
+        Self {
+            m,
+            num_combos: combos.len(),
+            entries,
+            offsets,
+        }
+    }
+
+    /// Re-encodes without any combinations: every vector becomes `m` direct
+    /// addresses (the representation UpANNS uses when CAE is disabled).
+    pub fn encode_plain(packed_codes: &[u8], m: usize) -> Self {
+        Self::encode(packed_codes, m, &ComboTable::empty())
+    }
+
+    /// Number of vectors in the list.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// Number of PQ positions of the original codes.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Number of combination addresses in use.
+    pub fn num_combos(&self) -> usize {
+        self.num_combos
+    }
+
+    /// The encoded entry count (including the per-vector length slots).
+    pub fn total_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Bytes occupied by the encoded stream (2 bytes per entry).
+    pub fn bytes(&self) -> usize {
+        self.entries.len() * 2
+    }
+
+    /// The record of vector `i`: its address entries (without the length
+    /// slot).
+    pub fn record(&self, i: usize) -> &[u16] {
+        let start = self.offsets[i] as usize;
+        let len = self.entries[start] as usize;
+        &self.entries[start + 1..start + 1 + len]
+    }
+
+    /// Average encoded length per vector (address entries only).
+    pub fn mean_length(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let total: usize = (0..self.len()).map(|i| self.record(i).len()).sum();
+        total as f64 / self.len() as f64
+    }
+
+    /// The length reduction rate relative to the plain `m`-entry encoding
+    /// (the x-axis of Figure 14).
+    pub fn reduction_rate(&self) -> f64 {
+        if self.m == 0 {
+            return 0.0;
+        }
+        (1.0 - self.mean_length() / self.m as f64).max(0.0)
+    }
+
+    /// Serializes the stream as little-endian bytes for MRAM placement.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.entries.len() * 2);
+        for &e in &self.entries {
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        out
+    }
+
+    /// Byte range `[start, end)` of vector `i`'s record (including its length
+    /// slot) within [`to_bytes`](Self::to_bytes)' output — used to plan MRAM
+    /// reads.
+    pub fn record_byte_range(&self, i: usize) -> (usize, usize) {
+        let start = self.offsets[i] as usize;
+        let len = self.entries[start] as usize;
+        (start * 2, (start + 1 + len) * 2)
+    }
+
+    /// Computes the ADC distance of vector `i` given a LUT and the cluster's
+    /// cached combo partial sums (must come from the same [`ComboTable`] the
+    /// list was encoded with). This is the arithmetic the DPU kernel executes.
+    pub fn adc_distance(&self, i: usize, lut: &LookupTable, combo_sums: &[f32]) -> f32 {
+        let mut sum = 0.0f32;
+        for &entry in self.record(i) {
+            let entry = entry as usize;
+            if entry < 256 * self.m {
+                sum += lut.get_flat(entry);
+            } else {
+                sum += combo_sums[entry - 256 * self.m];
+            }
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cooccurrence::{mine_cluster_combos, MiningParams};
+    use annkit::pq::ProductQuantizer;
+    use annkit::vector::Dataset;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A cluster of codes where 40 % of vectors share a positioned triple.
+    fn patterned_codes(n: usize, m: usize) -> Vec<u8> {
+        let mut out = Vec::with_capacity(n * m);
+        for i in 0..n {
+            for p in 0..m {
+                out.push(((i * 13 + p * 7) % 240) as u8);
+            }
+            if i % 5 < 2 {
+                let base = out.len() - m;
+                out[base + 1] = 42;
+                out[base + 2] = 43;
+                out[base + 3] = 44;
+            }
+        }
+        out
+    }
+
+    fn trained_lut(m: usize, dim: usize) -> (ProductQuantizer, LookupTable) {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut ds = Dataset::new(dim);
+        let mut v = vec![0.0f32; dim];
+        for _ in 0..400 {
+            for x in v.iter_mut() {
+                *x = rng.gen_range(-1.0..1.0);
+            }
+            ds.push(&v);
+        }
+        let pq = ProductQuantizer::train(&ds, m, 9);
+        let lut = LookupTable::build(&pq, ds.vector(0));
+        (pq, lut)
+    }
+
+    #[test]
+    fn plain_encoding_has_m_entries_and_zero_reduction() {
+        let codes = patterned_codes(100, 8);
+        let plain = CaeList::encode_plain(&codes, 8);
+        assert_eq!(plain.len(), 100);
+        assert_eq!(plain.mean_length(), 8.0);
+        assert_eq!(plain.reduction_rate(), 0.0);
+        assert_eq!(plain.record(0).len(), 8);
+        assert_eq!(plain.bytes(), 100 * 9 * 2);
+        assert_eq!(plain.num_combos(), 0);
+    }
+
+    #[test]
+    fn cae_encoding_is_shorter_and_lossless() {
+        let m = 8;
+        let codes = patterned_codes(500, m);
+        let combos = mine_cluster_combos(&codes, m, &MiningParams::default());
+        assert!(!combos.is_empty());
+        let cae = CaeList::encode(&codes, m, &combos);
+        assert!(cae.reduction_rate() > 0.05, "rate {}", cae.reduction_rate());
+        assert!(cae.mean_length() < m as f64);
+
+        // Losslessness: the CAE ADC distance equals the plain LUT ADC distance
+        // for every vector.
+        let (_pq, lut) = trained_lut(m, 16);
+        let sums = combos.partial_sums(&lut);
+        for i in 0..cae.len() {
+            let code = &codes[i * m..(i + 1) * m];
+            let direct: f32 = lut.adc_distance(code);
+            let via_cae = cae.adc_distance(i, &lut, &sums);
+            assert!(
+                (direct - via_cae).abs() < 1e-3,
+                "vector {i}: {direct} vs {via_cae}"
+            );
+        }
+    }
+
+    #[test]
+    fn combos_never_overlap_positions() {
+        let m = 8;
+        let codes = patterned_codes(300, m);
+        let combos = mine_cluster_combos(&codes, m, &MiningParams::default());
+        let cae = CaeList::encode(&codes, m, &combos);
+        for i in 0..cae.len() {
+            let mut covered = vec![0usize; m];
+            for &entry in cae.record(i) {
+                let entry = entry as usize;
+                if entry < 256 * m {
+                    covered[entry / 256] += 1;
+                } else {
+                    for p in combos.combos()[entry - 256 * m].positions() {
+                        covered[p] += 1;
+                    }
+                }
+            }
+            assert!(covered.iter().all(|&c| c == 1), "vector {i} coverage {covered:?}");
+        }
+    }
+
+    #[test]
+    fn byte_ranges_and_serialization_are_consistent() {
+        let m = 8;
+        let codes = patterned_codes(50, m);
+        let combos = mine_cluster_combos(&codes, m, &MiningParams::default());
+        let cae = CaeList::encode(&codes, m, &combos);
+        let bytes = cae.to_bytes();
+        assert_eq!(bytes.len(), cae.bytes());
+        for i in 0..cae.len() {
+            let (start, end) = cae.record_byte_range(i);
+            assert!(end <= bytes.len());
+            // First u16 in the range is the record length.
+            let len = u16::from_le_bytes([bytes[start], bytes[start + 1]]) as usize;
+            assert_eq!(len, cae.record(i).len());
+            assert_eq!(end - start, (len + 1) * 2);
+        }
+    }
+
+    #[test]
+    fn higher_cooccurrence_gives_higher_reduction() {
+        let m = 8;
+        // 80 % patterned vs 20 % patterned.
+        let mut heavy = Vec::new();
+        let mut light = Vec::new();
+        for i in 0..400usize {
+            let mut code: Vec<u8> = (0..m).map(|p| ((i * 13 + p * 7) % 240) as u8).collect();
+            let mut code2 = code.clone();
+            if i % 10 < 8 {
+                code[1] = 42;
+                code[2] = 43;
+                code[3] = 44;
+            }
+            if i % 10 < 2 {
+                code2[1] = 42;
+                code2[2] = 43;
+                code2[3] = 44;
+            }
+            heavy.extend_from_slice(&code);
+            light.extend_from_slice(&code2);
+        }
+        let params = MiningParams::default();
+        let cae_heavy = CaeList::encode(&heavy, m, &mine_cluster_combos(&heavy, m, &params));
+        let cae_light = CaeList::encode(&light, m, &mine_cluster_combos(&light, m, &params));
+        assert!(
+            cae_heavy.reduction_rate() > cae_light.reduction_rate(),
+            "heavy {} vs light {}",
+            cae_heavy.reduction_rate(),
+            cae_light.reduction_rate()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple of m")]
+    fn ragged_codes_rejected() {
+        let _ = CaeList::encode_plain(&[1, 2, 3], 2);
+    }
+}

@@ -1,0 +1,555 @@
+//! The online phase: the `UpAnnsEngine`, answering query batches on the
+//! simulated PIM system.
+//!
+//! Per batch (Figure 5's online half):
+//!
+//! 1. **Cluster filtering** (host CPU) — select `nprobe` centroids per query.
+//! 2. **Query scheduling** (host CPU, Algorithm 2) — map every
+//!    (query, cluster) pair onto a DPU holding a replica.
+//! 3. **Query transfer** (host → DPU) — residuals + assignment headers,
+//!    padded to a uniform per-DPU size so the copy parallelizes across DPUs.
+//! 4. **DPU kernel** — LUT construction, combination sums, distance
+//!    calculation, pruned top-k (see [`crate::kernel`]).
+//! 5. **Result transfer** (DPU → host) — per-DPU result mailboxes.
+//! 6. **Host merge** — fold per-DPU partial top-k lists into the final
+//!    answer per query.
+//!
+//! The engine implements [`AnnEngine`], so the benchmark harness sweeps it
+//! interchangeably with the CPU/GPU baselines.
+
+use crate::config::UpAnnsConfig;
+use crate::cooccurrence::ComboTable;
+use crate::kernel::{
+    mailbox_slot_bytes, parse_mailbox, run_batch_kernel, DpuBatchPlan, DpuStore, KernelOutput,
+    KernelShared,
+};
+use crate::placement::Placement;
+use crate::scheduling::{schedule_queries, Assignment, Schedule};
+use annkit::ivf::IvfPqIndex;
+use annkit::topk::{Neighbor, TopK};
+use annkit::vector::{residual, Dataset};
+use baselines::cpu::CpuSpec;
+use baselines::engine::{AnnEngine, SearchOutcome};
+use baselines::workload_stats::WorkloadStats;
+use pim_sim::energy::EnergyModel;
+use pim_sim::host::{DpuRead, DpuWrite, ExecReport, PimSystem};
+use std::collections::HashMap;
+
+/// The UpANNS search engine (also the PIM-naive baseline, depending on the
+/// [`UpAnnsConfig`] it was built with).
+pub struct UpAnnsEngine<'a> {
+    index: &'a IvfPqIndex,
+    config: UpAnnsConfig,
+    placement: Placement,
+    combos: HashMap<usize, ComboTable>,
+    reduction_rates: HashMap<usize, f64>,
+    stores: Vec<DpuStore>,
+    sys: PimSystem,
+    host_cpu: CpuSpec,
+    name: String,
+    last_exec_report: Option<ExecReport>,
+    last_schedule_ratio: f64,
+}
+
+impl<'a> UpAnnsEngine<'a> {
+    /// Assembles an engine from the builder's outputs (use
+    /// [`UpAnnsBuilder`](crate::builder::UpAnnsBuilder) rather than calling
+    /// this directly).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        index: &'a IvfPqIndex,
+        config: UpAnnsConfig,
+        placement: Placement,
+        combos: HashMap<usize, ComboTable>,
+        reduction_rates: HashMap<usize, f64>,
+        stores: Vec<DpuStore>,
+        sys: PimSystem,
+    ) -> Self {
+        let name = if config.pim_aware_placement
+            && config.cooccurrence_encoding
+            && config.topk_pruning
+        {
+            "UpANNS".to_string()
+        } else if !config.pim_aware_placement
+            && !config.cooccurrence_encoding
+            && !config.topk_pruning
+        {
+            "PIM-naive".to_string()
+        } else {
+            "UpANNS(partial)".to_string()
+        };
+        Self {
+            index,
+            config,
+            placement,
+            combos,
+            reduction_rates,
+            stores,
+            sys,
+            host_cpu: CpuSpec::default(),
+            name,
+            last_exec_report: None,
+            last_schedule_ratio: 1.0,
+        }
+    }
+
+    /// Overrides the display name (used by ablation sweeps).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &UpAnnsConfig {
+        &self.config
+    }
+
+    /// The offline data placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The per-DPU MRAM directories (exposed for tests and diagnostics).
+    pub fn stores(&self) -> &[DpuStore] {
+        &self.stores
+    }
+
+    /// The simulated PIM system (for energy and configuration queries).
+    pub fn pim_system(&self) -> &PimSystem {
+        &self.sys
+    }
+
+    /// Mean co-occurrence length-reduction rate across encoded clusters
+    /// (0 when CAE is disabled) — the x-axis quantity of Figure 14.
+    pub fn mean_reduction_rate(&self) -> f64 {
+        if self.reduction_rates.is_empty() {
+            return 0.0;
+        }
+        self.reduction_rates.values().sum::<f64>() / self.reduction_rates.len() as f64
+    }
+
+    /// Per-cluster reduction rates (clusters without CAE encoding are absent).
+    pub fn reduction_rates(&self) -> &HashMap<usize, f64> {
+        &self.reduction_rates
+    }
+
+    /// The max/avg DPU busy-time ratio of the most recent batch (Figure 11's
+    /// metric; 1.0 = perfectly balanced).
+    pub fn last_balance_ratio(&self) -> f64 {
+        self.last_exec_report
+            .as_ref()
+            .map(|r| r.max_to_avg_ratio())
+            .unwrap_or(1.0)
+    }
+
+    /// The max/avg *scheduled workload* ratio of the most recent batch (the
+    /// static estimate used by Algorithm 2).
+    pub fn last_schedule_ratio(&self) -> f64 {
+        self.last_schedule_ratio
+    }
+
+    /// Kernel-side execution report of the most recent batch.
+    pub fn last_exec_report(&self) -> Option<&ExecReport> {
+        self.last_exec_report.as_ref()
+    }
+
+    fn host_filter_seconds(&self, queries: usize) -> f64 {
+        let flops = queries as f64 * self.index.nlist() as f64 * self.index.dim() as f64 * 2.0;
+        flops / self.host_cpu.compute_flops()
+    }
+
+    fn host_schedule_seconds(&self, assignments: usize) -> f64 {
+        // Algorithm 2 is O(|Q| × nprobe) with small constants, plus the
+        // residual computation for each assignment.
+        let cycles = assignments as f64 * 60.0
+            + assignments as f64 * self.index.dim() as f64;
+        cycles / self.host_cpu.freq_hz
+    }
+
+    fn host_merge_seconds(&self, partials: usize, k: usize) -> f64 {
+        let cycles = partials as f64 * k as f64 * 12.0;
+        cycles / self.host_cpu.freq_hz
+    }
+
+    /// Ensures DPU `dpu`'s staging buffers can hold `query_bytes` /
+    /// `mailbox_bytes`, growing them (new MRAM allocations) if needed.
+    fn ensure_capacity(&mut self, dpu: usize, query_bytes: usize, mailbox_bytes: usize) {
+        if self.stores[dpu].query_buffer_bytes < query_bytes {
+            let addr = self
+                .sys
+                .mram_alloc(dpu, query_bytes)
+                .expect("MRAM for enlarged query buffer");
+            self.stores[dpu].query_buffer_addr = addr;
+            self.stores[dpu].query_buffer_bytes = query_bytes;
+        }
+        if self.stores[dpu].mailbox_bytes < mailbox_bytes {
+            let addr = self
+                .sys
+                .mram_alloc(dpu, mailbox_bytes)
+                .expect("MRAM for enlarged mailbox");
+            self.stores[dpu].mailbox_addr = addr;
+            self.stores[dpu].mailbox_bytes = mailbox_bytes;
+        }
+    }
+}
+
+impl AnnEngine for UpAnnsEngine<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn search_batch(&mut self, queries: &Dataset, nprobe: usize, k: usize) -> SearchOutcome {
+        assert_eq!(queries.dim(), self.index.dim(), "query dimension mismatch");
+        assert!(k > 0, "k must be positive");
+        let nprobe = nprobe.min(self.index.nlist()).max(1);
+        let nq = queries.len();
+        self.sys.reset_clock();
+
+        // ---- Stage 1: cluster filtering (host CPU) ------------------------
+        let filtered: Vec<Vec<usize>> = queries
+            .iter()
+            .map(|q| {
+                self.index
+                    .filter_clusters(q, nprobe)
+                    .into_iter()
+                    .map(|(c, _)| c)
+                    .collect()
+            })
+            .collect();
+        let filter_seconds = self.host_filter_seconds(nq);
+        self.sys.advance_host("cluster_filtering", filter_seconds);
+
+        // ---- Stage 2: query scheduling (host CPU, Algorithm 2) ------------
+        let cluster_sizes = self.index.list_sizes();
+        let schedule: Schedule = schedule_queries(&filtered, &self.placement, &cluster_sizes);
+        self.last_schedule_ratio = schedule.max_to_avg_workload();
+        let total_assignments = schedule.total_assignments();
+        let schedule_seconds = self.host_schedule_seconds(total_assignments);
+        self.sys.advance_host("query_scheduling", schedule_seconds);
+
+        // ---- Stage 3: query transfer (host → DPU, uniform padded buffers) -
+        let dim = self.index.dim();
+        let record_bytes = 8 + dim * 4; // (query id, cluster id) header + residual
+        let max_assignments = schedule.max_assignments_per_dpu().max(1);
+        let uniform_query_bytes = max_assignments * record_bytes;
+        let mut plans: Vec<DpuBatchPlan> = vec![DpuBatchPlan::default(); self.sys.num_dpus()];
+        let mut writes = Vec::new();
+        for dpu in 0..self.sys.num_dpus() {
+            let assignments = &schedule.per_dpu[dpu];
+            if assignments.is_empty() {
+                continue;
+            }
+            let mailbox_needed =
+                assignments.len().min(nq) * mailbox_slot_bytes(k).max(mailbox_slot_bytes(1));
+            self.ensure_capacity(dpu, uniform_query_bytes, mailbox_needed);
+
+            let mut buffer = Vec::with_capacity(uniform_query_bytes);
+            let mut plan = DpuBatchPlan::default();
+            let mut seen_queries = Vec::new();
+            for a in assignments {
+                let q = queries.vector(a.query);
+                let res = residual(q, self.index.coarse().centroid(a.cluster));
+                buffer.extend_from_slice(&(a.query as u32).to_le_bytes());
+                buffer.extend_from_slice(&(a.cluster as u32).to_le_bytes());
+                for &x in &res {
+                    buffer.extend_from_slice(&x.to_le_bytes());
+                }
+                plan.assignments.push(Assignment {
+                    query: a.query,
+                    cluster: a.cluster,
+                });
+                plan.residuals.push(res);
+                if !seen_queries.contains(&a.query) {
+                    seen_queries.push(a.query);
+                }
+            }
+            buffer.resize(uniform_query_bytes, 0); // pad to the uniform size
+            writes.push(DpuWrite::new(dpu, self.stores[dpu].query_buffer_addr, buffer));
+            plan.queries = seen_queries;
+            plans[dpu] = plan;
+        }
+        self.sys
+            .push_to_dpus("query_transfer", &writes)
+            .expect("query staging buffers are sized by ensure_capacity");
+
+        // ---- Stage 4: DPU kernel -------------------------------------------
+        let stores = &self.stores;
+        let shared = KernelShared {
+            pq: self.index.pq(),
+            combos: &self.combos,
+            config: &self.config,
+            k,
+        };
+        let mut outputs: Vec<KernelOutput> = vec![KernelOutput::default(); self.sys.num_dpus()];
+        let report = self.sys.execute("dpu_search", |ctx| {
+            let dpu = ctx.dpu_id();
+            if plans[dpu].is_empty() {
+                return;
+            }
+            outputs[dpu] = run_batch_kernel(ctx, &stores[dpu], &plans[dpu], &shared);
+        });
+
+        // ---- Stage 5: result transfer (DPU → host) -------------------------
+        let max_queries_per_dpu = plans.iter().map(|p| p.queries.len()).max().unwrap_or(0);
+        let uniform_mailbox = max_queries_per_dpu * mailbox_slot_bytes(k);
+        let reads: Vec<DpuRead> = (0..self.sys.num_dpus())
+            .filter(|&d| !plans[d].is_empty() && uniform_mailbox > 0)
+            .map(|d| DpuRead::new(d, self.stores[d].mailbox_addr, uniform_mailbox.min(self.stores[d].mailbox_bytes)))
+            .collect();
+        let mailboxes = self
+            .sys
+            .pull_from_dpus("result_transfer", &reads)
+            .expect("mailboxes were allocated by the builder");
+
+        // ---- Stage 6: host merge -------------------------------------------
+        let mut merged: Vec<TopK> = (0..nq).map(|_| TopK::new(k)).collect();
+        let mut partial_count = 0usize;
+        for (read, bytes) in reads.iter().zip(&mailboxes) {
+            let dpu = read.dpu;
+            let partials = parse_mailbox(bytes, plans[dpu].queries.len(), k);
+            for (q, neighbors) in partials {
+                partial_count += 1;
+                for n in neighbors {
+                    merged[q].push(n.id, n.distance);
+                }
+            }
+        }
+        let merge_seconds = self.host_merge_seconds(partial_count, k);
+        self.sys.advance_host("host_merge", merge_seconds);
+
+        let results: Vec<Vec<Neighbor>> = merged.into_iter().map(|h| h.into_sorted()).collect();
+
+        // ---- Assemble the outcome ------------------------------------------
+        let mut stats = WorkloadStats {
+            queries: nq,
+            k,
+            nprobe,
+            centroid_comparisons: (nq * self.index.nlist()) as u64,
+            luts_built: total_assignments as u64,
+            lut_entries: (total_assignments * self.index.m() * 256) as u64,
+            ..WorkloadStats::default()
+        };
+        for o in &outputs {
+            stats.candidates_scanned += o.candidates_scanned;
+            stats.lut_lookups += o.lut_lookups;
+            stats.code_bytes_read += o.code_bytes_read;
+            stats.topk_candidates += o.merge_stats.comparisons + o.merge_stats.pruned;
+            stats.topk_insertions += o.merge_stats.insertions;
+        }
+
+        let mut breakdown = self.sys.breakdown().clone();
+        // Fold the kernel-internal stage labels of the critical DPU into the
+        // top-level breakdown in place of the opaque "dpu_search" total.
+        let dpu_total = breakdown.seconds("dpu_search");
+        if dpu_total > 0.0 {
+            let mut detailed = pim_sim::stats::StageBreakdown::new();
+            for (label, secs) in breakdown.entries() {
+                if label != "dpu_search" {
+                    detailed.add(&label, secs);
+                }
+            }
+            let kernel_breakdown = &report.breakdown;
+            let kernel_total = kernel_breakdown.total().max(f64::MIN_POSITIVE);
+            for (label, secs) in kernel_breakdown.entries() {
+                detailed.add(&label, secs / kernel_total * dpu_total);
+            }
+            breakdown = detailed;
+        }
+        self.last_exec_report = Some(report);
+
+        SearchOutcome {
+            results,
+            seconds: self.sys.elapsed_seconds(),
+            breakdown,
+            stats,
+        }
+    }
+
+    fn energy_model(&self) -> EnergyModel {
+        EnergyModel::pim(self.sys.config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BatchCapacity, UpAnnsBuilder};
+    use annkit::ivf::IvfPqParams;
+    use annkit::recall::recall_at_k;
+    use annkit::synthetic::SyntheticSpec;
+    use baselines::cpu::CpuFaissEngine;
+    use pim_sim::config::PimConfig;
+    use std::sync::OnceLock;
+
+    struct Fixture {
+        index: IvfPqIndex,
+        data: Dataset,
+        /// Skewed historical queries (for placement frequencies).
+        history: Dataset,
+        /// Skewed evaluation queries (the regime Opt1 targets).
+        skewed_queries: Dataset,
+    }
+
+    fn shared_index() -> &'static Fixture {
+        static IX: OnceLock<Fixture> = OnceLock::new();
+        IX.get_or_init(|| {
+            let meta = SyntheticSpec::sift_like(2000)
+                .with_clusters(16)
+                .with_seed(44)
+                .generate_with_meta();
+            let index = IvfPqIndex::train(
+                &meta.vectors,
+                &IvfPqParams::new(16, 16).with_train_size(800),
+                6,
+            );
+            let history = annkit::workload::WorkloadSpec::new(200)
+                .with_seed(5)
+                .generate(&meta)
+                .queries;
+            let skewed_queries = annkit::workload::WorkloadSpec::new(40)
+                .with_seed(6)
+                .generate(&meta)
+                .queries;
+            Fixture {
+                index,
+                data: meta.vectors,
+                history,
+                skewed_queries,
+            }
+        })
+    }
+
+    fn build(config: UpAnnsConfig, dpus: usize) -> UpAnnsEngine<'static> {
+        let fix = shared_index();
+        UpAnnsBuilder::new(&fix.index)
+            .with_config(config)
+            .with_pim_config(PimConfig::with_dpus(dpus))
+            .with_history(&fix.history, 4)
+            .with_batch_capacity(BatchCapacity {
+                batch_size: 32,
+                nprobe: 4,
+                max_k: 10,
+            })
+            .build()
+    }
+
+    #[test]
+    fn results_match_the_cpu_baseline_exactly_for_plain_encoding() {
+        let fix = shared_index();
+        let mut pim = build(UpAnnsConfig::pim_naive(), 8);
+        let mut cpu = CpuFaissEngine::new(&fix.index);
+        let queries = fix.data.gather(&[1, 50, 333, 999, 1500]);
+        let a = pim.search_batch(&queries, 4, 10);
+        let b = cpu.search_batch(&queries, 4, 10);
+        assert_eq!(a.results.len(), b.results.len());
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(
+                x.iter().map(|n| n.id).collect::<Vec<_>>(),
+                y.iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(pim.name(), "PIM-naive");
+    }
+
+    #[test]
+    fn upanns_accuracy_equals_pim_naive_accuracy() {
+        // "The optimizations in UpANNS do not impact the accuracy" (§5.1).
+        let fix = shared_index();
+        let mut upanns = build(UpAnnsConfig::upanns(), 8);
+        let mut naive = build(UpAnnsConfig::pim_naive(), 8);
+        let queries = fix.data.gather(&(0..30).map(|i| i * 61 % 2000).collect::<Vec<_>>());
+        let exact = annkit::flat::FlatIndex::new(&fix.data).search_batch(&queries, 10);
+        let r_up = recall_at_k(&upanns.search_batch(&queries, 6, 10).results, &exact, 10);
+        let r_naive = recall_at_k(&naive.search_batch(&queries, 6, 10).results, &exact, 10);
+        assert!(
+            (r_up - r_naive).abs() < 0.05,
+            "UpANNS recall {r_up} vs PIM-naive {r_naive}"
+        );
+        assert_eq!(upanns.name(), "UpANNS");
+    }
+
+    #[test]
+    fn upanns_is_faster_and_better_balanced_than_pim_naive() {
+        let fix = shared_index();
+        let queries = fix.skewed_queries.clone();
+        let mut upanns = build(UpAnnsConfig::upanns().with_work_scale(200.0), 8);
+        let mut naive = build(UpAnnsConfig::pim_naive().with_work_scale(200.0), 8);
+        let out_up = upanns.search_batch(&queries, 6, 10);
+        let out_naive = naive.search_batch(&queries, 6, 10);
+        assert!(
+            out_up.qps() > out_naive.qps(),
+            "UpANNS {} <= PIM-naive {}",
+            out_up.qps(),
+            out_naive.qps()
+        );
+        assert!(
+            upanns.last_balance_ratio() <= naive.last_balance_ratio() + 1e-9,
+            "balance {} vs {}",
+            upanns.last_balance_ratio(),
+            naive.last_balance_ratio()
+        );
+    }
+
+    #[test]
+    fn breakdown_contains_all_pipeline_stages() {
+        let fix = shared_index();
+        let mut engine = build(UpAnnsConfig::upanns(), 8);
+        let queries = fix.data.gather(&[0, 10, 20]);
+        let out = engine.search_batch(&queries, 4, 10);
+        for stage in [
+            "cluster_filtering",
+            "query_scheduling",
+            "query_transfer",
+            "distance_calc",
+            "lut_construction",
+            "topk",
+            "result_transfer",
+            "host_merge",
+        ] {
+            assert!(
+                out.breakdown.seconds(stage) > 0.0,
+                "missing stage {stage} in breakdown: {}",
+                out.breakdown
+            );
+        }
+        assert!(out.seconds > 0.0);
+        assert!(out.qps() > 0.0);
+        assert!(engine.energy_model().peak_watts > 0.0);
+    }
+
+    #[test]
+    fn repeated_batches_reuse_buffers_and_stay_consistent() {
+        let fix = shared_index();
+        let mut engine = build(UpAnnsConfig::upanns(), 4);
+        let queries = fix.data.gather(&(0..20).collect::<Vec<_>>());
+        let first = engine.search_batch(&queries, 4, 5);
+        let second = engine.search_batch(&queries, 4, 5);
+        assert_eq!(first.results.len(), second.results.len());
+        for (a, b) in first.results.iter().zip(&second.results) {
+            assert_eq!(
+                a.iter().map(|n| n.id).collect::<Vec<_>>(),
+                b.iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+        // Timing is deterministic as well.
+        assert!((first.seconds - second.seconds).abs() / first.seconds < 1e-9);
+    }
+
+    #[test]
+    fn larger_k_returns_more_neighbors() {
+        let fix = shared_index();
+        let mut engine = build(UpAnnsConfig::upanns(), 4);
+        let queries = fix.data.gather(&[5, 15]);
+        let small = engine.search_batch(&queries, 4, 5);
+        let large = engine.search_batch(&queries, 4, 50);
+        assert!(small.results.iter().all(|r| r.len() <= 5));
+        assert!(large.results.iter().all(|r| r.len() > 5));
+        // The top-5 of the k=50 run must match the k=5 run.
+        for (a, b) in small.results.iter().zip(&large.results) {
+            assert_eq!(
+                a.iter().map(|n| n.id).collect::<Vec<_>>(),
+                b.iter().take(5).map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! # upanns — PIM-accelerated billion-scale IVFPQ search (UpANNS, SC '25)
+//!
+//! This crate is the paper's primary contribution: an IVFPQ search engine
+//! that runs its memory-bound stages on a (simulated) UPMEM
+//! Processing-in-Memory system, with the four optimizations the paper
+//! introduces:
+//!
+//! | Optimization | Paper | Module |
+//! |---|---|---|
+//! | Opt1 — PIM-aware workload distribution (data placement + query scheduling) | §4.1, Alg. 1–2 | [`placement`], [`scheduling`] |
+//! | Opt2 — PIM resource management (tasklet scheduling + WRAM reuse + MRAM read sizing) | §4.2, Fig. 6–7 | [`wram_layout`], [`kernel`], [`config`] |
+//! | Opt3 — Co-occurrence aware encoding | §4.3, Fig. 8 | [`cooccurrence`], [`encoding`] |
+//! | Opt4 — Top-K pruning | §4.4, Fig. 9 | [`topk_prune`] |
+//!
+//! The [`builder::UpAnnsBuilder`] runs the offline phase (mining, encoding,
+//! placement, MRAM staging) and produces an [`engine::UpAnnsEngine`], which
+//! implements the same [`AnnEngine`](baselines::engine::AnnEngine) trait as
+//! the Faiss-CPU/GPU baselines so all engines can be swept uniformly. The
+//! PIM-naive baseline of the paper's evaluation is the same engine built with
+//! [`config::UpAnnsConfig::pim_naive`].
+//!
+//! ```no_run
+//! use annkit::prelude::*;
+//! use baselines::engine::AnnEngine;
+//! use pim_sim::config::PimConfig;
+//! use upanns::prelude::*;
+//!
+//! // Offline: train IVFPQ, then build the PIM engine.
+//! let data = SyntheticSpec::sift_like(20_000).with_clusters(64).generate();
+//! let index = IvfPqIndex::train(&data, &IvfPqParams::new(64, 16).with_train_size(5_000), 1);
+//! let mut engine = UpAnnsBuilder::new(&index)
+//!     .with_pim_config(PimConfig::with_dpus(64))
+//!     .build();
+//!
+//! // Online: answer a batch of queries.
+//! let queries = data.gather(&(0..100).collect::<Vec<_>>());
+//! let outcome = engine.search_batch(&queries, 8, 10);
+//! println!("QPS = {:.0}", outcome.qps());
+//! ```
+
+pub mod adaptive;
+pub mod builder;
+pub mod config;
+pub mod cooccurrence;
+pub mod encoding;
+pub mod engine;
+pub mod kernel;
+pub mod multihost;
+pub mod placement;
+pub mod scheduling;
+pub mod topk_prune;
+pub mod wram_layout;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::adaptive::{
+        adapt_placement, measure_drift, plan_adaptation, AdaptationDecision, AdaptationPolicy,
+        DriftReport, ReplicaAdjustment,
+    };
+    pub use crate::builder::{BatchCapacity, UpAnnsBuilder};
+    pub use crate::config::UpAnnsConfig;
+    pub use crate::cooccurrence::{Combo, ComboTable, Element, MiningParams};
+    pub use crate::encoding::CaeList;
+    pub use crate::engine::UpAnnsEngine;
+    pub use crate::multihost::{shard_ranges, InterconnectModel, MultiHostUpAnns};
+    pub use crate::placement::{place_pim_aware, place_round_robin, Placement, PlacementInput};
+    pub use crate::scheduling::{schedule_queries, Assignment, Schedule};
+    pub use crate::topk_prune::{merge_thread_local, MergeStats};
+    pub use crate::wram_layout::{WramPlan, WramPlanInput};
+}
+
+pub use builder::UpAnnsBuilder;
+pub use config::UpAnnsConfig;
+pub use engine::UpAnnsEngine;

@@ -1,0 +1,379 @@
+//! Multi-host scale-out (§5.5): sharding the dataset across several PIM
+//! hosts, with only query distribution and result aggregation crossing the
+//! network.
+//!
+//! The paper's scalability discussion notes that UpANNS "can be easily
+//! extended to multi-host configurations. Only query distribution and result
+//! aggregation require cross-host communication. The core memory-intensive
+//! search operations remain local to each host." This module implements that
+//! extension on top of the single-host [`UpAnnsEngine`]:
+//!
+//! * the dataset is **sharded** — every host owns a disjoint slice of the
+//!   vectors (with globally unique ids), trains its own IVFPQ index over its
+//!   shard, and runs a full single-host UpANNS engine on its own DIMMs;
+//! * per batch, the coordinator **broadcasts** the query vectors to every
+//!   host, each host searches its shard in parallel, and the coordinator
+//!   **aggregates** the per-host top-k lists into the global answer;
+//! * the added cost is exactly the two network legs plus the final merge,
+//!   modeled by [`InterconnectModel`].
+//!
+//! See `examples/multihost_scaleout.rs` for an end-to-end walk-through.
+
+use annkit::topk::{Neighbor, TopK};
+use annkit::vector::Dataset;
+use baselines::engine::{AnnEngine, SearchOutcome};
+use baselines::workload_stats::WorkloadStats;
+use pim_sim::energy::EnergyModel;
+use pim_sim::stats::StageBreakdown;
+
+use crate::engine::UpAnnsEngine;
+
+/// The network connecting the coordinator to the PIM hosts.
+#[derive(Debug, Clone)]
+pub struct InterconnectModel {
+    /// Point-to-point bandwidth in bytes/s (default 100 Gb/s Ethernet-class).
+    pub bandwidth_bytes_per_s: f64,
+    /// One-way message latency in seconds (default 10 µs RDMA-class).
+    pub latency_s: f64,
+}
+
+impl Default for InterconnectModel {
+    fn default() -> Self {
+        Self {
+            bandwidth_bytes_per_s: 12.5e9,
+            latency_s: 10e-6,
+        }
+    }
+}
+
+impl InterconnectModel {
+    /// Time to move `bytes` to/from `peers` hosts (transfers to distinct
+    /// hosts overlap on the fabric but each pays the per-message latency and
+    /// shares the coordinator's NIC bandwidth).
+    pub fn transfer_seconds(&self, bytes: usize, peers: usize) -> f64 {
+        if peers == 0 || bytes == 0 {
+            return 0.0;
+        }
+        self.latency_s + (bytes as f64 * peers as f64) / self.bandwidth_bytes_per_s
+    }
+}
+
+/// Splits `n` rows into `hosts` contiguous shards (sizes differ by at most
+/// one). Returns the row-index ranges, which double as the global id ranges
+/// when each shard's index is built with the matching id offset.
+pub fn shard_ranges(n: usize, hosts: usize) -> Vec<std::ops::Range<usize>> {
+    assert!(hosts > 0, "need at least one host");
+    let base = n / hosts;
+    let extra = n % hosts;
+    let mut out = Vec::with_capacity(hosts);
+    let mut start = 0usize;
+    for h in 0..hosts {
+        let len = base + usize::from(h < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// A multi-host UpANNS deployment: one single-host engine per shard plus the
+/// coordinator-side network and merge model.
+pub struct MultiHostUpAnns<'a> {
+    hosts: Vec<UpAnnsEngine<'a>>,
+    interconnect: InterconnectModel,
+    name: String,
+}
+
+impl<'a> MultiHostUpAnns<'a> {
+    /// Assembles a deployment from per-shard engines (each built by
+    /// [`UpAnnsBuilder`](crate::builder::UpAnnsBuilder) over that shard's
+    /// index, with globally unique vector ids).
+    ///
+    /// # Panics
+    /// Panics if no engines are supplied.
+    pub fn new(hosts: Vec<UpAnnsEngine<'a>>, interconnect: InterconnectModel) -> Self {
+        assert!(!hosts.is_empty(), "a deployment needs at least one host");
+        let name = format!("UpANNS x{} hosts", hosts.len());
+        Self {
+            hosts,
+            interconnect,
+            name,
+        }
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The per-host engines (for inspection).
+    pub fn hosts(&self) -> &[UpAnnsEngine<'a>] {
+        &self.hosts
+    }
+
+    /// The interconnect model in use.
+    pub fn interconnect(&self) -> &InterconnectModel {
+        &self.interconnect
+    }
+
+    /// The worst per-host DPU balance ratio of the last batch.
+    pub fn last_balance_ratio(&self) -> f64 {
+        self.hosts
+            .iter()
+            .map(|h| h.last_balance_ratio())
+            .fold(1.0f64, f64::max)
+    }
+}
+
+impl AnnEngine for MultiHostUpAnns<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn search_batch(&mut self, queries: &Dataset, nprobe: usize, k: usize) -> SearchOutcome {
+        let peers = self.hosts.len().saturating_sub(1);
+        let query_bytes = queries.len() * queries.dim() * 4;
+        let broadcast_s = self.interconnect.transfer_seconds(query_bytes, peers);
+
+        // Every host searches its shard in parallel: the search leg lasts as
+        // long as the slowest host.
+        let mut host_outcomes = Vec::with_capacity(self.hosts.len());
+        for host in self.hosts.iter_mut() {
+            host_outcomes.push(host.search_batch(queries, nprobe, k));
+        }
+        let search_s = host_outcomes
+            .iter()
+            .map(|o| o.seconds)
+            .fold(0.0f64, f64::max);
+
+        // Result aggregation: each peer returns k neighbors per query; the
+        // coordinator merges all lists.
+        let result_bytes = queries.len() * k * 12;
+        let gather_s = self.interconnect.transfer_seconds(result_bytes, peers);
+        let merge_ops = (self.hosts.len() * queries.len() * k) as f64;
+        let merge_s = merge_ops * 8.0 / 2.1e9; // scalar heap ops on the coordinator CPU
+
+        let mut results: Vec<Vec<Neighbor>> = Vec::with_capacity(queries.len());
+        for q in 0..queries.len() {
+            let mut heap = TopK::new(k);
+            for outcome in &host_outcomes {
+                for n in &outcome.results[q] {
+                    heap.push(n.id, n.distance);
+                }
+            }
+            results.push(heap.into_sorted());
+        }
+
+        let mut breakdown = StageBreakdown::new();
+        breakdown.add("query_broadcast", broadcast_s);
+        // Fold the slowest host's stage breakdown in, scaled to the search leg.
+        let critical = host_outcomes
+            .iter()
+            .max_by(|a, b| a.seconds.partial_cmp(&b.seconds).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("at least one host");
+        let critical_total = critical.breakdown.total().max(f64::MIN_POSITIVE);
+        for (label, secs) in critical.breakdown.entries() {
+            breakdown.add(&label, secs / critical_total * search_s);
+        }
+        breakdown.add("result_gather", gather_s);
+        breakdown.add("coordinator_merge", merge_s);
+
+        let mut stats = WorkloadStats::default();
+        for o in &host_outcomes {
+            stats.merge(&o.stats);
+        }
+        stats.queries = queries.len();
+        stats.k = k;
+        stats.nprobe = nprobe;
+
+        SearchOutcome {
+            results,
+            seconds: broadcast_s + search_s + gather_s + merge_s,
+            breakdown,
+            stats,
+        }
+    }
+
+    fn energy_model(&self) -> EnergyModel {
+        let mut watts = 0.0;
+        let mut price = 0.0;
+        for host in &self.hosts {
+            let m = host.energy_model();
+            watts += m.peak_watts;
+            price += m.price_usd;
+        }
+        EnergyModel::new(self.name.clone(), watts, price)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{BatchCapacity, UpAnnsBuilder};
+    use crate::config::UpAnnsConfig;
+    use annkit::flat::FlatIndex;
+    use annkit::ivf::{IvfPqIndex, IvfPqParams};
+    use annkit::recall::recall_at_k;
+    use annkit::synthetic::SyntheticSpec;
+    use pim_sim::config::PimConfig;
+    use std::sync::OnceLock;
+
+    struct Deployment {
+        data: Dataset,
+        shards: Vec<IvfPqIndex>,
+        whole: IvfPqIndex,
+    }
+
+    fn deployment() -> &'static Deployment {
+        static D: OnceLock<Deployment> = OnceLock::new();
+        D.get_or_init(|| {
+            let data = SyntheticSpec::sift_like(3_000)
+                .with_clusters(16)
+                .with_seed(55)
+                .generate();
+            let params = IvfPqParams::new(12, 16).with_train_size(900);
+            // Two shards with globally unique ids.
+            let ranges = shard_ranges(data.len(), 2);
+            let mut shards = Vec::new();
+            for r in &ranges {
+                let rows: Vec<usize> = r.clone().collect();
+                let shard_data = data.gather(&rows);
+                // Train codebooks on the shard, then add its vectors under
+                // their *global* ids so merged results are unambiguous.
+                let mut index = IvfPqIndex::train_empty(&shard_data, &params, 3);
+                index.add(&shard_data, r.start as u64);
+                shards.push(index);
+            }
+            let whole_params = IvfPqParams::new(12, 16).with_train_size(900);
+            let whole = IvfPqIndex::train(&data, &whole_params, 3);
+            Deployment {
+                data,
+                shards,
+                whole,
+            }
+        })
+    }
+
+    fn host_engine(index: &IvfPqIndex, dpus: usize) -> UpAnnsEngine<'_> {
+        UpAnnsBuilder::new(index)
+            .with_config(UpAnnsConfig::upanns())
+            .with_pim_config(PimConfig::with_dpus(dpus))
+            .with_batch_capacity(BatchCapacity {
+                batch_size: 32,
+                nprobe: 6,
+                max_k: 20,
+            })
+            .build()
+    }
+
+    #[test]
+    fn shard_ranges_cover_everything_without_overlap() {
+        let ranges = shard_ranges(10, 3);
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(ranges[0], 0..4);
+        assert_eq!(ranges[1], 4..7);
+        assert_eq!(ranges[2], 7..10);
+        let total: usize = ranges.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(shard_ranges(4, 8).iter().filter(|r| !r.is_empty()).count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn zero_hosts_is_rejected() {
+        let _ = shard_ranges(10, 1); // fine
+        let _ = MultiHostUpAnns::new(Vec::new(), InterconnectModel::default());
+    }
+
+    #[test]
+    fn two_hosts_return_global_ids_and_sane_recall() {
+        let dep = deployment();
+        let hosts: Vec<UpAnnsEngine<'_>> =
+            dep.shards.iter().map(|ix| host_engine(ix, 8)).collect();
+        let mut multi = MultiHostUpAnns::new(hosts, InterconnectModel::default());
+        assert_eq!(multi.num_hosts(), 2);
+
+        let queries = dep.data.gather(&(0..24).map(|i| i * 113 % 3000).collect::<Vec<_>>());
+        let out = multi.search_batch(&queries, 6, 10);
+        assert_eq!(out.results.len(), 24);
+        // Global ids span both shards.
+        let max_id = out
+            .results
+            .iter()
+            .flatten()
+            .map(|n| n.id)
+            .max()
+            .unwrap_or(0);
+        assert!(max_id >= 1_500, "results never reference the second shard");
+
+        // Recall of the sharded deployment is in the same ballpark as a
+        // single index over the whole dataset (sharded IVF probes nprobe
+        // clusters per shard, so it can only see *more* candidates).
+        let exact = FlatIndex::new(&dep.data).search_batch(&queries, 10);
+        let whole_recall = recall_at_k(&dep.whole.search_batch(&queries, 6, 10), &exact, 10);
+        let multi_recall = recall_at_k(&out.results, &exact, 10);
+        assert!(
+            multi_recall + 0.05 >= whole_recall,
+            "sharded recall {multi_recall} much worse than single-index {whole_recall}"
+        );
+    }
+
+    #[test]
+    fn search_time_includes_network_and_slowest_host() {
+        let dep = deployment();
+        let hosts: Vec<UpAnnsEngine<'_>> =
+            dep.shards.iter().map(|ix| host_engine(ix, 8)).collect();
+        let mut multi = MultiHostUpAnns::new(hosts, InterconnectModel::default());
+        let queries = dep.data.gather(&[1, 2, 3, 4]);
+        let out = multi.search_batch(&queries, 4, 5);
+        assert!(out.breakdown.seconds("query_broadcast") > 0.0);
+        assert!(out.breakdown.seconds("result_gather") > 0.0);
+        assert!(out.breakdown.seconds("coordinator_merge") > 0.0);
+        assert!(out.seconds >= out.breakdown.seconds("query_broadcast"));
+        assert!(out.qps() > 0.0);
+
+        // A slower fabric makes the same batch slower, all else equal.
+        let hosts2: Vec<UpAnnsEngine<'_>> =
+            dep.shards.iter().map(|ix| host_engine(ix, 8)).collect();
+        let slow = InterconnectModel {
+            bandwidth_bytes_per_s: 1e6,
+            latency_s: 5e-3,
+        };
+        let mut slow_multi = MultiHostUpAnns::new(hosts2, slow);
+        let slow_out = slow_multi.search_batch(&queries, 4, 5);
+        assert!(slow_out.seconds > out.seconds);
+        // The answers do not depend on the fabric.
+        for (a, b) in out.results.iter().zip(&slow_out.results) {
+            assert_eq!(
+                a.iter().map(|n| n.id).collect::<Vec<_>>(),
+                b.iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn energy_model_aggregates_hosts() {
+        let dep = deployment();
+        let one = MultiHostUpAnns::new(
+            vec![host_engine(&dep.shards[0], 8)],
+            InterconnectModel::default(),
+        );
+        let two = MultiHostUpAnns::new(
+            dep.shards.iter().map(|ix| host_engine(ix, 8)).collect(),
+            InterconnectModel::default(),
+        );
+        let e1 = one.energy_model();
+        let e2 = two.energy_model();
+        assert!((e2.peak_watts - 2.0 * e1.peak_watts).abs() < 1e-9);
+        assert!(e2.price_usd > e1.price_usd);
+        assert_eq!(two.name(), "UpANNS x2 hosts");
+    }
+
+    #[test]
+    fn interconnect_transfer_model_is_monotone() {
+        let net = InterconnectModel::default();
+        assert_eq!(net.transfer_seconds(0, 4), 0.0);
+        assert_eq!(net.transfer_seconds(1024, 0), 0.0);
+        assert!(net.transfer_seconds(1 << 20, 2) > net.transfer_seconds(1 << 20, 1));
+        assert!(net.transfer_seconds(1 << 24, 1) > net.transfer_seconds(1 << 12, 1));
+    }
+}

@@ -1,0 +1,361 @@
+//! Opt1 (offline half): PIM-aware data placement — Algorithm 1 of the paper.
+//!
+//! Each cluster `i` has a size `sᵢ` (vectors) and a historical access
+//! frequency `fᵢ`. Its expected workload is `wᵢ = sᵢ·fᵢ`. The placement
+//! 1. keeps whole clusters on single DPUs (no partial-result transfers),
+//! 2. replicates clusters whose workload exceeds the per-DPU average `W`
+//!    onto `n_cpy = ⌈sᵢ·fᵢ / W⌉` DPUs, and
+//! 3. packs replicas onto DPUs while keeping every DPU under a workload
+//!    threshold that is relaxed by `rate` whenever no DPU fits.
+//!
+//! The naive alternative (used by PIM-naive and the Figure 11 ablation)
+//! assigns clusters to DPUs round-robin with no replication.
+
+/// Inputs of the placement algorithm.
+#[derive(Debug, Clone)]
+pub struct PlacementInput {
+    /// Number of vectors per cluster (`sᵢ`).
+    pub cluster_sizes: Vec<usize>,
+    /// Historical access frequency per cluster (`fᵢ`, any non-negative scale).
+    pub frequencies: Vec<f64>,
+    /// Number of DPUs available.
+    pub num_dpus: usize,
+    /// Maximum number of vectors a single DPU may hold (`MAX_DPU_SIZE`),
+    /// derived from MRAM capacity.
+    pub max_dpu_vectors: usize,
+    /// Threshold relaxation rate (`rate` in Algorithm 1, default 0.02).
+    pub threshold_rate: f64,
+}
+
+impl PlacementInput {
+    /// Creates an input with the default relaxation rate.
+    pub fn new(
+        cluster_sizes: Vec<usize>,
+        frequencies: Vec<f64>,
+        num_dpus: usize,
+        max_dpu_vectors: usize,
+    ) -> Self {
+        assert_eq!(
+            cluster_sizes.len(),
+            frequencies.len(),
+            "sizes and frequencies must align"
+        );
+        assert!(num_dpus > 0, "need at least one DPU");
+        assert!(max_dpu_vectors > 0, "DPU capacity must be positive");
+        Self {
+            cluster_sizes,
+            frequencies,
+            num_dpus,
+            max_dpu_vectors,
+            threshold_rate: 0.02,
+        }
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&self) -> usize {
+        self.cluster_sizes.len()
+    }
+
+    /// Workload of cluster `i` (`wᵢ = sᵢ·fᵢ`).
+    pub fn workload(&self, i: usize) -> f64 {
+        self.cluster_sizes[i] as f64 * self.frequencies[i]
+    }
+
+    /// The balanced per-DPU workload target `W = Σwᵢ / n`.
+    pub fn target_per_dpu(&self) -> f64 {
+        let total: f64 = (0..self.num_clusters()).map(|i| self.workload(i)).sum();
+        total / self.num_dpus as f64
+    }
+}
+
+/// The result of placing all clusters: for each cluster, the list of DPUs
+/// holding a replica, and the resulting per-DPU load estimates.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// `cluster_to_dpus[c]` = DPUs holding a replica of cluster `c`
+    /// (at least one entry per cluster).
+    pub cluster_to_dpus: Vec<Vec<usize>>,
+    /// Estimated workload per DPU (`Σ wᵢ / n_cpyᵢ` over hosted replicas).
+    pub dpu_workload: Vec<f64>,
+    /// Number of vectors stored per DPU (each replica stores the whole
+    /// cluster).
+    pub dpu_vectors: Vec<usize>,
+}
+
+impl Placement {
+    /// Number of replicas of cluster `c`.
+    pub fn replicas(&self, c: usize) -> usize {
+        self.cluster_to_dpus[c].len()
+    }
+
+    /// Total number of (cluster, DPU) replica pairs.
+    pub fn total_replicas(&self) -> usize {
+        self.cluster_to_dpus.iter().map(|d| d.len()).sum()
+    }
+
+    /// Ratio of the most-loaded DPU's estimated workload to the average over
+    /// DPUs that host at least one replica — the static counterpart of
+    /// Figure 11's max/avg metric.
+    pub fn max_to_avg_workload(&self) -> f64 {
+        let busy: Vec<f64> = self
+            .dpu_workload
+            .iter()
+            .copied()
+            .filter(|&w| w > 0.0)
+            .collect();
+        if busy.is_empty() {
+            return 1.0;
+        }
+        let max = busy.iter().cloned().fold(0.0f64, f64::max);
+        let avg = busy.iter().sum::<f64>() / busy.len() as f64;
+        if avg <= 0.0 {
+            1.0
+        } else {
+            max / avg
+        }
+    }
+
+    /// Checks the structural invariants every placement must satisfy:
+    /// every cluster has ≥ 1 replica, all DPU ids are in range, and no DPU
+    /// exceeds `max_dpu_vectors`.
+    pub fn validate(&self, input: &PlacementInput) -> Result<(), String> {
+        if self.cluster_to_dpus.len() != input.num_clusters() {
+            return Err("placement covers wrong number of clusters".into());
+        }
+        for (c, dpus) in self.cluster_to_dpus.iter().enumerate() {
+            if dpus.is_empty() {
+                return Err(format!("cluster {c} has no replica"));
+            }
+            for &d in dpus {
+                if d >= input.num_dpus {
+                    return Err(format!("cluster {c} placed on invalid DPU {d}"));
+                }
+            }
+            let mut sorted = dpus.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != dpus.len() {
+                return Err(format!("cluster {c} has duplicate replicas on one DPU"));
+            }
+        }
+        for (d, &v) in self.dpu_vectors.iter().enumerate() {
+            if v > input.max_dpu_vectors {
+                return Err(format!(
+                    "DPU {d} holds {v} vectors, above the cap {}",
+                    input.max_dpu_vectors
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Algorithm 1: PIM-aware data placement with hot-cluster replication.
+///
+/// Clusters are processed in descending workload order (hottest first, so the
+/// big replicas land before the packing gets tight). For each cluster, the
+/// number of replicas is `⌈wᵢ / W⌉` and each replica carries `wᵢ / n_cpy`
+/// workload. Replicas are assigned by scanning DPUs round-robin, accepting a
+/// DPU whenever it stays under `W × thld` workload and under the vector cap;
+/// after a full unsuccessful scan, `thld` is relaxed by `rate`.
+pub fn place_pim_aware(input: &PlacementInput) -> Placement {
+    let n = input.num_dpus;
+    let target = input.target_per_dpu().max(f64::MIN_POSITIVE);
+    let mut dpu_workload = vec![0.0f64; n];
+    let mut dpu_vectors = vec![0usize; n];
+    let mut cluster_to_dpus = vec![Vec::new(); input.num_clusters()];
+
+    // Hottest clusters first.
+    let mut order: Vec<usize> = (0..input.num_clusters()).collect();
+    order.sort_by(|&a, &b| {
+        input
+            .workload(b)
+            .partial_cmp(&input.workload(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    // `d_id` persists across clusters so consecutive (spatially close) cluster
+    // ids tend to land on the same or nearby DPUs (insight 3 of §4.1.1).
+    let mut d_id = 0usize;
+    for &c in &order {
+        let w = input.workload(c);
+        let size = input.cluster_sizes[c];
+        let ncpy = ((w / target).ceil() as usize).clamp(1, n);
+        let per_replica_w = w / ncpy as f64;
+
+        let mut thld = 1.0f64;
+        let mut placed = 0usize;
+        let mut scanned_without_fit = 0usize;
+        while placed < ncpy {
+            let fits_workload = dpu_workload[d_id] + per_replica_w <= target * thld;
+            let fits_capacity = dpu_vectors[d_id] + size <= input.max_dpu_vectors;
+            let already_there = cluster_to_dpus[c].contains(&d_id);
+            if fits_workload && fits_capacity && !already_there {
+                cluster_to_dpus[c].push(d_id);
+                dpu_workload[d_id] += per_replica_w;
+                dpu_vectors[d_id] += size;
+                placed += 1;
+                scanned_without_fit = 0;
+            } else {
+                scanned_without_fit += 1;
+            }
+            d_id = (d_id + 1) % n;
+            if scanned_without_fit == n {
+                // No DPU fits under the current threshold: loosen the balance
+                // constraint (Algorithm 1, lines 11–12). The capacity cap is
+                // never loosened; if even that fails the dataset simply does
+                // not fit, which `validate` will surface.
+                thld += input.threshold_rate;
+                scanned_without_fit = 0;
+                if thld > 1e6 {
+                    // Capacity-bound: place on the least-loaded DPU that has
+                    // room, or give up on extra replicas.
+                    if let Some(d) = (0..n)
+                        .filter(|&d| {
+                            dpu_vectors[d] + size <= input.max_dpu_vectors
+                                && !cluster_to_dpus[c].contains(&d)
+                        })
+                        .min_by(|&a, &b| {
+                            dpu_workload[a]
+                                .partial_cmp(&dpu_workload[b])
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                        })
+                    {
+                        cluster_to_dpus[c].push(d);
+                        dpu_workload[d] += per_replica_w;
+                        dpu_vectors[d] += size;
+                        placed += 1;
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    Placement {
+        cluster_to_dpus,
+        dpu_workload,
+        dpu_vectors,
+    }
+}
+
+/// The naive distribution used by PIM-naive and the Figure 11 ablation:
+/// cluster `c` goes to DPU `c mod n`, no replication, no workload awareness.
+pub fn place_round_robin(input: &PlacementInput) -> Placement {
+    let n = input.num_dpus;
+    let mut dpu_workload = vec![0.0f64; n];
+    let mut dpu_vectors = vec![0usize; n];
+    let mut cluster_to_dpus = vec![Vec::new(); input.num_clusters()];
+    for c in 0..input.num_clusters() {
+        let d = c % n;
+        cluster_to_dpus[c].push(d);
+        dpu_workload[d] += input.workload(c);
+        dpu_vectors[d] += input.cluster_sizes[c];
+    }
+    Placement {
+        cluster_to_dpus,
+        dpu_workload,
+        dpu_vectors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skewed_input(clusters: usize, dpus: usize) -> PlacementInput {
+        // Zipf-ish frequencies and power-law sizes, like Figure 4.
+        let sizes: Vec<usize> = (0..clusters)
+            .map(|i| 1000 / (i + 1) + 10)
+            .collect();
+        let freqs: Vec<f64> = (0..clusters)
+            .map(|i| 1.0 / ((i % 17) + 1) as f64)
+            .collect();
+        PlacementInput::new(sizes, freqs, dpus, 100_000)
+    }
+
+    #[test]
+    fn every_cluster_gets_at_least_one_replica() {
+        let input = skewed_input(64, 16);
+        let p = place_pim_aware(&input);
+        p.validate(&input).unwrap();
+        assert!(p.total_replicas() >= 64);
+    }
+
+    #[test]
+    fn hot_clusters_are_replicated() {
+        let mut input = skewed_input(32, 16);
+        // Make cluster 0 extremely hot: its workload alone is several times
+        // the per-DPU target.
+        input.cluster_sizes[0] = 5_000;
+        input.frequencies[0] = 10.0;
+        let p = place_pim_aware(&input);
+        p.validate(&input).unwrap();
+        assert!(
+            p.replicas(0) > 1,
+            "hot cluster should be replicated, got {}",
+            p.replicas(0)
+        );
+        // Cold clusters stay single-copy.
+        let cold = (1..32).map(|c| p.replicas(c)).max().unwrap();
+        assert!(cold <= p.replicas(0));
+    }
+
+    #[test]
+    fn pim_aware_is_more_balanced_than_round_robin() {
+        let input = skewed_input(96, 24);
+        let aware = place_pim_aware(&input);
+        let naive = place_round_robin(&input);
+        aware.validate(&input).unwrap();
+        naive.validate(&input).unwrap();
+        assert!(
+            aware.max_to_avg_workload() < naive.max_to_avg_workload(),
+            "aware {} vs naive {}",
+            aware.max_to_avg_workload(),
+            naive.max_to_avg_workload()
+        );
+        // And the PIM-aware ratio should be close to 1 (Figure 11).
+        assert!(aware.max_to_avg_workload() < 1.5);
+    }
+
+    #[test]
+    fn capacity_cap_is_respected() {
+        let sizes = vec![60usize; 20];
+        let freqs = vec![1.0; 20];
+        // Each DPU can hold at most 2 clusters' worth of vectors.
+        let input = PlacementInput::new(sizes, freqs, 10, 120);
+        let p = place_pim_aware(&input);
+        p.validate(&input).unwrap();
+        assert!(p.dpu_vectors.iter().all(|&v| v <= 120));
+    }
+
+    #[test]
+    fn uniform_workload_needs_no_replication() {
+        let input = PlacementInput::new(vec![100; 32], vec![1.0; 32], 32, 10_000);
+        let p = place_pim_aware(&input);
+        p.validate(&input).unwrap();
+        assert_eq!(p.total_replicas(), 32);
+        assert!(p.max_to_avg_workload() < 1.01);
+    }
+
+    #[test]
+    fn workload_and_target_math() {
+        let input = PlacementInput::new(vec![10, 20], vec![2.0, 0.5], 2, 1000);
+        assert_eq!(input.workload(0), 20.0);
+        assert_eq!(input.workload(1), 10.0);
+        assert_eq!(input.target_per_dpu(), 15.0);
+        assert_eq!(input.num_clusters(), 2);
+    }
+
+    #[test]
+    fn validate_catches_broken_placements() {
+        let input = PlacementInput::new(vec![10, 10], vec![1.0, 1.0], 2, 1000);
+        let mut p = place_round_robin(&input);
+        p.cluster_to_dpus[1].clear();
+        assert!(p.validate(&input).is_err());
+        let mut p2 = place_round_robin(&input);
+        p2.cluster_to_dpus[0] = vec![7];
+        assert!(p2.validate(&input).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! Opt4: pruned merge of thread-local top-k heaps (Figure 9).
+//!
+//! After the distance-calculation barrier, each tasklet holds a max-heap with
+//! its local top-k. Merging them naively inserts every element into the
+//! DPU-global heap. UpANNS instead converts each local max-heap into an
+//! ascending sequence (a min-heap popped in order) and stops as soon as the
+//! local minimum can no longer beat the global k-th best — the remaining
+//! elements of that tasklet are pruned without any comparison. The paper
+//! reports 68 % of comparisons skipped and a 3.1× faster top-k stage.
+
+use annkit::topk::{Neighbor, TopK};
+
+/// Counters describing one merge.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Candidates examined (offered to the global heap or compared against
+    /// the threshold).
+    pub comparisons: u64,
+    /// Candidates actually inserted into the global heap.
+    pub insertions: u64,
+    /// Candidates skipped by early termination.
+    pub pruned: u64,
+    /// Semaphore acquisitions (one per tasklet that contributes at least one
+    /// element).
+    pub semaphore_ops: u64,
+}
+
+impl MergeStats {
+    /// Fraction of candidates skipped without a comparison.
+    pub fn pruned_fraction(&self) -> f64 {
+        let total = self.comparisons + self.pruned;
+        if total == 0 {
+            0.0
+        } else {
+            self.pruned as f64 / total as f64
+        }
+    }
+}
+
+/// Merges thread-local heaps into a global top-k.
+///
+/// With `prune = false` this is the naive merge (every local element is
+/// offered to the global heap). With `prune = true` the early-termination
+/// strategy of §4.4 is applied. Both produce exactly the same global top-k;
+/// only the number of comparisons differs.
+pub fn merge_thread_local(locals: &[TopK], k: usize, prune: bool) -> (TopK, MergeStats) {
+    let mut global = TopK::new(k);
+    let mut stats = MergeStats::default();
+
+    for local in locals {
+        if local.is_empty() {
+            continue;
+        }
+        stats.semaphore_ops += 1;
+        // Convert the local max-heap into ascending order — the min-heap view
+        // of Figure 9.
+        let ascending = local.sorted();
+        for (i, n) in ascending.iter().enumerate() {
+            if prune && global.len() == k && n.distance >= global.threshold() {
+                // Everything further in this tasklet's heap is at least as
+                // far; prune it without comparisons.
+                stats.pruned += (ascending.len() - i) as u64;
+                break;
+            }
+            stats.comparisons += 1;
+            if global.push(n.id, n.distance) {
+                stats.insertions += 1;
+            }
+        }
+    }
+    (global, stats)
+}
+
+/// Convenience wrapper returning the merged neighbors sorted ascending.
+pub fn merge_to_sorted(locals: &[TopK], k: usize, prune: bool) -> (Vec<Neighbor>, MergeStats) {
+    let (heap, stats) = merge_thread_local(locals, k, prune);
+    (heap.into_sorted(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds `t` thread-local heaps of capacity `k` over a deterministic
+    /// stream of candidates, mimicking a strided scan.
+    fn make_locals(t: usize, k: usize, candidates: usize) -> Vec<TopK> {
+        let mut locals = vec![TopK::new(k); t];
+        for i in 0..candidates {
+            let d = ((i * 2654435761) % 100_000) as f32 / 100.0;
+            locals[i % t].push(i as u64, d);
+        }
+        locals
+    }
+
+    #[test]
+    fn pruned_and_naive_merges_agree() {
+        for t in [1, 4, 8, 16] {
+            let locals = make_locals(t, 10, 5_000);
+            let (pruned, _) = merge_to_sorted(&locals, 10, true);
+            let (naive, _) = merge_to_sorted(&locals, 10, false);
+            assert_eq!(pruned.len(), naive.len());
+            for (a, b) in pruned.iter().zip(&naive) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.distance, b.distance);
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_skips_a_large_fraction_of_comparisons() {
+        let locals = make_locals(16, 64, 20_000);
+        let (_, pruned_stats) = merge_thread_local(&locals, 64, true);
+        let (_, naive_stats) = merge_thread_local(&locals, 64, false);
+        assert_eq!(naive_stats.pruned, 0);
+        assert!(pruned_stats.pruned > 0);
+        assert!(
+            pruned_stats.comparisons < naive_stats.comparisons,
+            "pruned {} vs naive {}",
+            pruned_stats.comparisons,
+            naive_stats.comparisons
+        );
+        // The paper reports ~68 % of comparisons skipped; with 16 tasklets of
+        // 64 candidates each we should prune a substantial share.
+        assert!(
+            pruned_stats.pruned_fraction() > 0.4,
+            "pruned fraction {}",
+            pruned_stats.pruned_fraction()
+        );
+    }
+
+    #[test]
+    fn merge_of_disjoint_ranges_prunes_everything_but_the_best_heap() {
+        // Tasklet 0 holds distances 0..10, tasklet 1 holds 100..110 — the
+        // second heap's first element already fails the threshold.
+        let mut a = TopK::new(10);
+        let mut b = TopK::new(10);
+        for i in 0..10u64 {
+            a.push(i, i as f32);
+            b.push(100 + i, 100.0 + i as f32);
+        }
+        let (global, stats) = merge_thread_local(&[a, b], 10, true);
+        let ids: Vec<u64> = global.into_sorted().iter().map(|n| n.id).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u64>>());
+        assert_eq!(stats.pruned, 10);
+        assert_eq!(stats.semaphore_ops, 2);
+    }
+
+    #[test]
+    fn handles_empty_and_underfull_heaps() {
+        let empty = TopK::new(5);
+        let mut partial = TopK::new(5);
+        partial.push(3, 1.0);
+        let (global, stats) = merge_thread_local(&[empty, partial], 5, true);
+        let sorted = global.into_sorted();
+        assert_eq!(sorted.len(), 1);
+        assert_eq!(sorted[0].id, 3);
+        assert_eq!(stats.semaphore_ops, 1);
+        assert_eq!(stats.pruned, 0);
+    }
+
+    #[test]
+    fn stats_fraction_is_zero_when_nothing_to_merge() {
+        let (global, stats) = merge_thread_local(&[], 5, true);
+        assert!(global.is_empty());
+        assert_eq!(stats.pruned_fraction(), 0.0);
+    }
+}

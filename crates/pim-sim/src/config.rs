@@ -1,0 +1,180 @@
+//! Configuration of the simulated UPMEM system.
+//!
+//! Default constants follow the hardware used in the paper's evaluation
+//! (Table 1 and §2.2): 7 DIMMs × 128 DPUs = 896 DPUs, 350 MHz cores,
+//! 64 MB MRAM / 64 KB WRAM / 24 KB IRAM per DPU, 23.22 W peak power per DIMM.
+
+/// Number of DPUs on a single UPMEM DIMM (16 PIM chips × 8 DPUs).
+pub const DPUS_PER_DIMM: usize = 128;
+
+/// MRAM capacity per DPU (64 MB).
+pub const MRAM_BYTES_PER_DPU: usize = 64 * 1024 * 1024;
+
+/// WRAM capacity per DPU (64 KB).
+pub const WRAM_BYTES_PER_DPU: usize = 64 * 1024;
+
+/// IRAM capacity per DPU (24 KB) — tracked for completeness; kernels in this
+/// repository never exceed it.
+pub const IRAM_BYTES_PER_DPU: usize = 24 * 1024;
+
+/// Maximum number of hardware threads (tasklets) per DPU.
+pub const MAX_TASKLETS: usize = 24;
+
+/// MRAM↔WRAM DMA transfer size constraints: multiples of 8 bytes, at least 8
+/// and at most 2048 bytes per transfer (§4.2.1).
+pub const DMA_MIN_BYTES: usize = 8;
+/// Maximum DMA transfer size.
+pub const DMA_MAX_BYTES: usize = 2048;
+/// DMA transfer granularity.
+pub const DMA_ALIGN_BYTES: usize = 8;
+
+/// Configuration of a simulated PIM deployment.
+#[derive(Debug, Clone)]
+pub struct PimConfig {
+    /// Total number of DPUs in the system.
+    pub num_dpus: usize,
+    /// DPU core clock in Hz (350 MHz on current UPMEM silicon).
+    pub clock_hz: f64,
+    /// MRAM capacity per DPU in bytes.
+    pub mram_bytes: usize,
+    /// WRAM capacity per DPU in bytes.
+    pub wram_bytes: usize,
+    /// Peak power draw per DIMM in watts (Falevoz & Legriel measure 23.22 W).
+    pub watts_per_dimm: f64,
+    /// Aggregate host→DPU copy bandwidth (bytes/s) when every DPU receives a
+    /// buffer of identical size (rank-parallel transfer).
+    pub host_push_bw_uniform: f64,
+    /// Aggregate host→DPU copy bandwidth (bytes/s) when buffer sizes differ
+    /// and transfers serialize.
+    pub host_push_bw_serial: f64,
+    /// Aggregate DPU→host copy bandwidth (bytes/s) for uniform buffers.
+    pub host_pull_bw_uniform: f64,
+    /// Aggregate DPU→host copy bandwidth (bytes/s) for non-uniform buffers.
+    pub host_pull_bw_serial: f64,
+    /// Fixed per-launch overhead in seconds (kernel boot / host API cost).
+    pub launch_overhead_s: f64,
+    /// Approximate hardware price in USD (Table 1: 2,800 USD for 7 DIMMs),
+    /// scaled per DIMM for cost-efficiency comparisons.
+    pub usd_per_dimm: f64,
+}
+
+impl PimConfig {
+    /// The paper's evaluation platform: 7 DIMMs = 896 DPUs.
+    pub fn paper_seven_dimms() -> Self {
+        Self::with_dpus(7 * DPUS_PER_DIMM)
+    }
+
+    /// A system with an arbitrary number of DPUs (used by the Figure 20
+    /// scalability sweep, 500–2560 DPUs).
+    pub fn with_dpus(num_dpus: usize) -> Self {
+        assert!(num_dpus > 0, "a PIM system needs at least one DPU");
+        Self {
+            num_dpus,
+            clock_hz: 350e6,
+            mram_bytes: MRAM_BYTES_PER_DPU,
+            wram_bytes: WRAM_BYTES_PER_DPU,
+            watts_per_dimm: 23.22,
+            // Published UPMEM host-transfer characteristics (PrIM): parallel
+            // rank-level copies reach a few GB/s, serialized copies are ~10x
+            // slower.
+            host_push_bw_uniform: 6.0e9,
+            host_push_bw_serial: 0.6e9,
+            host_pull_bw_uniform: 4.7e9,
+            host_pull_bw_serial: 0.5e9,
+            launch_overhead_s: 20e-6,
+            usd_per_dimm: 400.0,
+        }
+    }
+
+    /// A deliberately tiny configuration for unit tests: 4 DPUs with small
+    /// memories so capacity-violation paths are easy to exercise.
+    pub fn small_test() -> Self {
+        let mut c = Self::with_dpus(4);
+        c.mram_bytes = 1024 * 1024;
+        c
+    }
+
+    /// Number of DIMMs (rounded up) represented by this configuration.
+    pub fn num_dimms(&self) -> usize {
+        self.num_dpus.div_ceil(DPUS_PER_DIMM)
+    }
+
+    /// Total peak power of the PIM system in watts.
+    pub fn peak_watts(&self) -> f64 {
+        // Power scales with the *fraction* of DPUs actually populated, so the
+        // Figure 20 iso-power comparison (1654 DPUs ≈ 300 W) works out.
+        self.num_dpus as f64 / DPUS_PER_DIMM as f64 * self.watts_per_dimm
+    }
+
+    /// Approximate price of the PIM system in USD.
+    pub fn price_usd(&self) -> f64 {
+        self.num_dimms() as f64 * self.usd_per_dimm
+    }
+
+    /// Total MRAM capacity across all DPUs in bytes — the dataset must fit
+    /// here (56 GB for the paper's 7 DIMMs).
+    pub fn total_mram_bytes(&self) -> usize {
+        self.num_dpus * self.mram_bytes
+    }
+
+    /// Seconds per DPU clock cycle.
+    #[inline]
+    pub fn seconds_per_cycle(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+
+    /// Overrides the number of DPUs, keeping everything else.
+    pub fn scaled_to(&self, num_dpus: usize) -> Self {
+        let mut c = self.clone();
+        c.num_dpus = num_dpus;
+        c
+    }
+}
+
+impl Default for PimConfig {
+    fn default() -> Self {
+        Self::paper_seven_dimms()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_table1() {
+        let c = PimConfig::paper_seven_dimms();
+        assert_eq!(c.num_dpus, 896);
+        assert_eq!(c.num_dimms(), 7);
+        // 7 DIMMs × 23.22 W ≈ 162 W (Table 1).
+        assert!((c.peak_watts() - 162.54).abs() < 1.0);
+        // 56 GB total MRAM (Table 1).
+        assert_eq!(c.total_mram_bytes(), 7 * 128 * 64 * 1024 * 1024);
+        assert!(c.price_usd() <= 2800.0 + 1e-9);
+    }
+
+    #[test]
+    fn scaling_preserves_other_fields() {
+        let c = PimConfig::paper_seven_dimms().scaled_to(2560);
+        assert_eq!(c.num_dpus, 2560);
+        assert_eq!(c.num_dimms(), 20);
+        assert_eq!(c.clock_hz, 350e6);
+        // 20 DIMMs ≈ 464 W; the iso-power point with an A100 (300 W) is
+        // therefore below 2560 DPUs, as in Figure 20.
+        assert!(c.peak_watts() > 300.0);
+        let iso = PimConfig::with_dpus(1654);
+        assert!((iso.peak_watts() - 300.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn seconds_per_cycle_is_consistent() {
+        let c = PimConfig::default();
+        assert!((c.seconds_per_cycle() * c.clock_hz - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one DPU")]
+    fn zero_dpus_rejected() {
+        let _ = PimConfig::with_dpus(0);
+    }
+}

@@ -1,0 +1,196 @@
+//! The DPU cycle cost model.
+//!
+//! Calibration sources: the UPMEM user manual and the PrIM characterization
+//! (Gómez-Luna et al., IEEE Access 2022), which the paper itself cites for
+//! its bandwidth and latency numbers.
+
+use crate::config::{DMA_ALIGN_BYTES, DMA_MAX_BYTES, DMA_MIN_BYTES};
+
+/// Pipeline revisit interval: an instruction of a given tasklet can enter the
+/// 14-stage pipeline at most once every this many cycles, because only the
+/// last three stages overlap with the first two of the next instruction of
+/// the *same* thread. With ≥ 11 active tasklets the pipeline is fully busy —
+/// which is exactly why the paper finds QPS saturating at 11 tasklets
+/// (Figure 13, §5.3.2).
+pub const REVISIT_INTERVAL: u64 = 11;
+
+/// Cycle costs of the operations kernels can charge.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// Cost of a simple ALU instruction (add/sub/compare/branch) in cycles.
+    pub alu_cycles: u64,
+    /// Cost of an integer multiplication. The DPU has no 32-bit hardware
+    /// multiplier; a `mul` compiles to a shift/add loop of roughly this many
+    /// cycles, which is why UpANNS's PIM-friendly encoding replaces
+    /// `idx * 256 + code` with precomputed direct addresses (§4.3).
+    pub mul_cycles: u64,
+    /// Cost of a WRAM load or store (single-cycle scratchpad).
+    pub wram_access_cycles: u64,
+    /// Fixed setup latency of an MRAM↔WRAM DMA transfer in cycles.
+    pub dma_base_cycles: u64,
+    /// Additional DMA cycles per byte once the transfer is in the linear
+    /// regime.
+    pub dma_cycles_per_byte: f64,
+    /// Transfer size (bytes) below which DMA latency is dominated by the
+    /// fixed cost — the "flat" region of Figure 7.
+    pub dma_flat_bytes: usize,
+    /// Cycles charged per tasklet for a barrier crossing.
+    pub barrier_cycles_per_tasklet: u64,
+    /// Cycles charged for a semaphore take/give pair.
+    pub semaphore_cycles: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            alu_cycles: 1,
+            mul_cycles: 32,
+            wram_access_cycles: 1,
+            dma_base_cycles: 77,
+            dma_cycles_per_byte: 0.5,
+            dma_flat_bytes: 256,
+            barrier_cycles_per_tasklet: 32,
+            semaphore_cycles: 16,
+        }
+    }
+}
+
+impl CostModel {
+    /// Latency in cycles of a single MRAM↔WRAM DMA transfer of `bytes`
+    /// (after alignment). Reproduces the shape of the paper's Figure 7: the
+    /// latency "increases slowly as data size grows from 8 B to 256 B and
+    /// increases almost linearly beyond 256 B".
+    pub fn mram_transfer_cycles(&self, bytes: usize) -> u64 {
+        let bytes = align_dma(bytes);
+        if bytes <= self.dma_flat_bytes {
+            // Sub-linear growth in the flat region: the fixed cost dominates
+            // and per-byte cost is ~1/4 of the linear regime.
+            self.dma_base_cycles + (bytes as f64 * self.dma_cycles_per_byte * 0.25).ceil() as u64
+        } else {
+            let flat = self.dma_flat_bytes as f64 * self.dma_cycles_per_byte * 0.25;
+            let linear = (bytes - self.dma_flat_bytes) as f64 * self.dma_cycles_per_byte;
+            self.dma_base_cycles + (flat + linear).ceil() as u64
+        }
+    }
+
+    /// Effective MRAM bandwidth (bytes per cycle) achieved by back-to-back
+    /// transfers of `bytes` each — a convenience for roofline sanity checks.
+    pub fn mram_bandwidth_bytes_per_cycle(&self, bytes: usize) -> f64 {
+        let bytes = align_dma(bytes);
+        bytes as f64 / self.mram_transfer_cycles(bytes) as f64
+    }
+
+    /// Per-DPU region time in cycles given the per-tasklet issued instruction
+    /// cycles of one parallel region.
+    ///
+    /// The fine-grained multithreading model: the DPU issues at most one
+    /// instruction per cycle overall, and each tasklet can issue at most once
+    /// per [`REVISIT_INTERVAL`] cycles. Hence
+    /// `time ≈ max(Σᵢ cᵢ, REVISIT_INTERVAL · maxᵢ cᵢ)`: balanced work across
+    /// ≥ 11 tasklets keeps the pipeline full, fewer (or imbalanced) tasklets
+    /// leave bubbles.
+    pub fn region_compute_cycles(&self, per_tasklet_cycles: &[u64]) -> u64 {
+        let total: u64 = per_tasklet_cycles.iter().sum();
+        let max = per_tasklet_cycles.iter().copied().max().unwrap_or(0);
+        total.max(max.saturating_mul(REVISIT_INTERVAL))
+    }
+}
+
+/// Rounds a DMA transfer size up to the hardware granularity and clamps it to
+/// the legal `[8, 2048]` byte range.
+pub fn align_dma(bytes: usize) -> usize {
+    let aligned = bytes.max(DMA_MIN_BYTES).div_ceil(DMA_ALIGN_BYTES) * DMA_ALIGN_BYTES;
+    aligned.min(DMA_MAX_BYTES)
+}
+
+/// Splits a logical transfer of `bytes` into the sequence of hardware DMA
+/// transfers needed (each ≤ 2048 B), returning their sizes.
+pub fn split_dma(bytes: usize) -> Vec<usize> {
+    if bytes == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut remaining = bytes;
+    while remaining > 0 {
+        let chunk = remaining.min(DMA_MAX_BYTES);
+        out.push(align_dma(chunk));
+        remaining -= chunk;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_curve_is_flat_then_linear() {
+        let cm = CostModel::default();
+        let l8 = cm.mram_transfer_cycles(8);
+        let l64 = cm.mram_transfer_cycles(64);
+        let l256 = cm.mram_transfer_cycles(256);
+        let l1024 = cm.mram_transfer_cycles(1024);
+        let l2048 = cm.mram_transfer_cycles(2048);
+
+        // Monotonic non-decreasing.
+        assert!(l8 <= l64 && l64 <= l256 && l256 <= l1024 && l1024 <= l2048);
+        // Flat region: 8 B -> 256 B grows by less than 2x.
+        assert!((l256 as f64) < 2.0 * l8 as f64, "flat region too steep: {l8} -> {l256}");
+        // Linear region: 256 B -> 2048 B grows much faster (at least 4x).
+        assert!((l2048 as f64) > 4.0 * (l256 as f64), "linear region too flat: {l256} -> {l2048}");
+    }
+
+    #[test]
+    fn bandwidth_improves_with_larger_transfers() {
+        let cm = CostModel::default();
+        assert!(
+            cm.mram_bandwidth_bytes_per_cycle(1024) > 3.0 * cm.mram_bandwidth_bytes_per_cycle(16)
+        );
+    }
+
+    #[test]
+    fn region_model_saturates_at_revisit_interval() {
+        let cm = CostModel::default();
+        // 1000 total cycles of work split evenly across T tasklets.
+        let total = 1_000u64;
+        let time =
+            |t: usize| cm.region_compute_cycles(&vec![total / t as u64; t]);
+        // Speedup is linear-ish up to 11 tasklets...
+        let t1 = time(1);
+        let t4 = time(4);
+        let t11 = time(11);
+        let t16 = time(16);
+        let t24 = time(24);
+        assert!(t1 as f64 / t4 as f64 > 3.5);
+        assert!(t1 as f64 / t11 as f64 > 9.0);
+        // ...and saturates beyond 11.
+        assert!((t16 as f64 - t11 as f64).abs() / (t11 as f64) < 0.15);
+        assert!((t24 as f64 - t11 as f64).abs() / (t11 as f64) < 0.15);
+    }
+
+    #[test]
+    fn imbalanced_regions_are_bounded_by_slowest_tasklet() {
+        let cm = CostModel::default();
+        let balanced = cm.region_compute_cycles(&[100, 100, 100, 100]);
+        let imbalanced = cm.region_compute_cycles(&[370, 10, 10, 10]);
+        assert!(imbalanced > balanced);
+        assert_eq!(imbalanced, 370 * REVISIT_INTERVAL);
+    }
+
+    #[test]
+    fn dma_alignment_and_splitting() {
+        assert_eq!(align_dma(1), 8);
+        assert_eq!(align_dma(8), 8);
+        assert_eq!(align_dma(9), 16);
+        assert_eq!(align_dma(5000), 2048);
+        assert_eq!(split_dma(0), Vec::<usize>::new());
+        assert_eq!(split_dma(100), vec![104]);
+        assert_eq!(split_dma(5000), vec![2048, 2048, 904]);
+    }
+
+    #[test]
+    fn empty_region_is_free() {
+        let cm = CostModel::default();
+        assert_eq!(cm.region_compute_cycles(&[]), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! # pim-sim — a functional + cycle-cost simulator of the UPMEM PIM architecture
+//!
+//! The UpANNS paper evaluates on seven real UPMEM DIMMs. This environment has
+//! none, so this crate models the architecture closely enough that every
+//! performance effect the paper's evaluation depends on is reproduced:
+//!
+//! * **DPUs**: 350 MHz in-order cores with up to 24 hardware threads
+//!   ("tasklets") sharing a 14-stage pipeline. A single tasklet can issue at
+//!   most one instruction every [`REVISIT_INTERVAL`](cost::REVISIT_INTERVAL)
+//!   cycles, so per-DPU throughput scales linearly with tasklets up to ~11 and
+//!   then saturates (Figure 13 of the paper).
+//! * **Memory hierarchy**: per-DPU 64 MB MRAM reachable only through DMA
+//!   transfers whose latency is flat below ~256 B and linear beyond
+//!   (Figure 7), a 64 KB WRAM scratchpad with single-cycle access and *no
+//!   MMU* (so buffer reuse must be planned explicitly), and a 24 KB IRAM.
+//! * **No inter-DPU communication**: all coordination goes through the host,
+//!   and host↔DPU transfers are only parallel across DPUs when every DPU's
+//!   buffer has the same size.
+//! * **Energy**: 23.22 W peak per DIMM (Falevoz & Legriel), so
+//!   energy ≈ peak power × simulated runtime, exactly the approximation the
+//!   paper uses.
+//!
+//! Kernels are ordinary Rust closures executed *functionally* against a
+//! [`DpuKernelCtx`]; every MRAM transfer, WRAM byte, arithmetic
+//! instruction and synchronization point they perform is charged to a cycle
+//! cost model, and the simulated batch time is the maximum over DPUs (the
+//! paper: "the largest workload among DPUs determines the overall
+//! performance").
+//!
+//! ```
+//! use pim_sim::prelude::*;
+//!
+//! let mut sys = PimSystem::new(PimConfig::small_test());
+//! // Stage some bytes into DPU 0's MRAM.
+//! let addr = sys.mram_alloc(0, 1024).unwrap();
+//! sys.push_to_dpus("load", &[DpuWrite::new(0, addr, vec![7u8; 1024])]).unwrap();
+//! // Run a kernel on every DPU that reads the data back with 4 tasklets.
+//! let report = sys.execute("scan", |ctx| {
+//!     if ctx.dpu_id() == 0 {
+//!         ctx.parallel("read", 4, |t| {
+//!             let bytes = t.mram_read(addr, 256).to_vec();
+//!             t.charge_arith(bytes.len() as u64, 0);
+//!         });
+//!     }
+//! });
+//! assert!(report.max_dpu_seconds > 0.0);
+//! assert!(sys.elapsed_seconds() > 0.0);
+//! ```
+
+pub mod config;
+pub mod cost;
+pub mod dpu;
+pub mod energy;
+pub mod host;
+pub mod mram;
+pub mod stats;
+pub mod tasklet;
+pub mod wram;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::config::PimConfig;
+    pub use crate::cost::{CostModel, REVISIT_INTERVAL};
+    pub use crate::dpu::{Dpu, DpuStats};
+    pub use crate::energy::EnergyModel;
+    pub use crate::host::{DpuRead, DpuWrite, ExecReport, PimSystem};
+    pub use crate::mram::{Mram, MramAddr};
+    pub use crate::stats::StageBreakdown;
+    pub use crate::tasklet::{DpuKernelCtx, TaskletCtx};
+    pub use crate::wram::WramAllocator;
+}
+
+pub use config::PimConfig;
+pub use host::{DpuWrite, PimSystem};
+pub use tasklet::{DpuKernelCtx, TaskletCtx};

@@ -1,0 +1,132 @@
+//! Stage-labeled time accounting.
+//!
+//! Every transfer, host step and DPU kernel region carries a stage label
+//! (e.g. `"cluster_filtering"`, `"lut"`, `"dist"`, `"topk"`). The breakdown
+//! of simulated time by label is what reproduces the paper's Figure 1 and
+//! Figure 19 stage-breakdown plots.
+
+use std::collections::BTreeMap;
+
+/// Accumulated simulated seconds per stage label.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageBreakdown {
+    stages: BTreeMap<String, f64>,
+}
+
+impl StageBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `seconds` to `stage`.
+    pub fn add(&mut self, stage: &str, seconds: f64) {
+        *self.stages.entry(stage.to_string()).or_insert(0.0) += seconds;
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &StageBreakdown) {
+        for (k, v) in &other.stages {
+            self.add(k, *v);
+        }
+    }
+
+    /// Total seconds across all stages.
+    pub fn total(&self) -> f64 {
+        self.stages.values().sum()
+    }
+
+    /// Seconds attributed to `stage` (0.0 if absent).
+    pub fn seconds(&self, stage: &str) -> f64 {
+        self.stages.get(stage).copied().unwrap_or(0.0)
+    }
+
+    /// Fraction of the total attributed to `stage` (0.0 for an empty
+    /// breakdown).
+    pub fn fraction(&self, stage: &str) -> f64 {
+        let total = self.total();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.seconds(stage) / total
+        }
+    }
+
+    /// All (stage, seconds) pairs sorted by stage name.
+    pub fn entries(&self) -> Vec<(String, f64)> {
+        self.stages.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// All (stage, fraction-of-total) pairs sorted by stage name.
+    pub fn fractions(&self) -> Vec<(String, f64)> {
+        let total = self.total();
+        self.stages
+            .iter()
+            .map(|(k, v)| (k.clone(), if total > 0.0 { v / total } else { 0.0 }))
+            .collect()
+    }
+
+    /// Whether no time has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Removes all recorded time.
+    pub fn clear(&mut self) {
+        self.stages.clear();
+    }
+}
+
+impl std::fmt::Display for StageBreakdown {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let total = self.total();
+        for (stage, secs) in &self.stages {
+            let pct = if total > 0.0 { secs / total * 100.0 } else { 0.0 };
+            writeln!(f, "{stage:<24} {secs:>12.6} s  ({pct:>5.1} %)")?;
+        }
+        writeln!(f, "{:<24} {total:>12.6} s", "total")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_fractions() {
+        let mut b = StageBreakdown::new();
+        assert!(b.is_empty());
+        b.add("dist", 3.0);
+        b.add("topk", 1.0);
+        b.add("dist", 1.0);
+        assert_eq!(b.total(), 5.0);
+        assert_eq!(b.seconds("dist"), 4.0);
+        assert_eq!(b.fraction("dist"), 0.8);
+        assert_eq!(b.fraction("missing"), 0.0);
+        assert_eq!(b.entries().len(), 2);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = StageBreakdown::new();
+        a.add("x", 1.0);
+        let mut b = StageBreakdown::new();
+        b.add("x", 2.0);
+        b.add("y", 3.0);
+        a.merge(&b);
+        assert_eq!(a.seconds("x"), 3.0);
+        assert_eq!(a.seconds("y"), 3.0);
+        a.clear();
+        assert!(a.is_empty());
+        assert_eq!(a.fraction("x"), 0.0);
+    }
+
+    #[test]
+    fn display_contains_stages() {
+        let mut b = StageBreakdown::new();
+        b.add("lut", 0.25);
+        let s = format!("{b}");
+        assert!(s.contains("lut"));
+        assert!(s.contains("total"));
+    }
+}

@@ -1,0 +1,443 @@
+//! Kernel execution contexts: per-DPU ([`DpuKernelCtx`]) and per-tasklet
+//! ([`TaskletCtx`]).
+//!
+//! A kernel is a Rust closure invoked once per DPU. Inside it, the kernel
+//! opens *parallel regions*: a region runs the same closure for each tasklet
+//! id, each tasklet accumulates the instruction and DMA cycles it charges,
+//! and the region's simulated duration follows the fine-grained
+//! multithreading model of [`CostModel::region_compute_cycles`]. Regions end
+//! with an implicit barrier (the paper's Barriers 0–3 are simply region
+//! boundaries), and DMA transfers from all tasklets serialize on the DPU's
+//! single DMA engine while overlapping with other tasklets' compute.
+
+use crate::config::PimConfig;
+use crate::cost::{split_dma, CostModel};
+use crate::dpu::{Dpu, DpuStats};
+use crate::mram::{Mram, MramAddr, MramError};
+use crate::wram::WramAllocator;
+
+/// Execution record of one parallel region.
+#[derive(Debug, Clone)]
+pub struct RegionRecord {
+    /// Stage label supplied by the kernel.
+    pub label: String,
+    /// Number of tasklets the region ran with.
+    pub tasklets: usize,
+    /// Sum of instruction cycles charged by all tasklets.
+    pub compute_cycles: u64,
+    /// Sum of DMA cycles charged by all tasklets (serialized engine).
+    pub dma_cycles: u64,
+    /// Resulting region duration in cycles (compute/DMA overlap + barrier).
+    pub region_cycles: u64,
+}
+
+/// Per-tasklet execution context: charges cycles and performs functional
+/// MRAM reads.
+pub struct TaskletCtx<'a> {
+    /// The tasklet's id within its parallel region (0-based).
+    pub tasklet_id: usize,
+    mram: &'a Mram,
+    cost: &'a CostModel,
+    compute_cycles: u64,
+    dma_cycles: u64,
+    dma_transfers: u64,
+    mram_bytes_read: u64,
+    scratch: Vec<u8>,
+}
+
+impl<'a> TaskletCtx<'a> {
+    fn new(tasklet_id: usize, mram: &'a Mram, cost: &'a CostModel) -> Self {
+        Self {
+            tasklet_id,
+            mram,
+            cost,
+            compute_cycles: 0,
+            dma_cycles: 0,
+            dma_transfers: 0,
+            mram_bytes_read: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Reads `len` bytes from MRAM at `addr` into the tasklet's WRAM buffer,
+    /// charging DMA latency (split into ≤ 2 KB hardware transfers). The
+    /// returned slice is valid until the next `mram_read` call.
+    ///
+    /// # Panics
+    /// Panics if the read is out of bounds — that is a kernel bug, exactly as
+    /// it would be on hardware.
+    pub fn mram_read(&mut self, addr: MramAddr, len: usize) -> &[u8] {
+        let bytes = self
+            .mram
+            .read(addr, len)
+            .unwrap_or_else(|e| panic!("tasklet {} MRAM read failed: {e}", self.tasklet_id));
+        self.scratch.clear();
+        self.scratch.extend_from_slice(bytes);
+        self.charge_dma(len);
+        &self.scratch
+    }
+
+    /// Reads `len` bytes from MRAM at `addr` *without* charging DMA cycles.
+    ///
+    /// Used by kernels that account for the transfer analytically — e.g. the
+    /// work-scale projection of the distance-calculation stage, where the
+    /// functional read covers the reduced-scale data but the charged cost
+    /// models the full-size cluster streamed in full-width DMA chunks.
+    ///
+    /// # Panics
+    /// Panics if the read is out of bounds.
+    pub fn mram_read_uncharged(&mut self, addr: MramAddr, len: usize) -> &[u8] {
+        let bytes = self
+            .mram
+            .read(addr, len)
+            .unwrap_or_else(|e| panic!("tasklet {} MRAM read failed: {e}", self.tasklet_id));
+        self.scratch.clear();
+        self.scratch.extend_from_slice(bytes);
+        &self.scratch
+    }
+
+    /// Reads `len` bytes from MRAM into a caller-provided buffer.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != len` or the read is out of bounds.
+    pub fn mram_read_into(&mut self, addr: MramAddr, len: usize, out: &mut [u8]) {
+        assert_eq!(out.len(), len, "output buffer size mismatch");
+        let bytes = self
+            .mram
+            .read(addr, len)
+            .unwrap_or_else(|e| panic!("tasklet {} MRAM read failed: {e}", self.tasklet_id));
+        out.copy_from_slice(bytes);
+        self.charge_dma(len);
+    }
+
+    /// Charges the DMA cost of transferring `len` bytes without touching data
+    /// (used when a kernel models a write or an already-consumed read).
+    pub fn charge_dma(&mut self, len: usize) {
+        for chunk in split_dma(len) {
+            self.dma_cycles += self.cost.mram_transfer_cycles(chunk);
+            self.dma_transfers += 1;
+            self.mram_bytes_read += chunk as u64;
+        }
+    }
+
+    /// Charges the DMA cost of `times` transfers of `len` bytes each without
+    /// touching data. Used by work-scale projection (modeling the additional
+    /// vectors a reduced-scale run stands in for) where looping over
+    /// [`charge_dma`](Self::charge_dma) would be wastefully slow.
+    pub fn charge_dma_repeated(&mut self, len: usize, times: u64) {
+        if times == 0 || len == 0 {
+            return;
+        }
+        let mut per_cycles = 0u64;
+        let mut per_transfers = 0u64;
+        let mut per_bytes = 0u64;
+        for chunk in split_dma(len) {
+            per_cycles += self.cost.mram_transfer_cycles(chunk);
+            per_transfers += 1;
+            per_bytes += chunk as u64;
+        }
+        self.dma_cycles += per_cycles * times;
+        self.dma_transfers += per_transfers * times;
+        self.mram_bytes_read += per_bytes * times;
+    }
+
+    /// Charges `n` simple ALU/branch instructions.
+    #[inline]
+    pub fn charge_instrs(&mut self, n: u64) {
+        self.compute_cycles += n * self.cost.alu_cycles;
+    }
+
+    /// Charges `adds` additive/compare operations and `muls` multiplications
+    /// (multiplications are ~32× more expensive on the DPU).
+    #[inline]
+    pub fn charge_arith(&mut self, adds: u64, muls: u64) {
+        self.compute_cycles += adds * self.cost.alu_cycles + muls * self.cost.mul_cycles;
+    }
+
+    /// Charges `n` WRAM loads/stores.
+    #[inline]
+    pub fn charge_wram(&mut self, n: u64) {
+        self.compute_cycles += n * self.cost.wram_access_cycles;
+    }
+
+    /// Charges one semaphore take/give pair (used by the pruned top-k merge).
+    #[inline]
+    pub fn charge_semaphore(&mut self) {
+        self.compute_cycles += self.cost.semaphore_cycles;
+    }
+
+    /// Instruction cycles charged so far in this region.
+    #[inline]
+    pub fn compute_cycles(&self) -> u64 {
+        self.compute_cycles
+    }
+
+    /// DMA cycles charged so far in this region.
+    #[inline]
+    pub fn dma_cycles(&self) -> u64 {
+        self.dma_cycles
+    }
+}
+
+/// Per-DPU kernel context: WRAM management, parallel regions, MRAM writes and
+/// cycle accounting for one launch on one DPU.
+pub struct DpuKernelCtx<'a> {
+    dpu: &'a mut Dpu,
+    cost: &'a CostModel,
+    config: &'a PimConfig,
+    wram: WramAllocator,
+    regions: Vec<RegionRecord>,
+    launch_stats: DpuStats,
+}
+
+impl<'a> DpuKernelCtx<'a> {
+    pub(crate) fn new(dpu: &'a mut Dpu, cost: &'a CostModel, config: &'a PimConfig) -> Self {
+        let wram = WramAllocator::new(config.wram_bytes);
+        Self {
+            dpu,
+            cost,
+            config,
+            wram,
+            regions: Vec::new(),
+            launch_stats: DpuStats {
+                launches: 1,
+                ..DpuStats::default()
+            },
+        }
+    }
+
+    /// The id of the DPU this kernel instance runs on.
+    #[inline]
+    pub fn dpu_id(&self) -> usize {
+        self.dpu.id()
+    }
+
+    /// The system configuration (for capacity-aware kernels).
+    #[inline]
+    pub fn config(&self) -> &PimConfig {
+        self.config
+    }
+
+    /// This DPU's MRAM (functional read access without cycle charges; use a
+    /// [`TaskletCtx`] for charged reads).
+    #[inline]
+    pub fn mram(&self) -> &Mram {
+        self.dpu.mram()
+    }
+
+    /// The DPU's WRAM allocator, enforcing the 64 KB capacity.
+    #[inline]
+    pub fn wram(&mut self) -> &mut WramAllocator {
+        &mut self.wram
+    }
+
+    /// Runs a parallel region with `tasklets` hardware threads, each
+    /// executing `body`. Returns each tasklet's result. The region ends with
+    /// an implicit barrier.
+    ///
+    /// # Panics
+    /// Panics if `tasklets` is zero or exceeds the hardware maximum of 24.
+    pub fn parallel<R>(
+        &mut self,
+        label: &str,
+        tasklets: usize,
+        mut body: impl FnMut(&mut TaskletCtx<'_>) -> R,
+    ) -> Vec<R> {
+        assert!(
+            tasklets >= 1 && tasklets <= crate::config::MAX_TASKLETS,
+            "tasklet count {tasklets} outside 1..=24"
+        );
+        let mut results = Vec::with_capacity(tasklets);
+        let mut per_tasklet_compute = Vec::with_capacity(tasklets);
+        let mut total_dma = 0u64;
+        let mut total_compute = 0u64;
+        let mut dma_transfers = 0u64;
+        let mut bytes_read = 0u64;
+        for t in 0..tasklets {
+            let mut ctx = TaskletCtx::new(t, self.dpu.mram(), self.cost);
+            results.push(body(&mut ctx));
+            per_tasklet_compute.push(ctx.compute_cycles);
+            total_compute += ctx.compute_cycles;
+            total_dma += ctx.dma_cycles;
+            dma_transfers += ctx.dma_transfers;
+            bytes_read += ctx.mram_bytes_read;
+        }
+        let compute_time = self.cost.region_compute_cycles(&per_tasklet_compute);
+        let barrier = self.cost.barrier_cycles_per_tasklet * tasklets as u64;
+        // DMA overlaps with other tasklets' compute but serializes on the
+        // engine: the region lasts as long as the longer of the two.
+        let region_cycles = compute_time.max(total_dma) + barrier;
+
+        self.launch_stats.compute_cycles += total_compute;
+        self.launch_stats.dma_cycles += total_dma;
+        self.launch_stats.dma_transfers += dma_transfers;
+        self.launch_stats.mram_bytes_read += bytes_read;
+        self.launch_stats.cycles += region_cycles;
+
+        self.regions.push(RegionRecord {
+            label: label.to_string(),
+            tasklets,
+            compute_cycles: total_compute,
+            dma_cycles: total_dma,
+            region_cycles,
+        });
+        results
+    }
+
+    /// Runs a single-threaded region (e.g. the final merge a lone tasklet or
+    /// the host-visible result write performs).
+    pub fn sequential<R>(&mut self, label: &str, body: impl FnOnce(&mut TaskletCtx<'_>) -> R) -> R {
+        let mut only = None;
+        let mut body = Some(body);
+        self.parallel(label, 1, |t| {
+            let f = body.take().expect("sequential body runs once");
+            only = Some(f(t));
+        });
+        only.expect("sequential region produced a result")
+    }
+
+    /// Writes `bytes` to this DPU's MRAM at `addr`, charging DMA write cycles
+    /// as its own region.
+    pub fn mram_write(&mut self, label: &str, addr: MramAddr, bytes: &[u8]) -> Result<(), MramError> {
+        self.dpu.mram_mut().write(addr, bytes)?;
+        let mut dma = 0u64;
+        let mut transfers = 0u64;
+        for chunk in split_dma(bytes.len()) {
+            dma += self.cost.mram_transfer_cycles(chunk);
+            transfers += 1;
+        }
+        self.launch_stats.dma_cycles += dma;
+        self.launch_stats.dma_transfers += transfers;
+        self.launch_stats.mram_bytes_written += bytes.len() as u64;
+        self.launch_stats.cycles += dma;
+        self.regions.push(RegionRecord {
+            label: label.to_string(),
+            tasklets: 1,
+            compute_cycles: 0,
+            dma_cycles: dma,
+            region_cycles: dma,
+        });
+        Ok(())
+    }
+
+    /// Total cycles accumulated on this DPU so far in this launch.
+    pub fn total_cycles(&self) -> u64 {
+        self.launch_stats.cycles
+    }
+
+    /// Per-region records of this launch.
+    pub fn regions(&self) -> &[RegionRecord] {
+        &self.regions
+    }
+
+    /// Finalizes the launch: records the WRAM peak and returns
+    /// (stats, regions) for the host to absorb.
+    pub(crate) fn finish(mut self) -> (DpuStats, Vec<RegionRecord>) {
+        self.launch_stats.wram_peak_bytes = self.wram.peak();
+        (self.launch_stats, self.regions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PimConfig;
+
+    fn setup() -> (Dpu, CostModel, PimConfig) {
+        let config = PimConfig::small_test();
+        let mut dpu = Dpu::new(0, config.mram_bytes);
+        let addr = dpu.mram_mut().alloc_with(&[42u8; 4096]).unwrap();
+        assert_eq!(addr, 0);
+        (dpu, CostModel::default(), config)
+    }
+
+    #[test]
+    fn parallel_region_charges_and_returns_results() {
+        let (mut dpu, cost, config) = setup();
+        let mut ctx = DpuKernelCtx::new(&mut dpu, &cost, &config);
+        let results = ctx.parallel("scan", 4, |t| {
+            let data = t.mram_read(t.tasklet_id * 64, 64).to_vec();
+            t.charge_arith(data.len() as u64, 0);
+            data.iter().map(|&b| b as u64).sum::<u64>()
+        });
+        assert_eq!(results, vec![42 * 64; 4]);
+        assert_eq!(ctx.regions().len(), 1);
+        let r = &ctx.regions()[0];
+        assert_eq!(r.tasklets, 4);
+        assert_eq!(r.compute_cycles, 4 * 64);
+        assert!(r.dma_cycles > 0);
+        assert!(r.region_cycles >= r.compute_cycles.max(r.dma_cycles));
+        let (stats, regions) = ctx.finish();
+        assert_eq!(stats.launches, 1);
+        assert_eq!(stats.mram_bytes_read, 4 * 64);
+        assert_eq!(regions.len(), 1);
+    }
+
+    #[test]
+    fn more_tasklets_reduce_region_time_until_11() {
+        let (mut dpu, cost, config) = setup();
+        // Same total work split across different tasklet counts.
+        let work_per_region = 11_000u64;
+        let mut region_time = |tasklets: usize| {
+            let mut ctx = DpuKernelCtx::new(&mut dpu, &cost, &config);
+            ctx.parallel("w", tasklets, |t| {
+                t.charge_instrs(work_per_region / tasklets as u64);
+            });
+            ctx.regions()[0].region_cycles
+        };
+        let t1 = region_time(1);
+        let t8 = region_time(8);
+        let t11 = region_time(11);
+        let t24 = region_time(24);
+        assert!(t1 > 7 * t8 / 8, "t1={t1} t8={t8}");
+        assert!(t1 as f64 / t11 as f64 > 9.0);
+        assert!((t24 as f64 - t11 as f64).abs() / (t11 as f64) < 0.2);
+    }
+
+    #[test]
+    fn sequential_region_and_mram_write() {
+        let (mut dpu, cost, config) = setup();
+        let mut ctx = DpuKernelCtx::new(&mut dpu, &cost, &config);
+        let sum = ctx.sequential("merge", |t| {
+            t.charge_instrs(10);
+            t.charge_semaphore();
+            123u32
+        });
+        assert_eq!(sum, 123);
+        ctx.mram_write("writeback", 0, &[7u8; 16]).unwrap();
+        assert_eq!(ctx.mram().read(0, 4).unwrap(), &[7, 7, 7, 7]);
+        assert!(ctx.total_cycles() > 0);
+        let (stats, _) = ctx.finish();
+        assert_eq!(stats.mram_bytes_written, 16);
+    }
+
+    #[test]
+    fn wram_capacity_is_visible_to_kernels() {
+        let (mut dpu, cost, config) = setup();
+        let mut ctx = DpuKernelCtx::new(&mut dpu, &cost, &config);
+        ctx.wram().alloc("lut", 8 * 1024).unwrap();
+        assert!(ctx.wram().alloc("too_big", 60 * 1024).is_err());
+        ctx.wram().free("lut").unwrap();
+        ctx.wram().alloc("codebook", 32 * 1024).unwrap();
+        let (stats, _) = ctx.finish();
+        assert_eq!(stats.wram_peak_bytes, 32 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=24")]
+    fn too_many_tasklets_panics() {
+        let (mut dpu, cost, config) = setup();
+        let mut ctx = DpuKernelCtx::new(&mut dpu, &cost, &config);
+        ctx.parallel("bad", 25, |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "MRAM read failed")]
+    fn out_of_bounds_read_panics_like_hardware_fault() {
+        let (mut dpu, cost, config) = setup();
+        let mut ctx = DpuKernelCtx::new(&mut dpu, &cost, &config);
+        ctx.parallel("oob", 1, |t| {
+            let _ = t.mram_read(1 << 20, 64);
+        });
+    }
+}

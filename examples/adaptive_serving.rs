@@ -1,0 +1,190 @@
+//! Adaptive serving: reacting to query-pattern drift (§4.1.2).
+//!
+//! UpANNS places and replicates clusters using *historical* access
+//! frequencies. In production (RAG serving, recommendation) the pattern
+//! drifts: the paper's policy adjusts replica counts for minor, incremental
+//! shifts and performs a full data relocation for major shifts. This example
+//! walks through both tiers on a simulated three-"day" workload:
+//!
+//! * day 1 — the engine is built from day-1 traffic;
+//! * day 2 — a few topics heat up (minor drift → replica adjustment);
+//! * day 3 — the popularity ranking flips (major drift → full relocation).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example adaptive_serving
+//! ```
+
+use annkit::prelude::*;
+use baselines::prelude::*;
+use pim_sim::config::PimConfig;
+use upanns::builder::frequencies_from_queries;
+use upanns::prelude::*;
+
+const NPROBE: usize = 12;
+const K: usize = 10;
+const DPUS: usize = 96;
+
+fn build_engine<'a>(
+    index: &'a IvfPqIndex,
+    placement: Option<Placement>,
+    history: &Dataset,
+    scale: f64,
+) -> UpAnnsEngine<'a> {
+    let mut builder = UpAnnsBuilder::new(index)
+        .with_config(UpAnnsConfig::upanns().with_work_scale(scale))
+        .with_pim_config(PimConfig::with_dpus(DPUS))
+        .with_history(history, NPROBE)
+        .with_batch_capacity(BatchCapacity {
+            batch_size: 512,
+            nprobe: NPROBE,
+            max_k: K,
+        });
+    if let Some(p) = placement {
+        builder = builder.with_placement(p);
+    }
+    builder.build()
+}
+
+fn serve(engine: &mut UpAnnsEngine<'_>, batch: &Dataset, label: &str) -> f64 {
+    let out = engine.search_batch(batch, NPROBE, K);
+    println!(
+        "  {label:<28} QPS {:8.1}   balance max/avg {:.2}",
+        out.qps(),
+        engine.last_balance_ratio()
+    );
+    out.qps()
+}
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Dataset + index (reduced scale, projected timing — see DESIGN.md).
+    // ------------------------------------------------------------------
+    let n = 20_000;
+    println!("Generating a SPACEV-like dataset with {n} vectors ...");
+    let dataset = SyntheticSpec::spacev_like(n)
+        .with_clusters(128)
+        .with_seed(31)
+        .generate_with_meta();
+    let scale = 1e9 / n as f64;
+    println!("Training IVFPQ (256 clusters) ...");
+    let index = IvfPqIndex::train(
+        &dataset.vectors,
+        &IvfPqParams::new(256, 20).with_train_size(8_000),
+        3,
+    );
+    let sizes = index.list_sizes();
+    let policy = AdaptationPolicy::default();
+
+    // ------------------------------------------------------------------
+    // Day 1: build from day-1 traffic and serve day-1 queries.
+    // ------------------------------------------------------------------
+    println!("\n=== Day 1: initial placement ===");
+    let day1 = WorkloadSpec::new(2_000).with_seed(100).generate(&dataset);
+    let day1_batch = WorkloadSpec::new(512)
+        .with_seed(101)
+        .with_popularity_seed(100)
+        .generate(&dataset);
+    let day1_freqs = frequencies_from_queries(&index, &day1.queries, NPROBE);
+    let mut engine = build_engine(&index, None, &day1.queries, scale);
+    serve(&mut engine, &day1_batch.queries, "day-1 traffic");
+
+    // ------------------------------------------------------------------
+    // Day 2: the popularity distribution shifts moderately (new hot topics).
+    // ------------------------------------------------------------------
+    println!("\n=== Day 2: minor drift ===");
+    let day2 = WorkloadSpec::new(2_000)
+        .with_seed(200)
+        .with_popularity_seed(77)
+        .generate(&dataset);
+    let day2_batch = WorkloadSpec::new(512)
+        .with_seed(201)
+        .with_popularity_seed(77)
+        .generate(&dataset);
+    let day2_freqs = frequencies_from_queries(&index, &day2.queries, NPROBE);
+
+    let drift = measure_drift(&day1_freqs, &day2_freqs, &policy);
+    println!(
+        "  drift: total variation {:.3}, hot-set overlap {:.2}, {} heated / {} cooled clusters",
+        drift.total_variation, drift.hot_set_overlap, drift.heated_clusters, drift.cooled_clusters
+    );
+
+    // Serving day-2 traffic with the *stale* day-1 placement:
+    let stale_qps = serve(&mut engine, &day2_batch.queries, "day-2 traffic, stale placement");
+
+    // Adapt: minor drift should only adjust replica counts.
+    let (adapted, decision) = adapt_placement(
+        engine.placement(),
+        &sizes,
+        &day1_freqs,
+        &day2_freqs,
+        0,
+        &policy,
+    );
+    match &decision {
+        AdaptationDecision::NoChange(_) => println!("  decision: no change needed"),
+        AdaptationDecision::AdjustReplicas(_, adj) => println!(
+            "  decision: adjust replicas (+{} / -{} changes)",
+            adj.add.iter().map(|(_, n)| n).sum::<usize>(),
+            adj.remove.iter().map(|(_, n)| n).sum::<usize>()
+        ),
+        AdaptationDecision::FullRelocation(_) => println!("  decision: full relocation"),
+    }
+    let mut adapted_engine = build_engine(&index, Some(adapted), &day2.queries, scale);
+    let adapted_qps = serve(
+        &mut adapted_engine,
+        &day2_batch.queries,
+        "day-2 traffic, adapted",
+    );
+    println!(
+        "  adaptation recovered {:.1}% throughput",
+        (adapted_qps / stale_qps - 1.0) * 100.0
+    );
+
+    // ------------------------------------------------------------------
+    // Day 3: the ranking flips entirely (major drift → full relocation).
+    // ------------------------------------------------------------------
+    println!("\n=== Day 3: major drift ===");
+    let day3 = WorkloadSpec::new(2_000)
+        .with_seed(300)
+        .with_popularity_seed(9999)
+        .with_skew(1.6)
+        .generate(&dataset);
+    let day3_freqs = frequencies_from_queries(&index, &day3.queries, NPROBE);
+    let drift3 = measure_drift(&day2_freqs, &day3_freqs, &policy);
+    println!(
+        "  drift: total variation {:.3}, hot-set overlap {:.2}",
+        drift3.total_variation, drift3.hot_set_overlap
+    );
+    let (relocated, decision3) = adapt_placement(
+        adapted_engine.placement(),
+        &sizes,
+        &day2_freqs,
+        &day3_freqs,
+        0,
+        &policy,
+    );
+    match decision3 {
+        AdaptationDecision::FullRelocation(_) => println!("  decision: full relocation"),
+        other => println!("  decision: {other:?}"),
+    }
+    let day3_batch = WorkloadSpec::new(512)
+        .with_seed(301)
+        .with_popularity_seed(9999)
+        .with_skew(1.6)
+        .generate(&dataset);
+    let mut relocated_engine = build_engine(&index, Some(relocated), &day3.queries, scale);
+    serve(
+        &mut relocated_engine,
+        &day3_batch.queries,
+        "day-3 traffic, relocated",
+    );
+
+    // Accuracy is unaffected by any of this (placement only moves data).
+    let exact = FlatIndex::new(&dataset.vectors).search_batch(&day3_batch.queries, K);
+    let out = relocated_engine.search_batch(&day3_batch.queries, NPROBE, K);
+    println!(
+        "\nrecall@{K} after relocation: {:.3}",
+        recall_at_k(&out.results, &exact, K)
+    );
+}

@@ -1,0 +1,117 @@
+//! Capacity planning: how many UPMEM DIMMs does a deployment need?
+//!
+//! The paper's scalability study (Figure 20) sweeps the number of DPUs from
+//! 500 to the platform maximum of 2560 (20 DIMMs) and compares against an
+//! A100 at equal peak power. This example performs the same exercise on a
+//! reduced-scale SIFT-like dataset: it measures QPS at several DPU counts,
+//! fits a linear model, extrapolates to 2560 DPUs, and reports the iso-power
+//! and iso-cost crossover points against the GPU baseline.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use annkit::prelude::*;
+use baselines::prelude::*;
+use pim_sim::config::PimConfig;
+use pim_sim::energy::EnergyModel;
+use upanns::prelude::*;
+
+fn main() {
+    let n = 30_000;
+    println!("Building a SIFT-like dataset ({n} vectors) ...");
+    let dataset = SyntheticSpec::sift_like(n)
+        .with_clusters(128)
+        .with_seed(3)
+        .generate_with_meta();
+    let index = IvfPqIndex::train(
+        &dataset.vectors,
+        &IvfPqParams::new(128, 16).with_train_size(9_000),
+        2,
+    );
+    let history = WorkloadSpec::new(2_000).with_seed(31).generate(&dataset);
+    let batch = WorkloadSpec::new(300).with_seed(32).generate(&dataset);
+    let nprobe = 16;
+    let k = 10;
+
+    // The paper's scalability study runs at 500-million scale; project the
+    // reduced dataset to that size.
+    let scale = 5e8 / n as f64;
+
+    // GPU reference point.
+    let mut gpu = GpuFaissEngine::new(&index).with_work_scale(scale);
+    let gpu_out = gpu.search_batch(&batch.queries, nprobe, k);
+    let gpu_energy = gpu.energy_model();
+    println!(
+        "Faiss-GPU reference: {:.0} QPS at {:.0} W (≈ {:.2} QPS/W)\n",
+        gpu_out.qps(),
+        gpu_energy.peak_watts,
+        gpu_out.qps_per_watt(&gpu_energy)
+    );
+
+    // Sweep the DPU count, as in Figure 20.
+    let dpu_counts = [512usize, 640, 768, 896];
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>12}",
+        "#DPUs", "QPS", "Watts", "QPS/W", "QPS/GPU-QPS"
+    );
+    let mut samples = Vec::new();
+    for &dpus in &dpu_counts {
+        let mut engine = UpAnnsBuilder::new(&index)
+            .with_config(UpAnnsConfig::upanns().with_work_scale(scale))
+            .with_pim_config(PimConfig::with_dpus(dpus))
+            .with_history(&history.queries, nprobe)
+            .build();
+        let out = engine.search_batch(&batch.queries, nprobe, k);
+        let energy = engine.energy_model();
+        println!(
+            "{:<8} {:>10.0} {:>10.1} {:>10.2} {:>12.2}",
+            dpus,
+            out.qps(),
+            energy.peak_watts,
+            out.qps_per_watt(&energy),
+            out.qps() / gpu_out.qps()
+        );
+        samples.push((dpus as f64, out.qps()));
+    }
+
+    // Linear regression QPS ≈ a·DPUs + b, as the paper does to extrapolate
+    // beyond the DIMMs it physically has.
+    let (a, b) = linear_fit(&samples);
+    println!("\nLinear fit: QPS ≈ {a:.2} · #DPUs + {b:.1}");
+    for &dpus in &[896usize, 1654, 2560] {
+        let qps = a * dpus as f64 + b;
+        let watts = PimConfig::with_dpus(dpus).peak_watts();
+        let note = match dpus {
+            896 => "the paper's 7-DIMM testbed",
+            1654 => "iso-power with one A100 (≈300 W)",
+            _ => "full 20-DIMM platform",
+        };
+        println!(
+            "  {dpus:>5} DPUs → projected {qps:>8.0} QPS at {watts:>5.0} W ({:.2}x GPU)  [{note}]",
+            qps / gpu_out.qps()
+        );
+    }
+
+    // Cost view.
+    let pim20 = EnergyModel::pim(&PimConfig::with_dpus(2560));
+    println!(
+        "\nHardware cost: 20 UPMEM DIMMs ≈ {:.0} USD vs A100 ≈ {:.0} USD ({:.1}x cheaper).",
+        pim20.price_usd,
+        gpu_energy.price_usd,
+        gpu_energy.price_usd / pim20.price_usd
+    );
+}
+
+/// Ordinary least squares for y = a·x + b.
+fn linear_fit(samples: &[(f64, f64)]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let sx: f64 = samples.iter().map(|(x, _)| x).sum();
+    let sy: f64 = samples.iter().map(|(_, y)| y).sum();
+    let sxx: f64 = samples.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = samples.iter().map(|(x, y)| x * y).sum();
+    let a = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    let b = (sy - a * sx) / n;
+    (a, b)
+}

@@ -1,0 +1,99 @@
+//! Recommendation-serving scenario: candidate generation under different
+//! batch sizes.
+//!
+//! Industrial recommenders (the paper cites ByteDance's vector retrieval)
+//! batch incoming requests before hitting the ANN index. Larger batches
+//! amortize host-side preprocessing and CPU↔DPU transfers but add queueing
+//! delay. This example sweeps the batch size (as in Figure 16) on a
+//! SPACEV-like catalogue and reports per-query latency and throughput for
+//! UpANNS, the PIM-naive port and the Faiss-CPU baseline.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example recommendation
+//! ```
+
+use annkit::prelude::*;
+use baselines::prelude::*;
+use pim_sim::config::PimConfig;
+use upanns::prelude::*;
+
+fn main() {
+    // Item-embedding catalogue: SPACEV-like (100-d), 128 clusters, M = 20.
+    let n = 40_000;
+    println!("Building a SPACEV-like item catalogue ({n} items) ...");
+    let catalogue = SyntheticSpec::spacev_like(n)
+        .with_clusters(128)
+        .with_seed(77)
+        .generate_with_meta();
+    let index = IvfPqIndex::train(
+        &catalogue.vectors,
+        &IvfPqParams::new(128, 20).with_train_size(10_000),
+        5,
+    );
+
+    // User activity is bursty and skewed: popular item neighborhoods receive
+    // most of the traffic. The placement uses last hour's log.
+    let last_hour = WorkloadSpec::new(3_000).with_seed(8).generate(&catalogue);
+
+    // Project timing to the billion-item catalogue this one stands for.
+    let scale = 1e9 / n as f64;
+    let pim = PimConfig::paper_seven_dimms();
+    let mut upanns = UpAnnsBuilder::new(&index)
+        .with_config(UpAnnsConfig::upanns().with_work_scale(scale))
+        .with_pim_config(pim.clone())
+        .with_history(&last_hour.queries, 16)
+        .build();
+    let mut naive = UpAnnsBuilder::new(&index)
+        .with_config(UpAnnsConfig::pim_naive().with_work_scale(scale))
+        .with_pim_config(pim)
+        .build();
+    let mut cpu = CpuFaissEngine::new(&index).with_work_scale(scale);
+
+    let nprobe = 16;
+    let k = 50; // candidate set handed to the ranking model
+
+    println!("\nBatch-size sweep (nprobe = {nprobe}, k = {k}):");
+    println!(
+        "{:<8} {:<12} {:>10} {:>14} {:>16}",
+        "batch", "engine", "QPS", "ms per query", "batch latency ms"
+    );
+    for &batch_size in &[10usize, 100, 1000] {
+        let batch = WorkloadSpec::new(batch_size)
+            .with_seed(9 + batch_size as u64)
+            .generate(&catalogue);
+
+        for (name, outcome) in [
+            ("UpANNS", upanns.search_batch(&batch.queries, nprobe, k)),
+            ("PIM-naive", naive.search_batch(&batch.queries, nprobe, k)),
+            ("Faiss-CPU", cpu.search_batch(&batch.queries, nprobe, k)),
+        ] {
+            println!(
+                "{:<8} {:<12} {:>10.0} {:>14.3} {:>16.3}",
+                batch_size,
+                name,
+                outcome.qps(),
+                outcome.mean_latency() * 1e3,
+                outcome.seconds * 1e3
+            );
+        }
+    }
+
+    // Quality check on the largest batch.
+    let batch = WorkloadSpec::new(1000).with_seed(1009).generate(&catalogue);
+    let outcome = upanns.search_batch(&batch.queries, nprobe, k);
+    let exact = FlatIndex::new(&catalogue.vectors).search_batch(&batch.queries, k);
+    println!(
+        "\nUpANNS recall@{k} on the 1000-request batch: {:.3}",
+        recall_at_k(&outcome.results, &exact, k)
+    );
+    println!(
+        "Candidate generation scanned {:.1} M item codes ({:.0} codes per request).",
+        outcome.stats.candidates_scanned as f64 / 1e6,
+        outcome.stats.candidates_per_query()
+    );
+    println!(
+        "Top-k pruning rejected {:.1} % of heap candidates before insertion.",
+        outcome.stats.topk_rejection_rate() * 100.0
+    );
+}

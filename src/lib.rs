@@ -1,0 +1,8 @@
+//! Root meta-crate of the UpANNS reproduction workspace.
+//!
+//! Re-exports the member crates so examples and integration tests can use a
+//! single dependency.
+pub use annkit;
+pub use baselines;
+pub use pim_sim;
+pub use upanns;

@@ -1,0 +1,197 @@
+//! Property-based tests (proptest) over the core data structures and
+//! invariants of the reproduction.
+
+use annkit::lut::LookupTable;
+use annkit::pq::{pack_codes, ProductQuantizer, KSUB};
+use annkit::topk::{topk_by_sort, TopK};
+use annkit::vector::Dataset;
+use proptest::prelude::*;
+use upanns::cooccurrence::{mine_cluster_combos, MiningParams};
+use upanns::encoding::CaeList;
+use upanns::placement::{place_pim_aware, PlacementInput};
+use upanns::scheduling::schedule_queries;
+use upanns::topk_prune::merge_thread_local;
+
+/// A product quantizer whose codebook entry `(sub, code)` decodes to
+/// predictable values, built without training so properties run fast.
+fn synthetic_pq(m: usize, dsub: usize) -> ProductQuantizer {
+    let dim = m * dsub;
+    let mut codebooks = vec![0.0f32; m * KSUB * dsub];
+    for sub in 0..m {
+        for code in 0..KSUB {
+            for d in 0..dsub {
+                codebooks[sub * KSUB * dsub + code * dsub + d] =
+                    code as f32 * 0.25 + sub as f32 * 0.01 + d as f32 * 0.001;
+            }
+        }
+    }
+    ProductQuantizer::from_codebooks(dim, m, codebooks)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The bounded heap returns exactly the k smallest candidates, matching a
+    /// full sort, for arbitrary inputs.
+    #[test]
+    fn topk_heap_matches_sort(
+        distances in prop::collection::vec(0.0f32..1e6, 1..300),
+        k in 1usize..40,
+    ) {
+        let candidates: Vec<(u64, f32)> = distances
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (i as u64, d))
+            .collect();
+        let mut heap = TopK::new(k);
+        for &(id, d) in &candidates {
+            heap.push(id, d);
+        }
+        let from_heap = heap.into_sorted();
+        let from_sort = topk_by_sort(&candidates, k);
+        prop_assert_eq!(from_heap.len(), from_sort.len());
+        for (a, b) in from_heap.iter().zip(&from_sort) {
+            prop_assert_eq!(a.id, b.id);
+        }
+    }
+
+    /// The pruned merge of thread-local heaps returns exactly the same global
+    /// top-k as the naive merge, regardless of how candidates are distributed
+    /// across tasklets.
+    #[test]
+    fn pruned_merge_is_lossless(
+        distances in prop::collection::vec(0.0f32..1e6, 1..400),
+        tasklets in 1usize..16,
+        k in 1usize..24,
+    ) {
+        let mut locals = vec![TopK::new(k); tasklets];
+        for (i, &d) in distances.iter().enumerate() {
+            locals[i % tasklets].push(i as u64, d);
+        }
+        let (pruned, stats_p) = merge_thread_local(&locals, k, true);
+        let (naive, stats_n) = merge_thread_local(&locals, k, false);
+        let a: Vec<u64> = pruned.into_sorted().iter().map(|n| n.id).collect();
+        let b: Vec<u64> = naive.into_sorted().iter().map(|n| n.id).collect();
+        prop_assert_eq!(a, b);
+        prop_assert!(stats_p.comparisons <= stats_n.comparisons);
+    }
+
+    /// ADC via the LUT equals the exact distance between the residual and the
+    /// decoded code, for arbitrary residuals and codes.
+    #[test]
+    fn lut_adc_equals_decoded_distance(
+        residual in prop::collection::vec(-10.0f32..10.0, 8),
+        code in prop::collection::vec(0u8..=255, 4),
+    ) {
+        let pq = synthetic_pq(4, 2);
+        let lut = LookupTable::build(&pq, &residual);
+        let adc = lut.adc_distance(&code);
+        let decoded = pq.decode(&code);
+        let exact = annkit::distance::l2_squared(&residual, &decoded);
+        prop_assert!((adc - exact).abs() <= 1e-2 * exact.abs().max(1.0));
+    }
+
+    /// Co-occurrence aware re-encoding never changes the ADC distance and
+    /// never lengthens a record beyond m entries.
+    #[test]
+    fn cae_reencoding_is_lossless(
+        codes in prop::collection::vec(prop::collection::vec(0u8..32, 8), 16..80),
+        residual in prop::collection::vec(-5.0f32..5.0, 16),
+    ) {
+        let m = 8;
+        let packed = pack_codes(&codes, m);
+        let combos = mine_cluster_combos(&packed, m, &MiningParams {
+            max_combos: 64,
+            combo_len: 3,
+            min_support: 0.05,
+        });
+        let cae = CaeList::encode(&packed, m, &combos);
+        let pq = synthetic_pq(m, 2);
+        let lut = LookupTable::build(&pq, &residual);
+        let sums = combos.partial_sums(&lut);
+        for (i, code) in codes.iter().enumerate() {
+            let direct = lut.adc_distance(code);
+            let via_cae = cae.adc_distance(i, &lut, &sums);
+            prop_assert!((direct - via_cae).abs() <= 1e-3 * direct.abs().max(1.0));
+            prop_assert!(cae.record(i).len() <= m);
+        }
+    }
+
+    /// Data placement always covers every cluster, never exceeds DPU capacity
+    /// and never places two replicas of one cluster on the same DPU.
+    #[test]
+    fn placement_invariants_hold(
+        sizes in prop::collection::vec(1usize..2_000, 4..64),
+        dpus in 2usize..48,
+        hot in 0.0f64..20.0,
+    ) {
+        let mut freqs: Vec<f64> = vec![1.0; sizes.len()];
+        freqs[0] += hot; // one arbitrarily hot cluster
+        let capacity = sizes.iter().sum::<usize>() * 2 / dpus.min(sizes.len()) + 4_000;
+        let input = PlacementInput::new(sizes, freqs, dpus, capacity);
+        let placement = place_pim_aware(&input);
+        prop_assert!(placement.validate(&input).is_ok());
+        prop_assert!(placement.max_to_avg_workload() >= 1.0 - 1e-9);
+    }
+
+    /// Query scheduling covers every (query, cluster) pair exactly once on a
+    /// DPU that hosts the cluster.
+    #[test]
+    fn scheduling_invariants_hold(
+        sizes in prop::collection::vec(1usize..500, 8..32),
+        dpus in 2usize..24,
+        probes in prop::collection::vec(prop::collection::vec(0usize..8, 1..6), 1..40),
+    ) {
+        let clusters = sizes.len();
+        let freqs = vec![1.0; clusters];
+        let input = PlacementInput::new(sizes.clone(), freqs, dpus, usize::MAX / 2);
+        let placement = place_pim_aware(&input);
+        // Map probe indices into the valid cluster range and deduplicate.
+        let filtered: Vec<Vec<usize>> = probes
+            .iter()
+            .map(|p| {
+                let mut v: Vec<usize> = p.iter().map(|&c| c % clusters).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            })
+            .collect();
+        let schedule = schedule_queries(&filtered, &placement, &sizes);
+        prop_assert!(schedule.validate(&filtered, &placement).is_ok());
+        prop_assert_eq!(
+            schedule.total_assignments(),
+            filtered.iter().map(|f| f.len()).sum::<usize>()
+        );
+    }
+
+    /// PQ encode/decode round-trips stay within the quantization error bound
+    /// implied by the synthetic codebook's resolution. The synthetic codebook
+    /// places both dimensions of a 2-d subspace at (nearly) the same value, so
+    /// the property generates vectors on that diagonal — the region the
+    /// codebook can actually represent — and checks the per-dimension error
+    /// stays within half the 0.25 grid spacing plus the small sub/dim offsets.
+    #[test]
+    fn pq_encode_decode_bounded_error(
+        sub_values in prop::collection::vec(0.0f32..63.0, 4),
+    ) {
+        let vector: Vec<f32> = sub_values.iter().flat_map(|&v| [v, v]).collect();
+        let pq = synthetic_pq(4, 2);
+        let code = pq.encode(&vector);
+        let decoded = pq.decode(&code);
+        prop_assert_eq!(code.len(), 4);
+        prop_assert_eq!(decoded.len(), 8);
+        for (orig, rec) in vector.iter().zip(&decoded) {
+            prop_assert!((orig - rec).abs() < 0.2, "{} vs {}", orig, rec);
+        }
+    }
+
+    /// The dataset container preserves pushed vectors verbatim.
+    #[test]
+    fn dataset_roundtrip(rows in prop::collection::vec(prop::collection::vec(-1e3f32..1e3, 6), 1..50)) {
+        let ds = Dataset::from_rows(&rows);
+        prop_assert_eq!(ds.len(), rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert_eq!(ds.vector(i), row.as_slice());
+        }
+    }
+}
