@@ -85,7 +85,7 @@ pub fn norm_squared(a: &[f32]) -> f32 {
 /// Panics if `centroids` is empty or not a multiple of `dim`.
 pub fn nearest_centroid(v: &[f32], centroids: &[f32], dim: usize) -> (usize, f32) {
     assert!(!centroids.is_empty(), "no centroids");
-    assert!(centroids.len() % dim == 0, "centroid buffer not a multiple of dim");
+    assert!(centroids.len().is_multiple_of(dim), "centroid buffer not a multiple of dim");
     let mut best = 0usize;
     let mut best_d = f32::INFINITY;
     for (i, c) in centroids.chunks_exact(dim).enumerate() {
@@ -102,7 +102,7 @@ pub fn nearest_centroid(v: &[f32], centroids: &[f32], dim: usize) -> (usize, f32
 /// closest to furthest. Used for cluster filtering (selecting `nprobe`
 /// clusters per query).
 pub fn nearest_centroids(v: &[f32], centroids: &[f32], dim: usize, n: usize) -> Vec<(usize, f32)> {
-    assert!(centroids.len() % dim == 0, "centroid buffer not a multiple of dim");
+    assert!(centroids.len().is_multiple_of(dim), "centroid buffer not a multiple of dim");
     let k = centroids.len() / dim;
     let mut all: Vec<(usize, f32)> = centroids
         .chunks_exact(dim)

@@ -21,11 +21,8 @@ pub fn read_fvecs(path: impl AsRef<Path>) -> Result<Dataset, AnnError> {
 /// Reads `fvecs`-framed vectors from any reader.
 pub fn read_fvecs_from(mut reader: impl Read) -> Result<Dataset, AnnError> {
     let mut dataset: Option<Dataset> = None;
-    loop {
-        let dim = match read_u32(&mut reader)? {
-            Some(d) => d as usize,
-            None => break,
-        };
+    while let Some(d) = read_u32(&mut reader)? {
+        let dim = d as usize;
         validate_dim(dim, &dataset)?;
         let mut buf = vec![0u8; dim * 4];
         reader.read_exact(&mut buf).map_err(truncated)?;
@@ -49,11 +46,8 @@ pub fn read_bvecs(path: impl AsRef<Path>) -> Result<Dataset, AnnError> {
 /// Reads `bvecs`-framed vectors from any reader.
 pub fn read_bvecs_from(mut reader: impl Read) -> Result<Dataset, AnnError> {
     let mut dataset: Option<Dataset> = None;
-    loop {
-        let dim = match read_u32(&mut reader)? {
-            Some(d) => d as usize,
-            None => break,
-        };
+    while let Some(d) = read_u32(&mut reader)? {
+        let dim = d as usize;
         validate_dim(dim, &dataset)?;
         let mut buf = vec![0u8; dim];
         reader.read_exact(&mut buf).map_err(truncated)?;
@@ -74,11 +68,8 @@ pub fn read_ivecs(path: impl AsRef<Path>) -> Result<Vec<Vec<u32>>, AnnError> {
 /// Reads `ivecs`-framed rows from any reader.
 pub fn read_ivecs_from(mut reader: impl Read) -> Result<Vec<Vec<u32>>, AnnError> {
     let mut rows = Vec::new();
-    loop {
-        let dim = match read_u32(&mut reader)? {
-            Some(d) => d as usize,
-            None => break,
-        };
+    while let Some(d) = read_u32(&mut reader)? {
+        let dim = d as usize;
         if dim == 0 || dim > 1 << 24 {
             return Err(AnnError::MalformedFile {
                 reason: format!("implausible row length {dim}"),

@@ -332,7 +332,7 @@ mod tests {
         for i in 0..n {
             let c = &centers[i % clusters];
             for (x, cx) in v.iter_mut().zip(c) {
-                *x = cx + rng.gen_range(-2.0..2.0);
+                *x = cx + rng.gen_range(-2.0f32..2.0);
             }
             ds.push(&v);
         }

@@ -184,7 +184,7 @@ impl KMeans {
     /// Builds a model directly from existing centroids (used by tests and by
     /// synthetic dataset generation, where ground-truth centroids are known).
     pub fn from_centroids(dim: usize, centroids: Vec<f32>) -> Self {
-        assert!(centroids.len() % dim == 0 && !centroids.is_empty());
+        assert!(centroids.len().is_multiple_of(dim) && !centroids.is_empty());
         let k = centroids.len() / dim;
         Self {
             dim,
@@ -267,8 +267,8 @@ mod tests {
         for c in &centers {
             for _ in 0..50 {
                 ds.push(&[
-                    c[0] + rng.gen_range(-1.0..1.0),
-                    c[1] + rng.gen_range(-1.0..1.0),
+                    c[0] + rng.gen_range(-1.0f32..1.0),
+                    c[1] + rng.gen_range(-1.0f32..1.0),
                 ]);
             }
         }

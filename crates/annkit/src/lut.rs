@@ -78,7 +78,7 @@ impl LookupTable {
     /// that dominates billion-scale IVFPQ (Figure 1 / Figure 19).
     pub fn adc_scan(&self, packed_codes: &[u8]) -> Vec<f32> {
         assert!(
-            packed_codes.len() % self.m == 0,
+            packed_codes.len().is_multiple_of(self.m),
             "packed code buffer not a multiple of m"
         );
         packed_codes

@@ -39,7 +39,7 @@ impl ProductQuantizer {
     pub fn train(data: &Dataset, m: usize, seed: u64) -> Self {
         assert!(m > 0, "m must be positive");
         assert!(
-            data.dim() % m == 0,
+            data.dim().is_multiple_of(m),
             "dimension {} not divisible by m {}",
             data.dim(),
             m
@@ -74,7 +74,7 @@ impl ProductQuantizer {
     /// Panics if the codebook buffer does not contain exactly
     /// `m * KSUB * (dim/m)` floats.
     pub fn from_codebooks(dim: usize, m: usize, codebooks: Vec<f32>) -> Self {
-        assert!(m > 0 && dim % m == 0);
+        assert!(m > 0 && dim.is_multiple_of(m));
         let dsub = dim / m;
         assert_eq!(codebooks.len(), m * KSUB * dsub, "codebook size mismatch");
         Self {

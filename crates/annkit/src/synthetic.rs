@@ -227,9 +227,9 @@ impl SyntheticSpec {
                     *x = (center[j] + rng.gen_range(-1.0f32..1.0) * noise).clamp(lo, hi);
                 }
                 if rng.gen_bool(self.cooccurrence_rate) {
-                    for p in 0..pattern_len * dsub {
+                    for (p, &pat) in pattern.iter().enumerate() {
                         let j = pattern_start * dsub + p;
-                        v[j] = (centers.vector(c)[j] + pattern[p]).clamp(lo, hi);
+                        v[j] = (centers.vector(c)[j] + pat).clamp(lo, hi);
                     }
                 }
                 vectors.push(&v);

@@ -40,7 +40,7 @@ impl Dataset {
     pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
         assert!(dim > 0, "vector dimension must be positive");
         assert!(
-            data.len() % dim == 0,
+            data.len().is_multiple_of(dim),
             "flat buffer length {} is not a multiple of dim {}",
             data.len(),
             dim
@@ -133,7 +133,7 @@ impl Dataset {
     /// # Panics
     /// Panics if `dim % m != 0` or `sub >= m`.
     pub fn subspace(&self, m: usize, sub: usize) -> Dataset {
-        assert!(self.dim % m == 0, "dim {} not divisible by m {}", self.dim, m);
+        assert!(self.dim.is_multiple_of(m), "dim {} not divisible by m {}", self.dim, m);
         assert!(sub < m, "subspace index out of range");
         let dsub = self.dim / m;
         let mut out = Dataset::with_capacity(dsub, self.len());

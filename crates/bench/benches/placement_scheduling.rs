@@ -11,7 +11,7 @@ use upanns::scheduling::schedule_queries;
 fn skewed_input(clusters: usize, dpus: usize, seed: u64) -> PlacementInput {
     let mut rng = SmallRng::seed_from_u64(seed);
     let sizes: Vec<usize> = (0..clusters)
-        .map(|i| 200_000 / (i + 1) + rng.gen_range(10..100))
+        .map(|i| 200_000 / (i + 1) + rng.gen_range(10usize..100))
         .collect();
     let freqs: Vec<f64> = (0..clusters)
         .map(|i| 1.0 / ((i % 97) + 1) as f64)

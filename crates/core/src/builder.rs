@@ -194,25 +194,30 @@ impl<'a> UpAnnsBuilder<'a> {
         let query_record_bytes = 8 + index.dim() * 4;
         let mut stores = Vec::with_capacity(num_dpus);
         for dpu in 0..num_dpus {
-            let mut store = DpuStore::default();
-            store.codebook_bytes = codebook.len();
-            store.codebook_addr = sys
+            let codebook_addr = sys
                 .mram_alloc(dpu, codebook.len())
                 .expect("codebook fits in MRAM");
             sys.dpu_mut(dpu)
                 .mram_mut()
-                .write(store.codebook_addr, &codebook)
+                .write(codebook_addr, &codebook)
                 .expect("codebook write");
-            store.query_buffer_bytes = expected_assignments_per_dpu * query_record_bytes;
-            store.query_buffer_addr = sys
-                .mram_alloc(dpu, store.query_buffer_bytes)
+            let query_buffer_bytes = expected_assignments_per_dpu * query_record_bytes;
+            let query_buffer_addr = sys
+                .mram_alloc(dpu, query_buffer_bytes)
                 .expect("query buffer fits in MRAM");
-            store.mailbox_bytes =
-                expected_queries_per_dpu * mailbox_slot_bytes(self.capacity.max_k);
-            store.mailbox_addr = sys
-                .mram_alloc(dpu, store.mailbox_bytes)
+            let mailbox_bytes = expected_queries_per_dpu * mailbox_slot_bytes(self.capacity.max_k);
+            let mailbox_addr = sys
+                .mram_alloc(dpu, mailbox_bytes)
                 .expect("mailbox fits in MRAM");
-            stores.push(store);
+            stores.push(DpuStore {
+                codebook_addr,
+                codebook_bytes: codebook.len(),
+                query_buffer_addr,
+                query_buffer_bytes,
+                mailbox_addr,
+                mailbox_bytes,
+                ..DpuStore::default()
+            });
         }
 
         for (cluster, dpus) in placement.cluster_to_dpus.iter().enumerate() {

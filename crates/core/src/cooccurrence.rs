@@ -167,7 +167,7 @@ impl Default for MiningParams {
 pub fn mine_cluster_combos(packed_codes: &[u8], m: usize, params: &MiningParams) -> ComboTable {
     assert!(m >= 2, "PQ codes need at least two positions");
     assert!(
-        packed_codes.len() % m == 0,
+        packed_codes.len().is_multiple_of(m),
         "packed code buffer not a multiple of m"
     );
     let n = packed_codes.len() / m;
@@ -207,9 +207,9 @@ pub fn mine_cluster_combos(packed_codes: &[u8], m: usize, params: &MiningParams)
         for code in packed_codes.chunks_exact(m) {
             for (edge_idx, ((a, b), _)) in edges.iter().enumerate() {
                 if code[a.position as usize] == a.code && code[b.position as usize] == b.code {
-                    for p in 0..m {
+                    for (p, &cp) in code.iter().enumerate() {
                         if p != a.position as usize && p != b.position as usize {
-                            let third = Element::new(p as u8, code[p]);
+                            let third = Element::new(p as u8, cp);
                             *triple_counts.entry((edge_idx, third)).or_default() += 1;
                         }
                     }
@@ -286,7 +286,7 @@ mod tests {
             Element::new(1, 9),
             Element::new(2, 13),
         ]);
-        let found = table.combos().iter().any(|c| *c == target);
+        let found = table.combos().contains(&target);
         assert!(found, "expected the injected triple to be mined: {:?}", table.combos().first());
         // Its support should be roughly 40 % of the cluster.
         let idx = table.combos().iter().position(|c| *c == target).unwrap();

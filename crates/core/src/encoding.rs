@@ -37,7 +37,7 @@ impl CaeList {
     /// Panics if the packed buffer is not a multiple of `m` or if
     /// `256·m + combos.len()` would not fit in a `u16` address.
     pub fn encode(packed_codes: &[u8], m: usize, combos: &ComboTable) -> Self {
-        assert!(packed_codes.len() % m == 0, "packed codes not a multiple of m");
+        assert!(packed_codes.len().is_multiple_of(m), "packed codes not a multiple of m");
         assert!(
             256 * m + combos.len() <= u16::MAX as usize,
             "address space overflow: m={m}, combos={}",

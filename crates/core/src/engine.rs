@@ -234,7 +234,7 @@ impl AnnEngine for UpAnnsEngine<'_> {
         let uniform_query_bytes = max_assignments * record_bytes;
         let mut plans: Vec<DpuBatchPlan> = vec![DpuBatchPlan::default(); self.sys.num_dpus()];
         let mut writes = Vec::new();
-        for dpu in 0..self.sys.num_dpus() {
+        for (dpu, plan_slot) in plans.iter_mut().enumerate() {
             let assignments = &schedule.per_dpu[dpu];
             if assignments.is_empty() {
                 continue;
@@ -266,7 +266,7 @@ impl AnnEngine for UpAnnsEngine<'_> {
             buffer.resize(uniform_query_bytes, 0); // pad to the uniform size
             writes.push(DpuWrite::new(dpu, self.stores[dpu].query_buffer_addr, buffer));
             plan.queries = seen_queries;
-            plans[dpu] = plan;
+            *plan_slot = plan;
         }
         self.sys
             .push_to_dpus("query_transfer", &writes)

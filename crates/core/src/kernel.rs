@@ -580,7 +580,6 @@ mod tests {
         let mut sys = PimSystem::new(PimConfig::with_dpus(1));
         let (store, combos) = build_store(&mut sys, &fix.index, cae, k, 4);
         let plan = plan_for_queries(&fix.index, &fix.data, &[5, 300, 900], nprobe);
-        let config = config;
         let shared = KernelShared {
             pq: fix.index.pq(),
             combos: &combos,

@@ -247,9 +247,9 @@ pub fn place_round_robin(input: &PlacementInput) -> Placement {
     let mut dpu_workload = vec![0.0f64; n];
     let mut dpu_vectors = vec![0usize; n];
     let mut cluster_to_dpus = vec![Vec::new(); input.num_clusters()];
-    for c in 0..input.num_clusters() {
+    for (c, dpus) in cluster_to_dpus.iter_mut().enumerate() {
         let d = c % n;
-        cluster_to_dpus[c].push(d);
+        dpus.push(d);
         dpu_workload[d] += input.workload(c);
         dpu_vectors[d] += input.cluster_sizes[c];
     }

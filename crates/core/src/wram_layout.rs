@@ -200,7 +200,7 @@ mod tests {
         assert!(err.to_string().contains("distance_calc"));
         // A reduced tasklet count fits again.
         let max = WramPlan::max_tasklets(&input, 24);
-        assert!(max >= 8 && max < 24, "max {max}");
+        assert!((8..24).contains(&max), "max {max}");
         input.tasklets = max;
         assert!(WramPlan::plan(&input).is_ok());
     }

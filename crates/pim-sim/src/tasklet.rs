@@ -244,7 +244,7 @@ impl<'a> DpuKernelCtx<'a> {
         mut body: impl FnMut(&mut TaskletCtx<'_>) -> R,
     ) -> Vec<R> {
         assert!(
-            tasklets >= 1 && tasklets <= crate::config::MAX_TASKLETS,
+            (1..=crate::config::MAX_TASKLETS).contains(&tasklets),
             "tasklet count {tasklets} outside 1..=24"
         );
         let mut results = Vec::with_capacity(tasklets);

@@ -1,0 +1,215 @@
+//! Minimal, dependency-free stand-in for the `proptest` property-testing
+//! framework.
+//!
+//! The build environment has no crates-registry access, so this vendored
+//! crate implements the API subset used by `tests/properties.rs`:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`],
+//! * numeric range strategies (`0.0f32..1e6`, `1usize..40`, `0u8..=255`),
+//! * `prop::collection::vec(strategy, size)` with fixed or ranged sizes.
+//!
+//! Inputs are sampled uniformly from a deterministic per-case RNG rather
+//! than grown/shrunk the way real proptest does; each failing case panics
+//! with the case index so it can be replayed.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection size argument: either an exact `usize` or a `Range<usize>`.
+pub trait IntoSizeRange {
+    fn sample_len(&self, rng: &mut SmallRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn sample_len(&self, _rng: &mut SmallRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut SmallRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut SmallRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// `prop::collection` and friends, mirroring proptest's module layout.
+pub mod prop {
+    pub mod collection {
+        use super::super::{IntoSizeRange, Strategy};
+        use rand::rngs::SmallRng;
+
+        pub struct VecStrategy<S: Strategy, L: IntoSizeRange> {
+            element: S,
+            size: L,
+        }
+
+        pub fn vec<S: Strategy, L: IntoSizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy, L: IntoSizeRange> Strategy for VecStrategy<S, L> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+                let len = self.size.sample_len(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::SmallRng;
+    pub use rand::SeedableRng;
+}
+
+/// Everything a test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Run each contained `#[test]` function over many sampled inputs.
+///
+/// Inputs are regenerated per case from a seed derived from the test name
+/// and case index, so runs are deterministic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs $config; $($rest)*);
+    };
+    (@funcs $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                // Mix the test name into the seed so sibling tests see
+                // different streams.
+                let mut seed = 0xcbf2_9ce4_8422_2325u64 ^ case as u64;
+                for b in stringify!($name).bytes() {
+                    seed = seed.wrapping_mul(0x1000_0000_01b3).wrapping_add(b as u64);
+                }
+                let mut rng =
+                    <$crate::__rt::SmallRng as $crate::__rt::SeedableRng>::seed_from_u64(seed);
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let run = move || $body;
+                if let Err(panic) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+                    eprintln!(
+                        "proptest case {case} of {} failed (seed {seed:#x})",
+                        stringify!($name)
+                    );
+                    std::panic::resume_unwind(panic);
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Range strategies stay in bounds; vec sizes honour their range.
+        #[test]
+        fn ranges_and_vecs(
+            x in 3usize..17,
+            f in -2.0f32..2.0,
+            v in prop::collection::vec(0u8..8, 1..6),
+            fixed in prop::collection::vec(0.0f64..1.0, 4),
+        ) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 8));
+            prop_assert_eq!(fixed.len(), 4);
+        }
+    }
+
+    proptest! {
+        /// The no-config form uses the default case count.
+        #[test]
+        fn default_config_form(k in 1usize..5) {
+            prop_assert!((1..5).contains(&k));
+        }
+    }
+}
