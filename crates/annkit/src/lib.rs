@@ -63,7 +63,7 @@ pub mod prelude {
     pub use crate::synthetic::{DatasetKind, SyntheticSpec};
     pub use crate::topk::{Neighbor, TopK};
     pub use crate::vector::Dataset;
-    pub use crate::workload::{QueryBatch, WorkloadSpec};
+    pub use crate::workload::{QueryBatch, QueryStream, StreamSpec, WorkloadSpec};
 }
 
 pub use error::AnnError;

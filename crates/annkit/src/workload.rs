@@ -192,6 +192,115 @@ pub fn cluster_frequencies(batch: &QueryBatch, num_clusters: usize) -> Vec<f64> 
     freq.iter().map(|&f| f as f64 / total as f64).collect()
 }
 
+/// Specification of a *timed* query stream: a [`WorkloadSpec`] plus a Poisson
+/// arrival process, as seen by a long-running serving front-end.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// The query-content workload (count, skew, seeds).
+    pub workload: WorkloadSpec,
+    /// Mean offered load in queries/second of simulated time.
+    pub mean_qps: f64,
+    /// Fraction of queries that are exact repeats of an earlier query in the
+    /// stream (RAG/recommendation streams re-ask popular questions, which is
+    /// what makes serving-layer result caches effective).
+    pub repeat_fraction: f64,
+}
+
+impl StreamSpec {
+    /// A stream of `num_queries` paper-like skewed queries arriving at
+    /// `mean_qps` on average.
+    pub fn new(num_queries: usize, mean_qps: f64) -> Self {
+        assert!(mean_qps > 0.0 && mean_qps.is_finite(), "offered load must be positive");
+        Self {
+            workload: WorkloadSpec::new(num_queries),
+            mean_qps,
+            repeat_fraction: 0.0,
+        }
+    }
+
+    /// Overrides the underlying content workload.
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets the fraction of queries that exactly repeat an earlier one.
+    pub fn with_repeat_fraction(mut self, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        self.repeat_fraction = fraction;
+        self
+    }
+
+    /// Generates the stream: queries from the content workload, arrival
+    /// times from exponential inter-arrival gaps (a Poisson process) drawn
+    /// with the workload's seed, so the stream is fully deterministic.
+    pub fn generate(&self, dataset: &SyntheticDataset) -> QueryStream {
+        let mut batch = self.workload.generate(dataset);
+        let mut rng = SmallRng::seed_from_u64(self.workload.seed ^ 0x5712_EA11);
+        if self.repeat_fraction > 0.0 {
+            for i in 1..batch.len() {
+                if rng.gen::<f64>() < self.repeat_fraction {
+                    let j = rng.gen_range(0..i);
+                    let earlier = batch.queries.vector(j).to_vec();
+                    batch.queries.vector_mut(i).copy_from_slice(&earlier);
+                    batch.target_cluster[i] = batch.target_cluster[j];
+                }
+            }
+        }
+        let mut arrivals = Vec::with_capacity(batch.len());
+        let mut t = 0.0f64;
+        for _ in 0..batch.len() {
+            // Inverse-CDF sample of Exp(mean_qps); 1-u keeps ln's argument
+            // positive.
+            let u: f64 = rng.gen::<f64>();
+            t += -(1.0 - u).ln() / self.mean_qps;
+            arrivals.push(t);
+        }
+        QueryStream { arrivals, batch }
+    }
+}
+
+/// A query batch annotated with per-query arrival times (seconds since the
+/// stream started, non-decreasing) — the replay input of a serving layer.
+#[derive(Debug, Clone)]
+pub struct QueryStream {
+    /// Arrival time of each query, aligned with `batch`.
+    pub arrivals: Vec<f64>,
+    /// The queries themselves (plus generative ground truth).
+    pub batch: QueryBatch,
+}
+
+impl QueryStream {
+    /// Number of queries in the stream.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Time of the last arrival (0 for an empty stream).
+    pub fn duration(&self) -> f64 {
+        self.arrivals.last().copied().unwrap_or(0.0)
+    }
+
+    /// Realized offered load in queries/second (0 for degenerate streams).
+    pub fn offered_qps(&self) -> f64 {
+        if self.duration() <= 0.0 {
+            0.0
+        } else {
+            self.len() as f64 / self.duration()
+        }
+    }
+
+    /// Iterates `(arrival_seconds, query_index)` in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, usize)> + '_ {
+        self.arrivals.iter().copied().zip(0..self.len())
+    }
+}
+
 /// Rough estimate of within-cluster spread used to scale query perturbation.
 fn cluster_noise_estimate(dataset: &SyntheticDataset) -> f32 {
     // Use the average absolute deviation of a small sample of vectors from
@@ -271,6 +380,48 @@ mod tests {
         };
         let freqs = cluster_frequencies(&batch, 10);
         assert!(freqs.iter().all(|&f| (f - 0.1).abs() < 1e-12));
+    }
+
+    #[test]
+    fn query_stream_arrivals_are_sorted_and_match_rate() {
+        let ds = dataset();
+        let stream = StreamSpec::new(800, 2_000.0).generate(&ds);
+        assert_eq!(stream.len(), 800);
+        assert!(!stream.is_empty());
+        assert!(stream
+            .arrivals
+            .windows(2)
+            .all(|w| w[0] <= w[1]), "arrivals must be non-decreasing");
+        // Realized rate is within ±25 % of the offered rate at this length.
+        let rate = stream.offered_qps();
+        assert!(
+            (rate - 2_000.0).abs() / 2_000.0 < 0.25,
+            "offered {rate} vs requested 2000"
+        );
+        // Deterministic replay.
+        let again = StreamSpec::new(800, 2_000.0).generate(&ds);
+        assert_eq!(stream.arrivals, again.arrivals);
+        assert_eq!(stream.batch.queries, again.batch.queries);
+        // Iterator order matches arrival order.
+        let pairs: Vec<(f64, usize)> = stream.iter().take(3).collect();
+        assert_eq!(pairs[0].1, 0);
+        assert_eq!(pairs[2].1, 2);
+    }
+
+    #[test]
+    fn query_stream_repeat_fraction_duplicates_earlier_queries() {
+        let ds = dataset();
+        let duplicates = |s: &QueryStream| {
+            (1..s.len())
+                .filter(|&i| (0..i).any(|j| s.batch.queries.vector(i) == s.batch.queries.vector(j)))
+                .count()
+        };
+        let repeated = StreamSpec::new(300, 1_000.0)
+            .with_repeat_fraction(0.5)
+            .generate(&ds);
+        let fresh = StreamSpec::new(300, 1_000.0).generate(&ds);
+        assert!(duplicates(&repeated) > 80, "expected many repeats");
+        assert_eq!(duplicates(&fresh), 0, "default stream has no exact repeats");
     }
 
     #[test]

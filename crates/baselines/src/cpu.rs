@@ -15,7 +15,7 @@
 //! the effective-bandwidth curve explicitly via
 //! [`CpuSpec::effective_scan_bandwidth`].
 
-use crate::engine::{AnnEngine, SearchOutcome};
+use crate::engine::{execute_grouped, AnnEngine, SearchRequest, SearchResponse};
 use crate::exec::run_ivfpq;
 use crate::hardware::HardwareSpec;
 use annkit::ivf::IvfPqIndex;
@@ -200,6 +200,20 @@ impl<'a> CpuFaissEngine<'a> {
 
         b
     }
+
+    /// One uniform sub-batch: functional IVFPQ search plus the roofline
+    /// timing of the dual-Xeon platform.
+    fn run_uniform(&mut self, queries: &Dataset, nprobe: usize, k: usize) -> SearchResponse {
+        let run = run_ivfpq(self.index, queries, nprobe, k);
+        let breakdown = self.stage_seconds(&run.stats);
+        SearchResponse {
+            request_id: 0,
+            results: run.results,
+            seconds: breakdown.total(),
+            breakdown,
+            stats: run.stats,
+        }
+    }
 }
 
 impl AnnEngine for CpuFaissEngine<'_> {
@@ -207,15 +221,10 @@ impl AnnEngine for CpuFaissEngine<'_> {
         "Faiss-CPU"
     }
 
-    fn search_batch(&mut self, queries: &Dataset, nprobe: usize, k: usize) -> SearchOutcome {
-        let run = run_ivfpq(self.index, queries, nprobe, k);
-        let breakdown = self.stage_seconds(&run.stats);
-        SearchOutcome {
-            results: run.results,
-            seconds: breakdown.total(),
-            breakdown,
-            stats: run.stats,
-        }
+    fn execute(&mut self, request: &SearchRequest) -> SearchResponse {
+        execute_grouped(request, |queries, nprobe, k| {
+            self.run_uniform(queries, nprobe, k)
+        })
     }
 
     fn energy_model(&self) -> EnergyModel {

@@ -1,4 +1,20 @@
 //! The engine abstraction shared by every search backend in the repository.
+//!
+//! The API is **request-centric**: callers describe a batch of queries as a
+//! [`SearchRequest`] carrying one [`QueryOptions`] per query (its `k`,
+//! `nprobe` and optional latency budget), and every engine answers it through
+//! [`AnnEngine::execute`], returning a [`SearchResponse`] with per-query
+//! neighbor lists plus the request's simulated timing, stage breakdown and
+//! work counters. The historical positional entry point
+//! [`AnnEngine::search_batch`] survives as a thin default-method shim that
+//! wraps its arguments in a uniform request, so existing harness code keeps
+//! working unchanged.
+//!
+//! Engines whose native execution path is a *uniform* batch (all queries
+//! sharing one `nprobe`/`k` — the CPU/GPU baselines and the single-host PIM
+//! engines) implement `execute` via [`execute_grouped`], which partitions the
+//! request into compatible option groups, runs each group back-to-back, and
+//! reassembles per-query results in request order.
 
 use crate::workload_stats::WorkloadStats;
 use annkit::topk::Neighbor;
@@ -6,12 +22,160 @@ use annkit::vector::Dataset;
 use pim_sim::energy::EnergyModel;
 use pim_sim::stats::StageBreakdown;
 
-/// The outcome of searching one query batch on some engine.
+/// Per-query search parameters inside a [`SearchRequest`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryOptions {
+    /// Number of nearest neighbors to return.
+    pub k: usize,
+    /// Number of IVF clusters to probe.
+    pub nprobe: usize,
+    /// Optional per-query latency budget in (simulated) seconds. Engines do
+    /// not enforce it, and it never splits a batch; it exists for upstream
+    /// parameter selection — `upanns::adaptive::NprobePolicy` translates it
+    /// into a per-query `nprobe` when the caller wires the policy in.
+    pub latency_budget_s: Option<f64>,
+}
+
+impl QueryOptions {
+    /// Options with the given `k` and `nprobe` and no latency budget.
+    pub fn new(k: usize, nprobe: usize) -> Self {
+        Self {
+            k,
+            nprobe,
+            latency_budget_s: None,
+        }
+    }
+
+    /// Attaches a latency budget.
+    pub fn with_latency_budget(mut self, seconds: f64) -> Self {
+        self.latency_budget_s = Some(seconds);
+        self
+    }
+
+    /// The execution-compatibility key: two queries can run in the same
+    /// uniform sub-batch iff their keys match (latency budgets never split a
+    /// batch — they only steer scheduling upstream).
+    pub fn compat_key(&self) -> (usize, usize) {
+        (self.k, self.nprobe)
+    }
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        Self::new(10, 8)
+    }
+}
+
+/// A batch of queries submitted to an engine, with per-query options.
 #[derive(Debug, Clone)]
-pub struct SearchOutcome {
-    /// Per-query neighbor lists, closest first.
+pub struct SearchRequest {
+    /// Caller-chosen request identifier, echoed in the response.
+    pub id: u64,
+    queries: Dataset,
+    options: Vec<QueryOptions>,
+}
+
+impl SearchRequest {
+    /// A request where every query uses `options`.
+    ///
+    /// # Panics
+    /// Panics if `queries` and `options` lengths differ.
+    pub fn new(queries: Dataset, options: Vec<QueryOptions>) -> Self {
+        assert_eq!(
+            queries.len(),
+            options.len(),
+            "one QueryOptions per query required"
+        );
+        Self {
+            id: 0,
+            queries,
+            options,
+        }
+    }
+
+    /// A request where every query shares one `nprobe`/`k` — the shape of the
+    /// legacy `search_batch` call.
+    pub fn uniform(queries: &Dataset, nprobe: usize, k: usize) -> Self {
+        let options = vec![QueryOptions::new(k, nprobe); queries.len()];
+        Self::new(queries.clone(), options)
+    }
+
+    /// Sets the request id.
+    pub fn with_id(mut self, id: u64) -> Self {
+        self.id = id;
+        self
+    }
+
+    /// The query vectors.
+    pub fn queries(&self) -> &Dataset {
+        &self.queries
+    }
+
+    /// The per-query options (same length as [`queries`](Self::queries)).
+    pub fn options(&self) -> &[QueryOptions] {
+        &self.options
+    }
+
+    /// Mutable access to the per-query options, for policies that rewrite
+    /// parameters in place (e.g. adaptive nprobe selection).
+    pub fn options_mut(&mut self) -> &mut [QueryOptions] {
+        &mut self.options
+    }
+
+    /// Number of queries in the request.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether the request carries no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// When every query shares one compatibility key, the shared options
+    /// (with the first query's budget); `None` for mixed requests.
+    pub fn uniform_options(&self) -> Option<QueryOptions> {
+        let first = *self.options.first()?;
+        self.options
+            .iter()
+            .all(|o| o.compat_key() == first.compat_key())
+            .then_some(first)
+    }
+
+    /// Partitions query indices into execution-compatible groups, preserving
+    /// first-seen order of the keys and request order within each group.
+    pub fn option_groups(&self) -> Vec<(QueryOptions, Vec<usize>)> {
+        let mut groups: Vec<(QueryOptions, Vec<usize>)> = Vec::new();
+        for (i, opt) in self.options.iter().enumerate() {
+            match groups
+                .iter_mut()
+                .find(|(o, _)| o.compat_key() == opt.compat_key())
+            {
+                Some((_, members)) => members.push(i),
+                None => groups.push((*opt, vec![i])),
+            }
+        }
+        groups
+    }
+
+    /// The largest `k` in the request (0 when empty).
+    pub fn max_k(&self) -> usize {
+        self.options.iter().map(|o| o.k).max().unwrap_or(0)
+    }
+}
+
+/// An engine's answer to a [`SearchRequest`].
+///
+/// This is also the single home of the repository's latency/QPS accounting:
+/// every division guard lives here, and the legacy [`SearchOutcome`] name is
+/// an alias of this type, so engines and harnesses share one implementation.
+#[derive(Debug, Clone)]
+pub struct SearchResponse {
+    /// The id of the request this response answers.
+    pub request_id: u64,
+    /// Per-query neighbor lists, closest first, in request order.
     pub results: Vec<Vec<Neighbor>>,
-    /// Simulated end-to-end seconds for the whole batch.
+    /// Simulated end-to-end seconds for the whole request.
     pub seconds: f64,
     /// Simulated time split by pipeline stage.
     pub breakdown: StageBreakdown,
@@ -19,7 +183,22 @@ pub struct SearchOutcome {
     pub stats: WorkloadStats,
 }
 
-impl SearchOutcome {
+/// Legacy name of [`SearchResponse`], kept so positional `search_batch` call
+/// sites read naturally.
+pub type SearchOutcome = SearchResponse;
+
+impl SearchResponse {
+    /// An empty response (no queries, zero time).
+    pub fn empty(request_id: u64) -> Self {
+        Self {
+            request_id,
+            results: Vec::new(),
+            seconds: 0.0,
+            breakdown: StageBreakdown::new(),
+            stats: WorkloadStats::default(),
+        }
+    }
+
     /// Number of queries answered.
     pub fn batch_size(&self) -> usize {
         self.results.len()
@@ -54,18 +233,70 @@ impl SearchOutcome {
     }
 }
 
+/// Runs a mixed-options request on an engine whose native path is a uniform
+/// batch. `run_uniform(queries, nprobe, k)` is invoked once per compatible
+/// option group (in first-seen order); group times add up, breakdowns and
+/// work counters merge, and per-query results are scattered back to request
+/// order. Uniform requests skip the regrouping entirely.
+pub fn execute_grouped<F>(request: &SearchRequest, mut run_uniform: F) -> SearchResponse
+where
+    F: FnMut(&Dataset, usize, usize) -> SearchResponse,
+{
+    if request.is_empty() {
+        return SearchResponse::empty(request.id);
+    }
+    if let Some(opt) = request.uniform_options() {
+        let mut response = run_uniform(request.queries(), opt.nprobe, opt.k);
+        response.request_id = request.id;
+        return response;
+    }
+
+    let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); request.len()];
+    let mut seconds = 0.0;
+    let mut breakdown = StageBreakdown::new();
+    let mut stats = WorkloadStats::default();
+    for (opt, members) in request.option_groups() {
+        let sub = request.queries().gather(&members);
+        let group = run_uniform(&sub, opt.nprobe, opt.k);
+        for (slot, result) in members.iter().zip(group.results) {
+            results[*slot] = result;
+        }
+        seconds += group.seconds;
+        breakdown.merge(&group.breakdown);
+        stats.merge(&group.stats);
+    }
+    SearchResponse {
+        request_id: request.id,
+        results,
+        seconds,
+        breakdown,
+        stats,
+    }
+}
+
 /// A search engine that answers IVFPQ queries and reports simulated timing.
 ///
 /// Implemented by [`CpuFaissEngine`](crate::cpu::CpuFaissEngine),
 /// [`GpuFaissEngine`](crate::gpu::GpuFaissEngine), and the PIM engines in the
-/// `upanns` crate, so the benchmark harness can sweep all of them uniformly.
+/// `upanns` crate, so the benchmark harness and the serving front-end can
+/// drive all of them uniformly. [`execute`](Self::execute) is the primary
+/// entry point; [`search_batch`](Self::search_batch) is a compatibility shim.
 pub trait AnnEngine {
     /// Short display name ("Faiss-CPU", "Faiss-GPU", "PIM-naive", "UpANNS").
     fn name(&self) -> &str;
 
-    /// Searches a batch of queries, returning the `k` nearest neighbors of
-    /// each, probing `nprobe` clusters per query.
-    fn search_batch(&mut self, queries: &Dataset, nprobe: usize, k: usize) -> SearchOutcome;
+    /// Answers a request, honoring each query's own `k` and `nprobe`.
+    fn execute(&mut self, request: &SearchRequest) -> SearchResponse;
+
+    /// Searches a batch of queries that all share one `nprobe` and `k`.
+    ///
+    /// Default shim over [`execute`](Self::execute); prefer building a
+    /// [`SearchRequest`] directly when queries need distinct options. The
+    /// shim clones `queries` into the owned request — one memcpy, dwarfed by
+    /// the functional search it precedes.
+    fn search_batch(&mut self, queries: &Dataset, nprobe: usize, k: usize) -> SearchOutcome {
+        self.execute(&SearchRequest::uniform(queries, nprobe, k))
+    }
 
     /// The peak-power / price model of the hardware this engine represents.
     fn energy_model(&self) -> EnergyModel;
@@ -75,8 +306,9 @@ pub trait AnnEngine {
 mod tests {
     use super::*;
 
-    fn outcome(batch: usize, seconds: f64) -> SearchOutcome {
-        SearchOutcome {
+    fn response(batch: usize, seconds: f64) -> SearchResponse {
+        SearchResponse {
+            request_id: 7,
             results: vec![vec![Neighbor::new(0, 0.0)]; batch],
             seconds,
             breakdown: StageBreakdown::new(),
@@ -84,9 +316,17 @@ mod tests {
         }
     }
 
+    fn queries(n: usize) -> Dataset {
+        let mut d = Dataset::with_capacity(4, n);
+        for i in 0..n {
+            d.push(&[i as f32, 0.0, 0.0, 0.0]);
+        }
+        d
+    }
+
     #[test]
     fn qps_and_latency() {
-        let o = outcome(1000, 0.5);
+        let o = response(1000, 0.5);
         assert_eq!(o.batch_size(), 1000);
         assert!((o.qps() - 2000.0).abs() < 1e-9);
         assert!((o.mean_latency() - 0.0005).abs() < 1e-12);
@@ -94,16 +334,105 @@ mod tests {
 
     #[test]
     fn degenerate_outcomes() {
-        let o = outcome(0, 0.0);
+        let o = response(0, 0.0);
         assert_eq!(o.qps(), 0.0);
         assert_eq!(o.mean_latency(), 0.0);
+        let empty = SearchResponse::empty(3);
+        assert_eq!(empty.request_id, 3);
+        assert_eq!(empty.batch_size(), 0);
     }
 
     #[test]
     fn efficiency_uses_energy_model() {
-        let o = outcome(300, 1.0);
+        let o = response(300, 1.0);
         let em = EnergyModel::new("x", 150.0, 3000.0);
         assert!((o.qps_per_watt(&em) - 2.0).abs() < 1e-9);
         assert!((o.qps_per_dollar(&em) - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_request_shape() {
+        let req = SearchRequest::uniform(&queries(5), 6, 3).with_id(42);
+        assert_eq!(req.len(), 5);
+        assert_eq!(req.id, 42);
+        assert_eq!(req.max_k(), 3);
+        let opt = req.uniform_options().expect("uniform");
+        assert_eq!(opt.compat_key(), (3, 6));
+        assert_eq!(req.option_groups().len(), 1);
+    }
+
+    #[test]
+    fn mixed_request_groups_by_compat_key() {
+        let opts = vec![
+            QueryOptions::new(10, 8),
+            QueryOptions::new(5, 4),
+            QueryOptions::new(10, 8).with_latency_budget(1e-3),
+            QueryOptions::new(5, 4),
+        ];
+        let req = SearchRequest::new(queries(4), opts);
+        assert!(req.uniform_options().is_none());
+        let groups = req.option_groups();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].1, vec![0, 2]); // budgets don't split a group
+        assert_eq!(groups[1].1, vec![1, 3]);
+        assert_eq!(req.max_k(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "one QueryOptions per query")]
+    fn mismatched_options_length_is_rejected() {
+        let _ = SearchRequest::new(queries(3), vec![QueryOptions::default(); 2]);
+    }
+
+    #[test]
+    fn execute_grouped_scatters_results_and_sums_time() {
+        let opts = vec![
+            QueryOptions::new(1, 2),
+            QueryOptions::new(2, 3),
+            QueryOptions::new(1, 2),
+        ];
+        let req = SearchRequest::new(queries(3), opts).with_id(9);
+        let mut calls = Vec::new();
+        let out = execute_grouped(&req, |qs, nprobe, k| {
+            calls.push((qs.len(), nprobe, k));
+            SearchResponse {
+                request_id: 0,
+                // Tag each result with its group's k so scattering is visible.
+                results: (0..qs.len())
+                    .map(|_| vec![Neighbor::new(k as u64, 0.0); k])
+                    .collect(),
+                seconds: 0.5,
+                breakdown: StageBreakdown::new(),
+                stats: WorkloadStats::default(),
+            }
+        });
+        assert_eq!(calls, vec![(2, 2, 1), (1, 3, 2)]);
+        assert_eq!(out.request_id, 9);
+        assert_eq!(out.results[0].len(), 1);
+        assert_eq!(out.results[1].len(), 2);
+        assert_eq!(out.results[2].len(), 1);
+        assert!((out.seconds - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn execute_grouped_uniform_fast_path_keeps_single_call() {
+        let req = SearchRequest::uniform(&queries(4), 5, 2);
+        let mut calls = 0;
+        let out = execute_grouped(&req, |qs, nprobe, k| {
+            calls += 1;
+            assert_eq!((qs.len(), nprobe, k), (4, 5, 2));
+            response(qs.len(), 0.25)
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(out.batch_size(), 4);
+    }
+
+    #[test]
+    fn empty_request_short_circuits() {
+        let req = SearchRequest::new(Dataset::new(4), Vec::new()).with_id(1);
+        let out = execute_grouped(&req, |_, _, _| unreachable!("no groups to run"));
+        assert_eq!(out.request_id, 1);
+        assert_eq!(out.batch_size(), 0);
+        assert_eq!(out.seconds, 0.0);
     }
 }

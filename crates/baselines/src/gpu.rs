@@ -14,7 +14,7 @@
 //! DEEP1B in Figure 12 (Faiss needs the raw float vectors resident for that
 //! configuration, and 10⁹ × 96 × 4 B = 384 GB does not fit).
 
-use crate::engine::{AnnEngine, SearchOutcome};
+use crate::engine::{execute_grouped, AnnEngine, SearchRequest, SearchResponse};
 use crate::exec::run_ivfpq;
 use crate::hardware::HardwareSpec;
 use annkit::ivf::IvfPqIndex;
@@ -213,6 +213,19 @@ impl<'a> GpuFaissEngine<'a> {
 
         b
     }
+
+    /// One uniform sub-batch: functional IVFPQ search plus the A100 timing.
+    fn run_uniform(&mut self, queries: &Dataset, nprobe: usize, k: usize) -> SearchResponse {
+        let run = run_ivfpq(self.index, queries, nprobe, k);
+        let breakdown = self.stage_seconds(&run.stats, &run.per_query_candidates);
+        SearchResponse {
+            request_id: 0,
+            results: run.results,
+            seconds: breakdown.total(),
+            breakdown,
+            stats: run.stats,
+        }
+    }
 }
 
 impl AnnEngine for GpuFaissEngine<'_> {
@@ -220,15 +233,10 @@ impl AnnEngine for GpuFaissEngine<'_> {
         "Faiss-GPU"
     }
 
-    fn search_batch(&mut self, queries: &Dataset, nprobe: usize, k: usize) -> SearchOutcome {
-        let run = run_ivfpq(self.index, queries, nprobe, k);
-        let breakdown = self.stage_seconds(&run.stats, &run.per_query_candidates);
-        SearchOutcome {
-            results: run.results,
-            seconds: breakdown.total(),
-            breakdown,
-            stats: run.stats,
-        }
+    fn execute(&mut self, request: &SearchRequest) -> SearchResponse {
+        execute_grouped(request, |queries, nprobe, k| {
+            self.run_uniform(queries, nprobe, k)
+        })
     }
 
     fn energy_model(&self) -> EnergyModel {

@@ -6,9 +6,10 @@
 //!
 //! * [`hardware`] — the Table 1 hardware specifications (capacity, peak
 //!   power, bandwidth, price) as data,
-//! * [`engine`] — the [`AnnEngine`](engine::AnnEngine) trait and
-//!   [`SearchOutcome`](engine::SearchOutcome) type shared by every engine in
-//!   the repository (CPU, GPU, PIM-naive, UpANNS),
+//! * [`engine`] — the request-centric [`AnnEngine`](engine::AnnEngine) trait
+//!   with its [`SearchRequest`](engine::SearchRequest) /
+//!   [`SearchResponse`](engine::SearchResponse) types shared by every engine
+//!   in the repository (CPU, GPU, PIM-naive, UpANNS),
 //! * [`cpu`] — a functional IVFPQ engine whose stage times follow a roofline
 //!   model of the paper's dual-Xeon platform,
 //! * [`gpu`] — a functional IVFPQ engine whose stage times follow an A100
@@ -31,12 +32,14 @@ pub mod workload_stats;
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::cpu::{CpuFaissEngine, CpuSpec};
-    pub use crate::engine::{AnnEngine, SearchOutcome};
+    pub use crate::engine::{
+        AnnEngine, QueryOptions, SearchOutcome, SearchRequest, SearchResponse,
+    };
     pub use crate::gpu::{GpuFaissEngine, GpuSpec};
     pub use crate::hardware::{HardwareSpec, hardware_table};
     pub use crate::workload_stats::WorkloadStats;
 }
 
 pub use cpu::CpuFaissEngine;
-pub use engine::{AnnEngine, SearchOutcome};
+pub use engine::{AnnEngine, QueryOptions, SearchOutcome, SearchRequest, SearchResponse};
 pub use gpu::GpuFaissEngine;

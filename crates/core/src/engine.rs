@@ -29,7 +29,7 @@ use annkit::ivf::IvfPqIndex;
 use annkit::topk::{Neighbor, TopK};
 use annkit::vector::{residual, Dataset};
 use baselines::cpu::CpuSpec;
-use baselines::engine::{AnnEngine, SearchOutcome};
+use baselines::engine::{execute_grouped, AnnEngine, SearchRequest, SearchResponse};
 use baselines::workload_stats::WorkloadStats;
 use pim_sim::energy::EnergyModel;
 use pim_sim::host::{DpuRead, DpuWrite, ExecReport, PimSystem};
@@ -191,14 +191,9 @@ impl<'a> UpAnnsEngine<'a> {
             self.stores[dpu].mailbox_bytes = mailbox_bytes;
         }
     }
-}
 
-impl AnnEngine for UpAnnsEngine<'_> {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn search_batch(&mut self, queries: &Dataset, nprobe: usize, k: usize) -> SearchOutcome {
+    /// One uniform sub-batch through the full six-stage PIM pipeline.
+    fn run_uniform(&mut self, queries: &Dataset, nprobe: usize, k: usize) -> SearchResponse {
         assert_eq!(queries.dim(), self.index.dim(), "query dimension mismatch");
         assert!(k > 0, "k must be positive");
         let nprobe = nprobe.min(self.index.nlist()).max(1);
@@ -357,12 +352,25 @@ impl AnnEngine for UpAnnsEngine<'_> {
         }
         self.last_exec_report = Some(report);
 
-        SearchOutcome {
+        SearchResponse {
+            request_id: 0,
             results,
             seconds: self.sys.elapsed_seconds(),
             breakdown,
             stats,
         }
+    }
+}
+
+impl AnnEngine for UpAnnsEngine<'_> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&mut self, request: &SearchRequest) -> SearchResponse {
+        execute_grouped(request, |queries, nprobe, k| {
+            self.run_uniform(queries, nprobe, k)
+        })
     }
 
     fn energy_model(&self) -> EnergyModel {

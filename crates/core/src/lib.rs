@@ -12,12 +12,25 @@
 //! | Opt3 — Co-occurrence aware encoding | §4.3, Fig. 8 | [`cooccurrence`], [`encoding`] |
 //! | Opt4 — Top-K pruning | §4.4, Fig. 9 | [`topk_prune`] |
 //!
+//! Runtime extensions built on the engine:
+//!
+//! | Extension | Paper | Module |
+//! |---|---|---|
+//! | Query-pattern drift adaptation (replica adjustment / full relocation) | §4.1.2 | [`adaptive`] |
+//! | Latency-budget-aware per-query nprobe selection | §4.1.2 (request-time tier) | [`adaptive::NprobePolicy`] |
+//! | Multi-host scale-out (sharding + coordinator merge) | §5.5 | [`multihost`] |
+//! | Serving front-end (admission, dynamic batching, result cache) | §5 (online phase) | `upanns-serve` crate |
+//!
 //! The [`builder::UpAnnsBuilder`] runs the offline phase (mining, encoding,
 //! placement, MRAM staging) and produces an [`engine::UpAnnsEngine`], which
 //! implements the same [`AnnEngine`](baselines::engine::AnnEngine) trait as
-//! the Faiss-CPU/GPU baselines so all engines can be swept uniformly. The
-//! PIM-naive baseline of the paper's evaluation is the same engine built with
-//! [`config::UpAnnsConfig::pim_naive`].
+//! the Faiss-CPU/GPU baselines so all engines can be swept uniformly —
+//! [`execute`](baselines::engine::AnnEngine::execute) answers a
+//! [`SearchRequest`](baselines::engine::SearchRequest) with per-query
+//! `k`/`nprobe`/latency-budget options, and the positional
+//! [`search_batch`](baselines::engine::AnnEngine::search_batch) shim covers
+//! the uniform-batch case. The PIM-naive baseline of the paper's evaluation
+//! is the same engine built with [`config::UpAnnsConfig::pim_naive`].
 //!
 //! ```no_run
 //! use annkit::prelude::*;
@@ -55,7 +68,7 @@ pub mod wram_layout;
 pub mod prelude {
     pub use crate::adaptive::{
         adapt_placement, measure_drift, plan_adaptation, AdaptationDecision, AdaptationPolicy,
-        DriftReport, ReplicaAdjustment,
+        DriftReport, NprobePolicy, ReplicaAdjustment,
     };
     pub use crate::builder::{BatchCapacity, UpAnnsBuilder};
     pub use crate::config::UpAnnsConfig;

@@ -20,8 +20,7 @@
 //! See `examples/multihost_scaleout.rs` for an end-to-end walk-through.
 
 use annkit::topk::{Neighbor, TopK};
-use annkit::vector::Dataset;
-use baselines::engine::{AnnEngine, SearchOutcome};
+use baselines::engine::{AnnEngine, SearchRequest, SearchResponse};
 use baselines::workload_stats::WorkloadStats;
 use pim_sim::energy::EnergyModel;
 use pim_sim::stats::StageBreakdown;
@@ -129,32 +128,38 @@ impl AnnEngine for MultiHostUpAnns<'_> {
         &self.name
     }
 
-    fn search_batch(&mut self, queries: &Dataset, nprobe: usize, k: usize) -> SearchOutcome {
+    fn execute(&mut self, request: &SearchRequest) -> SearchResponse {
+        if request.is_empty() {
+            return SearchResponse::empty(request.id);
+        }
+        let queries = request.queries();
         let peers = self.hosts.len().saturating_sub(1);
         let query_bytes = queries.len() * queries.dim() * 4;
         let broadcast_s = self.interconnect.transfer_seconds(query_bytes, peers);
 
-        // Every host searches its shard in parallel: the search leg lasts as
-        // long as the slowest host.
+        // Every host receives the full request (per-query options included)
+        // and searches its shard in parallel: the search leg lasts as long as
+        // the slowest host.
         let mut host_outcomes = Vec::with_capacity(self.hosts.len());
         for host in self.hosts.iter_mut() {
-            host_outcomes.push(host.search_batch(queries, nprobe, k));
+            host_outcomes.push(host.execute(request));
         }
         let search_s = host_outcomes
             .iter()
             .map(|o| o.seconds)
             .fold(0.0f64, f64::max);
 
-        // Result aggregation: each peer returns k neighbors per query; the
-        // coordinator merges all lists.
-        let result_bytes = queries.len() * k * 12;
+        // Result aggregation: each peer returns k_i neighbors for query i;
+        // the coordinator merges all lists under the query's own k.
+        let returned_k: usize = request.options().iter().map(|o| o.k).sum();
+        let result_bytes = returned_k * 12;
         let gather_s = self.interconnect.transfer_seconds(result_bytes, peers);
-        let merge_ops = (self.hosts.len() * queries.len() * k) as f64;
+        let merge_ops = (self.hosts.len() * returned_k) as f64;
         let merge_s = merge_ops * 8.0 / 2.1e9; // scalar heap ops on the coordinator CPU
 
         let mut results: Vec<Vec<Neighbor>> = Vec::with_capacity(queries.len());
-        for q in 0..queries.len() {
-            let mut heap = TopK::new(k);
+        for (q, opt) in request.options().iter().enumerate() {
+            let mut heap = TopK::new(opt.k);
             for outcome in &host_outcomes {
                 for n in &outcome.results[q] {
                     heap.push(n.id, n.distance);
@@ -182,10 +187,11 @@ impl AnnEngine for MultiHostUpAnns<'_> {
             stats.merge(&o.stats);
         }
         stats.queries = queries.len();
-        stats.k = k;
-        stats.nprobe = nprobe;
+        stats.k = request.max_k();
+        stats.nprobe = request.options().iter().map(|o| o.nprobe).max().unwrap_or(0);
 
-        SearchOutcome {
+        SearchResponse {
+            request_id: request.id,
             results,
             seconds: broadcast_s + search_s + gather_s + merge_s,
             breakdown,
@@ -211,6 +217,7 @@ mod tests {
     use crate::builder::{BatchCapacity, UpAnnsBuilder};
     use crate::config::UpAnnsConfig;
     use annkit::flat::FlatIndex;
+    use annkit::vector::Dataset;
     use annkit::ivf::{IvfPqIndex, IvfPqParams};
     use annkit::recall::recall_at_k;
     use annkit::synthetic::SyntheticSpec;

@@ -1,0 +1,108 @@
+//! The admission queue: a bounded waiting room in front of the batch former.
+//!
+//! Under overload, queueing theory leaves two options: let the queue (and
+//! therefore the tail latency) grow without bound, or shed load at the door.
+//! The service sheds: a query is admitted only while fewer than `capacity`
+//! queries are waiting for a batch; everyone else is rejected immediately,
+//! which keeps the latency of *admitted* queries bounded by the batching
+//! delay plus the engine backlog.
+
+/// Bounded admission accounting for queries waiting to be batched.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    waiting: usize,
+    admitted: u64,
+    shed: u64,
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `capacity` concurrent waiters.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero (a service that admits nothing).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "admission capacity must be positive");
+        Self {
+            capacity,
+            waiting: 0,
+            admitted: 0,
+            shed: 0,
+        }
+    }
+
+    /// Tries to admit one query. Returns `false` (and counts a shed) when
+    /// the waiting room is full.
+    pub fn try_admit(&mut self) -> bool {
+        if self.waiting < self.capacity {
+            self.waiting += 1;
+            self.admitted += 1;
+            true
+        } else {
+            self.shed += 1;
+            false
+        }
+    }
+
+    /// Releases `n` waiters (a formed batch left for the engine).
+    ///
+    /// # Panics
+    /// Panics if more waiters are released than were admitted.
+    pub fn release(&mut self, n: usize) {
+        assert!(n <= self.waiting, "released more queries than are waiting");
+        self.waiting -= n;
+    }
+
+    /// Queries currently waiting.
+    pub fn waiting(&self) -> usize {
+        self.waiting
+    }
+
+    /// Maximum concurrent waiters.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total queries admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Total queries shed so far.
+    pub fn shed(&self) -> u64 {
+        self.shed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_until_capacity_then_sheds() {
+        let mut q = AdmissionQueue::new(2);
+        assert!(q.try_admit());
+        assert!(q.try_admit());
+        assert!(!q.try_admit(), "third concurrent waiter must be shed");
+        assert_eq!((q.waiting(), q.admitted(), q.shed()), (2, 2, 1));
+
+        q.release(1);
+        assert!(q.try_admit(), "capacity freed by release");
+        assert_eq!(q.waiting(), 2);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "more queries than are waiting")]
+    fn over_release_is_a_bug() {
+        let mut q = AdmissionQueue::new(4);
+        q.try_admit();
+        q.release(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = AdmissionQueue::new(0);
+    }
+}

@@ -1,0 +1,346 @@
+//! The dynamic batch former: turning single-query arrivals into engine-sized
+//! batches without unbounded waiting.
+//!
+//! Engines amortize their per-batch overheads (kernel launches, DPU transfer
+//! legs) over the batch, so bigger batches mean higher throughput — but a
+//! query must not sit forever waiting for company. The former keeps one open
+//! group per [`QueryOptions`] compatibility key and closes a group when
+//!
+//! * it reaches `max_batch` queries ([`CloseReason::Size`]), or
+//! * its oldest member has waited `max_delay_s` ([`CloseReason::Deadline`]).
+//!
+//! Queries with different latency budgets share a group (budgets steer
+//! upstream parameter selection, not execution); queries with different
+//! `k`/`nprobe` never do, because the engines execute those as separate
+//! uniform sub-batches anyway.
+
+use baselines::engine::QueryOptions;
+
+/// One admitted query waiting for (or leaving in) a batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingQuery {
+    /// When the query arrived, in stream seconds.
+    pub arrival_s: f64,
+    /// Its index in the replayed stream (also indexes the query vectors).
+    pub stream_index: usize,
+    /// Its per-query options.
+    pub options: QueryOptions,
+}
+
+/// Why a batch left the former.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The group reached `max_batch` queries.
+    Size,
+    /// The group's oldest member hit the `max_delay_s` deadline.
+    Deadline,
+    /// The stream ended and the group was flushed.
+    Flush,
+}
+
+/// A closed batch, ready for the engine.
+#[derive(Debug, Clone)]
+pub struct FormedBatch {
+    /// The compatibility options shared by all members (first member's).
+    pub options: QueryOptions,
+    /// The member queries in arrival order.
+    pub members: Vec<PendingQuery>,
+    /// When the group was opened (first member's arrival).
+    pub opened_at: f64,
+    /// When the group closed (size: closing arrival; deadline: the deadline).
+    pub closed_at: f64,
+    /// Why the group closed.
+    pub reason: CloseReason,
+}
+
+impl FormedBatch {
+    /// Number of member queries.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the batch is empty (never produced by the former).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Close conditions of the batch former.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchFormerConfig {
+    /// Maximum queries per batch (the size trigger).
+    pub max_batch: usize,
+    /// Maximum seconds the oldest member may wait (the deadline trigger).
+    pub max_delay_s: f64,
+}
+
+impl Default for BatchFormerConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_delay_s: 2e-3,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct OpenGroup {
+    options: QueryOptions,
+    members: Vec<PendingQuery>,
+    opened_at: f64,
+}
+
+impl OpenGroup {
+    fn close(self, closed_at: f64, reason: CloseReason) -> FormedBatch {
+        FormedBatch {
+            options: self.options,
+            members: self.members,
+            opened_at: self.opened_at,
+            closed_at,
+            reason,
+        }
+    }
+}
+
+/// Accumulates compatible queries into open groups and closes them on size
+/// or deadline.
+#[derive(Debug, Clone)]
+pub struct BatchFormer {
+    config: BatchFormerConfig,
+    open: Vec<OpenGroup>,
+}
+
+impl BatchFormer {
+    /// A former with the given close conditions.
+    ///
+    /// # Panics
+    /// Panics if `max_batch` is zero or the delay is negative/non-finite.
+    pub fn new(config: BatchFormerConfig) -> Self {
+        assert!(config.max_batch > 0, "batches need at least one query");
+        assert!(
+            config.max_delay_s >= 0.0 && config.max_delay_s.is_finite(),
+            "max delay must be a finite non-negative time"
+        );
+        Self {
+            config,
+            open: Vec::new(),
+        }
+    }
+
+    /// The configured close conditions.
+    pub fn config(&self) -> &BatchFormerConfig {
+        &self.config
+    }
+
+    /// Adds an admitted query at time `now`. Returns the query's batch when
+    /// this arrival fills it to `max_batch`.
+    pub fn push(&mut self, query: PendingQuery, now: f64) -> Option<FormedBatch> {
+        let key = query.options.compat_key();
+        match self
+            .open
+            .iter_mut()
+            .position(|g| g.options.compat_key() == key)
+        {
+            Some(i) => {
+                self.open[i].members.push(query);
+                if self.open[i].members.len() >= self.config.max_batch {
+                    return Some(self.open.swap_remove(i).close(now, CloseReason::Size));
+                }
+            }
+            None => {
+                self.open.push(OpenGroup {
+                    options: query.options,
+                    members: vec![query],
+                    opened_at: now,
+                });
+                if self.config.max_batch == 1 {
+                    let group = self.open.pop().expect("just pushed");
+                    return Some(group.close(now, CloseReason::Size));
+                }
+            }
+        }
+        None
+    }
+
+    /// The earliest deadline among open groups, if any.
+    pub fn next_deadline(&self) -> Option<f64> {
+        self.open
+            .iter()
+            .map(|g| g.opened_at + self.config.max_delay_s)
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Closes every group whose deadline has passed by `now`, oldest first.
+    /// Each batch's `closed_at` is its own deadline, not `now`.
+    pub fn due(&mut self, now: f64) -> Vec<FormedBatch> {
+        // Remove in descending *index* order so earlier indices stay valid
+        // (`open` is not sorted by age — size-triggered closes swap-remove),
+        // then sort the closed batches by age for the caller.
+        let expired: Vec<usize> = (0..self.open.len())
+            .rev()
+            .filter(|&i| self.open[i].opened_at + self.config.max_delay_s <= now)
+            .collect();
+        let mut closed = Vec::with_capacity(expired.len());
+        for i in expired {
+            let group = self.open.remove(i);
+            let deadline = group.opened_at + self.config.max_delay_s;
+            closed.push(group.close(deadline, CloseReason::Deadline));
+        }
+        closed.sort_by(|a, b| {
+            a.opened_at
+                .partial_cmp(&b.opened_at)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        closed
+    }
+
+    /// Closes everything still open (stream end), oldest group first.
+    pub fn flush(&mut self, now: f64) -> Vec<FormedBatch> {
+        let mut groups = std::mem::take(&mut self.open);
+        groups.sort_by(|a, b| {
+            a.opened_at
+                .partial_cmp(&b.opened_at)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        groups
+            .into_iter()
+            .map(|g| g.close(now, CloseReason::Flush))
+            .collect()
+    }
+
+    /// Queries currently waiting in open groups.
+    pub fn open_queries(&self) -> usize {
+        self.open.iter().map(|g| g.members.len()).sum()
+    }
+
+    /// Number of open groups (distinct compatibility keys in flight).
+    pub fn open_groups(&self) -> usize {
+        self.open.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(i: usize, t: f64, k: usize, nprobe: usize) -> PendingQuery {
+        PendingQuery {
+            arrival_s: t,
+            stream_index: i,
+            options: QueryOptions::new(k, nprobe),
+        }
+    }
+
+    #[test]
+    fn size_trigger_closes_exactly_at_max_batch() {
+        let mut former = BatchFormer::new(BatchFormerConfig {
+            max_batch: 3,
+            max_delay_s: 1.0,
+        });
+        assert!(former.push(pending(0, 0.0, 10, 8), 0.0).is_none());
+        assert!(former.push(pending(1, 0.1, 10, 8), 0.1).is_none());
+        let batch = former.push(pending(2, 0.2, 10, 8), 0.2).expect("full");
+        assert_eq!(batch.reason, CloseReason::Size);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.closed_at, 0.2);
+        assert_eq!(batch.opened_at, 0.0);
+        assert_eq!(former.open_queries(), 0);
+    }
+
+    #[test]
+    fn deadline_trigger_closes_at_the_deadline_not_at_poll_time() {
+        let mut former = BatchFormer::new(BatchFormerConfig {
+            max_batch: 100,
+            max_delay_s: 0.5,
+        });
+        former.push(pending(0, 0.0, 10, 8), 0.0);
+        former.push(pending(1, 0.2, 10, 8), 0.2);
+        assert_eq!(former.next_deadline(), Some(0.5));
+        assert!(former.due(0.49).is_empty(), "not due yet");
+        let closed = former.due(3.0);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].reason, CloseReason::Deadline);
+        assert_eq!(closed[0].closed_at, 0.5, "closes at its deadline");
+        assert_eq!(closed[0].len(), 2);
+        assert_eq!(former.next_deadline(), None);
+    }
+
+    #[test]
+    fn incompatible_options_form_separate_groups() {
+        let mut former = BatchFormer::new(BatchFormerConfig {
+            max_batch: 2,
+            max_delay_s: 1.0,
+        });
+        assert!(former.push(pending(0, 0.0, 10, 8), 0.0).is_none());
+        assert!(former.push(pending(1, 0.0, 20, 8), 0.0).is_none());
+        assert!(former.push(pending(2, 0.0, 10, 4), 0.0).is_none());
+        assert_eq!(former.open_groups(), 3);
+        // Filling the (k=10, nprobe=8) group closes only that group.
+        let batch = former.push(pending(3, 0.1, 10, 8), 0.1).expect("full");
+        assert_eq!(
+            batch.members.iter().map(|m| m.stream_index).collect::<Vec<_>>(),
+            vec![0, 3]
+        );
+        assert_eq!(former.open_groups(), 2);
+    }
+
+    #[test]
+    fn latency_budgets_do_not_split_groups() {
+        let mut former = BatchFormer::new(BatchFormerConfig {
+            max_batch: 2,
+            max_delay_s: 1.0,
+        });
+        let mut budgeted = pending(0, 0.0, 10, 8);
+        budgeted.options = budgeted.options.with_latency_budget(1e-3);
+        assert!(former.push(budgeted, 0.0).is_none());
+        assert!(former.push(pending(1, 0.0, 10, 8), 0.0).is_some());
+    }
+
+    #[test]
+    fn flush_closes_all_groups_oldest_first() {
+        let mut former = BatchFormer::new(BatchFormerConfig::default());
+        former.push(pending(0, 0.3, 5, 4), 0.3);
+        former.push(pending(1, 0.1, 10, 8), 0.1);
+        let flushed = former.flush(1.0);
+        assert_eq!(flushed.len(), 2);
+        assert!(flushed.iter().all(|b| b.reason == CloseReason::Flush));
+        assert_eq!(flushed[0].opened_at, 0.1);
+        assert_eq!(flushed[1].opened_at, 0.3);
+        assert_eq!(former.open_queries(), 0);
+    }
+
+    #[test]
+    fn due_survives_swap_remove_reordering() {
+        // A size-triggered close swap-removes its group, so `open` is no
+        // longer sorted by age; due() must still close the right groups
+        // (this exact sequence used to panic with an out-of-bounds remove).
+        let mut former = BatchFormer::new(BatchFormerConfig {
+            max_batch: 2,
+            max_delay_s: 10.0,
+        });
+        former.push(pending(0, 0.0, 10, 8), 0.0); // group A
+        former.push(pending(1, 1.0, 20, 8), 1.0); // group B
+        former.push(pending(2, 2.0, 30, 8), 2.0); // group C
+        // Fill A: swap_remove leaves open = [C, B].
+        assert!(former.push(pending(3, 3.0, 10, 8), 3.0).is_some());
+        let closed = former.due(100.0);
+        assert_eq!(closed.len(), 2);
+        assert_eq!(closed[0].opened_at, 1.0, "oldest first");
+        assert_eq!(closed[1].opened_at, 2.0);
+        assert_eq!(closed[0].members[0].stream_index, 1);
+        assert_eq!(closed[1].members[0].stream_index, 2);
+        assert_eq!(former.open_groups(), 0);
+    }
+
+    #[test]
+    fn max_batch_one_closes_immediately() {
+        let mut former = BatchFormer::new(BatchFormerConfig {
+            max_batch: 1,
+            max_delay_s: 1.0,
+        });
+        let batch = former.push(pending(0, 0.0, 10, 8), 0.0).expect("immediate");
+        assert_eq!(batch.reason, CloseReason::Size);
+        assert_eq!(batch.len(), 1);
+        assert!(!batch.is_empty());
+    }
+}

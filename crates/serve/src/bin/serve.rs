@@ -1,0 +1,251 @@
+//! `serve` — replay a timed query stream through the serving front-end on
+//! every engine and report sustained QPS and latency percentiles.
+//!
+//! ```text
+//! cargo run --release -p upanns-serve --bin serve -- [--queries N] [--qps R]
+//!     [--repeat F] [--json PATH]
+//! ```
+//!
+//! The replay is fully deterministic (fixed seeds, simulated clock), so the
+//! `--json` output doubles as the committed `BENCH_serving.json` regression
+//! baseline: rerun with the default arguments and diff.
+
+use annkit::ivf::{IvfPqIndex, IvfPqParams};
+use annkit::synthetic::SyntheticSpec;
+use annkit::workload::{StreamSpec, WorkloadSpec};
+use baselines::cpu::CpuFaissEngine;
+use baselines::engine::QueryOptions;
+use baselines::gpu::GpuFaissEngine;
+use pim_sim::config::PimConfig;
+use upanns::builder::{BatchCapacity, UpAnnsBuilder};
+use upanns::config::UpAnnsConfig;
+use upanns_serve::batcher::BatchFormerConfig;
+use upanns_serve::{SearchService, ServiceConfig, ServiceReport};
+
+/// Fixed tiny-scale evaluation shape (kept stable so the JSON baseline is
+/// comparable PR-over-PR).
+const DATASET_N: usize = 4_000;
+const NLIST: usize = 512;
+const PQ_M: usize = 16;
+const DPUS: usize = 896;
+/// Modeled dataset size for the work-scale projection. Chosen so the modeled
+/// per-cluster size (MODELED_N / NLIST = 244k vectors) matches the reference
+/// billion-scale configuration (10^9 / 4096) that the `figures` experiments
+/// use — per-DPU granule times are then comparable to fig12's.
+const MODELED_N: f64 = 1.25e8;
+
+struct Args {
+    queries: usize,
+    qps: f64,
+    repeat: f64,
+    json: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            queries: 1_000,
+            qps: 400.0,
+            repeat: 0.25,
+            json: None,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--queries" => args.queries = value("--queries").parse().expect("--queries: integer"),
+            "--qps" => args.qps = value("--qps").parse().expect("--qps: number"),
+            "--repeat" => args.repeat = value("--repeat").parse().expect("--repeat: number"),
+            "--json" => args.json = Some(value("--json")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: serve [--queries N] [--qps R] [--repeat F] [--json PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    args
+}
+
+/// The per-query options mix: two nprobe tiers at k=10 plus a k=20 tier
+/// carrying a latency budget (exercises mixed-options batching end to end).
+fn options_of(index: usize) -> QueryOptions {
+    match index % 3 {
+        0 => QueryOptions::new(10, 8),
+        1 => QueryOptions::new(10, 4),
+        _ => QueryOptions::new(20, 8).with_latency_budget(0.05),
+    }
+}
+
+fn json_num(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+fn report_json(r: &ServiceReport) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"name\": \"{}\",\n",
+            "      \"sustained_qps\": {},\n",
+            "      \"p50_ms\": {},\n",
+            "      \"p99_ms\": {},\n",
+            "      \"mean_ms\": {},\n",
+            "      \"completed\": {},\n",
+            "      \"shed\": {},\n",
+            "      \"cache_hit_rate\": {},\n",
+            "      \"batches\": {},\n",
+            "      \"mean_batch_size\": {},\n",
+            "      \"engine_busy_s\": {}\n",
+            "    }}"
+        ),
+        r.engine,
+        json_num(r.sustained_qps()),
+        json_num(r.p50() * 1e3),
+        json_num(r.p99() * 1e3),
+        json_num(r.mean_latency() * 1e3),
+        r.completed,
+        r.shed,
+        json_num(r.cache_hit_rate()),
+        r.batches(),
+        json_num(r.mean_batch_size()),
+        json_num(r.engine_busy_s),
+    )
+}
+
+fn main() {
+    let args = parse_args();
+    let work_scale = (MODELED_N / DATASET_N as f64).max(1.0);
+
+    eprintln!(
+        "building fixture: n={DATASET_N}, nlist={NLIST}, dpus={DPUS}, \
+         stream of {} queries at {} qps (repeat fraction {})",
+        args.queries, args.qps, args.repeat
+    );
+    let dataset = SyntheticSpec::sift_like(DATASET_N)
+        .with_clusters(16)
+        .with_seed(7)
+        .generate_with_meta();
+    let index = IvfPqIndex::train(
+        &dataset.vectors,
+        &IvfPqParams::new(NLIST, PQ_M).with_train_size(2_400),
+        5,
+    );
+    let history = WorkloadSpec::new(600).with_seed(8).generate(&dataset).queries;
+    let stream = StreamSpec::new(args.queries, args.qps)
+        .with_repeat_fraction(args.repeat)
+        .generate(&dataset);
+
+    let service_config = ServiceConfig {
+        queue_capacity: 512,
+        batcher: BatchFormerConfig {
+            max_batch: 128,
+            max_delay_s: 250e-3,
+        },
+        cache_capacity: 512,
+        cache_lookup_s: 2e-6,
+    };
+
+    let build_pim = |config: UpAnnsConfig| {
+        UpAnnsBuilder::new(&index)
+            .with_config(config.with_work_scale(work_scale))
+            .with_pim_config(PimConfig::with_dpus(DPUS))
+            .with_history(&history, 8)
+            .with_batch_capacity(BatchCapacity {
+                batch_size: 64,
+                nprobe: 8,
+                max_k: 20,
+            })
+            .build()
+    };
+
+    let mut reports: Vec<ServiceReport> = Vec::new();
+    {
+        let engine = CpuFaissEngine::new(&index).with_work_scale(work_scale);
+        reports.push(SearchService::new(engine, service_config).replay(&stream, options_of));
+    }
+    {
+        let engine = GpuFaissEngine::new(&index).with_work_scale(work_scale);
+        reports.push(SearchService::new(engine, service_config).replay(&stream, options_of));
+    }
+    reports.push(
+        SearchService::new(build_pim(UpAnnsConfig::pim_naive()), service_config)
+            .replay(&stream, options_of),
+    );
+    reports.push(
+        SearchService::new(build_pim(UpAnnsConfig::upanns()), service_config)
+            .replay(&stream, options_of),
+    );
+
+    println!(
+        "| engine | sustained QPS | p50 (ms) | p99 (ms) | mean (ms) | completed | shed | cache hit | batches | mean batch |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|");
+    for r in &reports {
+        println!(
+            "| {} | {:.1} | {:.3} | {:.3} | {:.3} | {} | {} | {:.1}% | {} | {:.1} |",
+            r.engine,
+            r.sustained_qps(),
+            r.p50() * 1e3,
+            r.p99() * 1e3,
+            r.mean_latency() * 1e3,
+            r.completed,
+            r.shed,
+            r.cache_hit_rate() * 100.0,
+            r.batches(),
+            r.mean_batch_size(),
+        );
+    }
+
+    if let Some(path) = args.json {
+        let engines: Vec<String> = reports.iter().map(report_json).collect();
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"schema\": \"upanns-serving-bench-v1\",\n",
+                "  \"config\": {{\n",
+                "    \"dataset_n\": {},\n",
+                "    \"nlist\": {},\n",
+                "    \"dpus\": {},\n",
+                "    \"work_scale\": {},\n",
+                "    \"num_queries\": {},\n",
+                "    \"offered_qps\": {},\n",
+                "    \"repeat_fraction\": {},\n",
+                "    \"queue_capacity\": {},\n",
+                "    \"max_batch\": {},\n",
+                "    \"max_delay_ms\": {},\n",
+                "    \"cache_capacity\": {}\n",
+                "  }},\n",
+                "  \"engines\": [\n{}\n  ]\n",
+                "}}\n"
+            ),
+            DATASET_N,
+            NLIST,
+            DPUS,
+            json_num(work_scale),
+            args.queries,
+            json_num(args.qps),
+            json_num(args.repeat),
+            service_config.queue_capacity,
+            service_config.batcher.max_batch,
+            json_num(service_config.batcher.max_delay_s * 1e3),
+            service_config.cache_capacity,
+            engines.join(",\n"),
+        );
+        std::fs::write(&path, json).expect("write JSON baseline");
+        eprintln!("wrote {path}");
+    }
+}

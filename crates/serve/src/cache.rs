@@ -1,0 +1,225 @@
+//! The result cache: an LRU over exact (query, options) pairs.
+//!
+//! RAG and recommendation streams re-ask popular questions, so a small
+//! serving-side cache short-circuits the engine entirely for repeats. The
+//! key is the query's exact float bits plus the options that shaped the
+//! answer (`k`, `nprobe`): a repeat with a different `k` must miss, because
+//! its neighbor list would differ.
+
+use annkit::topk::Neighbor;
+use baselines::engine::QueryOptions;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    query_bits: Vec<u32>,
+    k: usize,
+    nprobe: usize,
+}
+
+impl CacheKey {
+    fn new(query: &[f32], options: &QueryOptions) -> Self {
+        Self {
+            query_bits: query.iter().map(|x| x.to_bits()).collect(),
+            k: options.k,
+            nprobe: options.nprobe,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    neighbors: Vec<Neighbor>,
+    /// Simulated time the answer became available (a repeat arriving earlier
+    /// must wait for it — no time-travel hits).
+    ready_at: f64,
+    last_used: u64,
+}
+
+/// A least-recently-used cache of query results with hit/miss accounting.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    capacity: usize,
+    entries: HashMap<CacheKey, CacheEntry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: HashMap::new(),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up a query's cached neighbors, counting a hit or a miss and
+    /// refreshing the entry's recency on a hit. A hit returns the neighbors
+    /// together with the simulated time the answer became available.
+    pub fn lookup(&mut self, query: &[f32], options: &QueryOptions) -> Option<(Vec<Neighbor>, f64)> {
+        if self.capacity == 0 {
+            self.misses += 1;
+            return None;
+        }
+        self.clock += 1;
+        let key = CacheKey::new(query, options);
+        match self.entries.get_mut(&key) {
+            Some(entry) => {
+                entry.last_used = self.clock;
+                self.hits += 1;
+                Some((entry.neighbors.clone(), entry.ready_at))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a query's neighbors (available from simulated time `ready_at`),
+    /// evicting the least-recently-used entry when the cache is full.
+    pub fn insert(
+        &mut self,
+        query: &[f32],
+        options: &QueryOptions,
+        neighbors: Vec<Neighbor>,
+        ready_at: f64,
+    ) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        let key = CacheKey::new(query, options);
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+            }
+        }
+        self.entries.insert(
+            key,
+            CacheEntry {
+                neighbors,
+                ready_at,
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hits / lookups, 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(k: usize, nprobe: usize) -> QueryOptions {
+        QueryOptions::new(k, nprobe)
+    }
+
+    fn hit(id: u64) -> Vec<Neighbor> {
+        vec![Neighbor::new(id, 0.5)]
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut cache = ResultCache::new(8);
+        let q = [1.0f32, 2.0];
+        assert!(cache.lookup(&q, &opts(10, 8)).is_none());
+        cache.insert(&q, &opts(10, 8), hit(7), 0.5);
+        let (found, ready_at) = cache.lookup(&q, &opts(10, 8)).expect("cached");
+        assert_eq!(found[0].id, 7);
+        assert_eq!(ready_at, 0.5);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_options_are_different_entries() {
+        let mut cache = ResultCache::new(8);
+        let q = [1.0f32, 2.0];
+        cache.insert(&q, &opts(10, 8), hit(1), 0.0);
+        assert!(cache.lookup(&q, &opts(20, 8)).is_none(), "k differs");
+        assert!(cache.lookup(&q, &opts(10, 4)).is_none(), "nprobe differs");
+        assert!(cache.lookup(&q, &opts(10, 8)).is_some());
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache = ResultCache::new(2);
+        let (a, b, c) = ([1.0f32], [2.0f32], [3.0f32]);
+        cache.insert(&a, &opts(10, 8), hit(1), 0.0);
+        cache.insert(&b, &opts(10, 8), hit(2), 0.0);
+        // Touch `a`, making `b` the LRU entry.
+        assert!(cache.lookup(&a, &opts(10, 8)).is_some());
+        cache.insert(&c, &opts(10, 8), hit(3), 0.0);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&a, &opts(10, 8)).is_some(), "a survived");
+        assert!(cache.lookup(&b, &opts(10, 8)).is_none(), "b was evicted");
+        assert!(cache.lookup(&c, &opts(10, 8)).is_some(), "c is resident");
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut cache = ResultCache::new(2);
+        let (a, b) = ([1.0f32], [2.0f32]);
+        cache.insert(&a, &opts(10, 8), hit(1), 0.0);
+        cache.insert(&b, &opts(10, 8), hit(2), 0.0);
+        cache.insert(&a, &opts(10, 8), hit(9), 1.0); // refresh, not eviction
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.lookup(&a, &opts(10, 8)).unwrap().0[0].id, 9);
+        assert!(cache.lookup(&b, &opts(10, 8)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ResultCache::new(0);
+        let q = [1.0f32];
+        cache.insert(&q, &opts(10, 8), hit(1), 0.0);
+        assert!(cache.lookup(&q, &opts(10, 8)).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 0);
+    }
+}

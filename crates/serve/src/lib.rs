@@ -1,0 +1,47 @@
+//! # upanns-serve — the online serving front-end
+//!
+//! The engines in this workspace answer one [`SearchRequest`] at a time; a
+//! production deployment faces a *stream* of heterogeneous single queries
+//! instead (the paper's framing of the online phase: RAG and recommendation
+//! traffic with per-query parameters and latency expectations). This crate
+//! builds the layer between the two:
+//!
+//! ```text
+//!   QueryStream ──► AdmissionQueue ──► BatchFormer ──► AnnEngine::execute
+//!        (timed arrivals)  (bounded,       (closes on size │
+//!                           sheds on        or deadline,    ▼
+//!                           overload)       groups by    ResultCache
+//!                                           compatible   (LRU over exact
+//!                                           QueryOptions)  query + options)
+//! ```
+//!
+//! * [`admission::AdmissionQueue`] — a bounded waiting room; arrivals beyond
+//!   capacity are shed instead of growing the tail latency without bound.
+//! * [`batcher::BatchFormer`] — dynamic batching: queries with compatible
+//!   [`QueryOptions`](baselines::engine::QueryOptions) accumulate in an open
+//!   group that closes when it reaches `max_batch` **or** when the oldest
+//!   member has waited `max_delay_s`.
+//! * [`cache::ResultCache`] — an LRU of exact (query, options) → neighbors
+//!   entries; repeated questions (common in RAG streams) bypass the engine.
+//! * [`service::SearchService`] — ties the pieces together and replays an
+//!   [`annkit::workload::QueryStream`] against the simulated clock, reporting
+//!   sustained QPS and latency percentiles per engine.
+//!
+//! The `serve` binary replays a fixed tiny-scale stream through all four
+//! engines (Faiss-CPU, Faiss-GPU, PIM-naive, UpANNS) and can emit the
+//! committed `BENCH_serving.json` regression baseline.
+
+pub mod admission;
+pub mod batcher;
+pub mod cache;
+pub mod service;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::admission::AdmissionQueue;
+    pub use crate::batcher::{BatchFormer, BatchFormerConfig, CloseReason, FormedBatch, PendingQuery};
+    pub use crate::cache::ResultCache;
+    pub use crate::service::{SearchService, ServiceConfig, ServiceReport};
+}
+
+pub use service::{SearchService, ServiceConfig, ServiceReport};

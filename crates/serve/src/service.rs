@@ -1,0 +1,465 @@
+//! The serving front-end: admission → batching → cache → engine, replayed
+//! against the simulated clock.
+//!
+//! [`SearchService`] wraps any [`AnnEngine`] and replays a timed
+//! [`QueryStream`]: every arrival is admitted (or shed), checked against the
+//! result cache, and batched with compatible queries; formed batches run on
+//! the engine back-to-back (the engine is a single serial resource, so a
+//! batch dispatched while the engine is busy waits for it). All times are
+//! simulated seconds — the engines' own timing models drive the clock, so
+//! sustained QPS and latency percentiles are comparable across the CPU, GPU
+//! and PIM engines exactly like the batch benchmarks.
+
+use crate::admission::AdmissionQueue;
+use crate::batcher::{BatchFormer, BatchFormerConfig, CloseReason, FormedBatch, PendingQuery};
+use crate::cache::ResultCache;
+use annkit::topk::Neighbor;
+use annkit::workload::QueryStream;
+use baselines::engine::{AnnEngine, QueryOptions, SearchRequest};
+
+/// Configuration of a [`SearchService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Maximum queries waiting for a batch before arrivals are shed.
+    pub queue_capacity: usize,
+    /// Close conditions of the dynamic batch former.
+    pub batcher: BatchFormerConfig,
+    /// Result-cache entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Simulated seconds to answer a query from the cache.
+    pub cache_lookup_s: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 4096,
+            batcher: BatchFormerConfig::default(),
+            cache_capacity: 1024,
+            cache_lookup_s: 2e-6,
+        }
+    }
+}
+
+/// What the replay measured.
+#[derive(Debug, Clone)]
+pub struct ServiceReport {
+    /// The engine's display name.
+    pub engine: String,
+    /// Queries answered (engine or cache).
+    pub completed: usize,
+    /// Queries rejected at admission.
+    pub shed: usize,
+    /// Cache hits / misses.
+    pub cache_hits: u64,
+    /// Cache lookups that found nothing.
+    pub cache_misses: u64,
+    /// Batches executed on the engine, split by close reason.
+    pub size_closed_batches: usize,
+    /// Batches closed by the waiting deadline.
+    pub deadline_closed_batches: usize,
+    /// Batches flushed at stream end.
+    pub flushed_batches: usize,
+    /// Simulated seconds the engine spent executing batches.
+    pub engine_busy_s: f64,
+    /// Time of the last completion (the replay's makespan).
+    pub makespan_s: f64,
+    /// Per-query end-to-end latencies in seconds, sorted ascending.
+    pub latencies_s: Vec<f64>,
+    /// Per-query results in stream order (empty vector for shed queries).
+    pub results: Vec<Vec<Neighbor>>,
+}
+
+impl ServiceReport {
+    /// Completed queries per second of makespan (sustained throughput).
+    pub fn sustained_qps(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.makespan_s
+        }
+    }
+
+    /// The `p`-th latency percentile in seconds (nearest-rank on the sorted
+    /// latencies; 0 when nothing completed).
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.latencies_s.is_empty() {
+            return 0.0;
+        }
+        let rank = (p.clamp(0.0, 100.0) / 100.0 * (self.latencies_s.len() - 1) as f64).round();
+        self.latencies_s[rank as usize]
+    }
+
+    /// Median latency in seconds.
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Tail latency in seconds.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Mean latency in seconds (0 when nothing completed).
+    pub fn mean_latency(&self) -> f64 {
+        if self.latencies_s.is_empty() {
+            0.0
+        } else {
+            self.latencies_s.iter().sum::<f64>() / self.latencies_s.len() as f64
+        }
+    }
+
+    /// Cache hit rate over all lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Total batches the engine executed.
+    pub fn batches(&self) -> usize {
+        self.size_closed_batches + self.deadline_closed_batches + self.flushed_batches
+    }
+
+    /// Mean queries per executed batch (0 without batches).
+    pub fn mean_batch_size(&self) -> f64 {
+        let batches = self.batches();
+        let engine_answered = self.completed as u64 - self.cache_hits;
+        if batches == 0 {
+            0.0
+        } else {
+            engine_answered as f64 / batches as f64
+        }
+    }
+}
+
+/// A serving front-end over one engine.
+pub struct SearchService<E: AnnEngine> {
+    engine: E,
+    config: ServiceConfig,
+    next_request_id: u64,
+}
+
+impl<E: AnnEngine> SearchService<E> {
+    /// Wraps `engine` with the given front-end configuration.
+    pub fn new(engine: E, config: ServiceConfig) -> Self {
+        Self {
+            engine,
+            config,
+            next_request_id: 0,
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// The front-end configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Unwraps the service, returning the engine.
+    pub fn into_engine(self) -> E {
+        self.engine
+    }
+
+    /// Replays a timed stream, assigning `options_of(stream_index)` to each
+    /// query, and reports sustained QPS, latency percentiles and front-end
+    /// counters. The replay is deterministic.
+    pub fn replay(
+        &mut self,
+        stream: &QueryStream,
+        mut options_of: impl FnMut(usize) -> QueryOptions,
+    ) -> ServiceReport {
+        let mut queue = AdmissionQueue::new(self.config.queue_capacity);
+        let mut former = BatchFormer::new(self.config.batcher);
+        let mut cache = ResultCache::new(self.config.cache_capacity);
+
+        // Admitted queries occupy the waiting room until their batch
+        // *finishes* on the engine, so an engine backlog exerts backpressure
+        // on admission. Completions are released lazily as the clock passes
+        // them: (finish_time, queries) pairs.
+        let mut completions: Vec<(f64, usize)> = Vec::new();
+
+        let mut engine_free_at = 0.0f64;
+        let mut engine_busy_s = 0.0f64;
+        let mut makespan_s = 0.0f64;
+        let mut latencies: Vec<f64> = Vec::with_capacity(stream.len());
+        let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); stream.len()];
+        let mut size_closed = 0usize;
+        let mut deadline_closed = 0usize;
+        let mut flushed = 0usize;
+        let cache_lookup_s = self.config.cache_lookup_s;
+
+        let mut run_batch = |batch: FormedBatch,
+                             completions: &mut Vec<(f64, usize)>,
+                             cache: &mut ResultCache,
+                             engine_free_at: &mut f64,
+                             engine_busy_s: &mut f64,
+                             makespan_s: &mut f64,
+                             latencies: &mut Vec<f64>,
+                             results: &mut Vec<Vec<Neighbor>>| {
+            match batch.reason {
+                CloseReason::Size => size_closed += 1,
+                CloseReason::Deadline => deadline_closed += 1,
+                CloseReason::Flush => flushed += 1,
+            }
+            let indices: Vec<usize> = batch.members.iter().map(|m| m.stream_index).collect();
+            let options: Vec<QueryOptions> = batch.members.iter().map(|m| m.options).collect();
+            let queries = stream.batch.queries.gather(&indices);
+            self.next_request_id += 1;
+            let request = SearchRequest::new(queries, options).with_id(self.next_request_id);
+
+            let start = batch.closed_at.max(*engine_free_at);
+            let response = self.engine.execute(&request);
+            let finish = start + response.seconds;
+            *engine_free_at = finish;
+            *engine_busy_s += response.seconds;
+            *makespan_s = makespan_s.max(finish);
+            completions.push((finish, batch.len()));
+
+            for (member, neighbors) in batch.members.iter().zip(response.results) {
+                latencies.push(finish - member.arrival_s);
+                cache.insert(
+                    stream.batch.queries.vector(member.stream_index),
+                    &member.options,
+                    neighbors.clone(),
+                    finish,
+                );
+                results[member.stream_index] = neighbors;
+            }
+        };
+
+        let mut released_upto = 0usize;
+        for (arrival, index) in stream.iter() {
+            // Close every batching deadline that fires before this arrival.
+            while let Some(deadline) = former.next_deadline() {
+                if deadline > arrival {
+                    break;
+                }
+                for batch in former.due(deadline) {
+                    run_batch(
+                        batch,
+                        &mut completions,
+                        &mut cache,
+                        &mut engine_free_at,
+                        &mut engine_busy_s,
+                        &mut makespan_s,
+                        &mut latencies,
+                        &mut results,
+                    );
+                }
+            }
+
+            // Free the waiting room of every batch finished by now (the
+            // engine is serial, so finish times are non-decreasing).
+            while released_upto < completions.len() && completions[released_upto].0 <= arrival {
+                queue.release(completions[released_upto].1);
+                released_upto += 1;
+            }
+
+            let options = options_of(index);
+            if let Some((cached, ready_at)) =
+                cache.lookup(stream.batch.queries.vector(index), &options)
+            {
+                // A repeat arriving before the original answer is ready waits
+                // for it; afterwards the hit costs only the lookup.
+                let finish = arrival.max(ready_at) + cache_lookup_s;
+                latencies.push(finish - arrival);
+                makespan_s = makespan_s.max(finish);
+                results[index] = cached;
+                continue;
+            }
+            if !queue.try_admit() {
+                continue; // shed at the door
+            }
+            let pending = PendingQuery {
+                arrival_s: arrival,
+                stream_index: index,
+                options,
+            };
+            if let Some(batch) = former.push(pending, arrival) {
+                run_batch(
+                    batch,
+                    &mut completions,
+                    &mut cache,
+                    &mut engine_free_at,
+                    &mut engine_busy_s,
+                    &mut makespan_s,
+                    &mut latencies,
+                    &mut results,
+                );
+            }
+        }
+
+        // Stream over: no more arrivals can join any open group, so flush
+        // everything immediately instead of waiting out the deadlines.
+        for batch in former.flush(stream.duration()) {
+            run_batch(
+                batch,
+                &mut completions,
+                &mut cache,
+                &mut engine_free_at,
+                &mut engine_busy_s,
+                &mut makespan_s,
+                &mut latencies,
+                &mut results,
+            );
+        }
+
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        ServiceReport {
+            engine: self.engine.name().to_string(),
+            completed: latencies.len(),
+            shed: queue.shed() as usize,
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            size_closed_batches: size_closed,
+            deadline_closed_batches: deadline_closed,
+            flushed_batches: flushed,
+            engine_busy_s,
+            makespan_s,
+            latencies_s: latencies,
+            results,
+        }
+    }
+
+    /// [`replay`](Self::replay) with one shared [`QueryOptions`] for the
+    /// whole stream.
+    pub fn replay_uniform(&mut self, stream: &QueryStream, options: QueryOptions) -> ServiceReport {
+        self.replay(stream, |_| options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use annkit::ivf::{IvfPqIndex, IvfPqParams};
+    use annkit::synthetic::{SyntheticDataset, SyntheticSpec};
+    use annkit::workload::StreamSpec;
+    use baselines::cpu::CpuFaissEngine;
+    use std::sync::OnceLock;
+
+    fn fixture() -> &'static (SyntheticDataset, IvfPqIndex) {
+        static FIX: OnceLock<(SyntheticDataset, IvfPqIndex)> = OnceLock::new();
+        FIX.get_or_init(|| {
+            let dataset = SyntheticSpec::sift_like(1500)
+                .with_clusters(12)
+                .with_seed(31)
+                .generate_with_meta();
+            let index = IvfPqIndex::train(
+                &dataset.vectors,
+                &IvfPqParams::new(12, 16).with_train_size(600),
+                3,
+            );
+            (dataset, index)
+        })
+    }
+
+    fn stream(n: usize, qps: f64, repeats: f64) -> QueryStream {
+        let (dataset, _) = fixture();
+        StreamSpec::new(n, qps)
+            .with_repeat_fraction(repeats)
+            .generate(dataset)
+    }
+
+    #[test]
+    fn replay_answers_every_query_or_sheds_it() {
+        let (_, index) = fixture();
+        let mut service =
+            SearchService::new(CpuFaissEngine::new(index), ServiceConfig::default());
+        let stream = stream(200, 50_000.0, 0.0);
+        let report = service.replay_uniform(&stream, QueryOptions::new(10, 4));
+        assert_eq!(report.completed + report.shed, 200);
+        assert_eq!(report.latencies_s.len(), report.completed);
+        assert!(report.batches() > 0);
+        assert!(report.sustained_qps() > 0.0);
+        assert!(report.makespan_s >= stream.duration() * 0.5);
+        assert!(report.engine_busy_s > 0.0);
+        // Latencies are sorted, so the percentiles are monotone.
+        assert!(report.p50() <= report.p99());
+        assert!(report.percentile(0.0) <= report.p50());
+    }
+
+    #[test]
+    fn replay_results_match_direct_execution() {
+        let (_, index) = fixture();
+        let mut service = SearchService::new(
+            CpuFaissEngine::new(index),
+            ServiceConfig {
+                queue_capacity: 10_000,
+                ..ServiceConfig::default()
+            },
+        );
+        let stream = stream(60, 20_000.0, 0.0);
+        let report = service.replay_uniform(&stream, QueryOptions::new(5, 6));
+        assert_eq!(report.shed, 0);
+        let mut engine = CpuFaissEngine::new(index);
+        let direct = engine.search_batch(&stream.batch.queries, 6, 5);
+        for (served, expected) in report.results.iter().zip(&direct.results) {
+            assert_eq!(
+                served.iter().map(|n| n.id).collect::<Vec<_>>(),
+                expected.iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let (_, index) = fixture();
+        let mut service =
+            SearchService::new(CpuFaissEngine::new(index), ServiceConfig::default());
+        let stream = stream(300, 50_000.0, 0.4);
+        let report = service.replay_uniform(&stream, QueryOptions::new(10, 4));
+        assert!(report.cache_hits > 0, "repeats must hit the cache");
+        assert!(report.cache_hit_rate() > 0.05);
+        // A cached answer equals the originally computed answer.
+        assert_eq!(report.completed + report.shed, 300);
+    }
+
+    #[test]
+    fn tiny_queue_sheds_under_overload() {
+        let (_, index) = fixture();
+        let config = ServiceConfig {
+            queue_capacity: 4,
+            batcher: BatchFormerConfig {
+                max_batch: 64,
+                max_delay_s: 10.0, // deadlines never fire mid-stream
+            },
+            cache_capacity: 0,
+            cache_lookup_s: 0.0,
+        };
+        let mut service = SearchService::new(CpuFaissEngine::new(index), config);
+        let stream = stream(100, 1.0e9, 0.0); // everything arrives at once
+        let report = service.replay_uniform(&stream, QueryOptions::new(10, 4));
+        assert!(report.shed > 0, "overload must shed");
+        assert!(report.completed >= 4, "admitted queries still complete");
+    }
+
+    #[test]
+    fn mixed_options_are_batched_separately_but_all_answered() {
+        let (_, index) = fixture();
+        let mut service =
+            SearchService::new(CpuFaissEngine::new(index), ServiceConfig::default());
+        let stream = stream(120, 30_000.0, 0.0);
+        let report = service.replay(&stream, |i| {
+            if i % 2 == 0 {
+                QueryOptions::new(5, 4)
+            } else {
+                QueryOptions::new(20, 8)
+            }
+        });
+        assert_eq!(report.completed + report.shed, 120);
+        for (i, r) in report.results.iter().enumerate() {
+            if r.is_empty() {
+                continue; // shed
+            }
+            assert_eq!(r.len(), if i % 2 == 0 { 5 } else { 20 });
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Serving walkthrough: a stream of heterogeneous queries through the
+//! `upanns-serve` front-end.
+//!
+//! The other examples answer *batches* where every query shares one
+//! `nprobe`/`k`. Production traffic is a stream of single queries with
+//! per-query parameters: an interactive RAG tier wants small `k` and a tight
+//! latency budget, an offline re-ranking tier wants large `k` and tolerates
+//! delay. This example
+//!
+//! * builds an UpANNS engine,
+//! * uses [`NprobePolicy`] to turn per-query latency budgets into per-query
+//!   `nprobe` choices,
+//! * replays a timed [`QueryStream`] through [`SearchService`]
+//!   (admission queue → dynamic batch former → LRU result cache → engine),
+//! * and reports sustained QPS, latency percentiles, and cache efficiency.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use annkit::prelude::*;
+use baselines::prelude::*;
+use pim_sim::config::PimConfig;
+use upanns::prelude::*;
+use upanns_serve::batcher::BatchFormerConfig;
+use upanns_serve::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. Offline phase: dataset, index, engine (see examples/quickstart.rs).
+    // ------------------------------------------------------------------
+    let n = 8_000;
+    println!("Building the fixture ({n} vectors) ...");
+    let dataset = SyntheticSpec::sift_like(n)
+        .with_clusters(64)
+        .with_seed(3)
+        .generate_with_meta();
+    let index = IvfPqIndex::train(
+        &dataset.vectors,
+        &IvfPqParams::new(512, 16).with_train_size(3_000),
+        1,
+    );
+    let history = WorkloadSpec::new(1_500).with_seed(4).generate(&dataset).queries;
+    // Modeled size chosen for per-cluster parity with the reference
+    // billion-scale configuration (see the `serve` binary).
+    let scale = 1.25e8 / n as f64;
+    let engine = UpAnnsBuilder::new(&index)
+        .with_config(UpAnnsConfig::upanns().with_work_scale(scale))
+        .with_pim_config(PimConfig::with_dpus(896))
+        .with_history(&history, 8)
+        .with_batch_capacity(BatchCapacity {
+            batch_size: 64,
+            nprobe: 16,
+            max_k: 50,
+        })
+        .build();
+
+    // ------------------------------------------------------------------
+    // 2. The traffic: a Poisson stream where 30 % of queries repeat earlier
+    //    ones (RAG streams re-ask popular questions), with three traffic
+    //    classes mixing per-query k and nprobe.
+    // ------------------------------------------------------------------
+    let stream = StreamSpec::new(600, 300.0)
+        .with_repeat_fraction(0.3)
+        .generate(&dataset);
+    println!(
+        "Replaying {} queries over {:.1} s of simulated time ({:.0} offered QPS) ...",
+        stream.len(),
+        stream.duration(),
+        stream.offered_qps()
+    );
+
+    // Interactive queries carry a latency budget instead of an nprobe; the
+    // adaptive policy translates budget -> nprobe (tighter budget, fewer
+    // probes). Bulk queries pin their parameters explicitly.
+    let nprobe_policy = NprobePolicy::new(2, 16, 2e-3);
+    let options_of = |i: usize| -> QueryOptions {
+        match i % 3 {
+            // Interactive tier: k=10, 12 ms budget -> policy picks nprobe.
+            0 => {
+                let opt = QueryOptions::new(10, 16).with_latency_budget(12e-3);
+                QueryOptions {
+                    nprobe: nprobe_policy.select(opt.nprobe, opt.latency_budget_s),
+                    ..opt
+                }
+            }
+            // Standard tier: k=10, nprobe=8.
+            1 => QueryOptions::new(10, 8),
+            // Re-ranking tier: deep k=50 at full probe width.
+            _ => QueryOptions::new(50, 16),
+        }
+    };
+
+    // ------------------------------------------------------------------
+    // 3. The service: bounded admission, dynamic batching, result cache.
+    // ------------------------------------------------------------------
+    let mut service = SearchService::new(
+        engine,
+        ServiceConfig {
+            queue_capacity: 512,
+            batcher: BatchFormerConfig {
+                max_batch: 128,
+                max_delay_s: 250e-3,
+            },
+            cache_capacity: 256,
+            cache_lookup_s: 2e-6,
+        },
+    );
+    let report = service.replay(&stream, options_of);
+
+    println!();
+    println!("Engine:          {}", report.engine);
+    println!(
+        "Completed:       {} of {} ({} shed at admission)",
+        report.completed,
+        stream.len(),
+        report.shed
+    );
+    println!("Sustained QPS:   {:.1}", report.sustained_qps());
+    println!(
+        "Latency:         p50 {:.1} ms | p99 {:.1} ms | mean {:.1} ms",
+        report.p50() * 1e3,
+        report.p99() * 1e3,
+        report.mean_latency() * 1e3
+    );
+    println!(
+        "Batches:         {} total ({} size-closed, {} deadline-closed, {} flushed), {:.1} queries/batch",
+        report.batches(),
+        report.size_closed_batches,
+        report.deadline_closed_batches,
+        report.flushed_batches,
+        report.mean_batch_size()
+    );
+    println!(
+        "Result cache:    {:.1}% hit rate ({} hits / {} lookups)",
+        report.cache_hit_rate() * 100.0,
+        report.cache_hits,
+        report.cache_hits + report.cache_misses
+    );
+
+    // Per-class answer sizes prove per-query k was honored end to end.
+    let k_of = |i: usize| report.results[i].len();
+    let interactive = (0..stream.len()).step_by(3).find(|&i| !report.results[i].is_empty());
+    let deep = (2..stream.len()).step_by(3).find(|&i| !report.results[i].is_empty());
+    if let (Some(a), Some(b)) = (interactive, deep) {
+        println!(
+            "Per-query k:     interactive query #{a} got {} neighbors, re-ranking query #{b} got {}",
+            k_of(a),
+            k_of(b)
+        );
+    }
+}
