@@ -204,6 +204,11 @@ pub struct StreamSpec {
     /// stream (RAG/recommendation streams re-ask popular questions, which is
     /// what makes serving-layer result caches effective).
     pub repeat_fraction: f64,
+    /// Optional p99 latency SLO (seconds) this stream's traffic expects from
+    /// the serving layer. The serving front-end reads it to report SLO
+    /// attainment and to target its adaptive batching controller; engines
+    /// never see it.
+    pub slo_p99_s: Option<f64>,
 }
 
 impl StreamSpec {
@@ -215,6 +220,7 @@ impl StreamSpec {
             workload: WorkloadSpec::new(num_queries),
             mean_qps,
             repeat_fraction: 0.0,
+            slo_p99_s: None,
         }
     }
 
@@ -228,6 +234,19 @@ impl StreamSpec {
     pub fn with_repeat_fraction(mut self, fraction: f64) -> Self {
         assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
         self.repeat_fraction = fraction;
+        self
+    }
+
+    /// Attaches a p99 latency SLO (seconds) to the stream's traffic.
+    ///
+    /// # Panics
+    /// Panics unless the target is a positive, finite time.
+    pub fn with_slo_p99(mut self, seconds: f64) -> Self {
+        assert!(
+            seconds > 0.0 && seconds.is_finite(),
+            "the SLO must be a positive time"
+        );
+        self.slo_p99_s = Some(seconds);
         self
     }
 
@@ -256,7 +275,11 @@ impl StreamSpec {
             t += -(1.0 - u).ln() / self.mean_qps;
             arrivals.push(t);
         }
-        QueryStream { arrivals, batch }
+        QueryStream {
+            arrivals,
+            batch,
+            slo_p99_s: self.slo_p99_s,
+        }
     }
 }
 
@@ -268,6 +291,9 @@ pub struct QueryStream {
     pub arrivals: Vec<f64>,
     /// The queries themselves (plus generative ground truth).
     pub batch: QueryBatch,
+    /// The p99 latency SLO the stream's traffic expects, if any (from
+    /// [`StreamSpec::with_slo_p99`]).
+    pub slo_p99_s: Option<f64>,
 }
 
 impl QueryStream {
@@ -422,6 +448,24 @@ mod tests {
         let fresh = StreamSpec::new(300, 1_000.0).generate(&ds);
         assert!(duplicates(&repeated) > 80, "expected many repeats");
         assert_eq!(duplicates(&fresh), 0, "default stream has no exact repeats");
+    }
+
+    #[test]
+    fn stream_carries_its_slo_target() {
+        let ds = dataset();
+        let plain = StreamSpec::new(50, 1_000.0).generate(&ds);
+        assert_eq!(plain.slo_p99_s, None);
+        let tight = StreamSpec::new(50, 1_000.0).with_slo_p99(0.25).generate(&ds);
+        assert_eq!(tight.slo_p99_s, Some(0.25));
+        // The SLO annotation never changes the traffic itself.
+        assert_eq!(plain.arrivals, tight.arrivals);
+        assert_eq!(plain.batch.queries, tight.batch.queries);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive time")]
+    fn non_positive_slo_is_rejected() {
+        let _ = StreamSpec::new(10, 100.0).with_slo_p99(-1.0);
     }
 
     #[test]

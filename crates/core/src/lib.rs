@@ -20,6 +20,7 @@
 //! | Latency-budget-aware per-query nprobe selection | §4.1.2 (request-time tier) | [`adaptive::NprobePolicy`] |
 //! | Multi-host scale-out (sharding + coordinator merge) | §5.5 | [`multihost`] |
 //! | Serving front-end (admission, dynamic batching, result cache) | §5 (online phase) | `upanns-serve` crate |
+//! | SLO-driven adaptive batching (closed-loop max_delay/max_batch control) | §5 batching argument | `upanns-serve::controller` |
 //!
 //! The [`builder::UpAnnsBuilder`] runs the offline phase (mining, encoding,
 //! placement, MRAM staging) and produces an [`engine::UpAnnsEngine`], which

@@ -132,6 +132,23 @@ impl BatchFormer {
         &self.config
     }
 
+    /// Replaces the close conditions mid-stream (the seam an adaptive
+    /// [`BatchPolicy`](crate::controller::BatchPolicy) steers). Open groups
+    /// keep accumulating; their deadlines are re-derived from the new
+    /// `max_delay_s` at the next [`due`](Self::due) poll, and a group already
+    /// at or above a *shrunken* `max_batch` closes on its next arrival.
+    ///
+    /// # Panics
+    /// Panics on the same invalid configs as [`new`](Self::new).
+    pub fn set_config(&mut self, config: BatchFormerConfig) {
+        assert!(config.max_batch > 0, "batches need at least one query");
+        assert!(
+            config.max_delay_s >= 0.0 && config.max_delay_s.is_finite(),
+            "max delay must be a finite non-negative time"
+        );
+        self.config = config;
+    }
+
     /// Adds an admitted query at time `now`. Returns the query's batch when
     /// this arrival fills it to `max_batch`.
     pub fn push(&mut self, query: PendingQuery, now: f64) -> Option<FormedBatch> {
@@ -171,7 +188,10 @@ impl BatchFormer {
     }
 
     /// Closes every group whose deadline has passed by `now`, oldest first.
-    /// Each batch's `closed_at` is its own deadline, not `now`.
+    /// Each batch's `closed_at` is its own deadline, not `now` — except when
+    /// [`set_config`](Self::set_config) shrank the window under an open
+    /// group, where the close is clamped to the group's newest arrival so a
+    /// batch never closes before a member existed.
     pub fn due(&mut self, now: f64) -> Vec<FormedBatch> {
         // Remove in descending *index* order so earlier indices stay valid
         // (`open` is not sorted by age — size-triggered closes swap-remove),
@@ -184,7 +204,12 @@ impl BatchFormer {
         for i in expired {
             let group = self.open.remove(i);
             let deadline = group.opened_at + self.config.max_delay_s;
-            closed.push(group.close(deadline, CloseReason::Deadline));
+            let closed_at = group
+                .members
+                .iter()
+                .map(|m| m.arrival_s)
+                .fold(deadline, f64::max);
+            closed.push(group.close(closed_at, CloseReason::Deadline));
         }
         closed.sort_by(|a, b| {
             a.opened_at
@@ -330,6 +355,30 @@ mod tests {
         assert_eq!(closed[0].members[0].stream_index, 1);
         assert_eq!(closed[1].members[0].stream_index, 2);
         assert_eq!(former.open_groups(), 0);
+    }
+
+    #[test]
+    fn shrinking_the_window_never_backdates_a_close_before_a_member() {
+        // A controller shrink can move a group's deadline into the past of
+        // its own members; the close must clamp to the newest arrival or the
+        // replay would record negative latencies.
+        let mut former = BatchFormer::new(BatchFormerConfig {
+            max_batch: 100,
+            max_delay_s: 10.0,
+        });
+        former.push(pending(0, 0.0, 10, 8), 0.0);
+        former.push(pending(1, 5.0, 10, 8), 5.0);
+        former.set_config(BatchFormerConfig {
+            max_batch: 100,
+            max_delay_s: 1.0, // deadline is now t=1.0, before member 1 arrived
+        });
+        let closed = former.due(6.0);
+        assert_eq!(closed.len(), 1);
+        assert_eq!(closed[0].reason, CloseReason::Deadline);
+        assert_eq!(closed[0].closed_at, 5.0, "clamped to the newest arrival");
+        for m in &closed[0].members {
+            assert!(m.arrival_s <= closed[0].closed_at);
+        }
     }
 
     #[test]

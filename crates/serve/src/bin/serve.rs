@@ -1,14 +1,23 @@
 //! `serve` — replay a timed query stream through the serving front-end on
-//! every engine and report sustained QPS and latency percentiles.
+//! every engine, under both a fixed and an SLO-adaptive batch policy, and
+//! report sustained QPS, latency percentiles and SLO attainment.
 //!
 //! ```text
 //! cargo run --release -p upanns-serve --bin serve -- [--queries N] [--qps R]
-//!     [--repeat F] [--json PATH]
+//!     [--repeat F] [--slo-ms S] [--hosts H]
+//!     [--engines cpu,gpu,pim-naive,upanns,multihost]
+//!     [--policy fixed|adaptive|both] [--json PATH]
 //! ```
 //!
 //! The replay is fully deterministic (fixed seeds, simulated clock), so the
 //! `--json` output doubles as the committed `BENCH_serving.json` regression
 //! baseline: rerun with the default arguments and diff.
+//!
+//! The default offered load is deliberately *small* relative to the PIM
+//! engines' large-batch capacity: under the fixed low-latency batching window
+//! the per-(query,cluster) granules don't amortize and the PIM engines
+//! collapse, while the [`SloController`] widens the window until batches are
+//! large enough to keep up — without letting the observed p99 cross the SLO.
 
 use annkit::ivf::{IvfPqIndex, IvfPqParams};
 use annkit::synthetic::SyntheticSpec;
@@ -19,7 +28,10 @@ use baselines::gpu::GpuFaissEngine;
 use pim_sim::config::PimConfig;
 use upanns::builder::{BatchCapacity, UpAnnsBuilder};
 use upanns::config::UpAnnsConfig;
+use upanns::multihost::{shard_ranges, InterconnectModel, MultiHostUpAnns};
+use upanns::engine::UpAnnsEngine;
 use upanns_serve::batcher::BatchFormerConfig;
+use upanns_serve::controller::SloController;
 use upanns_serve::{SearchService, ServiceConfig, ServiceReport};
 
 /// Fixed tiny-scale evaluation shape (kept stable so the JSON baseline is
@@ -34,22 +46,55 @@ const DPUS: usize = 896;
 /// use — per-DPU granule times are then comparable to fig12's.
 const MODELED_N: f64 = 1.25e8;
 
+/// Every engine the binary knows how to build, in report order.
+const KNOWN_ENGINES: [&str; 5] = ["cpu", "gpu", "pim-naive", "upanns", "multihost"];
+
 struct Args {
     queries: usize,
     qps: f64,
     repeat: f64,
+    slo_ms: f64,
+    hosts: usize,
+    engines: Vec<String>,
+    policies: Vec<Policy>,
     json: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Policy {
+    Fixed,
+    Adaptive,
 }
 
 impl Default for Args {
     fn default() -> Self {
         Self {
             queries: 1_000,
-            qps: 400.0,
+            qps: 12.0,
             repeat: 0.25,
+            slo_ms: 6_000.0,
+            hosts: 2,
+            engines: KNOWN_ENGINES.iter().map(|s| s.to_string()).collect(),
+            policies: vec![Policy::Fixed, Policy::Adaptive],
             json: None,
         }
     }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve [--queries N] [--qps R] [--repeat F] [--slo-ms S] [--hosts H]\n\
+         \x20            [--engines cpu,gpu,pim-naive,upanns,multihost] \n\
+         \x20            [--policy fixed|adaptive|both] [--json PATH]"
+    );
+    std::process::exit(0);
+}
+
+/// Exits nonzero with a clear message — the fate of an unknown engine or
+/// policy name (silently skipping it would fake a clean bench run).
+fn reject(message: String) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
 }
 
 fn parse_args() -> Args {
@@ -64,14 +109,49 @@ fn parse_args() -> Args {
             "--queries" => args.queries = value("--queries").parse().expect("--queries: integer"),
             "--qps" => args.qps = value("--qps").parse().expect("--qps: number"),
             "--repeat" => args.repeat = value("--repeat").parse().expect("--repeat: number"),
-            "--json" => args.json = Some(value("--json")),
-            "--help" | "-h" => {
-                eprintln!(
-                    "usage: serve [--queries N] [--qps R] [--repeat F] [--json PATH]"
-                );
-                std::process::exit(0);
+            "--slo-ms" => args.slo_ms = value("--slo-ms").parse().expect("--slo-ms: number"),
+            "--hosts" => {
+                args.hosts = value("--hosts").parse().expect("--hosts: integer");
+                // Each host needs a meaningful share of the fixed tiny-scale
+                // fixture (DPUs, IVF lists, training vectors).
+                if !(1..=16).contains(&args.hosts) {
+                    reject(format!(
+                        "--hosts {} out of range (the tiny-scale fixture supports 1..=16 hosts)",
+                        args.hosts
+                    ));
+                }
             }
-            other => panic!("unknown flag {other} (try --help)"),
+            "--engines" => {
+                args.engines = value("--engines")
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if args.engines.is_empty() {
+                    reject("--engines: empty engine list".to_string());
+                }
+                for name in &args.engines {
+                    if !KNOWN_ENGINES.contains(&name.as_str()) {
+                        reject(format!(
+                            "unknown engine '{name}' (known engines: {})",
+                            KNOWN_ENGINES.join(", ")
+                        ));
+                    }
+                }
+            }
+            "--policy" => {
+                args.policies = match value("--policy").as_str() {
+                    "fixed" => vec![Policy::Fixed],
+                    "adaptive" => vec![Policy::Adaptive],
+                    "both" => vec![Policy::Fixed, Policy::Adaptive],
+                    other => reject(format!(
+                        "unknown policy '{other}' (known policies: fixed, adaptive, both)"
+                    )),
+                };
+            }
+            "--json" => args.json = Some(value("--json")),
+            "--help" | "-h" => usage(),
+            other => reject(format!("unknown flag {other} (try --help)")),
         }
     }
     args
@@ -100,28 +180,40 @@ fn report_json(r: &ServiceReport) -> String {
         concat!(
             "    {{\n",
             "      \"name\": \"{}\",\n",
+            "      \"policy\": \"{}\",\n",
             "      \"sustained_qps\": {},\n",
             "      \"p50_ms\": {},\n",
             "      \"p99_ms\": {},\n",
             "      \"mean_ms\": {},\n",
+            "      \"slo_miss_fraction\": {},\n",
+            "      \"meets_slo\": {},\n",
             "      \"completed\": {},\n",
             "      \"shed\": {},\n",
             "      \"cache_hit_rate\": {},\n",
             "      \"batches\": {},\n",
             "      \"mean_batch_size\": {},\n",
+            "      \"final_max_batch\": {},\n",
+            "      \"final_max_delay_ms\": {},\n",
+            "      \"controller_adjustments\": {},\n",
             "      \"engine_busy_s\": {}\n",
             "    }}"
         ),
         r.engine,
+        r.policy,
         json_num(r.sustained_qps()),
         json_num(r.p50() * 1e3),
         json_num(r.p99() * 1e3),
         json_num(r.mean_latency() * 1e3),
+        json_num(r.slo_miss_fraction()),
+        r.meets_slo(),
         r.completed,
         r.shed,
         json_num(r.cache_hit_rate()),
         r.batches(),
         json_num(r.mean_batch_size()),
+        r.final_batcher.max_batch,
+        json_num(r.final_batcher.max_delay_s * 1e3),
+        r.controller_adjustments,
         json_num(r.engine_busy_s),
     )
 }
@@ -129,11 +221,14 @@ fn report_json(r: &ServiceReport) -> String {
 fn main() {
     let args = parse_args();
     let work_scale = (MODELED_N / DATASET_N as f64).max(1.0);
+    let slo_s = args.slo_ms / 1e3;
+    assert!(slo_s > 0.0, "--slo-ms must be positive");
+    assert!(args.hosts >= 1, "--hosts must be at least 1");
 
     eprintln!(
         "building fixture: n={DATASET_N}, nlist={NLIST}, dpus={DPUS}, \
-         stream of {} queries at {} qps (repeat fraction {})",
-        args.queries, args.qps, args.repeat
+         stream of {} queries at {} qps (repeat fraction {}, p99 SLO {} ms)",
+        args.queries, args.qps, args.repeat, args.slo_ms
     );
     let dataset = SyntheticSpec::sift_like(DATASET_N)
         .with_clusters(16)
@@ -147,66 +242,138 @@ fn main() {
     let history = WorkloadSpec::new(600).with_seed(8).generate(&dataset).queries;
     let stream = StreamSpec::new(args.queries, args.qps)
         .with_repeat_fraction(args.repeat)
+        .with_slo_p99(slo_s)
         .generate(&dataset);
 
+    // The fixed policy's close conditions: a low-latency batching window.
+    // The adaptive controller starts from the same point and widens it only
+    // while the observed p99 holds the SLO.
+    let fixed_batcher = BatchFormerConfig {
+        max_batch: 256,
+        max_delay_s: 25e-3,
+    };
     let service_config = ServiceConfig {
         queue_capacity: 512,
-        batcher: BatchFormerConfig {
-            max_batch: 128,
-            max_delay_s: 250e-3,
-        },
+        batcher: fixed_batcher,
         cache_capacity: 512,
         cache_lookup_s: 2e-6,
+        slo_p99_s: None, // the stream's annotation carries the target
     };
 
-    let build_pim = |config: UpAnnsConfig| {
-        UpAnnsBuilder::new(&index)
+    // Multihost shards: one IVFPQ index per host over a contiguous slice of
+    // the corpus, with globally unique ids; each stored vector keeps the same
+    // modeled scale, so the deployment models the same corpus.
+    let shard_indexes: Vec<IvfPqIndex> = if args.engines.iter().any(|e| e == "multihost") {
+        shard_ranges(dataset.vectors.len(), args.hosts)
+            .iter()
+            .map(|r| {
+                let rows: Vec<usize> = r.clone().collect();
+                let shard = dataset.vectors.gather(&rows);
+                let nlist = (NLIST / args.hosts).max(16);
+                let mut ix = IvfPqIndex::train_empty(
+                    &shard,
+                    &IvfPqParams::new(nlist, PQ_M).with_train_size(2_400 / args.hosts),
+                    5,
+                );
+                ix.add(&shard, r.start as u64);
+                ix
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    fn build_pim<'a>(
+        index: &'a IvfPqIndex,
+        config: UpAnnsConfig,
+        dpus: usize,
+        work_scale: f64,
+        history: &annkit::vector::Dataset,
+    ) -> UpAnnsEngine<'a> {
+        UpAnnsBuilder::new(index)
             .with_config(config.with_work_scale(work_scale))
-            .with_pim_config(PimConfig::with_dpus(DPUS))
-            .with_history(&history, 8)
+            .with_pim_config(PimConfig::with_dpus(dpus))
+            .with_history(history, 8)
             .with_batch_capacity(BatchCapacity {
                 batch_size: 64,
                 nprobe: 8,
                 max_k: 20,
             })
             .build()
+    }
+    let build_multihost = || {
+        let engines: Vec<UpAnnsEngine<'_>> = shard_indexes
+            .iter()
+            .map(|ix| {
+                build_pim(
+                    ix,
+                    UpAnnsConfig::upanns(),
+                    DPUS / args.hosts,
+                    work_scale,
+                    &history,
+                )
+            })
+            .collect();
+        MultiHostUpAnns::new(engines, InterconnectModel::default())
     };
 
+    // Replays one engine under every requested policy, rebuilding nothing:
+    // the engine is threaded through `into_engine` between replays.
     let mut reports: Vec<ServiceReport> = Vec::new();
-    {
-        let engine = CpuFaissEngine::new(&index).with_work_scale(work_scale);
-        reports.push(SearchService::new(engine, service_config).replay(&stream, options_of));
+    let run = |engine_name: &str, reports: &mut Vec<ServiceReport>| {
+        macro_rules! replay_policies {
+            ($engine:expr) => {{
+                let mut engine = $engine;
+                for &policy in &args.policies {
+                    let service = SearchService::new(engine, service_config);
+                    let mut service = match policy {
+                        Policy::Fixed => service,
+                        Policy::Adaptive => service.with_policy(Box::new(
+                            SloController::for_slo(slo_s),
+                        )),
+                    };
+                    reports.push(service.replay(&stream, options_of));
+                    engine = service.into_engine();
+                }
+                let _ = engine;
+            }};
+        }
+        match engine_name {
+            "cpu" => replay_policies!(CpuFaissEngine::new(&index).with_work_scale(work_scale)),
+            "gpu" => replay_policies!(GpuFaissEngine::new(&index).with_work_scale(work_scale)),
+            "pim-naive" => replay_policies!(build_pim(&index, UpAnnsConfig::pim_naive(), DPUS, work_scale, &history)),
+            "upanns" => replay_policies!(build_pim(&index, UpAnnsConfig::upanns(), DPUS, work_scale, &history)),
+            "multihost" => replay_policies!(build_multihost()),
+            // parse_args rejects anything outside KNOWN_ENGINES and the
+            // caller iterates exactly that list.
+            other => unreachable!("engine '{other}' escaped --engines validation"),
+        }
+    };
+    for name in KNOWN_ENGINES {
+        if args.engines.iter().any(|e| e == name) {
+            eprintln!("replaying {name} ...");
+            run(name, &mut reports);
+        }
     }
-    {
-        let engine = GpuFaissEngine::new(&index).with_work_scale(work_scale);
-        reports.push(SearchService::new(engine, service_config).replay(&stream, options_of));
-    }
-    reports.push(
-        SearchService::new(build_pim(UpAnnsConfig::pim_naive()), service_config)
-            .replay(&stream, options_of),
-    );
-    reports.push(
-        SearchService::new(build_pim(UpAnnsConfig::upanns()), service_config)
-            .replay(&stream, options_of),
-    );
 
     println!(
-        "| engine | sustained QPS | p50 (ms) | p99 (ms) | mean (ms) | completed | shed | cache hit | batches | mean batch |"
+        "| engine | policy | sustained QPS | p50 (ms) | p99 (ms) | SLO miss | completed | shed | batches | mean batch | final window (ms) |"
     );
-    println!("|---|---|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|");
     for r in &reports {
         println!(
-            "| {} | {:.1} | {:.3} | {:.3} | {:.3} | {} | {} | {:.1}% | {} | {:.1} |",
+            "| {} | {} | {:.1} | {:.3} | {:.3} | {:.1}% | {} | {} | {} | {:.1} | {:.1} |",
             r.engine,
+            r.policy,
             r.sustained_qps(),
             r.p50() * 1e3,
             r.p99() * 1e3,
-            r.mean_latency() * 1e3,
+            r.slo_miss_fraction() * 100.0,
             r.completed,
             r.shed,
-            r.cache_hit_rate() * 100.0,
             r.batches(),
             r.mean_batch_size(),
+            r.final_batcher.max_delay_s * 1e3,
         );
     }
 
@@ -215,7 +382,7 @@ fn main() {
         let json = format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"upanns-serving-bench-v1\",\n",
+                "  \"schema\": \"upanns-serving-bench-v2\",\n",
                 "  \"config\": {{\n",
                 "    \"dataset_n\": {},\n",
                 "    \"nlist\": {},\n",
@@ -224,9 +391,11 @@ fn main() {
                 "    \"num_queries\": {},\n",
                 "    \"offered_qps\": {},\n",
                 "    \"repeat_fraction\": {},\n",
+                "    \"slo_p99_ms\": {},\n",
+                "    \"hosts\": {},\n",
                 "    \"queue_capacity\": {},\n",
-                "    \"max_batch\": {},\n",
-                "    \"max_delay_ms\": {},\n",
+                "    \"fixed_max_batch\": {},\n",
+                "    \"fixed_max_delay_ms\": {},\n",
                 "    \"cache_capacity\": {}\n",
                 "  }},\n",
                 "  \"engines\": [\n{}\n  ]\n",
@@ -239,9 +408,11 @@ fn main() {
             args.queries,
             json_num(args.qps),
             json_num(args.repeat),
+            json_num(args.slo_ms),
+            args.hosts,
             service_config.queue_capacity,
-            service_config.batcher.max_batch,
-            json_num(service_config.batcher.max_delay_s * 1e3),
+            fixed_batcher.max_batch,
+            json_num(fixed_batcher.max_delay_s * 1e3),
             service_config.cache_capacity,
             engines.join(",\n"),
         );

@@ -1,0 +1,487 @@
+//! SLO-driven control of the dynamic batch former.
+//!
+//! The serving numbers expose the paper's central batching argument: PIM
+//! throughput collapses at small batch sizes (per-(query,cluster) granules
+//! don't amortize the DPU transfer legs), while a large *fixed* batch window
+//! punishes every query with the full waiting delay whether the stream needs
+//! it or not. The right batch window is therefore a function of the latency
+//! target, not a constant — which is what a closed-loop controller computes.
+//!
+//! [`BatchPolicy`] is the seam: the [`SearchService`](crate::service)
+//! consults the policy for the former's close conditions before every
+//! arrival and feeds every completion latency back. Two implementations:
+//!
+//! * [`FixedPolicy`] — the static [`BatchFormerConfig`] of the original
+//!   service, now expressed as the trivial controller.
+//! * [`SloController`] — a two-regime AIMD loop on the replay clock: every
+//!   `adjust_interval_s` of simulated time it compares the window's observed
+//!   p99 against the SLO. A miss has two distinct causes with *opposite*
+//!   fixes, which the controller separates with the engine-backlog signal:
+//!   when closed batches sit waiting for a saturated engine, the batches are
+//!   too *small* to amortize the per-batch PIM overheads, so the controller
+//!   widens the window multiplicatively (more amortization ⇒ more capacity);
+//!   when the engine is keeping up, the batching window itself is the
+//!   latency, so it shrinks multiplicatively. Comfortably below the SLO it
+//!   grows additively, harvesting batch amortization without overshooting.
+
+use crate::batcher::BatchFormerConfig;
+
+/// A (possibly adaptive) source of batch-former close conditions.
+///
+/// The service calls [`current`](Self::current) before admitting each
+/// arrival, [`observe_batch`](Self::observe_batch) when a batch is handed to
+/// the engine, and [`observe`](Self::observe) once per completed query — all
+/// on the simulated clock, so a policy sees exactly the feedback a real
+/// controller would.
+pub trait BatchPolicy {
+    /// Display name of the policy ("fixed", "adaptive-slo", ...).
+    fn name(&self) -> &str;
+
+    /// The close conditions the former should use right now.
+    fn current(&self) -> BatchFormerConfig;
+
+    /// Feedback: one query completed at simulated time `now` with end-to-end
+    /// latency `latency_s`. Default: ignore (static policies).
+    fn observe(&mut self, now: f64, latency_s: f64) {
+        let _ = (now, latency_s);
+    }
+
+    /// Feedback: a closed batch of `batch_len` queries finished at `now`
+    /// after spending `engine_wait_s` queued behind a busy engine before it
+    /// could start. A persistently large wait relative to the batching window
+    /// means the engine — not the window — is the bottleneck. Default:
+    /// ignore.
+    fn observe_batch(&mut self, now: f64, batch_len: usize, engine_wait_s: f64) {
+        let _ = (now, batch_len, engine_wait_s);
+    }
+
+    /// How many times the policy changed its answer so far (0 for static
+    /// policies).
+    fn adjustments(&self) -> usize {
+        0
+    }
+}
+
+/// The static policy: always the same close conditions.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedPolicy(pub BatchFormerConfig);
+
+impl BatchPolicy for FixedPolicy {
+    fn name(&self) -> &str {
+        "fixed"
+    }
+
+    fn current(&self) -> BatchFormerConfig {
+        self.0
+    }
+}
+
+/// Tuning knobs of the [`SloController`].
+#[derive(Debug, Clone, Copy)]
+pub struct SloControllerConfig {
+    /// The p99 latency target in simulated seconds.
+    pub slo_p99_s: f64,
+    /// Simulated seconds between control decisions.
+    pub adjust_interval_s: f64,
+    /// Bounds on the batching window the controller may choose.
+    pub min_delay_s: f64,
+    /// Upper bound on the batching window.
+    pub max_delay_s: f64,
+    /// Bounds on the batch-size cap the controller may choose.
+    pub min_batch: usize,
+    /// Upper bound on the batch-size cap.
+    pub max_batch: usize,
+    /// Multiplicative back-off applied when the window's p99 exceeds the SLO
+    /// while the engine is keeping up (in `(0, 1)`).
+    pub decrease_factor: f64,
+    /// Multiplicative window growth applied when the p99 exceeds the SLO
+    /// *because the engine is saturated* — wider windows mean bigger batches,
+    /// which is what raises a PIM engine's capacity (must be > 1).
+    pub saturated_growth: f64,
+    /// Additive window growth (seconds) applied when p99 is below
+    /// `grow_below` × SLO.
+    pub increase_delay_s: f64,
+    /// Additive batch-cap growth applied together with the window growth.
+    pub increase_batch: usize,
+    /// Fraction of the SLO below which the controller considers itself safe
+    /// to grow (the AIMD guard band; in `(0, 1)`).
+    pub grow_below: f64,
+    /// The engine counts as saturated when the average time closed batches
+    /// spend queued behind it exceeds this multiple of the current window.
+    pub saturation_wait_ratio: f64,
+}
+
+impl SloControllerConfig {
+    /// Defaults for a given p99 target: decisions every SLO interval, window
+    /// bounded by `[slo/100, slo/2]`, batches in `[1, 1024]`, halve on miss,
+    /// grow by `slo/50` while under 70 % of the SLO.
+    pub fn for_slo(slo_p99_s: f64) -> Self {
+        assert!(
+            slo_p99_s > 0.0 && slo_p99_s.is_finite(),
+            "the SLO must be a positive time"
+        );
+        Self {
+            slo_p99_s,
+            adjust_interval_s: slo_p99_s,
+            min_delay_s: slo_p99_s / 100.0,
+            max_delay_s: slo_p99_s / 2.0,
+            min_batch: 1,
+            max_batch: 1024,
+            decrease_factor: 0.5,
+            saturated_growth: 2.0,
+            increase_delay_s: slo_p99_s / 50.0,
+            increase_batch: 32,
+            grow_below: 0.7,
+            saturation_wait_ratio: 1.0,
+        }
+    }
+}
+
+/// Closed-loop AIMD controller steering the batch former toward the largest
+/// batching window whose observed p99 still meets the SLO.
+#[derive(Debug, Clone)]
+pub struct SloController {
+    config: SloControllerConfig,
+    current: BatchFormerConfig,
+    /// Latencies observed since the last control decision.
+    window: Vec<f64>,
+    /// Engine-queue waits of batches dispatched since the last decision.
+    waits: Vec<f64>,
+    next_decision_at: f64,
+    adjustments: usize,
+}
+
+impl SloController {
+    /// A controller starting from `initial` close conditions.
+    ///
+    /// # Panics
+    /// Panics if the config's bounds are empty or its factors are out of
+    /// range.
+    pub fn new(config: SloControllerConfig, initial: BatchFormerConfig) -> Self {
+        assert!(
+            config.min_delay_s >= 0.0 && config.min_delay_s <= config.max_delay_s,
+            "empty delay range"
+        );
+        assert!(
+            config.min_batch >= 1 && config.min_batch <= config.max_batch,
+            "empty batch range"
+        );
+        assert!(
+            config.decrease_factor > 0.0 && config.decrease_factor < 1.0,
+            "decrease factor must be in (0, 1)"
+        );
+        assert!(
+            config.saturated_growth > 1.0 && config.saturated_growth.is_finite(),
+            "saturated growth must exceed 1"
+        );
+        assert!(
+            config.saturation_wait_ratio > 0.0 && config.saturation_wait_ratio.is_finite(),
+            "saturation wait ratio must be positive"
+        );
+        assert!(
+            config.grow_below > 0.0 && config.grow_below < 1.0,
+            "grow threshold must be in (0, 1)"
+        );
+        assert!(
+            config.adjust_interval_s > 0.0 && config.adjust_interval_s.is_finite(),
+            "decision interval must be a positive time"
+        );
+        let current = BatchFormerConfig {
+            max_batch: initial.max_batch.clamp(config.min_batch, config.max_batch),
+            max_delay_s: initial.max_delay_s.clamp(config.min_delay_s, config.max_delay_s),
+        };
+        Self {
+            config,
+            current,
+            window: Vec::new(),
+            waits: Vec::new(),
+            next_decision_at: config.adjust_interval_s,
+            adjustments: 0,
+        }
+    }
+
+    /// A controller for the given SLO starting from the SLO-derived prior:
+    /// a window of a quarter of the SLO. Starting wide-ish is deliberate —
+    /// it is safe for throughput on batch-hungry (PIM) engines, avoids the
+    /// cold-start collapse a latency-lean initial window causes there, and
+    /// the controller shrinks it in one multiplicative step if the window
+    /// itself turns out to be the latency.
+    pub fn for_slo(slo_p99_s: f64) -> Self {
+        let config = SloControllerConfig::for_slo(slo_p99_s);
+        let initial = BatchFormerConfig {
+            max_batch: 256,
+            max_delay_s: slo_p99_s / 4.0,
+        };
+        Self::new(config, initial)
+    }
+
+    /// The controller's tuning knobs.
+    pub fn config(&self) -> &SloControllerConfig {
+        &self.config
+    }
+
+    /// Nearest-rank p99 of the current observation window (`None` while the
+    /// window is empty).
+    fn window_p99(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let mut sorted = self.window.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = (0.99 * (sorted.len() - 1) as f64).round() as usize;
+        Some(sorted[rank])
+    }
+
+    /// Mean engine-queue wait of the batches dispatched in this window.
+    fn window_mean_wait(&self) -> f64 {
+        if self.waits.is_empty() {
+            0.0
+        } else {
+            self.waits.iter().sum::<f64>() / self.waits.len() as f64
+        }
+    }
+
+    /// One control step against the window's p99 and the engine-wait signal.
+    fn decide(&mut self) {
+        let Some(p99) = self.window_p99() else {
+            self.waits.clear();
+            return;
+        };
+        let before = self.current;
+        if p99 > self.config.slo_p99_s {
+            let saturated = self.window_mean_wait()
+                > self.config.saturation_wait_ratio * self.current.max_delay_s;
+            if saturated {
+                // Batches queue behind a busy engine: the batches are too
+                // small to amortize the per-batch overheads, so a narrower
+                // window would make the miss *worse*. Widen multiplicatively
+                // to escape the collapse quickly.
+                self.current.max_delay_s = (self.current.max_delay_s
+                    * self.config.saturated_growth)
+                    .min(self.config.max_delay_s);
+                self.current.max_batch = ((self.current.max_batch as f64
+                    * self.config.saturated_growth)
+                    .round() as usize)
+                    .min(self.config.max_batch);
+            } else {
+                // The engine keeps up; the batching window itself is the
+                // latency. Back off multiplicatively — recovers in one step.
+                self.current.max_delay_s = (self.current.max_delay_s
+                    * self.config.decrease_factor)
+                    .max(self.config.min_delay_s);
+                self.current.max_batch = ((self.current.max_batch as f64
+                    * self.config.decrease_factor)
+                    .round() as usize)
+                    .max(self.config.min_batch);
+            }
+        } else if p99 < self.config.grow_below * self.config.slo_p99_s {
+            // Comfortably under: grow additively — harvest batch
+            // amortization gradually without overshooting the SLO.
+            self.current.max_delay_s =
+                (self.current.max_delay_s + self.config.increase_delay_s).min(self.config.max_delay_s);
+            self.current.max_batch =
+                (self.current.max_batch + self.config.increase_batch).min(self.config.max_batch);
+        }
+        if self.current.max_batch != before.max_batch
+            || self.current.max_delay_s != before.max_delay_s
+        {
+            self.adjustments += 1;
+        }
+        self.window.clear();
+        self.waits.clear();
+    }
+}
+
+impl BatchPolicy for SloController {
+    fn name(&self) -> &str {
+        "adaptive-slo"
+    }
+
+    fn current(&self) -> BatchFormerConfig {
+        self.current
+    }
+
+    fn observe(&mut self, now: f64, latency_s: f64) {
+        if latency_s.is_finite() && latency_s >= 0.0 {
+            self.window.push(latency_s);
+        }
+        if now >= self.next_decision_at {
+            self.decide();
+            // Skip idle intervals instead of replaying a decision per elapsed
+            // interval: the next decision is one interval after *now*.
+            self.next_decision_at = now + self.config.adjust_interval_s;
+        }
+    }
+
+    fn observe_batch(&mut self, _now: f64, _batch_len: usize, engine_wait_s: f64) {
+        if engine_wait_s.is_finite() && engine_wait_s >= 0.0 {
+            self.waits.push(engine_wait_s);
+        }
+    }
+
+    fn adjustments(&self) -> usize {
+        self.adjustments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller(slo: f64) -> SloController {
+        SloController::for_slo(slo)
+    }
+
+    #[test]
+    fn fixed_policy_never_moves() {
+        let config = BatchFormerConfig {
+            max_batch: 64,
+            max_delay_s: 0.01,
+        };
+        let mut policy = FixedPolicy(config);
+        for i in 0..100 {
+            policy.observe(i as f64, 10.0); // terrible latencies
+        }
+        assert_eq!(policy.current().max_batch, 64);
+        assert_eq!(policy.current().max_delay_s, 0.01);
+        assert_eq!(policy.adjustments(), 0);
+        assert_eq!(policy.name(), "fixed");
+    }
+
+    #[test]
+    fn misses_shrink_the_window_multiplicatively() {
+        // Start mid-range so there is room to back off.
+        let mut c = SloController::new(
+            SloControllerConfig::for_slo(0.1),
+            BatchFormerConfig {
+                max_batch: 128,
+                max_delay_s: 0.04,
+            },
+        );
+        let delay0 = c.current().max_delay_s;
+        let batch0 = c.current().max_batch;
+        // One full interval of latencies far above the SLO.
+        for i in 0..50 {
+            c.observe(0.002 * i as f64, 1.0);
+        }
+        c.observe(0.2, 1.0); // crosses the decision boundary
+        assert!(c.current().max_delay_s <= delay0 * 0.5 + 1e-12);
+        assert!(c.current().max_batch <= batch0.div_ceil(2) + 1);
+        assert_eq!(c.adjustments(), 1);
+    }
+
+    #[test]
+    fn saturated_misses_widen_the_window_instead_of_shrinking_it() {
+        // Same miss pattern as the shrink test, but batches are reported
+        // stuck behind a busy engine: the fix is a *wider* window.
+        let mut c = SloController::new(
+            SloControllerConfig::for_slo(0.1),
+            BatchFormerConfig {
+                max_batch: 32,
+                max_delay_s: 0.004,
+            },
+        );
+        let delay0 = c.current().max_delay_s;
+        let batch0 = c.current().max_batch;
+        for i in 0..50 {
+            let t = 0.002 * i as f64;
+            c.observe_batch(t, 2, 1.0); // waited 1 s behind the engine
+            c.observe(t, 1.0); // 10× the SLO
+        }
+        c.observe(0.2, 1.0);
+        assert!(
+            c.current().max_delay_s >= delay0 * 2.0 - 1e-12,
+            "window should widen under saturation: {} vs {}",
+            c.current().max_delay_s,
+            delay0
+        );
+        assert!(c.current().max_batch >= batch0 * 2);
+        assert_eq!(c.adjustments(), 1);
+    }
+
+    #[test]
+    fn comfortable_latencies_grow_the_window_additively() {
+        let mut c = controller(0.1);
+        let delay0 = c.current().max_delay_s;
+        for i in 0..50 {
+            c.observe(0.002 * i as f64, 0.01); // 10 % of the SLO
+        }
+        c.observe(0.2, 0.01);
+        let grown = c.current().max_delay_s;
+        assert!(grown > delay0, "should grow: {grown} vs {delay0}");
+        assert!(
+            (grown - delay0 - c.config().increase_delay_s).abs() < 1e-12,
+            "growth is additive"
+        );
+    }
+
+    #[test]
+    fn latencies_inside_the_guard_band_hold_steady() {
+        let mut c = controller(0.1);
+        let before = c.current();
+        for i in 0..50 {
+            c.observe(0.002 * i as f64, 0.09); // 90 % of SLO: no miss, no growth
+        }
+        c.observe(0.2, 0.09);
+        assert_eq!(c.current().max_batch, before.max_batch);
+        assert_eq!(c.current().max_delay_s, before.max_delay_s);
+        assert_eq!(c.adjustments(), 0);
+    }
+
+    #[test]
+    fn bounds_are_respected_under_sustained_pressure() {
+        let mut c = controller(0.1);
+        // Sustained misses: must stop at min bounds.
+        for interval in 0..64 {
+            for i in 0..10 {
+                c.observe(interval as f64 + 0.01 * i as f64, 5.0);
+            }
+        }
+        assert!(c.current().max_delay_s >= c.config().min_delay_s - 1e-15);
+        assert!(c.current().max_batch >= c.config().min_batch);
+        // Sustained comfort: must stop at max bounds.
+        let mut g = controller(0.1);
+        for interval in 0..1000 {
+            for i in 0..10 {
+                g.observe(interval as f64 + 0.01 * i as f64, 1e-4);
+            }
+        }
+        assert!(g.current().max_delay_s <= g.config().max_delay_s + 1e-15);
+        assert!(g.current().max_batch <= g.config().max_batch);
+    }
+
+    #[test]
+    fn degenerate_observations_are_ignored() {
+        let mut c = controller(0.1);
+        let before = c.current();
+        for i in 0..50 {
+            c.observe(0.002 * i as f64, f64::NAN);
+            c.observe(0.002 * i as f64, -1.0);
+        }
+        c.observe(0.2, f64::INFINITY);
+        // The window held nothing valid, so no decision was taken.
+        assert_eq!(c.current().max_batch, before.max_batch);
+        assert_eq!(c.current().max_delay_s, before.max_delay_s);
+        assert_eq!(c.adjustments(), 0);
+    }
+
+    #[test]
+    fn initial_config_is_clamped_into_bounds() {
+        let cfg = SloControllerConfig::for_slo(0.1);
+        let c = SloController::new(
+            cfg,
+            BatchFormerConfig {
+                max_batch: 1_000_000,
+                max_delay_s: 99.0,
+            },
+        );
+        assert_eq!(c.current().max_batch, cfg.max_batch);
+        assert_eq!(c.current().max_delay_s, cfg.max_delay_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive time")]
+    fn non_positive_slo_is_rejected() {
+        let _ = SloControllerConfig::for_slo(0.0);
+    }
+}

@@ -21,19 +21,28 @@
 //!   [`QueryOptions`](baselines::engine::QueryOptions) accumulate in an open
 //!   group that closes when it reaches `max_batch` **or** when the oldest
 //!   member has waited `max_delay_s`.
+//! * [`controller::BatchPolicy`] — the source of the former's close
+//!   conditions: the static [`controller::FixedPolicy`], or the closed-loop
+//!   [`controller::SloController`] (AIMD on the replay clock) that widens the
+//!   batching window while the observed p99 holds a latency SLO — recovering
+//!   the large-batch throughput the PIM engines need without giving up the
+//!   tail-latency target.
 //! * [`cache::ResultCache`] — an LRU of exact (query, options) → neighbors
 //!   entries; repeated questions (common in RAG streams) bypass the engine.
 //! * [`service::SearchService`] — ties the pieces together and replays an
 //!   [`annkit::workload::QueryStream`] against the simulated clock, reporting
-//!   sustained QPS and latency percentiles per engine.
+//!   sustained QPS, latency percentiles and SLO attainment per engine and
+//!   policy.
 //!
-//! The `serve` binary replays a fixed tiny-scale stream through all four
-//! engines (Faiss-CPU, Faiss-GPU, PIM-naive, UpANNS) and can emit the
+//! The `serve` binary replays a fixed tiny-scale stream through five engines
+//! (Faiss-CPU, Faiss-GPU, PIM-naive, UpANNS, and a sharded multi-host UpANNS
+//! deployment) under both the fixed and the adaptive policy, and can emit the
 //! committed `BENCH_serving.json` regression baseline.
 
 pub mod admission;
 pub mod batcher;
 pub mod cache;
+pub mod controller;
 pub mod service;
 
 /// Commonly used items, re-exported for convenience.
@@ -41,7 +50,11 @@ pub mod prelude {
     pub use crate::admission::AdmissionQueue;
     pub use crate::batcher::{BatchFormer, BatchFormerConfig, CloseReason, FormedBatch, PendingQuery};
     pub use crate::cache::ResultCache;
+    pub use crate::controller::{
+        BatchPolicy, FixedPolicy, SloController, SloControllerConfig,
+    };
     pub use crate::service::{SearchService, ServiceConfig, ServiceReport};
 }
 
+pub use controller::{BatchPolicy, FixedPolicy, SloController, SloControllerConfig};
 pub use service::{SearchService, ServiceConfig, ServiceReport};

@@ -13,6 +13,7 @@
 use crate::admission::AdmissionQueue;
 use crate::batcher::{BatchFormer, BatchFormerConfig, CloseReason, FormedBatch, PendingQuery};
 use crate::cache::ResultCache;
+use crate::controller::{BatchPolicy, FixedPolicy};
 use annkit::topk::Neighbor;
 use annkit::workload::QueryStream;
 use baselines::engine::{AnnEngine, QueryOptions, SearchRequest};
@@ -22,12 +23,18 @@ use baselines::engine::{AnnEngine, QueryOptions, SearchRequest};
 pub struct ServiceConfig {
     /// Maximum queries waiting for a batch before arrivals are shed.
     pub queue_capacity: usize,
-    /// Close conditions of the dynamic batch former.
+    /// Close conditions of the dynamic batch former — the *initial*
+    /// conditions when an adaptive [`BatchPolicy`] is installed via
+    /// [`SearchService::with_policy`], the permanent ones otherwise.
     pub batcher: BatchFormerConfig,
     /// Result-cache entries (0 disables the cache).
     pub cache_capacity: usize,
     /// Simulated seconds to answer a query from the cache.
     pub cache_lookup_s: f64,
+    /// Optional p99 latency SLO (seconds) used for attainment reporting.
+    /// When unset, the replayed stream's own
+    /// [`slo_p99_s`](QueryStream::slo_p99_s) annotation is used instead.
+    pub slo_p99_s: Option<f64>,
 }
 
 impl Default for ServiceConfig {
@@ -37,6 +44,7 @@ impl Default for ServiceConfig {
             batcher: BatchFormerConfig::default(),
             cache_capacity: 1024,
             cache_lookup_s: 2e-6,
+            slo_p99_s: None,
         }
     }
 }
@@ -46,6 +54,14 @@ impl Default for ServiceConfig {
 pub struct ServiceReport {
     /// The engine's display name.
     pub engine: String,
+    /// The batch policy's display name ("fixed", "adaptive-slo", ...).
+    pub policy: String,
+    /// The p99 SLO the replay was measured against, if any.
+    pub slo_p99_s: Option<f64>,
+    /// How many times the policy adjusted the former's close conditions.
+    pub controller_adjustments: usize,
+    /// The close conditions the policy had settled on when the stream ended.
+    pub final_batcher: BatchFormerConfig,
     /// Queries answered (engine or cache).
     pub completed: usize,
     /// Queries rejected at admission.
@@ -109,6 +125,24 @@ impl ServiceReport {
         }
     }
 
+    /// Fraction of completed queries whose end-to-end latency exceeded the
+    /// SLO (0 when no SLO was configured or nothing completed). Shed queries
+    /// are accounted separately — see [`shed`](Self::shed).
+    pub fn slo_miss_fraction(&self) -> f64 {
+        match self.slo_p99_s {
+            Some(slo) if !self.latencies_s.is_empty() => {
+                self.latencies_s.iter().filter(|&&l| l > slo).count() as f64
+                    / self.latencies_s.len() as f64
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// Whether the measured p99 met the SLO (true when no SLO was set).
+    pub fn meets_slo(&self) -> bool {
+        self.slo_p99_s.is_none_or(|slo| self.p99() <= slo)
+    }
+
     /// Cache hit rate over all lookups.
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.cache_hits + self.cache_misses;
@@ -140,17 +174,28 @@ impl ServiceReport {
 pub struct SearchService<E: AnnEngine> {
     engine: E,
     config: ServiceConfig,
+    policy: Box<dyn BatchPolicy>,
     next_request_id: u64,
 }
 
 impl<E: AnnEngine> SearchService<E> {
-    /// Wraps `engine` with the given front-end configuration.
+    /// Wraps `engine` with the given front-end configuration and the static
+    /// batch policy implied by `config.batcher`.
     pub fn new(engine: E, config: ServiceConfig) -> Self {
         Self {
             engine,
+            policy: Box::new(FixedPolicy(config.batcher)),
             config,
             next_request_id: 0,
         }
+    }
+
+    /// Replaces the batch policy (e.g. with an
+    /// [`SloController`](crate::controller::SloController)). The policy's own
+    /// initial conditions take over from `config.batcher`.
+    pub fn with_policy(mut self, policy: Box<dyn BatchPolicy>) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The wrapped engine.
@@ -163,28 +208,84 @@ impl<E: AnnEngine> SearchService<E> {
         &self.config
     }
 
+    /// The batch policy currently steering the former.
+    pub fn policy(&self) -> &dyn BatchPolicy {
+        self.policy.as_ref()
+    }
+
     /// Unwraps the service, returning the engine.
     pub fn into_engine(self) -> E {
         self.engine
     }
 
     /// Replays a timed stream, assigning `options_of(stream_index)` to each
-    /// query, and reports sustained QPS, latency percentiles and front-end
-    /// counters. The replay is deterministic.
+    /// query, and reports sustained QPS, latency percentiles, SLO attainment
+    /// and front-end counters. The replay is deterministic.
+    ///
+    /// The batch policy is consulted for the former's close conditions before
+    /// every arrival and observes completion latencies on the simulated
+    /// clock **causally**: a completion that finishes at simulated time `t`
+    /// is delivered to the policy only once the arrival clock has passed
+    /// `t`, exactly as an online controller would see it — feedback from a
+    /// batch still executing in the simulated future never steers earlier
+    /// arrivals.
     pub fn replay(
         &mut self,
         stream: &QueryStream,
         mut options_of: impl FnMut(usize) -> QueryOptions,
     ) -> ServiceReport {
+        let engine = &mut self.engine;
+        let policy = &mut self.policy;
+        let next_request_id = &mut self.next_request_id;
         let mut queue = AdmissionQueue::new(self.config.queue_capacity);
-        let mut former = BatchFormer::new(self.config.batcher);
+        let mut former = BatchFormer::new(policy.current());
         let mut cache = ResultCache::new(self.config.cache_capacity);
+        let slo_p99_s = self.config.slo_p99_s.or(stream.slo_p99_s);
 
         // Admitted queries occupy the waiting room until their batch
         // *finishes* on the engine, so an engine backlog exerts backpressure
         // on admission. Completions are released lazily as the clock passes
         // them: (finish_time, queries) pairs.
         let mut completions: Vec<(f64, usize)> = Vec::new();
+
+        // Policy feedback queued until the arrival clock catches up with the
+        // completion it describes (the causality guarantee above).
+        #[derive(Clone, Copy)]
+        enum Feedback {
+            Query { at: f64, latency_s: f64 },
+            Batch { at: f64, len: usize, wait_s: f64 },
+        }
+        impl Feedback {
+            fn at(&self) -> f64 {
+                match *self {
+                    Feedback::Query { at, .. } | Feedback::Batch { at, .. } => at,
+                }
+            }
+        }
+        let mut pending_feedback: Vec<Feedback> = Vec::new();
+        let deliver_feedback =
+            |pending: &mut Vec<Feedback>, policy: &mut Box<dyn BatchPolicy>, now: f64| {
+                let mut due = Vec::new();
+                pending.retain(|obs| {
+                    if obs.at() <= now {
+                        due.push(*obs);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                // Engine finishes are non-decreasing but cache-hit times can
+                // interleave with them.
+                due.sort_by(|a, b| {
+                    a.at().partial_cmp(&b.at()).unwrap_or(std::cmp::Ordering::Equal)
+                });
+                for obs in due {
+                    match obs {
+                        Feedback::Query { at, latency_s } => policy.observe(at, latency_s),
+                        Feedback::Batch { at, len, wait_s } => policy.observe_batch(at, len, wait_s),
+                    }
+                }
+            };
 
         let mut engine_free_at = 0.0f64;
         let mut engine_busy_s = 0.0f64;
@@ -199,6 +300,7 @@ impl<E: AnnEngine> SearchService<E> {
         let mut run_batch = |batch: FormedBatch,
                              completions: &mut Vec<(f64, usize)>,
                              cache: &mut ResultCache,
+                             pending_feedback: &mut Vec<Feedback>,
                              engine_free_at: &mut f64,
                              engine_busy_s: &mut f64,
                              makespan_s: &mut f64,
@@ -212,19 +314,31 @@ impl<E: AnnEngine> SearchService<E> {
             let indices: Vec<usize> = batch.members.iter().map(|m| m.stream_index).collect();
             let options: Vec<QueryOptions> = batch.members.iter().map(|m| m.options).collect();
             let queries = stream.batch.queries.gather(&indices);
-            self.next_request_id += 1;
-            let request = SearchRequest::new(queries, options).with_id(self.next_request_id);
+            *next_request_id += 1;
+            let request = SearchRequest::new(queries, options).with_id(*next_request_id);
 
             let start = batch.closed_at.max(*engine_free_at);
-            let response = self.engine.execute(&request);
+            let response = engine.execute(&request);
             let finish = start + response.seconds;
             *engine_free_at = finish;
             *engine_busy_s += response.seconds;
             *makespan_s = makespan_s.max(finish);
             completions.push((finish, batch.len()));
+            // The time the closed batch sat behind a busy engine — the
+            // saturation signal an adaptive policy steers by.
+            pending_feedback.push(Feedback::Batch {
+                at: finish,
+                len: batch.len(),
+                wait_s: start - batch.closed_at,
+            });
 
             for (member, neighbors) in batch.members.iter().zip(response.results) {
-                latencies.push(finish - member.arrival_s);
+                let latency = finish - member.arrival_s;
+                latencies.push(latency);
+                pending_feedback.push(Feedback::Query {
+                    at: finish,
+                    latency_s: latency,
+                });
                 cache.insert(
                     stream.batch.queries.vector(member.stream_index),
                     &member.options,
@@ -237,7 +351,11 @@ impl<E: AnnEngine> SearchService<E> {
 
         let mut released_upto = 0usize;
         for (arrival, index) in stream.iter() {
-            // Close every batching deadline that fires before this arrival.
+            // Deliver every completion the clock has caught up with, let the
+            // policy re-steer the close conditions, then close every
+            // batching deadline that fires before this arrival.
+            deliver_feedback(&mut pending_feedback, policy, arrival);
+            former.set_config(policy.current());
             while let Some(deadline) = former.next_deadline() {
                 if deadline > arrival {
                     break;
@@ -247,6 +365,7 @@ impl<E: AnnEngine> SearchService<E> {
                         batch,
                         &mut completions,
                         &mut cache,
+                        &mut pending_feedback,
                         &mut engine_free_at,
                         &mut engine_busy_s,
                         &mut makespan_s,
@@ -271,6 +390,10 @@ impl<E: AnnEngine> SearchService<E> {
                 // for it; afterwards the hit costs only the lookup.
                 let finish = arrival.max(ready_at) + cache_lookup_s;
                 latencies.push(finish - arrival);
+                pending_feedback.push(Feedback::Query {
+                    at: finish,
+                    latency_s: finish - arrival,
+                });
                 makespan_s = makespan_s.max(finish);
                 results[index] = cached;
                 continue;
@@ -288,6 +411,7 @@ impl<E: AnnEngine> SearchService<E> {
                     batch,
                     &mut completions,
                     &mut cache,
+                    &mut pending_feedback,
                     &mut engine_free_at,
                     &mut engine_busy_s,
                     &mut makespan_s,
@@ -304,6 +428,7 @@ impl<E: AnnEngine> SearchService<E> {
                 batch,
                 &mut completions,
                 &mut cache,
+                &mut pending_feedback,
                 &mut engine_free_at,
                 &mut engine_busy_s,
                 &mut makespan_s,
@@ -312,9 +437,17 @@ impl<E: AnnEngine> SearchService<E> {
             );
         }
 
+        // Stream over: drain the remaining feedback (in completion order) so
+        // the reported final controller state reflects every observation.
+        deliver_feedback(&mut pending_feedback, policy, f64::INFINITY);
+
         latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         ServiceReport {
             engine: self.engine.name().to_string(),
+            policy: self.policy.name().to_string(),
+            slo_p99_s,
+            controller_adjustments: self.policy.adjustments(),
+            final_batcher: self.policy.current(),
             completed: latencies.len(),
             shed: queue.shed() as usize,
             cache_hits: cache.hits(),
@@ -433,12 +566,99 @@ mod tests {
             },
             cache_capacity: 0,
             cache_lookup_s: 0.0,
+            slo_p99_s: None,
         };
         let mut service = SearchService::new(CpuFaissEngine::new(index), config);
         let stream = stream(100, 1.0e9, 0.0); // everything arrives at once
         let report = service.replay_uniform(&stream, QueryOptions::new(10, 4));
         assert!(report.shed > 0, "overload must shed");
         assert!(report.completed >= 4, "admitted queries still complete");
+    }
+
+    #[test]
+    fn slo_attainment_is_reported_from_the_stream_annotation() {
+        let (dataset, index) = fixture();
+        let mut service =
+            SearchService::new(CpuFaissEngine::new(index), ServiceConfig::default());
+        // An impossibly tight SLO: everything misses.
+        let tight = StreamSpec::new(150, 30_000.0)
+            .with_slo_p99(1e-12)
+            .generate(dataset);
+        let report = service.replay_uniform(&tight, QueryOptions::new(10, 4));
+        assert_eq!(report.slo_p99_s, Some(1e-12));
+        assert_eq!(report.policy, "fixed");
+        assert!(!report.meets_slo());
+        assert!(report.slo_miss_fraction() > 0.99);
+        // An impossibly loose SLO: everything fits.
+        let loose = StreamSpec::new(150, 30_000.0)
+            .with_slo_p99(1e9)
+            .generate(dataset);
+        let report = service.replay_uniform(&loose, QueryOptions::new(10, 4));
+        assert!(report.meets_slo());
+        assert_eq!(report.slo_miss_fraction(), 0.0);
+        // No SLO anywhere: attainment is vacuous.
+        let plain = StreamSpec::new(150, 30_000.0).generate(dataset);
+        let report = service.replay_uniform(&plain, QueryOptions::new(10, 4));
+        assert_eq!(report.slo_p99_s, None);
+        assert!(report.meets_slo());
+        assert_eq!(report.slo_miss_fraction(), 0.0);
+    }
+
+    #[test]
+    fn service_config_slo_overrides_the_stream_annotation() {
+        let (dataset, index) = fixture();
+        let mut service = SearchService::new(
+            CpuFaissEngine::new(index),
+            ServiceConfig {
+                slo_p99_s: Some(2.0),
+                ..ServiceConfig::default()
+            },
+        );
+        let stream = StreamSpec::new(60, 30_000.0)
+            .with_slo_p99(1e-12)
+            .generate(dataset);
+        let report = service.replay_uniform(&stream, QueryOptions::new(10, 4));
+        assert_eq!(report.slo_p99_s, Some(2.0));
+    }
+
+    #[test]
+    fn adaptive_policy_steers_the_former_and_is_reported() {
+        use crate::controller::SloController;
+        let (dataset, index) = fixture();
+        let slo = 5e-3;
+        let mut service =
+            SearchService::new(CpuFaissEngine::new(index), ServiceConfig::default())
+                .with_policy(Box::new(SloController::for_slo(slo)));
+        let initial = service.policy().current();
+        let stream = StreamSpec::new(400, 20_000.0)
+            .with_slo_p99(slo)
+            .generate(dataset);
+        let report = service.replay_uniform(&stream, QueryOptions::new(10, 4));
+        assert_eq!(report.policy, "adaptive-slo");
+        assert_eq!(report.completed + report.shed, 400);
+        assert!(
+            report.controller_adjustments > 0,
+            "the controller never moved"
+        );
+        assert!(
+            report.final_batcher.max_delay_s != initial.max_delay_s
+                || report.final_batcher.max_batch != initial.max_batch,
+            "final close conditions should differ from the initial ones"
+        );
+        // The controller's answers equal the fixed policy's: batching shape
+        // changes latency, never correctness.
+        let mut fixed =
+            SearchService::new(CpuFaissEngine::new(index), ServiceConfig::default());
+        let fixed_report = fixed.replay_uniform(&stream, QueryOptions::new(10, 4));
+        for (a, b) in report.results.iter().zip(&fixed_report.results) {
+            if a.is_empty() || b.is_empty() {
+                continue; // shed under one policy but not the other
+            }
+            assert_eq!(
+                a.iter().map(|n| n.id).collect::<Vec<_>>(),
+                b.iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

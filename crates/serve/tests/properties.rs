@@ -1,0 +1,369 @@
+//! Property-based tests (proptest) over the serving layer: the dynamic
+//! batch former, the result cache, the admission queue, and the SLO
+//! controller's convergence.
+//!
+//! The properties mirror the contracts the [`SearchService`] replay loop
+//! relies on: the former never over-fills or over-waits a batch and never
+//! mixes incompatible options; the cache is a faithful LRU that never
+//! answers from the future; admission accounting balances; and the
+//! controller settles its observed p99 inside the SLO band.
+
+use baselines::engine::QueryOptions;
+use proptest::prelude::*;
+use upanns_serve::batcher::{BatchFormer, BatchFormerConfig, CloseReason, FormedBatch, PendingQuery};
+use upanns_serve::cache::ResultCache;
+use upanns_serve::controller::{BatchPolicy, SloController, SloControllerConfig};
+use upanns_serve::admission::AdmissionQueue;
+use annkit::topk::Neighbor;
+
+/// The small universe of per-query option mixes the properties draw from
+/// (three compat keys; the budget variant of key 0 must share its group).
+fn option_of(tag: u8) -> QueryOptions {
+    match tag % 4 {
+        0 => QueryOptions::new(10, 8),
+        1 => QueryOptions::new(10, 4),
+        2 => QueryOptions::new(20, 8),
+        _ => QueryOptions::new(10, 8).with_latency_budget(5e-3),
+    }
+}
+
+/// Replays a byte-encoded arrival sequence through a former exactly the way
+/// the service does (deadlines drained before each arrival, flush at the
+/// end), returning every formed batch plus the final clock.
+fn drive_former(
+    config: BatchFormerConfig,
+    encoded: &[u8],
+    gap_scale: f64,
+) -> (Vec<FormedBatch>, f64) {
+    let mut former = BatchFormer::new(config);
+    let mut batches = Vec::new();
+    let mut now = 0.0f64;
+    for (i, &b) in encoded.iter().enumerate() {
+        // High bits: inter-arrival gap; low bits: which options mix.
+        now += (b >> 3) as f64 * gap_scale;
+        while let Some(deadline) = former.next_deadline() {
+            if deadline > now {
+                break;
+            }
+            batches.extend(former.due(deadline));
+        }
+        let pending = PendingQuery {
+            arrival_s: now,
+            stream_index: i,
+            options: option_of(b),
+        };
+        if let Some(batch) = former.push(pending, now) {
+            batches.push(batch);
+        }
+    }
+    batches.extend(former.flush(now));
+    (batches, now)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// No formed batch ever exceeds the size cap, however the arrivals and
+    /// option mixes interleave.
+    #[test]
+    fn former_never_exceeds_the_size_cap(
+        encoded in prop::collection::vec(0u8..=255, 1..300),
+        max_batch in 1usize..12,
+    ) {
+        let config = BatchFormerConfig { max_batch, max_delay_s: 4e-3 };
+        let (batches, _) = drive_former(config, &encoded, 1e-3);
+        for batch in &batches {
+            prop_assert!(batch.len() <= max_batch, "batch of {} > cap {}", batch.len(), max_batch);
+            prop_assert!(!batch.is_empty(), "the former never emits empty batches");
+        }
+        // Conservation: every admitted query leaves in exactly one batch.
+        let mut seen: Vec<usize> = batches
+            .iter()
+            .flat_map(|b| b.members.iter().map(|m| m.stream_index))
+            .collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..encoded.len()).collect::<Vec<_>>());
+    }
+
+    /// No query waits in the former past `max_delay` (plus the close-slack of
+    /// the size trigger firing exactly at the cap), except queries flushed at
+    /// stream end, whose wait is bounded by the stream itself.
+    #[test]
+    fn former_never_overholds_a_query(
+        encoded in prop::collection::vec(0u8..=255, 1..300),
+        max_batch in 1usize..12,
+        delay_ms in 1.0f64..20.0,
+    ) {
+        let max_delay_s = delay_ms * 1e-3;
+        let config = BatchFormerConfig { max_batch, max_delay_s };
+        let (batches, end) = drive_former(config, &encoded, 1e-3);
+        for batch in &batches {
+            prop_assert!(batch.closed_at + 1e-12 >= batch.opened_at);
+            match batch.reason {
+                CloseReason::Deadline => {
+                    // A deadline close is backdated to the deadline itself.
+                    prop_assert!(
+                        (batch.closed_at - (batch.opened_at + max_delay_s)).abs() < 1e-12
+                    );
+                }
+                CloseReason::Size => {
+                    // A size close happens no later than the group's deadline
+                    // (overdue groups are drained before every push).
+                    prop_assert!(batch.closed_at <= batch.opened_at + max_delay_s + 1e-12);
+                }
+                CloseReason::Flush => {
+                    prop_assert!(batch.closed_at <= end + 1e-12);
+                }
+            }
+            for member in &batch.members {
+                prop_assert!(member.arrival_s + 1e-12 >= batch.opened_at);
+                prop_assert!(member.arrival_s <= batch.closed_at + 1e-12);
+                if batch.reason != CloseReason::Flush {
+                    prop_assert!(
+                        batch.closed_at - member.arrival_s <= max_delay_s + 1e-12,
+                        "query waited {} s with max_delay {} s",
+                        batch.closed_at - member.arrival_s,
+                        max_delay_s
+                    );
+                }
+            }
+        }
+    }
+
+    /// Compat-key grouping never mixes incompatible options, and within a
+    /// batch the members drain in admission order.
+    #[test]
+    fn former_groups_are_pure_and_ordered(
+        encoded in prop::collection::vec(0u8..=255, 1..300),
+        max_batch in 1usize..12,
+    ) {
+        let config = BatchFormerConfig { max_batch, max_delay_s: 3e-3 };
+        let (batches, _) = drive_former(config, &encoded, 1e-3);
+        for batch in &batches {
+            let key = batch.options.compat_key();
+            for member in &batch.members {
+                prop_assert_eq!(member.options.compat_key(), key);
+            }
+            for pair in batch.members.windows(2) {
+                prop_assert!(
+                    pair[0].stream_index < pair[1].stream_index,
+                    "admission order violated within a group"
+                );
+                prop_assert!(pair[0].arrival_s <= pair[1].arrival_s + 1e-12);
+            }
+        }
+    }
+
+    /// The cache is a faithful LRU: hits/misses and evictions match a naive
+    /// reference model, and the size never exceeds the capacity.
+    #[test]
+    fn cache_matches_a_reference_lru(
+        ops in prop::collection::vec(0u8..=255, 1..200),
+        capacity in 1usize..6,
+    ) {
+        let mut cache = ResultCache::new(capacity);
+        // Reference model: most-recently-used at the back.
+        let mut model: Vec<u8> = Vec::new();
+        for (i, &op) in ops.iter().enumerate() {
+            let key = op % 8;
+            let query = [key as f32];
+            let options = QueryOptions::new(10, 8);
+            if op & 0x80 == 0 {
+                // Insert: refresh recency, evict the front when full.
+                cache.insert(&query, &options, vec![Neighbor::new(key as u64, 0.0)], i as f64);
+                if let Some(pos) = model.iter().position(|&k| k == key) {
+                    model.remove(pos);
+                } else if model.len() == capacity {
+                    model.remove(0);
+                }
+                model.push(key);
+            } else {
+                let hit = cache.lookup(&query, &options);
+                match model.iter().position(|&k| k == key) {
+                    Some(pos) => {
+                        let (neighbors, _) = hit.expect("model says hit");
+                        prop_assert_eq!(neighbors[0].id, key as u64);
+                        model.remove(pos);
+                        model.push(key); // a hit refreshes recency
+                    }
+                    None => prop_assert!(hit.is_none(), "model says miss"),
+                }
+            }
+            prop_assert!(cache.len() <= capacity);
+            prop_assert_eq!(cache.len(), model.len());
+        }
+    }
+
+    /// A cached answer always reports the exact availability time it was
+    /// stored with — the `ready_at` a repeat must wait for (the time-travel
+    /// guard), surviving overwrites by repeated queries.
+    #[test]
+    fn cache_ready_at_is_faithful_under_repeats(
+        rounds in prop::collection::vec(0u8..=255, 1..60),
+    ) {
+        let mut cache = ResultCache::new(16);
+        let options = QueryOptions::new(5, 4);
+        let mut expected: Vec<Option<f64>> = vec![None; 4];
+        for (i, &op) in rounds.iter().enumerate() {
+            let key = (op % 4) as usize;
+            let query = [key as f32];
+            let t = i as f64;
+            if op & 0x80 == 0 {
+                // Re-answering the same query overwrites ready_at.
+                cache.insert(&query, &options, vec![Neighbor::new(key as u64, 0.0)], t);
+                expected[key] = Some(t);
+            } else if let Some((_, ready_at)) = cache.lookup(&query, &options) {
+                let want = expected[key].expect("cache cannot invent entries");
+                prop_assert_eq!(ready_at, want);
+                prop_assert!(ready_at <= t, "an entry can only become ready in the past of its insertion clock");
+            }
+        }
+    }
+
+    /// Admission accounting balances under arbitrary admit/release
+    /// interleavings, and the waiting count respects the capacity.
+    #[test]
+    fn admission_queue_accounting_balances(
+        ops in prop::collection::vec(0u8..=255, 1..300),
+        capacity in 1usize..20,
+    ) {
+        let mut queue = AdmissionQueue::new(capacity);
+        let mut waiting = 0usize;
+        let mut admitted = 0u64;
+        let mut shed = 0u64;
+        for &op in &ops {
+            if op & 1 == 0 {
+                let got_in = queue.try_admit();
+                if waiting < capacity {
+                    prop_assert!(got_in, "room available but shed");
+                    waiting += 1;
+                    admitted += 1;
+                } else {
+                    prop_assert!(!got_in, "admitted past capacity");
+                    shed += 1;
+                }
+            } else {
+                // Release a batch of up to 7 waiters (never more than exist).
+                let n = ((op >> 1) as usize % 8).min(waiting);
+                queue.release(n);
+                waiting -= n;
+            }
+            prop_assert!(queue.waiting() <= capacity);
+            prop_assert_eq!(queue.waiting(), waiting);
+            prop_assert_eq!(queue.admitted(), admitted);
+            prop_assert_eq!(queue.shed(), shed);
+        }
+    }
+
+    /// Convergence: against a synthetic latency model where the observed p99
+    /// is proportional to the batching window, the controller settles the
+    /// p99 inside the SLO band [grow_below × SLO, SLO] — from below *and*
+    /// from above — and stays there.
+    #[test]
+    fn controller_converges_p99_into_the_slo_band(
+        start_fraction in 0.01f64..0.5,
+        noise in prop::collection::vec(0.9f64..1.1, 32),
+        slo_ms in 20.0f64..500.0,
+    ) {
+        let slo = slo_ms * 1e-3;
+        let config = SloControllerConfig::for_slo(slo);
+        let mut controller = SloController::new(
+            config,
+            upanns_serve::batcher::BatchFormerConfig {
+                max_batch: 64,
+                max_delay_s: (start_fraction * slo).max(config.min_delay_s),
+            },
+        );
+        // Latency model: p99 ≈ 3 × window (waiting + queueing + execution all
+        // scale with the window at a loaded engine that is keeping up).
+        let mut now = 0.0f64;
+        let mut last_p99 = 0.0f64;
+        for _ in 0..60 {
+            let window = controller.current().max_delay_s;
+            let mut worst = 0.0f64;
+            for (j, n) in noise.iter().enumerate() {
+                now += config.adjust_interval_s / noise.len() as f64;
+                let latency = 3.0 * window * n * (0.97 + 0.03 * (j % 2) as f64);
+                worst = worst.max(latency);
+                controller.observe(now, latency);
+            }
+            last_p99 = worst;
+        }
+        let band_low = config.grow_below * slo;
+        prop_assert!(
+            last_p99 <= slo * 1.02,
+            "p99 {last_p99} settled above the SLO {slo}"
+        );
+        prop_assert!(
+            last_p99 >= band_low * 0.5,
+            "p99 {last_p99} settled far below the band floor {band_low} — the controller left throughput on the table"
+        );
+        // And it holds still once inside the band.
+        let settled = controller.current();
+        for j in 0..32 {
+            now += config.adjust_interval_s / 16.0;
+            controller.observe(now, 3.0 * settled.max_delay_s * noise[j % noise.len()]);
+        }
+        prop_assert_eq!(controller.current().max_batch, settled.max_batch);
+    }
+}
+
+/// The service-level time-travel guard: a repeat arriving after its
+/// original's batch closed but before the answer exists must wait for the
+/// answer — its latency includes the remaining execution time.
+#[test]
+fn repeats_wait_for_the_original_answer() {
+    use annkit::ivf::{IvfPqIndex, IvfPqParams};
+    use annkit::synthetic::SyntheticSpec;
+    use annkit::workload::StreamSpec;
+    use baselines::cpu::CpuFaissEngine;
+    use upanns_serve::{SearchService, ServiceConfig};
+
+    let dataset = SyntheticSpec::sift_like(600)
+        .with_clusters(8)
+        .with_seed(11)
+        .generate_with_meta();
+    let index = IvfPqIndex::train(
+        &dataset.vectors,
+        &IvfPqParams::new(8, 16).with_train_size(300),
+        2,
+    );
+    // Every query identical and near-instant arrivals: the first closes its
+    // batch (max_batch 1) at t≈0 and executes for `engine_busy_s`; every
+    // repeat hits the cache but must wait for that answer.
+    let cache_lookup_s = 1e-6;
+    let config = ServiceConfig {
+        queue_capacity: 64,
+        batcher: BatchFormerConfig {
+            max_batch: 1,
+            max_delay_s: 10.0,
+        },
+        cache_capacity: 64,
+        cache_lookup_s,
+        slo_p99_s: None,
+    };
+    // The work scale inflates the modeled execution time so it dwarfs both
+    // the arrival spacing and the cache lookup.
+    let mut service =
+        SearchService::new(CpuFaissEngine::new(&index).with_work_scale(1e5), config);
+    let stream = StreamSpec::new(20, 1e9)
+        .with_repeat_fraction(1.0)
+        .generate(&dataset);
+    let report = service.replay_uniform(&stream, QueryOptions::new(5, 4));
+    // With repeat fraction 1.0 every query is (transitively) a copy of the
+    // first, so exactly one batch runs and all 19 repeats are cache hits.
+    assert_eq!(report.completed, 20);
+    assert_eq!(report.batches(), 1);
+    assert_eq!(report.cache_hits, 19);
+    // Arrivals are ~instant (qps 1e9) while the one batch takes
+    // `engine_busy_s` of simulated time. Every repeat arrived long before the
+    // answer existed, so the guard forces every latency up to ≈ the
+    // execution time; a time-traveling hit would cost only the ~1 µs lookup.
+    assert!(report.engine_busy_s > 1e3 * cache_lookup_s);
+    let min_latency = report.latencies_s[0];
+    assert!(
+        min_latency >= report.engine_busy_s * 0.99,
+        "a cached answer time-traveled: min latency {min_latency} vs execution {}",
+        report.engine_busy_s
+    );
+}

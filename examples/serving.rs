@@ -105,6 +105,7 @@ fn main() {
             },
             cache_capacity: 256,
             cache_lookup_s: 2e-6,
+            slo_p99_s: None,
         },
     );
     let report = service.replay(&stream, options_of);
@@ -150,4 +151,46 @@ fn main() {
             k_of(b)
         );
     }
+
+    // ------------------------------------------------------------------
+    // 4. The SLO controller: same engine and traffic, but the batching
+    //    window is chosen by a closed loop targeting a p99 SLO instead of a
+    //    hand-tuned constant (see the `serve` binary for the full
+    //    fixed-vs-adaptive sweep across every engine, multihost included).
+    // ------------------------------------------------------------------
+    let slo_s = 4.0;
+    let engine = service.into_engine();
+    let mut adaptive = SearchService::new(
+        engine,
+        ServiceConfig {
+            queue_capacity: 512,
+            batcher: BatchFormerConfig {
+                max_batch: 128,
+                max_delay_s: 250e-3,
+            },
+            cache_capacity: 256,
+            cache_lookup_s: 2e-6,
+            slo_p99_s: Some(slo_s),
+        },
+    )
+    .with_policy(Box::new(SloController::for_slo(slo_s)));
+    let adaptive_report = adaptive.replay(&stream, options_of);
+    println!();
+    println!(
+        "SLO controller:  policy '{}' targeting p99 <= {:.0} ms",
+        adaptive_report.policy,
+        slo_s * 1e3
+    );
+    println!(
+        "Attainment:      p99 {:.1} ms | {:.1}% of queries missed the SLO | SLO {}",
+        adaptive_report.p99() * 1e3,
+        adaptive_report.slo_miss_fraction() * 100.0,
+        if adaptive_report.meets_slo() { "met" } else { "MISSED" }
+    );
+    println!(
+        "Controller:      {} adjustments, settled on max_batch={} / max_delay {:.1} ms",
+        adaptive_report.controller_adjustments,
+        adaptive_report.final_batcher.max_batch,
+        adaptive_report.final_batcher.max_delay_s * 1e3
+    );
 }

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fold the JSONL emitted by the vendored criterion's baseline recorder into
+the committed BENCH_criterion.json document.
+
+Usage:
+    merge_criterion_baseline.py <records.jsonl> <out.json>
+    merge_criterion_baseline.py --check-names <records.jsonl> <committed.json>
+
+The vendored `criterion` appends one JSON object per measured benchmark to
+the file named by CRITERION_BASELINE_JSONL (or `--save-baseline <path>`)
+while `cargo bench` runs. This script sorts the records into a stable,
+parseable document. Wall-clock means vary by machine, so CI verifies the
+*names* (bench/group/id triples) against the committed record rather than
+the times — adding or removing a benchmark must update the record in-PR.
+"""
+
+import json
+import sys
+
+
+def load_records(path):
+    records = []
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    records.sort(key=lambda r: (r["bench"], r["group"], r["id"]))
+    return records
+
+
+def names(records):
+    return [(r["bench"], r["group"], r["id"]) for r in records]
+
+
+def main(argv):
+    if len(argv) == 4 and argv[1] == "--check-names":
+        fresh = load_records(argv[2])
+        with open(argv[3]) as f:
+            committed = json.load(f)
+        want = names(committed["benches"])
+        got = names(fresh)
+        if want != got:
+            missing = sorted(set(want) - set(got))
+            extra = sorted(set(got) - set(want))
+            print("benchmark names diverged from the committed record:")
+            for n in missing:
+                print(f"  missing: {'/'.join(p for p in n if p)}")
+            for n in extra:
+                print(f"  new:     {'/'.join(p for p in n if p)}")
+            print("regenerate and commit BENCH_criterion.json in this PR")
+            return 1
+        print(f"{len(got)} benchmark names match the committed record")
+        return 0
+
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    records = load_records(argv[1])
+    doc = {
+        "schema": "upanns-criterion-bench-v1",
+        "note": "mean_seconds are machine-dependent; CI checks names only",
+        "benches": records,
+    }
+    with open(argv[2], "w") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+    print(f"wrote {len(records)} records to {argv[2]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -8,8 +8,21 @@
 //! `Throughput` — with a simple wall-clock measurement loop instead of
 //! criterion's statistical machinery. Results are printed as
 //! `<group>/<id> ... <mean time> (<throughput>)` lines.
+//!
+//! Baseline recording (the `--save-baseline`-style escape hatch): when the
+//! bench binary is invoked with `--save-baseline <path>` (or the
+//! `CRITERION_BASELINE_JSONL` environment variable is set), every measured
+//! result is appended to `<path>` as one JSON line tagged with the bench
+//! binary's name. Appending lets `cargo bench` runs of several bench
+//! binaries accumulate into one file, which
+//! `scripts/merge_criterion_baseline.py` folds into the committed
+//! `BENCH_criterion.json` record. `CRITERION_SAMPLE_SIZE` caps the per-bench
+//! iteration count (CI uses a small cap: the record's *names* are checked,
+//! wall-clock means vary by machine).
 
 use std::fmt;
+use std::fmt::Write as _;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Throughput annotation for a benchmark group.
@@ -17,6 +30,107 @@ use std::time::{Duration, Instant};
 pub enum Throughput {
     Elements(u64),
     Bytes(u64),
+}
+
+/// One measured result, collected for baseline recording.
+#[derive(Debug, Clone)]
+struct BaselineRecord {
+    group: String,
+    id: String,
+    mean_seconds: f64,
+    throughput_per_s: Option<f64>,
+}
+
+/// Results measured so far in this process (all groups of all
+/// `criterion_group!`s share it).
+static RECORDS: Mutex<Vec<BaselineRecord>> = Mutex::new(Vec::new());
+
+/// The baseline path requested via `--save-baseline <path>` or
+/// `CRITERION_BASELINE_JSONL`, if any.
+fn baseline_path() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        if arg == "--save-baseline" {
+            return args.next();
+        }
+        if let Some(path) = arg.strip_prefix("--save-baseline=") {
+            return Some(path.to_string());
+        }
+    }
+    std::env::var("CRITERION_BASELINE_JSONL").ok().filter(|p| !p.is_empty())
+}
+
+/// Sample-size cap from `CRITERION_SAMPLE_SIZE`, if set.
+fn sample_size_cap() -> Option<usize> {
+    std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n > 0)
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Appends this process's measured results to the requested baseline file
+/// (no-op when none was requested). Called by `criterion_main!` after every
+/// group has run.
+pub fn save_baseline_if_requested() {
+    let Some(path) = baseline_path() else {
+        return;
+    };
+    let bench = std::env::args()
+        .next()
+        .map(|argv0| {
+            let stem = std::path::Path::new(&argv0)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or(argv0.clone());
+            // Cargo suffixes bench executables with a metadata hash
+            // (`adc_scan-3f2a…`); strip it so the record is stable.
+            match stem.rsplit_once('-') {
+                Some((name, hash))
+                    if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+                {
+                    name.to_string()
+                }
+                _ => stem,
+            }
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let records = RECORDS.lock().expect("baseline records poisoned");
+    let mut out = String::new();
+    for r in records.iter() {
+        let throughput = match r.throughput_per_s {
+            Some(t) if t.is_finite() => format!("{t:.3}"),
+            _ => "null".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{{\"bench\": \"{}\", \"group\": \"{}\", \"id\": \"{}\", \"mean_seconds\": {:.9}, \"throughput_per_s\": {}}}",
+            json_escape(&bench),
+            json_escape(&r.group),
+            json_escape(&r.id),
+            r.mean_seconds,
+            throughput,
+        );
+    }
+    use std::io::Write as _;
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .unwrap_or_else(|e| panic!("open baseline file {path}: {e}"));
+    file.write_all(out.as_bytes())
+        .unwrap_or_else(|e| panic!("append baseline records to {path}: {e}"));
+    eprintln!("saved {} baseline records from '{bench}' to {path}", records.len());
 }
 
 /// Identifier for a parameterized benchmark.
@@ -114,7 +228,7 @@ pub struct BenchmarkGroup<'c> {
 
 impl BenchmarkGroup<'_> {
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.sample_size = n;
+        self.sample_size = sample_size_cap().map_or(n, |cap| cap.min(n));
         self
     }
 
@@ -167,16 +281,24 @@ impl BenchmarkGroup<'_> {
     pub fn finish(&mut self) {}
 
     fn report(&self, id: &BenchmarkId, mean: f64) {
-        let rate = match (self.throughput, mean > 0.0) {
-            (Some(Throughput::Elements(n)), true) => {
-                format!("  ({:.0} elem/s)", n as f64 / mean)
+        let per_s = match self.throughput {
+            Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                Some(n as f64 / mean)
             }
-            (Some(Throughput::Bytes(n)), true) => {
-                format!("  ({:.0} B/s)", n as f64 / mean)
-            }
+            _ => None,
+        };
+        let rate = match (self.throughput, per_s) {
+            (Some(Throughput::Elements(_)), Some(r)) => format!("  ({r:.0} elem/s)"),
+            (Some(Throughput::Bytes(_)), Some(r)) => format!("  ({r:.0} B/s)"),
             _ => String::new(),
         };
         println!("{}/{}  {}{}", self.name, id, format_seconds(mean), rate);
+        RECORDS.lock().expect("baseline records poisoned").push(BaselineRecord {
+            group: self.name.clone(),
+            id: id.to_string(),
+            mean_seconds: mean,
+            throughput_per_s: per_s,
+        });
     }
 }
 
@@ -188,7 +310,7 @@ impl Criterion {
     pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
-            sample_size: 10,
+            sample_size: sample_size_cap().map_or(10, |cap| cap.min(10)),
             throughput: None,
             _criterion: self,
         }
@@ -197,10 +319,16 @@ impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let mut b = Bencher {
             mean_seconds: 0.0,
-            sample_size: 10,
+            sample_size: sample_size_cap().map_or(10, |cap| cap.min(10)),
         };
         f(&mut b);
         println!("{}  {}", name, format_seconds(b.mean_seconds));
+        RECORDS.lock().expect("baseline records poisoned").push(BaselineRecord {
+            group: String::new(),
+            id: name.to_string(),
+            mean_seconds: b.mean_seconds,
+            throughput_per_s: None,
+        });
         self
     }
 }
@@ -225,6 +353,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::save_baseline_if_requested();
         }
     };
 }
