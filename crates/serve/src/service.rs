@@ -125,22 +125,30 @@ impl ServiceReport {
         }
     }
 
-    /// Fraction of completed queries whose end-to-end latency exceeded the
-    /// SLO (0 when no SLO was configured or nothing completed). Shed queries
-    /// are accounted separately — see [`shed`](Self::shed).
+    /// Fraction of *offered* queries that missed the SLO: completed queries
+    /// whose end-to-end latency exceeded the target, **plus every shed
+    /// query** — a query turned away at the door received no answer at all,
+    /// which is the worst possible latency, so it always counts as a miss
+    /// (even when no explicit SLO was configured). 0 when nothing was
+    /// offered. A 100 %-shed replay therefore reports exactly 1.0.
     pub fn slo_miss_fraction(&self) -> f64 {
-        match self.slo_p99_s {
-            Some(slo) if !self.latencies_s.is_empty() => {
-                self.latencies_s.iter().filter(|&&l| l > slo).count() as f64
-                    / self.latencies_s.len() as f64
-            }
-            _ => 0.0,
+        let offered = self.completed + self.shed;
+        if offered == 0 {
+            return 0.0;
         }
+        let late = match self.slo_p99_s {
+            Some(slo) => self.latencies_s.iter().filter(|&&l| l > slo).count(),
+            None => 0,
+        };
+        (late + self.shed) as f64 / offered as f64
     }
 
-    /// Whether the measured p99 met the SLO (true when no SLO was set).
+    /// Whether the replay met its p99 SLO, shed-aware: at most 1 % of the
+    /// *offered* queries (shed queries included, via
+    /// [`slo_miss_fraction`](Self::slo_miss_fraction)) missed the target.
+    /// Vacuously true when no SLO was set.
     pub fn meets_slo(&self) -> bool {
-        self.slo_p99_s.is_none_or(|slo| self.p99() <= slo)
+        self.slo_p99_s.is_none() || self.slo_miss_fraction() <= 0.01
     }
 
     /// Cache hit rate over all lookups.
@@ -573,6 +581,72 @@ mod tests {
         let report = service.replay_uniform(&stream, QueryOptions::new(10, 4));
         assert!(report.shed > 0, "overload must shed");
         assert!(report.completed >= 4, "admitted queries still complete");
+    }
+
+    #[test]
+    fn fully_shed_run_reports_total_slo_miss() {
+        // The shed-accounting regression: a replay that sheds everything must
+        // report a 100 % SLO miss fraction — shed queries received no answer,
+        // which is the worst possible latency, not a free pass.
+        let report = ServiceReport {
+            engine: "test".to_string(),
+            policy: "fixed".to_string(),
+            slo_p99_s: Some(1.0),
+            controller_adjustments: 0,
+            final_batcher: BatchFormerConfig::default(),
+            completed: 0,
+            shed: 50,
+            cache_hits: 0,
+            cache_misses: 0,
+            size_closed_batches: 0,
+            deadline_closed_batches: 0,
+            flushed_batches: 0,
+            engine_busy_s: 0.0,
+            makespan_s: 0.0,
+            latencies_s: Vec::new(),
+            results: Vec::new(),
+        };
+        assert_eq!(report.slo_miss_fraction(), 1.0);
+        assert!(!report.meets_slo());
+        // Sheds count even without an explicit SLO target...
+        let unslod = ServiceReport {
+            slo_p99_s: None,
+            ..report.clone()
+        };
+        assert_eq!(unslod.slo_miss_fraction(), 1.0);
+        // ...though SLO attainment stays vacuous without a target.
+        assert!(unslod.meets_slo());
+    }
+
+    #[test]
+    fn shed_queries_count_as_slo_misses_in_a_replay() {
+        let (dataset, index) = fixture();
+        let config = ServiceConfig {
+            queue_capacity: 4,
+            batcher: BatchFormerConfig {
+                max_batch: 64,
+                max_delay_s: 10.0, // deadlines never fire mid-stream
+            },
+            cache_capacity: 0,
+            cache_lookup_s: 0.0,
+            slo_p99_s: None,
+        };
+        let mut service = SearchService::new(CpuFaissEngine::new(index), config);
+        // Everything arrives at once with a generous SLO: admitted queries
+        // complete comfortably, yet the report must still charge every shed.
+        let stream = StreamSpec::new(100, 1.0e9)
+            .with_slo_p99(1e9)
+            .generate(dataset);
+        let report = service.replay_uniform(&stream, QueryOptions::new(10, 4));
+        assert!(report.shed > 0, "overload must shed");
+        let expected = report.shed as f64 / (report.completed + report.shed) as f64;
+        assert!((report.slo_miss_fraction() - expected).abs() < 1e-12);
+        assert!(
+            !report.meets_slo(),
+            "shedding {} of {} queries cannot meet the SLO",
+            report.shed,
+            report.completed + report.shed
+        );
     }
 
     #[test]
