@@ -63,7 +63,10 @@ pub mod prelude {
     pub use crate::synthetic::{DatasetKind, SyntheticSpec};
     pub use crate::topk::{Neighbor, TopK};
     pub use crate::vector::Dataset;
-    pub use crate::workload::{QueryBatch, QueryStream, StreamSpec, WorkloadSpec};
+    pub use crate::workload::{
+        MultiTenantSpec, QueryBatch, QueryStream, StreamSpec, TenantId, TenantProfile,
+        TenantSpec, WorkloadSpec,
+    };
 }
 
 pub use error::AnnError;

@@ -192,6 +192,216 @@ pub fn cluster_frequencies(batch: &QueryBatch, num_clusters: usize) -> Vec<f64> 
     freq.iter().map(|&f| f as f64 / total as f64).collect()
 }
 
+/// Identifier of a serving *tenant* — one traffic class among the many a
+/// long-running front-end multiplexes (different clients with different
+/// arrival rates, parameter mixes, and latency SLOs). The id is an opaque
+/// label: it never changes what a query answers, only how the serving layer
+/// accounts, admits and batches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The tenant single-tenant streams implicitly belong to.
+    pub const DEFAULT: TenantId = TenantId(0);
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// What the serving layer needs to know about one tenant of a generated
+/// [`QueryStream`]: its identity, fair-share weight, and latency target.
+/// Carried on the stream (see [`QueryStream::tenant_profiles`]) so replay
+/// harnesses can configure admission and batching without re-deriving the
+/// workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantProfile {
+    /// The tenant this profile describes.
+    pub id: TenantId,
+    /// Human-readable tenant name for reports ("tight", "batchy", ...).
+    pub name: String,
+    /// Weighted-fair admission share (relative to the other tenants).
+    pub weight: u32,
+    /// The tenant's own p99 latency SLO in seconds, if it has one.
+    pub slo_p99_s: Option<f64>,
+}
+
+/// One tenant's slice of a multi-tenant stream: its own content workload,
+/// Poisson rate, repeat fraction and SLO (the wrapped [`StreamSpec`]), plus
+/// the serving-layer knobs — fair-share weight and the `(k, nprobe)` option
+/// mix its queries cycle through.
+#[derive(Debug, Clone)]
+pub struct TenantSpec {
+    /// The tenant's identity.
+    pub id: TenantId,
+    /// Report name (defaults to the id's display form).
+    pub name: String,
+    /// The tenant's own timed workload: rate, repeats, SLO, content skew.
+    pub stream: StreamSpec,
+    /// Weighted-fair admission share (≥ 1).
+    pub weight: u32,
+    /// The `(k, nprobe)` pairs the tenant's queries cycle through, in
+    /// tenant-local arrival order.
+    pub option_mix: Vec<(usize, usize)>,
+}
+
+impl TenantSpec {
+    /// A tenant with weight 1 and the default `(k=10, nprobe=8)` option mix.
+    pub fn new(id: TenantId, stream: StreamSpec) -> Self {
+        Self {
+            id,
+            name: id.to_string(),
+            stream,
+            weight: 1,
+            option_mix: vec![(10, 8)],
+        }
+    }
+
+    /// Names the tenant in reports.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Sets the weighted-fair admission share.
+    ///
+    /// # Panics
+    /// Panics if the weight is zero (a tenant that may never be admitted).
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        assert!(weight >= 1, "tenant weight must be at least 1");
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the `(k, nprobe)` mix the tenant's queries cycle through.
+    ///
+    /// # Panics
+    /// Panics on an empty mix.
+    pub fn with_option_mix(mut self, mix: Vec<(usize, usize)>) -> Self {
+        assert!(!mix.is_empty(), "a tenant needs at least one option tier");
+        self.option_mix = mix;
+        self
+    }
+
+    fn profile(&self) -> TenantProfile {
+        TenantProfile {
+            id: self.id,
+            name: self.name.clone(),
+            weight: self.weight,
+            slo_p99_s: self.stream.slo_p99_s,
+        }
+    }
+}
+
+/// A multi-tenant timed workload: several [`TenantSpec`]s whose independent
+/// Poisson streams are merged into one arrival-ordered [`QueryStream`], each
+/// query tagged with its tenant ([`QueryStream::tenant_of`]) and carrying the
+/// tenant's `(k, nprobe)` plan ([`QueryStream::option_plan`]).
+///
+/// Each tenant draws its queries with its own seeds, XOR-perturbed by the
+/// tenant id so two tenants left at the default seeds still ask different
+/// questions; repeats stay tenant-local (a tenant re-asks *its own* popular
+/// questions). The merged stream's global
+/// [`slo_p99_s`](QueryStream::slo_p99_s) is the **tightest** tenant SLO —
+/// the only defensible target for a tenant-blind controller, which is
+/// exactly the handicap per-tenant controllers exist to remove.
+#[derive(Debug, Clone, Default)]
+pub struct MultiTenantSpec {
+    /// The tenants, in report order.
+    pub tenants: Vec<TenantSpec>,
+}
+
+impl MultiTenantSpec {
+    /// An empty mix; add tenants with [`with_tenant`](Self::with_tenant).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one tenant.
+    ///
+    /// # Panics
+    /// Panics if the tenant's id is already present.
+    pub fn with_tenant(mut self, tenant: TenantSpec) -> Self {
+        assert!(
+            self.tenants.iter().all(|t| t.id != tenant.id),
+            "duplicate tenant id {}",
+            tenant.id
+        );
+        self.tenants.push(tenant);
+        self
+    }
+
+    /// Generates every tenant's timed stream and merges them by arrival
+    /// time (ties broken by tenant order, preserving per-tenant FIFO). The
+    /// result is fully deterministic.
+    ///
+    /// # Panics
+    /// Panics on an empty mix or mismatched query dimensions.
+    pub fn generate(&self, dataset: &SyntheticDataset) -> QueryStream {
+        assert!(!self.tenants.is_empty(), "a tenant mix needs tenants");
+        let per_tenant: Vec<QueryStream> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                // Perturb both seeds by the tenant id so tenants sharing the
+                // default spec still draw distinct queries and arrival gaps.
+                let mut spec = t.stream.clone();
+                let salt = 0x7EA0_0001u64.wrapping_mul(u64::from(t.id.0) + 1);
+                spec.workload.seed ^= salt;
+                spec.workload.popularity_seed ^= salt.rotate_left(17);
+                spec.generate(dataset)
+            })
+            .collect();
+
+        let dim = per_tenant[0].batch.queries.dim();
+        let total: usize = per_tenant.iter().map(|s| s.len()).sum();
+        let mut queries = Dataset::with_capacity(dim, total);
+        let mut target_cluster = Vec::with_capacity(total);
+        let mut arrivals = Vec::with_capacity(total);
+        let mut tenant_of = Vec::with_capacity(total);
+        let mut option_plan = Vec::with_capacity(total);
+
+        // K-way merge by arrival time; `next[i]` is tenant i's cursor.
+        let mut next = vec![0usize; per_tenant.len()];
+        for _ in 0..total {
+            let (i, _) = per_tenant
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| next[*i] < s.len())
+                .map(|(i, s)| (i, s.arrivals[next[i]]))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .expect("cursors not exhausted");
+            let spec = &self.tenants[i];
+            let stream = &per_tenant[i];
+            let local = next[i];
+            arrivals.push(stream.arrivals[local]);
+            queries.push(stream.batch.queries.vector(local));
+            target_cluster.push(stream.batch.target_cluster[local]);
+            tenant_of.push(spec.id);
+            option_plan.push(spec.option_mix[local % spec.option_mix.len()]);
+            next[i] += 1;
+        }
+
+        QueryStream {
+            arrivals,
+            batch: QueryBatch {
+                queries,
+                target_cluster,
+            },
+            slo_p99_s: self
+                .tenants
+                .iter()
+                .filter_map(|t| t.stream.slo_p99_s)
+                .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)),
+            tenant_of,
+            option_plan,
+            tenant_profiles: self.tenants.iter().map(|t| t.profile()).collect(),
+        }
+    }
+}
+
 /// Specification of a *timed* query stream: a [`WorkloadSpec`] plus a Poisson
 /// arrival process, as seen by a long-running serving front-end.
 #[derive(Debug, Clone)]
@@ -275,10 +485,19 @@ impl StreamSpec {
             t += -(1.0 - u).ln() / self.mean_qps;
             arrivals.push(t);
         }
+        let n = batch.len();
         QueryStream {
             arrivals,
             batch,
             slo_p99_s: self.slo_p99_s,
+            tenant_of: vec![TenantId::DEFAULT; n],
+            option_plan: Vec::new(),
+            tenant_profiles: vec![TenantProfile {
+                id: TenantId::DEFAULT,
+                name: "default".to_string(),
+                weight: 1,
+                slo_p99_s: self.slo_p99_s,
+            }],
         }
     }
 }
@@ -292,8 +511,19 @@ pub struct QueryStream {
     /// The queries themselves (plus generative ground truth).
     pub batch: QueryBatch,
     /// The p99 latency SLO the stream's traffic expects, if any (from
-    /// [`StreamSpec::with_slo_p99`]).
+    /// [`StreamSpec::with_slo_p99`]; the *tightest* tenant SLO for a
+    /// [`MultiTenantSpec`] stream).
     pub slo_p99_s: Option<f64>,
+    /// The tenant each query belongs to, aligned with `arrivals`
+    /// ([`TenantId::DEFAULT`] throughout for single-tenant streams).
+    pub tenant_of: Vec<TenantId>,
+    /// Per-query `(k, nprobe)` plan from the tenants' option mixes, aligned
+    /// with `arrivals`. Empty for single-tenant streams, whose replay
+    /// harness chooses options itself.
+    pub option_plan: Vec<(usize, usize)>,
+    /// One profile per tenant, in spec order (a single `default` profile for
+    /// single-tenant streams).
+    pub tenant_profiles: Vec<TenantProfile>,
 }
 
 impl QueryStream {
@@ -324,6 +554,22 @@ impl QueryStream {
     /// Iterates `(arrival_seconds, query_index)` in arrival order.
     pub fn iter(&self) -> impl Iterator<Item = (f64, usize)> + '_ {
         self.arrivals.iter().copied().zip(0..self.len())
+    }
+
+    /// The tenant of query `index` ([`TenantId::DEFAULT`] when the stream
+    /// carries no tenant tags).
+    pub fn tenant(&self, index: usize) -> TenantId {
+        self.tenant_of.get(index).copied().unwrap_or(TenantId::DEFAULT)
+    }
+
+    /// The profile of `tenant`, if the stream knows it.
+    pub fn profile(&self, tenant: TenantId) -> Option<&TenantProfile> {
+        self.tenant_profiles.iter().find(|p| p.id == tenant)
+    }
+
+    /// Queries belonging to `tenant`.
+    pub fn tenant_query_count(&self, tenant: TenantId) -> usize {
+        self.tenant_of.iter().filter(|&&t| t == tenant).count()
     }
 }
 
@@ -466,6 +712,86 @@ mod tests {
     #[should_panic(expected = "positive time")]
     fn non_positive_slo_is_rejected() {
         let _ = StreamSpec::new(10, 100.0).with_slo_p99(-1.0);
+    }
+
+    #[test]
+    fn multi_tenant_stream_merges_and_tags_by_arrival() {
+        let ds = dataset();
+        let spec = MultiTenantSpec::new()
+            .with_tenant(
+                TenantSpec::new(TenantId(1), StreamSpec::new(120, 500.0).with_slo_p99(0.5))
+                    .with_name("tight")
+                    .with_weight(3)
+                    .with_option_mix(vec![(10, 8)]),
+            )
+            .with_tenant(
+                TenantSpec::new(TenantId(2), StreamSpec::new(300, 2_000.0).with_slo_p99(5.0))
+                    .with_name("batchy")
+                    .with_option_mix(vec![(10, 4), (20, 8)]),
+            );
+        let stream = spec.generate(&ds);
+        assert_eq!(stream.len(), 420);
+        assert_eq!(stream.tenant_of.len(), 420);
+        assert_eq!(stream.option_plan.len(), 420);
+        assert!(stream.arrivals.windows(2).all(|w| w[0] <= w[1]));
+        // Per-tenant counts and FIFO order survive the merge.
+        assert_eq!(stream.tenant_query_count(TenantId(1)), 120);
+        assert_eq!(stream.tenant_query_count(TenantId(2)), 300);
+        let t2_arrivals: Vec<f64> = stream
+            .iter()
+            .filter(|&(_, i)| stream.tenant(i) == TenantId(2))
+            .map(|(a, _)| a)
+            .collect();
+        assert!(t2_arrivals.windows(2).all(|w| w[0] <= w[1]));
+        // Option plans cycle each tenant's own mix in tenant-local order.
+        let t2_plans: Vec<(usize, usize)> = (0..stream.len())
+            .filter(|&i| stream.tenant(i) == TenantId(2))
+            .map(|i| stream.option_plan[i])
+            .collect();
+        assert_eq!(t2_plans[0], (10, 4));
+        assert_eq!(t2_plans[1], (20, 8));
+        assert_eq!(t2_plans[2], (10, 4));
+        // Profiles carry names, weights and SLOs; the global SLO is the
+        // tightest tenant's.
+        let p1 = stream.profile(TenantId(1)).expect("profile");
+        assert_eq!((p1.name.as_str(), p1.weight, p1.slo_p99_s), ("tight", 3, Some(0.5)));
+        assert_eq!(stream.slo_p99_s, Some(0.5));
+        // Deterministic replay.
+        let again = spec.generate(&ds);
+        assert_eq!(stream.arrivals, again.arrivals);
+        assert_eq!(stream.tenant_of, again.tenant_of);
+        assert_eq!(stream.batch.queries, again.batch.queries);
+        // Tenants sharing the default seeds still ask different questions.
+        assert_ne!(
+            stream.batch.queries.vector(0).to_vec(),
+            {
+                let i = (0..stream.len())
+                    .find(|&i| stream.tenant(i) != stream.tenant(0))
+                    .expect("two tenants present");
+                stream.batch.queries.vector(i).to_vec()
+            }
+        );
+    }
+
+    #[test]
+    fn single_tenant_stream_carries_a_default_profile() {
+        let ds = dataset();
+        let stream = StreamSpec::new(40, 1_000.0).with_slo_p99(2.0).generate(&ds);
+        assert!(stream.tenant_of.iter().all(|&t| t == TenantId::DEFAULT));
+        assert!(stream.option_plan.is_empty());
+        assert_eq!(stream.tenant_profiles.len(), 1);
+        let p = stream.profile(TenantId::DEFAULT).expect("default profile");
+        assert_eq!((p.weight, p.slo_p99_s), (1, Some(2.0)));
+        assert_eq!(stream.tenant(7), TenantId::DEFAULT);
+        assert_eq!(stream.tenant(10_000), TenantId::DEFAULT, "out of range is default");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tenant id")]
+    fn duplicate_tenant_ids_are_rejected() {
+        let _ = MultiTenantSpec::new()
+            .with_tenant(TenantSpec::new(TenantId(1), StreamSpec::new(10, 100.0)))
+            .with_tenant(TenantSpec::new(TenantId(1), StreamSpec::new(10, 100.0)));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use crate::workload_stats::WorkloadStats;
 use annkit::topk::Neighbor;
 use annkit::vector::Dataset;
+pub use annkit::workload::TenantId;
 use pim_sim::energy::EnergyModel;
 use pim_sim::stats::StageBreakdown;
 
@@ -34,15 +35,23 @@ pub struct QueryOptions {
     /// parameter selection — `upanns::adaptive::NprobePolicy` translates it
     /// into a per-query `nprobe` when the caller wires the policy in.
     pub latency_budget_s: Option<f64>,
+    /// The tenant (traffic class) this query belongs to. Like the latency
+    /// budget, the tenant never changes what an engine answers and never
+    /// splits an execution sub-batch; it is the accounting label the serving
+    /// layer keys weighted-fair admission, per-tenant batching windows and
+    /// per-tenant SLO reporting on.
+    pub tenant: TenantId,
 }
 
 impl QueryOptions {
-    /// Options with the given `k` and `nprobe` and no latency budget.
+    /// Options with the given `k` and `nprobe`, no latency budget, and the
+    /// default tenant.
     pub fn new(k: usize, nprobe: usize) -> Self {
         Self {
             k,
             nprobe,
             latency_budget_s: None,
+            tenant: TenantId::DEFAULT,
         }
     }
 
@@ -52,9 +61,16 @@ impl QueryOptions {
         self
     }
 
+    /// Tags the query with its tenant.
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
     /// The execution-compatibility key: two queries can run in the same
-    /// uniform sub-batch iff their keys match (latency budgets never split a
-    /// batch — they only steer scheduling upstream).
+    /// uniform sub-batch iff their keys match (latency budgets and tenant
+    /// labels never split a batch — budgets steer parameter selection
+    /// upstream, tenants steer serving-layer admission and batching).
     pub fn compat_key(&self) -> (usize, usize) {
         (self.k, self.nprobe)
     }
@@ -376,6 +392,24 @@ mod tests {
         assert_eq!(groups[0].1, vec![0, 2]); // budgets don't split a group
         assert_eq!(groups[1].1, vec![1, 3]);
         assert_eq!(req.max_k(), 10);
+    }
+
+    #[test]
+    fn tenant_labels_do_not_split_compat_groups() {
+        let opts = vec![
+            QueryOptions::new(10, 8).with_tenant(TenantId(1)),
+            QueryOptions::new(10, 8).with_tenant(TenantId(2)),
+            QueryOptions::new(5, 4).with_tenant(TenantId(1)),
+        ];
+        let req = SearchRequest::new(queries(3), opts);
+        let groups = req.option_groups();
+        assert_eq!(groups.len(), 2, "tenants share execution sub-batches");
+        assert_eq!(groups[0].1, vec![0, 1]);
+        assert_eq!(
+            QueryOptions::new(10, 8).with_tenant(TenantId(3)).compat_key(),
+            QueryOptions::new(10, 8).compat_key()
+        );
+        assert_eq!(QueryOptions::default().tenant, TenantId::DEFAULT);
     }
 
     #[test]

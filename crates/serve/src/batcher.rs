@@ -12,9 +12,16 @@
 //! Queries with different latency budgets share a group (budgets steer
 //! upstream parameter selection, not execution); queries with different
 //! `k`/`nprobe` never do, because the engines execute those as separate
-//! uniform sub-batches anyway.
+//! uniform sub-batches anyway. Queries of different **tenants** never share
+//! a group either — not because the engine cares (it does not), but because
+//! each tenant may run its own close conditions
+//! ([`set_tenant_config`](BatchFormer::set_tenant_config)): a tight-SLO
+//! tenant's narrow window must be able to close *its* batch without dragging
+//! a batch-hungry tenant's wide window shut with it. Formed batches are
+//! therefore always tenant-pure, which is also what lets the service feed
+//! each completion back to exactly one tenant's controller.
 
-use baselines::engine::QueryOptions;
+use baselines::engine::{QueryOptions, TenantId};
 
 /// One admitted query waiting for (or leaving in) a batch.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -90,6 +97,14 @@ struct OpenGroup {
     opened_at: f64,
 }
 
+fn validate(config: &BatchFormerConfig) {
+    assert!(config.max_batch > 0, "batches need at least one query");
+    assert!(
+        config.max_delay_s >= 0.0 && config.max_delay_s.is_finite(),
+        "max delay must be a finite non-negative time"
+    );
+}
+
 impl OpenGroup {
     fn close(self, closed_at: f64, reason: CloseReason) -> FormedBatch {
         FormedBatch {
@@ -103,64 +118,85 @@ impl OpenGroup {
 }
 
 /// Accumulates compatible queries into open groups and closes them on size
-/// or deadline.
+/// or deadline. Close conditions are resolved **per tenant**: a tenant with
+/// its own registered config ([`set_tenant_config`](Self::set_tenant_config))
+/// runs its own window, everyone else shares the default.
 #[derive(Debug, Clone)]
 pub struct BatchFormer {
     config: BatchFormerConfig,
+    tenant_configs: Vec<(TenantId, BatchFormerConfig)>,
     open: Vec<OpenGroup>,
 }
 
 impl BatchFormer {
-    /// A former with the given close conditions.
+    /// A former with the given default close conditions.
     ///
     /// # Panics
     /// Panics if `max_batch` is zero or the delay is negative/non-finite.
     pub fn new(config: BatchFormerConfig) -> Self {
-        assert!(config.max_batch > 0, "batches need at least one query");
-        assert!(
-            config.max_delay_s >= 0.0 && config.max_delay_s.is_finite(),
-            "max delay must be a finite non-negative time"
-        );
+        validate(&config);
         Self {
             config,
+            tenant_configs: Vec::new(),
             open: Vec::new(),
         }
     }
 
-    /// The configured close conditions.
+    /// The default close conditions (tenants without their own config).
     pub fn config(&self) -> &BatchFormerConfig {
         &self.config
     }
 
-    /// Replaces the close conditions mid-stream (the seam an adaptive
-    /// [`BatchPolicy`](crate::controller::BatchPolicy) steers). Open groups
-    /// keep accumulating; their deadlines are re-derived from the new
-    /// `max_delay_s` at the next [`due`](Self::due) poll, and a group already
-    /// at or above a *shrunken* `max_batch` closes on its next arrival.
+    /// The close conditions governing `tenant`'s groups.
+    pub fn config_for(&self, tenant: TenantId) -> BatchFormerConfig {
+        self.tenant_configs
+            .iter()
+            .find(|(id, _)| *id == tenant)
+            .map_or(self.config, |(_, c)| *c)
+    }
+
+    /// Replaces the *default* close conditions mid-stream (the seam an
+    /// adaptive [`BatchPolicy`](crate::controller::BatchPolicy) steers).
+    /// Open groups keep accumulating; their deadlines are re-derived from
+    /// the new `max_delay_s` at the next [`due`](Self::due) poll, and a
+    /// group already at or above a *shrunken* `max_batch` closes on its next
+    /// arrival.
     ///
     /// # Panics
     /// Panics on the same invalid configs as [`new`](Self::new).
     pub fn set_config(&mut self, config: BatchFormerConfig) {
-        assert!(config.max_batch > 0, "batches need at least one query");
-        assert!(
-            config.max_delay_s >= 0.0 && config.max_delay_s.is_finite(),
-            "max delay must be a finite non-negative time"
-        );
+        validate(&config);
         self.config = config;
     }
 
+    /// Installs (or replaces) `tenant`'s own close conditions — the seam a
+    /// per-tenant controller bank steers. The same mid-stream re-derivation
+    /// rules as [`set_config`](Self::set_config) apply, to this tenant's
+    /// groups only.
+    ///
+    /// # Panics
+    /// Panics on the same invalid configs as [`new`](Self::new).
+    pub fn set_tenant_config(&mut self, tenant: TenantId, config: BatchFormerConfig) {
+        validate(&config);
+        match self.tenant_configs.iter_mut().find(|(id, _)| *id == tenant) {
+            Some((_, c)) => *c = config,
+            None => self.tenant_configs.push((tenant, config)),
+        }
+    }
+
     /// Adds an admitted query at time `now`. Returns the query's batch when
-    /// this arrival fills it to `max_batch`.
+    /// this arrival fills it to its tenant's `max_batch`.
     pub fn push(&mut self, query: PendingQuery, now: f64) -> Option<FormedBatch> {
-        let key = query.options.compat_key();
+        let key = (query.options.compat_key(), query.options.tenant);
+        let max_batch = self.config_for(query.options.tenant).max_batch;
         match self
             .open
             .iter_mut()
-            .position(|g| g.options.compat_key() == key)
+            .position(|g| (g.options.compat_key(), g.options.tenant) == key)
         {
             Some(i) => {
                 self.open[i].members.push(query);
-                if self.open[i].members.len() >= self.config.max_batch {
+                if self.open[i].members.len() >= max_batch {
                     return Some(self.open.swap_remove(i).close(now, CloseReason::Size));
                 }
             }
@@ -170,7 +206,7 @@ impl BatchFormer {
                     members: vec![query],
                     opened_at: now,
                 });
-                if self.config.max_batch == 1 {
+                if max_batch == 1 {
                     let group = self.open.pop().expect("just pushed");
                     return Some(group.close(now, CloseReason::Size));
                 }
@@ -179,11 +215,16 @@ impl BatchFormer {
         None
     }
 
-    /// The earliest deadline among open groups, if any.
+    fn deadline_of(&self, group: &OpenGroup) -> f64 {
+        group.opened_at + self.config_for(group.options.tenant).max_delay_s
+    }
+
+    /// The earliest deadline among open groups, if any (each group's
+    /// deadline is derived from its own tenant's window).
     pub fn next_deadline(&self) -> Option<f64> {
         self.open
             .iter()
-            .map(|g| g.opened_at + self.config.max_delay_s)
+            .map(|g| self.deadline_of(g))
             .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
     }
 
@@ -198,12 +239,12 @@ impl BatchFormer {
         // then sort the closed batches by age for the caller.
         let expired: Vec<usize> = (0..self.open.len())
             .rev()
-            .filter(|&i| self.open[i].opened_at + self.config.max_delay_s <= now)
+            .filter(|&i| self.deadline_of(&self.open[i]) <= now)
             .collect();
         let mut closed = Vec::with_capacity(expired.len());
         for i in expired {
+            let deadline = self.deadline_of(&self.open[i]);
             let group = self.open.remove(i);
-            let deadline = group.opened_at + self.config.max_delay_s;
             let closed_at = group
                 .members
                 .iter()
@@ -379,6 +420,87 @@ mod tests {
         for m in &closed[0].members {
             assert!(m.arrival_s <= closed[0].closed_at);
         }
+    }
+
+    #[test]
+    fn tenants_never_share_a_group() {
+        let mut former = BatchFormer::new(BatchFormerConfig {
+            max_batch: 2,
+            max_delay_s: 1.0,
+        });
+        let mut a = pending(0, 0.0, 10, 8);
+        a.options = a.options.with_tenant(TenantId(1));
+        let mut b = pending(1, 0.0, 10, 8);
+        b.options = b.options.with_tenant(TenantId(2));
+        assert!(former.push(a, 0.0).is_none());
+        assert!(
+            former.push(b, 0.0).is_none(),
+            "same compat key, different tenant: separate groups"
+        );
+        assert_eq!(former.open_groups(), 2);
+        // Filling tenant 1's group closes only tenant 1's group.
+        let mut a2 = pending(2, 0.1, 10, 8);
+        a2.options = a2.options.with_tenant(TenantId(1));
+        let batch = former.push(a2, 0.1).expect("full");
+        assert_eq!(batch.options.tenant, TenantId(1));
+        assert!(batch.members.iter().all(|m| m.options.tenant == TenantId(1)));
+        assert_eq!(former.open_groups(), 1);
+    }
+
+    #[test]
+    fn per_tenant_windows_close_independently() {
+        let mut former = BatchFormer::new(BatchFormerConfig {
+            max_batch: 100,
+            max_delay_s: 10.0,
+        });
+        former.set_tenant_config(
+            TenantId(1),
+            BatchFormerConfig {
+                max_batch: 100,
+                max_delay_s: 0.5, // a tight tenant window
+            },
+        );
+        former.set_tenant_config(
+            TenantId(2),
+            BatchFormerConfig {
+                max_batch: 100,
+                max_delay_s: 4.0, // a batch-hungry tenant window
+            },
+        );
+        let mut a = pending(0, 0.0, 10, 8);
+        a.options = a.options.with_tenant(TenantId(1));
+        let mut b = pending(1, 0.0, 10, 8);
+        b.options = b.options.with_tenant(TenantId(2));
+        former.push(a, 0.0);
+        former.push(b, 0.0);
+        // The earliest deadline is the tight tenant's.
+        assert_eq!(former.next_deadline(), Some(0.5));
+        let first = former.due(1.0);
+        assert_eq!(first.len(), 1, "only the tight tenant's group is due");
+        assert_eq!(first[0].options.tenant, TenantId(1));
+        assert_eq!(first[0].closed_at, 0.5);
+        // The wide tenant's group waits for its own window.
+        assert_eq!(former.next_deadline(), Some(4.0));
+        let second = former.due(4.0);
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].options.tenant, TenantId(2));
+        assert_eq!(second[0].closed_at, 4.0);
+        // Per-tenant size caps too.
+        former.set_tenant_config(
+            TenantId(1),
+            BatchFormerConfig {
+                max_batch: 1,
+                max_delay_s: 0.5,
+            },
+        );
+        let mut c = pending(2, 5.0, 10, 8);
+        c.options = c.options.with_tenant(TenantId(1));
+        assert!(
+            former.push(c, 5.0).is_some(),
+            "tenant 1's own max_batch=1 closes immediately"
+        );
+        assert_eq!(former.config_for(TenantId(2)).max_batch, 100);
+        assert_eq!(former.config_for(TenantId(9)).max_batch, 100, "default");
     }
 
     #[test]

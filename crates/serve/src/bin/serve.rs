@@ -6,8 +6,23 @@
 //! cargo run --release -p upanns-serve --bin serve -- [--queries N] [--qps R]
 //!     [--repeat F] [--slo-ms S] [--hosts H]
 //!     [--engines cpu,gpu,pim-naive,upanns,multihost]
-//!     [--policy fixed|adaptive|both] [--json PATH]
+//!     [--policy fixed|adaptive|both] [--tenants SPEC] [--json PATH]
 //! ```
+//!
+//! Besides the single-tenant sweep, the binary replays a **multi-tenant
+//! scenario** on the UpANNS engine (whenever `upanns` is among the selected
+//! engines): several tenants with their own Poisson rates, option mixes,
+//! weights and p99 SLOs share one serving front-end, under three policies —
+//! the fixed global window, one global [`SloController`] (which can only
+//! target the *tightest* SLO in the mix), and the per-tenant
+//! [`ControllerBank`]. The committed default is a tight-SLO low-rate tenant
+//! next to a loose-SLO high-rate one: the per-tenant bank meets both SLOs
+//! where every single-window policy fails at least one.
+//!
+//! `--tenants` replaces the built-in mix. The grammar is
+//! `NAME:key=val,...;NAME:...` with keys `qps` (required), `queries`,
+//! `slo-ms`, `weight`, `repeat` and `mix` (`KxN` pairs joined by `+`), e.g.
+//! `tight:qps=3,queries=240,slo-ms=2500,weight=2,mix=10x8;bulk:qps=30,mix=10x4+20x8`.
 //!
 //! The replay is fully deterministic (fixed seeds, simulated clock), so the
 //! `--json` output doubles as the committed `BENCH_serving.json` regression
@@ -21,7 +36,7 @@
 
 use annkit::ivf::{IvfPqIndex, IvfPqParams};
 use annkit::synthetic::SyntheticSpec;
-use annkit::workload::{StreamSpec, WorkloadSpec};
+use annkit::workload::{MultiTenantSpec, StreamSpec, TenantId, TenantSpec, WorkloadSpec};
 use baselines::cpu::CpuFaissEngine;
 use baselines::engine::QueryOptions;
 use baselines::gpu::GpuFaissEngine;
@@ -31,7 +46,7 @@ use upanns::config::UpAnnsConfig;
 use upanns::multihost::{shard_ranges, InterconnectModel, MultiHostUpAnns};
 use upanns::engine::UpAnnsEngine;
 use upanns_serve::batcher::BatchFormerConfig;
-use upanns_serve::controller::SloController;
+use upanns_serve::controller::{ControllerBank, SloController};
 use upanns_serve::{SearchService, ServiceConfig, ServiceReport};
 
 /// Fixed tiny-scale evaluation shape (kept stable so the JSON baseline is
@@ -49,6 +64,13 @@ const MODELED_N: f64 = 1.25e8;
 /// Every engine the binary knows how to build, in report order.
 const KNOWN_ENGINES: [&str; 5] = ["cpu", "gpu", "pim-naive", "upanns", "multihost"];
 
+/// The committed two-tenant scenario: a tight-SLO low-rate tenant sharing
+/// the engine with a loose-SLO high-rate one. The loose tenant needs wide
+/// windows (batch amortization is PIM capacity); any single window tight
+/// enough for the first tenant starves the second.
+const DEFAULT_TENANTS: &str = "tight:qps=2,queries=200,slo-ms=1200,weight=2,mix=10x8;\
+                               bulk:qps=18,queries=1400,slo-ms=30000,weight=1,mix=10x4+10x8+20x8";
+
 struct Args {
     queries: usize,
     qps: f64,
@@ -57,6 +79,7 @@ struct Args {
     hosts: usize,
     engines: Vec<String>,
     policies: Vec<Policy>,
+    tenants: String,
     json: Option<String>,
 }
 
@@ -76,6 +99,7 @@ impl Default for Args {
             hosts: 2,
             engines: KNOWN_ENGINES.iter().map(|s| s.to_string()).collect(),
             policies: vec![Policy::Fixed, Policy::Adaptive],
+            tenants: DEFAULT_TENANTS.to_string(),
             json: None,
         }
     }
@@ -85,16 +109,118 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve [--queries N] [--qps R] [--repeat F] [--slo-ms S] [--hosts H]\n\
          \x20            [--engines cpu,gpu,pim-naive,upanns,multihost] \n\
-         \x20            [--policy fixed|adaptive|both] [--json PATH]"
+         \x20            [--policy fixed|adaptive|both] [--tenants SPEC] [--json PATH]\n\
+         \n\
+         --tenants grammar: NAME:key=val,...;NAME:... with keys qps (required),\n\
+         queries, slo-ms, weight, repeat, mix (KxN pairs joined by '+'), e.g.\n\
+         \x20  tight:qps=3,slo-ms=2500,weight=2,mix=10x8;bulk:qps=30,mix=10x4+20x8\n\
+         The multi-tenant scenario replays on the upanns engine when selected."
     );
     std::process::exit(0);
 }
 
-/// Exits nonzero with a clear message — the fate of an unknown engine or
-/// policy name (silently skipping it would fake a clean bench run).
+/// Exits nonzero with a clear message — the fate of an unknown engine,
+/// policy name, or malformed tenant spec (silently skipping it would fake a
+/// clean bench run).
 fn reject(message: String) -> ! {
     eprintln!("error: {message}");
     std::process::exit(2);
+}
+
+/// Parses the `--tenants` grammar (see [`usage`]) into a [`MultiTenantSpec`].
+/// Tenant ids are assigned by position (1-based).
+fn parse_tenants(spec: &str) -> MultiTenantSpec {
+    let mut mix = MultiTenantSpec::new();
+    for (index, entry) in spec.split(';').enumerate() {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            reject(format!("--tenants: empty tenant entry at position {index}"));
+        }
+        let (name, body) = entry
+            .split_once(':')
+            .unwrap_or_else(|| reject(format!("--tenants: '{entry}' has no NAME: prefix")));
+        let name = name.trim();
+        // Names are echoed verbatim into the JSON baseline, so keep them to
+        // characters that need no escaping anywhere.
+        if name.is_empty()
+            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            reject(format!(
+                "--tenants: tenant name '{name}' must be non-empty [A-Za-z0-9_-]"
+            ));
+        }
+        let mut qps: Option<f64> = None;
+        let mut queries = 600usize;
+        let mut slo_ms: Option<f64> = None;
+        let mut weight = 1u32;
+        let mut repeat = 0.0f64;
+        let mut option_mix: Vec<(usize, usize)> = vec![(10, 8)];
+        fn bad<T>(kv: &str, what: &str) -> T {
+            reject(format!("--tenants: {kv}: {what}"))
+        }
+        for kv in body.split(',') {
+            let (key, value) = kv
+                .split_once('=')
+                .unwrap_or_else(|| reject(format!("--tenants: '{kv}' is not key=value")));
+            match key.trim() {
+                "qps" => qps = Some(value.parse().unwrap_or_else(|_| bad(kv, "not a number"))),
+                "queries" => queries = value.parse().unwrap_or_else(|_| bad(kv, "not an integer")),
+                "slo-ms" => slo_ms = Some(value.parse().unwrap_or_else(|_| bad(kv, "not a number"))),
+                "weight" => weight = value.parse().unwrap_or_else(|_| bad(kv, "not an integer")),
+                "repeat" => repeat = value.parse().unwrap_or_else(|_| bad(kv, "not a number")),
+                "mix" => {
+                    option_mix = value
+                        .split('+')
+                        .map(|tier| {
+                            let (k, nprobe) = tier
+                                .split_once('x')
+                                .unwrap_or_else(|| bad(kv, "mix tiers are KxN"));
+                            (
+                                k.parse().unwrap_or_else(|_| bad(kv, "k not an integer")),
+                                nprobe
+                                    .parse()
+                                    .unwrap_or_else(|_| bad(kv, "nprobe not an integer")),
+                            )
+                        })
+                        .collect();
+                }
+                other => reject(format!(
+                    "--tenants: unknown key '{other}' (known: qps, queries, slo-ms, weight, repeat, mix)"
+                )),
+            }
+        }
+        let qps =
+            qps.unwrap_or_else(|| reject(format!("--tenants: tenant '{name}' needs qps=")));
+        if !(qps > 0.0 && qps.is_finite()) {
+            reject(format!("--tenants: tenant '{name}': qps must be positive"));
+        }
+        if queries == 0 {
+            reject(format!("--tenants: tenant '{name}': queries must be at least 1"));
+        }
+        if weight == 0 {
+            reject(format!("--tenants: tenant '{name}': weight must be at least 1"));
+        }
+        if !(0.0..=1.0).contains(&repeat) {
+            reject(format!("--tenants: tenant '{name}': repeat must be in [0, 1]"));
+        }
+        if option_mix.iter().any(|&(k, nprobe)| k == 0 || nprobe == 0) {
+            reject(format!("--tenants: tenant '{name}': mix tiers need k and nprobe >= 1"));
+        }
+        let mut stream = StreamSpec::new(queries, qps).with_repeat_fraction(repeat);
+        if let Some(ms) = slo_ms {
+            if !(ms > 0.0 && ms.is_finite()) {
+                reject(format!("--tenants: tenant '{name}': slo-ms must be positive"));
+            }
+            stream = stream.with_slo_p99(ms / 1e3);
+        }
+        mix = mix.with_tenant(
+            TenantSpec::new(TenantId(index as u32 + 1), stream)
+                .with_name(name)
+                .with_weight(weight)
+                .with_option_mix(option_mix),
+        );
+    }
+    mix
 }
 
 fn parse_args() -> Args {
@@ -149,6 +275,11 @@ fn parse_args() -> Args {
                     )),
                 };
             }
+            "--tenants" => {
+                args.tenants = value("--tenants");
+                // Parse eagerly so a malformed spec exits 2 before any replay.
+                let _ = parse_tenants(&args.tenants);
+            }
             "--json" => args.json = Some(value("--json")),
             "--help" | "-h" => usage(),
             other => reject(format!("unknown flag {other} (try --help)")),
@@ -175,11 +306,44 @@ fn json_num(x: f64) -> String {
     }
 }
 
-fn report_json(r: &ServiceReport) -> String {
+fn tenant_json(t: &upanns_serve::TenantReport) -> String {
+    format!(
+        concat!(
+            "        {{\n",
+            "          \"tenant\": \"{}\",\n",
+            "          \"weight\": {},\n",
+            "          \"slo_ms\": {},\n",
+            "          \"completed\": {},\n",
+            "          \"shed\": {},\n",
+            "          \"p50_ms\": {},\n",
+            "          \"p99_ms\": {},\n",
+            "          \"slo_miss_fraction\": {},\n",
+            "          \"meets_slo\": {},\n",
+            "          \"final_max_batch\": {},\n",
+            "          \"final_max_delay_ms\": {}\n",
+            "        }}"
+        ),
+        t.name,
+        t.weight,
+        t.slo_p99_s.map_or_else(|| "null".to_string(), |s| json_num(s * 1e3)),
+        t.completed,
+        t.shed,
+        json_num(t.p50() * 1e3),
+        json_num(t.p99() * 1e3),
+        json_num(t.slo_miss_fraction()),
+        t.meets_slo(),
+        t.final_batcher.max_batch,
+        json_num(t.final_batcher.max_delay_s * 1e3),
+    )
+}
+
+fn report_json(r: &ServiceReport, workload: &str) -> String {
+    let tenants: Vec<String> = r.tenants.iter().map(tenant_json).collect();
     format!(
         concat!(
             "    {{\n",
             "      \"name\": \"{}\",\n",
+            "      \"workload\": \"{}\",\n",
             "      \"policy\": \"{}\",\n",
             "      \"sustained_qps\": {},\n",
             "      \"p50_ms\": {},\n",
@@ -187,6 +351,7 @@ fn report_json(r: &ServiceReport) -> String {
             "      \"mean_ms\": {},\n",
             "      \"slo_miss_fraction\": {},\n",
             "      \"meets_slo\": {},\n",
+            "      \"all_tenants_meet_slo\": {},\n",
             "      \"completed\": {},\n",
             "      \"shed\": {},\n",
             "      \"cache_hit_rate\": {},\n",
@@ -195,10 +360,12 @@ fn report_json(r: &ServiceReport) -> String {
             "      \"final_max_batch\": {},\n",
             "      \"final_max_delay_ms\": {},\n",
             "      \"controller_adjustments\": {},\n",
-            "      \"engine_busy_s\": {}\n",
+            "      \"engine_busy_s\": {},\n",
+            "      \"tenants\": [\n{}\n      ]\n",
             "    }}"
         ),
         r.engine,
+        workload,
         r.policy,
         json_num(r.sustained_qps()),
         json_num(r.p50() * 1e3),
@@ -206,6 +373,7 @@ fn report_json(r: &ServiceReport) -> String {
         json_num(r.mean_latency() * 1e3),
         json_num(r.slo_miss_fraction()),
         r.meets_slo(),
+        r.all_tenants_meet_slo(),
         r.completed,
         r.shed,
         json_num(r.cache_hit_rate()),
@@ -215,6 +383,7 @@ fn report_json(r: &ServiceReport) -> String {
         json_num(r.final_batcher.max_delay_s * 1e3),
         r.controller_adjustments,
         json_num(r.engine_busy_s),
+        tenants.join(",\n"),
     )
 }
 
@@ -356,6 +525,47 @@ fn main() {
         }
     }
 
+    // The multi-tenant scenario: several tenants share one UpANNS engine,
+    // under the fixed global window, one global SloController (targeting the
+    // tightest SLO in the mix — the only honest choice for a tenant-blind
+    // controller), and the per-tenant ControllerBank.
+    let mut multi_reports: Vec<ServiceReport> = Vec::new();
+    if args.engines.iter().any(|e| e == "upanns") {
+        let tenant_mix = parse_tenants(&args.tenants);
+        let tstream = tenant_mix.generate(&dataset);
+        eprintln!(
+            "replaying multi-tenant scenario on upanns ({} tenants, {} queries) ...",
+            tstream.tenant_profiles.len(),
+            tstream.len()
+        );
+        let tightest_slo = tstream.slo_p99_s.unwrap_or(slo_s);
+        let mut scenario_policies: Vec<&str> = Vec::new();
+        if args.policies.contains(&Policy::Fixed) {
+            scenario_policies.push("fixed");
+        }
+        if args.policies.contains(&Policy::Adaptive) {
+            scenario_policies.push("adaptive-slo");
+            scenario_policies.push("adaptive-tenant");
+        }
+        let mut engine = build_pim(&index, UpAnnsConfig::upanns(), DPUS, work_scale, &history);
+        for policy in scenario_policies {
+            let service = SearchService::new(engine, service_config);
+            let mut service = match policy {
+                "fixed" => service,
+                "adaptive-slo" => {
+                    service.with_policy(Box::new(SloController::for_slo(tightest_slo)))
+                }
+                "adaptive-tenant" => service.with_policy(Box::new(ControllerBank::for_profiles(
+                    &tstream.tenant_profiles,
+                    fixed_batcher,
+                ))),
+                other => unreachable!("scenario policy '{other}'"),
+            };
+            multi_reports.push(service.replay_planned(&tstream));
+            engine = service.into_engine();
+        }
+    }
+
     println!(
         "| engine | policy | sustained QPS | p50 (ms) | p99 (ms) | SLO miss | completed | shed | batches | mean batch | final window (ms) |"
     );
@@ -377,12 +587,43 @@ fn main() {
         );
     }
 
+    if !multi_reports.is_empty() {
+        println!();
+        println!("Multi-tenant scenario (upanns): {}", args.tenants);
+        println!(
+            "| policy | tenant | weight | SLO (ms) | completed | shed | p50 (ms) | p99 (ms) | SLO miss | meets | final window (ms) |"
+        );
+        println!("|---|---|---|---|---|---|---|---|---|---|---|");
+        for r in &multi_reports {
+            for t in &r.tenants {
+                println!(
+                    "| {} | {} | {} | {} | {} | {} | {:.3} | {:.3} | {:.1}% | {} | {:.1} |",
+                    r.policy,
+                    t.name,
+                    t.weight,
+                    t.slo_p99_s.map_or_else(|| "-".to_string(), |s| format!("{:.0}", s * 1e3)),
+                    t.completed,
+                    t.shed,
+                    t.p50() * 1e3,
+                    t.p99() * 1e3,
+                    t.slo_miss_fraction() * 100.0,
+                    if t.meets_slo() { "yes" } else { "NO" },
+                    t.final_batcher.max_delay_s * 1e3,
+                );
+            }
+        }
+    }
+
     if let Some(path) = args.json {
-        let engines: Vec<String> = reports.iter().map(report_json).collect();
+        let engines: Vec<String> = reports
+            .iter()
+            .map(|r| report_json(r, "single"))
+            .chain(multi_reports.iter().map(|r| report_json(r, "multi")))
+            .collect();
         let json = format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"upanns-serving-bench-v2\",\n",
+                "  \"schema\": \"upanns-serving-bench-v3\",\n",
                 "  \"config\": {{\n",
                 "    \"dataset_n\": {},\n",
                 "    \"nlist\": {},\n",
@@ -396,7 +637,8 @@ fn main() {
                 "    \"queue_capacity\": {},\n",
                 "    \"fixed_max_batch\": {},\n",
                 "    \"fixed_max_delay_ms\": {},\n",
-                "    \"cache_capacity\": {}\n",
+                "    \"cache_capacity\": {},\n",
+                "    \"tenants\": \"{}\"\n",
                 "  }},\n",
                 "  \"engines\": [\n{}\n  ]\n",
                 "}}\n"
@@ -414,6 +656,7 @@ fn main() {
             fixed_batcher.max_batch,
             json_num(fixed_batcher.max_delay_s * 1e3),
             service_config.cache_capacity,
+            args.tenants,
             engines.join(",\n"),
         );
         std::fs::write(&path, json).expect("write JSON baseline");

@@ -24,7 +24,17 @@
 //!   latency, so it shrinks multiplicatively. Comfortably below the SLO it
 //!   grows additively, harvesting batch amortization without overshooting.
 
+//!
+//! With multiple tenants in one stream, a single window — however adaptive —
+//! must serve the tightest SLO in the mix, giving up the amortization the
+//! loose-SLO traffic would happily trade latency for. [`ControllerBank`]
+//! removes that coupling: one [`SloController`] per tenant, each steering its
+//! own batching window from its own completions only (the former keeps
+//! tenant-pure groups, so the routing is exact).
+
 use crate::batcher::BatchFormerConfig;
+use annkit::workload::TenantProfile;
+use baselines::engine::TenantId;
 
 /// A (possibly adaptive) source of batch-former close conditions.
 ///
@@ -59,6 +69,36 @@ pub trait BatchPolicy {
     /// policies).
     fn adjustments(&self) -> usize {
         0
+    }
+
+    /// The close conditions `tenant`'s groups should use right now.
+    /// Tenant-blind policies (the default) answer with the global
+    /// [`current`](Self::current).
+    fn current_for(&self, tenant: TenantId) -> BatchFormerConfig {
+        let _ = tenant;
+        self.current()
+    }
+
+    /// Tenant-routed completion feedback. Tenant-blind policies fold it into
+    /// the global [`observe`](Self::observe).
+    fn observe_for(&mut self, tenant: TenantId, now: f64, latency_s: f64) {
+        let _ = tenant;
+        self.observe(now, latency_s);
+    }
+
+    /// Tenant-routed batch feedback (formed batches are tenant-pure, so a
+    /// batch's engine wait belongs to exactly one tenant). Tenant-blind
+    /// policies fold it into the global
+    /// [`observe_batch`](Self::observe_batch).
+    fn observe_batch_for(
+        &mut self,
+        tenant: TenantId,
+        now: f64,
+        batch_len: usize,
+        engine_wait_s: f64,
+    ) {
+        let _ = tenant;
+        self.observe_batch(now, batch_len, engine_wait_s);
     }
 }
 
@@ -324,6 +364,107 @@ impl BatchPolicy for SloController {
     }
 }
 
+/// One [`SloController`] per tenant: each tenant's batching window is steered
+/// by its **own** SLO from its **own** completions, so a tight-SLO tenant's
+/// narrow window and a loose-SLO tenant's wide, amortization-harvesting
+/// window coexist on one engine. Tenants without a controller (no SLO of
+/// their own) run the bank's default close conditions.
+#[derive(Debug, Clone, Default)]
+pub struct ControllerBank {
+    default_config: BatchFormerConfig,
+    entries: Vec<(TenantId, SloController)>,
+}
+
+impl ControllerBank {
+    /// An empty bank whose unknown tenants run `default_config`.
+    pub fn new(default_config: BatchFormerConfig) -> Self {
+        Self {
+            default_config,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds (or replaces) `tenant`'s controller.
+    pub fn with_controller(mut self, tenant: TenantId, controller: SloController) -> Self {
+        match self.entries.iter_mut().find(|(id, _)| *id == tenant) {
+            Some((_, c)) => *c = controller,
+            None => self.entries.push((tenant, controller)),
+        }
+        self
+    }
+
+    /// Builds a bank from a stream's tenant profiles: every tenant with its
+    /// own SLO gets [`SloController::for_slo`]; tenants without one share
+    /// `default_config`.
+    pub fn for_profiles(profiles: &[TenantProfile], default_config: BatchFormerConfig) -> Self {
+        let mut bank = Self::new(default_config);
+        for p in profiles {
+            if let Some(slo) = p.slo_p99_s {
+                bank = bank.with_controller(p.id, SloController::for_slo(slo));
+            }
+        }
+        bank
+    }
+
+    /// The controller steering `tenant`, if it has one.
+    pub fn controller(&self, tenant: TenantId) -> Option<&SloController> {
+        self.entries
+            .iter()
+            .find(|(id, _)| *id == tenant)
+            .map(|(_, c)| c)
+    }
+
+    /// Number of per-tenant controllers in the bank.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the bank holds no controllers.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl BatchPolicy for ControllerBank {
+    fn name(&self) -> &str {
+        "adaptive-tenant"
+    }
+
+    /// The *default* close conditions (tenants without a controller). The
+    /// per-tenant answers come from [`current_for`](Self::current_for).
+    fn current(&self) -> BatchFormerConfig {
+        self.default_config
+    }
+
+    fn current_for(&self, tenant: TenantId) -> BatchFormerConfig {
+        self.controller(tenant)
+            .map_or(self.default_config, |c| c.current())
+    }
+
+    fn observe_for(&mut self, tenant: TenantId, now: f64, latency_s: f64) {
+        if let Some((_, c)) = self.entries.iter_mut().find(|(id, _)| *id == tenant) {
+            c.observe(now, latency_s);
+        }
+    }
+
+    fn observe_batch_for(
+        &mut self,
+        tenant: TenantId,
+        now: f64,
+        batch_len: usize,
+        engine_wait_s: f64,
+    ) {
+        if let Some((_, c)) = self.entries.iter_mut().find(|(id, _)| *id == tenant) {
+            c.observe_batch(now, batch_len, engine_wait_s);
+        }
+    }
+
+    /// Total adjustments across every tenant's controller.
+    fn adjustments(&self) -> usize {
+        self.entries.iter().map(|(_, c)| c.adjustments()).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,5 +624,71 @@ mod tests {
     #[should_panic(expected = "positive time")]
     fn non_positive_slo_is_rejected() {
         let _ = SloControllerConfig::for_slo(0.0);
+    }
+
+    #[test]
+    fn bank_routes_feedback_to_the_owning_tenant_only() {
+        let mut bank = ControllerBank::new(BatchFormerConfig::default())
+            .with_controller(TenantId(1), controller(0.1))
+            .with_controller(TenantId(2), controller(10.0));
+        assert_eq!(bank.name(), "adaptive-tenant");
+        assert_eq!(bank.len(), 2);
+        let t1_before = bank.current_for(TenantId(1));
+        let t2_before = bank.current_for(TenantId(2));
+        assert!(
+            t1_before.max_delay_s < t2_before.max_delay_s,
+            "SLO-derived priors scale with the SLO"
+        );
+        // A full interval of unsaturated misses for tenant 1 only.
+        for i in 0..50 {
+            bank.observe_for(TenantId(1), 0.002 * i as f64, 1.0);
+        }
+        bank.observe_for(TenantId(1), 0.2, 1.0);
+        assert!(
+            bank.current_for(TenantId(1)).max_delay_s < t1_before.max_delay_s,
+            "tenant 1's window shrank"
+        );
+        assert_eq!(
+            bank.current_for(TenantId(2)).max_delay_s,
+            t2_before.max_delay_s,
+            "tenant 2's window is untouched by tenant 1's misses"
+        );
+        assert_eq!(bank.adjustments(), 1, "adjustments sum across the bank");
+        // Unknown tenants run (and keep) the default config.
+        assert_eq!(
+            bank.current_for(TenantId(9)).max_batch,
+            BatchFormerConfig::default().max_batch
+        );
+        bank.observe_for(TenantId(9), 1.0, 99.0); // ignored, not a crash
+        assert_eq!(bank.adjustments(), 1);
+    }
+
+    #[test]
+    fn bank_builds_from_stream_profiles() {
+        use annkit::workload::TenantProfile;
+        let profiles = vec![
+            TenantProfile {
+                id: TenantId(1),
+                name: "tight".to_string(),
+                weight: 2,
+                slo_p99_s: Some(0.5),
+            },
+            TenantProfile {
+                id: TenantId(2),
+                name: "no-slo".to_string(),
+                weight: 1,
+                slo_p99_s: None,
+            },
+        ];
+        let default = BatchFormerConfig {
+            max_batch: 7,
+            max_delay_s: 0.25,
+        };
+        let bank = ControllerBank::for_profiles(&profiles, default);
+        assert_eq!(bank.len(), 1, "only SLO-carrying tenants get controllers");
+        assert!(bank.controller(TenantId(1)).is_some());
+        assert!(bank.controller(TenantId(2)).is_none());
+        assert_eq!(bank.current_for(TenantId(2)).max_batch, 7);
+        assert!(!bank.is_empty());
     }
 }

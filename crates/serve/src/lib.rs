@@ -51,10 +51,11 @@ pub mod prelude {
     pub use crate::batcher::{BatchFormer, BatchFormerConfig, CloseReason, FormedBatch, PendingQuery};
     pub use crate::cache::ResultCache;
     pub use crate::controller::{
-        BatchPolicy, FixedPolicy, SloController, SloControllerConfig,
+        BatchPolicy, ControllerBank, FixedPolicy, SloController, SloControllerConfig,
     };
-    pub use crate::service::{SearchService, ServiceConfig, ServiceReport};
+    pub use crate::service::{SearchService, ServiceConfig, ServiceReport, TenantReport};
+    pub use annkit::workload::{MultiTenantSpec, TenantId, TenantProfile, TenantSpec};
 }
 
-pub use controller::{BatchPolicy, FixedPolicy, SloController, SloControllerConfig};
-pub use service::{SearchService, ServiceConfig, ServiceReport};
+pub use controller::{BatchPolicy, ControllerBank, FixedPolicy, SloController, SloControllerConfig};
+pub use service::{SearchService, ServiceConfig, ServiceReport, TenantReport};

@@ -16,7 +16,31 @@ use crate::cache::ResultCache;
 use crate::controller::{BatchPolicy, FixedPolicy};
 use annkit::topk::Neighbor;
 use annkit::workload::QueryStream;
-use baselines::engine::{AnnEngine, QueryOptions, SearchRequest};
+use baselines::engine::{AnnEngine, QueryOptions, SearchRequest, TenantId};
+
+/// Nearest-rank percentile over an ascending-sorted latency list (0 when
+/// empty) — shared by the aggregate and per-tenant report rows.
+fn percentile_of(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p.clamp(0.0, 100.0) / 100.0 * (sorted.len() - 1) as f64).round();
+    sorted[rank as usize]
+}
+
+/// Shed-aware SLO miss fraction: completed queries over the target plus
+/// every shed query, over the offered total (0 when nothing was offered).
+fn miss_fraction_of(sorted: &[f64], completed: usize, shed: usize, slo: Option<f64>) -> f64 {
+    let offered = completed + shed;
+    if offered == 0 {
+        return 0.0;
+    }
+    let late = match slo {
+        Some(slo) => sorted.iter().filter(|&&l| l > slo).count(),
+        None => 0,
+    };
+    (late + shed) as f64 / offered as f64
+}
 
 /// Configuration of a [`SearchService`].
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +70,68 @@ impl Default for ServiceConfig {
             cache_lookup_s: 2e-6,
             slo_p99_s: None,
         }
+    }
+}
+
+/// One tenant's slice of a [`ServiceReport`]: its own latency distribution,
+/// shed count, SLO attainment, and the batching window its traffic ended
+/// under. Single-tenant replays produce exactly one row (the `default`
+/// tenant), so the per-tenant view is always present.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// The tenant.
+    pub id: TenantId,
+    /// Report name (from the stream's [`TenantProfile`], or the id's
+    /// display form for tenants the stream did not announce).
+    ///
+    /// [`TenantProfile`]: annkit::workload::TenantProfile
+    pub name: String,
+    /// The tenant's weighted-fair admission share.
+    pub weight: u32,
+    /// The SLO this tenant was measured against: its own profile SLO, or
+    /// the explicit [`ServiceConfig::slo_p99_s`] override. A profiled
+    /// tenant that declared no target keeps `None` (vacuous attainment) —
+    /// it is *not* measured against another tenant's SLO, matching the
+    /// [`ControllerBank`](crate::controller::ControllerBank), which gives
+    /// such tenants no controller. Only tenants the stream never announced
+    /// fall back to the replay's global target.
+    pub slo_p99_s: Option<f64>,
+    /// Queries of this tenant answered (engine or cache).
+    pub completed: usize,
+    /// Queries of this tenant rejected at admission.
+    pub shed: usize,
+    /// This tenant's end-to-end latencies in seconds, sorted ascending.
+    pub latencies_s: Vec<f64>,
+    /// The close conditions this tenant's groups ended the replay under.
+    pub final_batcher: BatchFormerConfig,
+}
+
+impl TenantReport {
+    /// The `p`-th latency percentile in seconds (nearest rank).
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile_of(&self.latencies_s, p)
+    }
+
+    /// Median latency in seconds.
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Tail latency in seconds.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Shed-aware SLO miss fraction for this tenant (see
+    /// [`ServiceReport::slo_miss_fraction`]).
+    pub fn slo_miss_fraction(&self) -> f64 {
+        miss_fraction_of(&self.latencies_s, self.completed, self.shed, self.slo_p99_s)
+    }
+
+    /// Whether this tenant met its SLO, shed-aware: at most 1 % of its
+    /// offered queries missed. Vacuously true without a target.
+    pub fn meets_slo(&self) -> bool {
+        self.slo_p99_s.is_none() || self.slo_miss_fraction() <= 0.01
     }
 }
 
@@ -84,6 +170,9 @@ pub struct ServiceReport {
     pub latencies_s: Vec<f64>,
     /// Per-query results in stream order (empty vector for shed queries).
     pub results: Vec<Vec<Neighbor>>,
+    /// Per-tenant breakdown, in the stream's tenant-profile order (one
+    /// `default` row for single-tenant replays).
+    pub tenants: Vec<TenantReport>,
 }
 
 impl ServiceReport {
@@ -99,11 +188,7 @@ impl ServiceReport {
     /// The `p`-th latency percentile in seconds (nearest-rank on the sorted
     /// latencies; 0 when nothing completed).
     pub fn percentile(&self, p: f64) -> f64 {
-        if self.latencies_s.is_empty() {
-            return 0.0;
-        }
-        let rank = (p.clamp(0.0, 100.0) / 100.0 * (self.latencies_s.len() - 1) as f64).round();
-        self.latencies_s[rank as usize]
+        percentile_of(&self.latencies_s, p)
     }
 
     /// Median latency in seconds.
@@ -132,15 +217,7 @@ impl ServiceReport {
     /// (even when no explicit SLO was configured). 0 when nothing was
     /// offered. A 100 %-shed replay therefore reports exactly 1.0.
     pub fn slo_miss_fraction(&self) -> f64 {
-        let offered = self.completed + self.shed;
-        if offered == 0 {
-            return 0.0;
-        }
-        let late = match self.slo_p99_s {
-            Some(slo) => self.latencies_s.iter().filter(|&&l| l > slo).count(),
-            None => 0,
-        };
-        (late + self.shed) as f64 / offered as f64
+        miss_fraction_of(&self.latencies_s, self.completed, self.shed, self.slo_p99_s)
     }
 
     /// Whether the replay met its p99 SLO, shed-aware: at most 1 % of the
@@ -149,6 +226,18 @@ impl ServiceReport {
     /// Vacuously true when no SLO was set.
     pub fn meets_slo(&self) -> bool {
         self.slo_p99_s.is_none() || self.slo_miss_fraction() <= 0.01
+    }
+
+    /// Whether **every** tenant met its own SLO (the multi-tenant success
+    /// criterion — the aggregate [`meets_slo`](Self::meets_slo) can look
+    /// healthy while one tenant takes all the misses).
+    pub fn all_tenants_meet_slo(&self) -> bool {
+        self.tenants.iter().all(TenantReport::meets_slo)
+    }
+
+    /// The per-tenant row of `tenant`, if the replay saw it.
+    pub fn tenant(&self, tenant: TenantId) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.id == tenant)
     }
 
     /// Cache hit rate over all lookups.
@@ -246,22 +335,44 @@ impl<E: AnnEngine> SearchService<E> {
         let policy = &mut self.policy;
         let next_request_id = &mut self.next_request_id;
         let mut queue = AdmissionQueue::new(self.config.queue_capacity);
+        for p in &stream.tenant_profiles {
+            queue.register(p.id, p.weight);
+        }
         let mut former = BatchFormer::new(policy.current());
+        // Tenants whose windows the policy steers: the announced profiles
+        // plus any tenant the options closure invents mid-stream.
+        let mut tenants_seen: Vec<TenantId> =
+            stream.tenant_profiles.iter().map(|p| p.id).collect();
+        for &t in &tenants_seen {
+            former.set_tenant_config(t, policy.current_for(t));
+        }
         let mut cache = ResultCache::new(self.config.cache_capacity);
         let slo_p99_s = self.config.slo_p99_s.or(stream.slo_p99_s);
 
         // Admitted queries occupy the waiting room until their batch
         // *finishes* on the engine, so an engine backlog exerts backpressure
-        // on admission. Completions are released lazily as the clock passes
-        // them: (finish_time, queries) pairs.
-        let mut completions: Vec<(f64, usize)> = Vec::new();
+        // on admission (per tenant — batches are tenant-pure). Completions
+        // are released lazily as the clock passes them:
+        // (finish_time, tenant, queries) triples.
+        let mut completions: Vec<(f64, TenantId, usize)> = Vec::new();
 
         // Policy feedback queued until the arrival clock catches up with the
-        // completion it describes (the causality guarantee above).
+        // completion it describes (the causality guarantee above). Each
+        // observation carries its tenant so a per-tenant policy bank can
+        // route it to the owning controller.
         #[derive(Clone, Copy)]
         enum Feedback {
-            Query { at: f64, latency_s: f64 },
-            Batch { at: f64, len: usize, wait_s: f64 },
+            Query {
+                at: f64,
+                tenant: TenantId,
+                latency_s: f64,
+            },
+            Batch {
+                at: f64,
+                tenant: TenantId,
+                len: usize,
+                wait_s: f64,
+            },
         }
         impl Feedback {
             fn at(&self) -> f64 {
@@ -289,8 +400,17 @@ impl<E: AnnEngine> SearchService<E> {
                 });
                 for obs in due {
                     match obs {
-                        Feedback::Query { at, latency_s } => policy.observe(at, latency_s),
-                        Feedback::Batch { at, len, wait_s } => policy.observe_batch(at, len, wait_s),
+                        Feedback::Query {
+                            at,
+                            tenant,
+                            latency_s,
+                        } => policy.observe_for(tenant, at, latency_s),
+                        Feedback::Batch {
+                            at,
+                            tenant,
+                            len,
+                            wait_s,
+                        } => policy.observe_batch_for(tenant, at, len, wait_s),
                     }
                 }
             };
@@ -299,6 +419,9 @@ impl<E: AnnEngine> SearchService<E> {
         let mut engine_busy_s = 0.0f64;
         let mut makespan_s = 0.0f64;
         let mut latencies: Vec<f64> = Vec::with_capacity(stream.len());
+        // Tenant-tagged copy of every completion latency, for the per-tenant
+        // report rows.
+        let mut tenant_latencies: Vec<(TenantId, f64)> = Vec::with_capacity(stream.len());
         let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); stream.len()];
         let mut size_closed = 0usize;
         let mut deadline_closed = 0usize;
@@ -306,19 +429,24 @@ impl<E: AnnEngine> SearchService<E> {
         let cache_lookup_s = self.config.cache_lookup_s;
 
         let mut run_batch = |batch: FormedBatch,
-                             completions: &mut Vec<(f64, usize)>,
+                             completions: &mut Vec<(f64, TenantId, usize)>,
                              cache: &mut ResultCache,
                              pending_feedback: &mut Vec<Feedback>,
                              engine_free_at: &mut f64,
                              engine_busy_s: &mut f64,
                              makespan_s: &mut f64,
                              latencies: &mut Vec<f64>,
+                             tenant_latencies: &mut Vec<(TenantId, f64)>,
                              results: &mut Vec<Vec<Neighbor>>| {
             match batch.reason {
                 CloseReason::Size => size_closed += 1,
                 CloseReason::Deadline => deadline_closed += 1,
                 CloseReason::Flush => flushed += 1,
             }
+            // Batches are tenant-pure (the former never mixes tenants), so
+            // the batch's options name the one tenant all feedback and the
+            // admission release belong to.
+            let tenant = batch.options.tenant;
             let indices: Vec<usize> = batch.members.iter().map(|m| m.stream_index).collect();
             let options: Vec<QueryOptions> = batch.members.iter().map(|m| m.options).collect();
             let queries = stream.batch.queries.gather(&indices);
@@ -331,11 +459,12 @@ impl<E: AnnEngine> SearchService<E> {
             *engine_free_at = finish;
             *engine_busy_s += response.seconds;
             *makespan_s = makespan_s.max(finish);
-            completions.push((finish, batch.len()));
+            completions.push((finish, tenant, batch.len()));
             // The time the closed batch sat behind a busy engine — the
             // saturation signal an adaptive policy steers by.
             pending_feedback.push(Feedback::Batch {
                 at: finish,
+                tenant,
                 len: batch.len(),
                 wait_s: start - batch.closed_at,
             });
@@ -343,8 +472,10 @@ impl<E: AnnEngine> SearchService<E> {
             for (member, neighbors) in batch.members.iter().zip(response.results) {
                 let latency = finish - member.arrival_s;
                 latencies.push(latency);
+                tenant_latencies.push((tenant, latency));
                 pending_feedback.push(Feedback::Query {
                     at: finish,
+                    tenant,
                     latency_s: latency,
                 });
                 cache.insert(
@@ -360,10 +491,14 @@ impl<E: AnnEngine> SearchService<E> {
         let mut released_upto = 0usize;
         for (arrival, index) in stream.iter() {
             // Deliver every completion the clock has caught up with, let the
-            // policy re-steer the close conditions, then close every
-            // batching deadline that fires before this arrival.
+            // policy re-steer the close conditions (the default window plus
+            // every known tenant's own), then close every batching deadline
+            // that fires before this arrival.
             deliver_feedback(&mut pending_feedback, policy, arrival);
             former.set_config(policy.current());
+            for &t in &tenants_seen {
+                former.set_tenant_config(t, policy.current_for(t));
+            }
             while let Some(deadline) = former.next_deadline() {
                 if deadline > arrival {
                     break;
@@ -378,6 +513,7 @@ impl<E: AnnEngine> SearchService<E> {
                         &mut engine_busy_s,
                         &mut makespan_s,
                         &mut latencies,
+                        &mut tenant_latencies,
                         &mut results,
                     );
                 }
@@ -386,11 +522,17 @@ impl<E: AnnEngine> SearchService<E> {
             // Free the waiting room of every batch finished by now (the
             // engine is serial, so finish times are non-decreasing).
             while released_upto < completions.len() && completions[released_upto].0 <= arrival {
-                queue.release(completions[released_upto].1);
+                let (_, tenant, n) = completions[released_upto];
+                queue.release(tenant, n);
                 released_upto += 1;
             }
 
             let options = options_of(index);
+            let tenant = options.tenant;
+            if !tenants_seen.contains(&tenant) {
+                tenants_seen.push(tenant);
+                former.set_tenant_config(tenant, policy.current_for(tenant));
+            }
             if let Some((cached, ready_at)) =
                 cache.lookup(stream.batch.queries.vector(index), &options)
             {
@@ -398,16 +540,18 @@ impl<E: AnnEngine> SearchService<E> {
                 // for it; afterwards the hit costs only the lookup.
                 let finish = arrival.max(ready_at) + cache_lookup_s;
                 latencies.push(finish - arrival);
+                tenant_latencies.push((tenant, finish - arrival));
                 pending_feedback.push(Feedback::Query {
                     at: finish,
+                    tenant,
                     latency_s: finish - arrival,
                 });
                 makespan_s = makespan_s.max(finish);
                 results[index] = cached;
                 continue;
             }
-            if !queue.try_admit() {
-                continue; // shed at the door
+            if !queue.try_admit(tenant) {
+                continue; // shed at the door, charged to this tenant
             }
             let pending = PendingQuery {
                 arrival_s: arrival,
@@ -424,6 +568,7 @@ impl<E: AnnEngine> SearchService<E> {
                     &mut engine_busy_s,
                     &mut makespan_s,
                     &mut latencies,
+                    &mut tenant_latencies,
                     &mut results,
                 );
             }
@@ -441,6 +586,7 @@ impl<E: AnnEngine> SearchService<E> {
                 &mut engine_busy_s,
                 &mut makespan_s,
                 &mut latencies,
+                &mut tenant_latencies,
                 &mut results,
             );
         }
@@ -450,6 +596,38 @@ impl<E: AnnEngine> SearchService<E> {
         deliver_feedback(&mut pending_feedback, policy, f64::INFINITY);
 
         latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Per-tenant rows, in profile order (tenants the options closure
+        // invented follow, in first-seen order).
+        let tenants = tenants_seen
+            .iter()
+            .map(|&t| {
+                let profile = stream.profile(t);
+                let mut lats: Vec<f64> = tenant_latencies
+                    .iter()
+                    .filter(|(id, _)| *id == t)
+                    .map(|(_, l)| *l)
+                    .collect();
+                lats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                TenantReport {
+                    id: t,
+                    name: profile.map_or_else(|| t.to_string(), |p| p.name.clone()),
+                    weight: profile.map_or(1, |p| p.weight),
+                    // A profiled tenant is measured against its own SLO (or
+                    // the explicit config override) — never against another
+                    // tenant's target; see the field docs.
+                    slo_p99_s: match profile {
+                        Some(p) => p.slo_p99_s.or(self.config.slo_p99_s),
+                        None => slo_p99_s,
+                    },
+                    completed: lats.len(),
+                    shed: queue.shed_of(t) as usize,
+                    latencies_s: lats,
+                    final_batcher: self.policy.current_for(t),
+                }
+            })
+            .collect();
+
         ServiceReport {
             engine: self.engine.name().to_string(),
             policy: self.policy.name().to_string(),
@@ -467,6 +645,7 @@ impl<E: AnnEngine> SearchService<E> {
             makespan_s,
             latencies_s: latencies,
             results,
+            tenants,
         }
     }
 
@@ -474,6 +653,23 @@ impl<E: AnnEngine> SearchService<E> {
     /// whole stream.
     pub fn replay_uniform(&mut self, stream: &QueryStream, options: QueryOptions) -> ServiceReport {
         self.replay(stream, |_| options)
+    }
+
+    /// [`replay`](Self::replay) driven entirely by the stream's own
+    /// annotations: each query runs under its tenant's `(k, nprobe)` plan
+    /// ([`option_plan`](QueryStream::option_plan)) tagged with its tenant
+    /// ([`tenant_of`](QueryStream::tenant_of)) — the natural entry point for
+    /// a [`MultiTenantSpec`](annkit::workload::MultiTenantSpec) stream.
+    /// Queries without a plan entry fall back to the default options.
+    pub fn replay_planned(&mut self, stream: &QueryStream) -> ServiceReport {
+        self.replay(stream, |i| {
+            let (k, nprobe) = stream
+                .option_plan
+                .get(i)
+                .copied()
+                .unwrap_or_else(|| (QueryOptions::default().k, QueryOptions::default().nprobe));
+            QueryOptions::new(k, nprobe).with_tenant(stream.tenant(i))
+        })
     }
 }
 
@@ -605,6 +801,7 @@ mod tests {
             makespan_s: 0.0,
             latencies_s: Vec::new(),
             results: Vec::new(),
+            tenants: Vec::new(),
         };
         assert_eq!(report.slo_miss_fraction(), 1.0);
         assert!(!report.meets_slo());
@@ -733,6 +930,102 @@ mod tests {
                 b.iter().map(|n| n.id).collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn multi_tenant_replay_reports_per_tenant_rows() {
+        use annkit::workload::{MultiTenantSpec, TenantId, TenantSpec};
+        let (dataset, index) = fixture();
+        let spec = MultiTenantSpec::new()
+            .with_tenant(
+                TenantSpec::new(TenantId(1), StreamSpec::new(60, 20_000.0).with_slo_p99(0.05))
+                    .with_name("tight")
+                    .with_weight(2)
+                    .with_option_mix(vec![(10, 4)]),
+            )
+            .with_tenant(
+                TenantSpec::new(TenantId(2), StreamSpec::new(140, 50_000.0).with_slo_p99(5.0))
+                    .with_name("batchy")
+                    .with_option_mix(vec![(10, 8), (20, 8)]),
+            );
+        let stream = spec.generate(dataset);
+        let mut service =
+            SearchService::new(CpuFaissEngine::new(index), ServiceConfig::default());
+        let report = service.replay_planned(&stream);
+        assert_eq!(report.completed + report.shed, 200);
+        assert_eq!(report.tenants.len(), 2);
+        let t1 = report.tenant(TenantId(1)).expect("tight row");
+        let t2 = report.tenant(TenantId(2)).expect("batchy row");
+        assert_eq!((t1.name.as_str(), t1.weight), ("tight", 2));
+        assert_eq!(t1.slo_p99_s, Some(0.05));
+        assert_eq!(t2.slo_p99_s, Some(5.0));
+        // Per-tenant conservation, and the rows add up to the aggregate.
+        assert_eq!(t1.completed + t1.shed, 60);
+        assert_eq!(t2.completed + t2.shed, 140);
+        assert_eq!(t1.completed + t2.completed, report.completed);
+        assert_eq!(t1.shed + t2.shed, report.shed);
+        assert_eq!(t1.latencies_s.len(), t1.completed);
+        // The aggregate SLO is the tightest tenant's.
+        assert_eq!(report.slo_p99_s, Some(0.05));
+        // Answer shape follows each tenant's own option plan.
+        let mut seen = vec![0usize; stream.len()];
+        for (i, r) in report.results.iter().enumerate() {
+            seen[i] = r.len();
+            if r.is_empty() {
+                continue; // shed
+            }
+            let expected_k = stream.option_plan[i].0;
+            assert_eq!(r.len(), expected_k);
+        }
+    }
+
+    #[test]
+    fn controller_bank_steers_tenant_windows_independently() {
+        use crate::controller::ControllerBank;
+        use annkit::workload::{MultiTenantSpec, TenantId, TenantSpec};
+        let (dataset, index) = fixture();
+        let tight_slo = 2e-3;
+        let loose_slo = 10.0;
+        let spec = MultiTenantSpec::new()
+            .with_tenant(
+                TenantSpec::new(
+                    TenantId(1),
+                    StreamSpec::new(150, 30_000.0).with_slo_p99(tight_slo),
+                )
+                .with_option_mix(vec![(10, 4)]),
+            )
+            .with_tenant(
+                TenantSpec::new(
+                    TenantId(2),
+                    StreamSpec::new(150, 30_000.0).with_slo_p99(loose_slo),
+                )
+                .with_option_mix(vec![(10, 8)]),
+            );
+        let stream = spec.generate(dataset);
+        let bank = ControllerBank::for_profiles(
+            &stream.tenant_profiles,
+            BatchFormerConfig::default(),
+        );
+        let mut service =
+            SearchService::new(CpuFaissEngine::new(index), ServiceConfig::default())
+                .with_policy(Box::new(bank));
+        let report = service.replay_planned(&stream);
+        assert_eq!(report.policy, "adaptive-tenant");
+        let t1 = report.tenant(TenantId(1)).expect("tight row");
+        let t2 = report.tenant(TenantId(2)).expect("loose row");
+        // Each tenant ends under a window derived from its own SLO: the
+        // SLO-derived bounds alone separate them by orders of magnitude.
+        assert!(
+            t1.final_batcher.max_delay_s <= tight_slo / 2.0 + 1e-12,
+            "tight tenant's window {} exceeds its SLO-derived cap",
+            t1.final_batcher.max_delay_s
+        );
+        assert!(
+            t2.final_batcher.max_delay_s >= loose_slo / 100.0,
+            "loose tenant's window {} fell below its SLO-derived floor",
+            t2.final_batcher.max_delay_s
+        );
+        assert!(t2.final_batcher.max_delay_s > t1.final_batcher.max_delay_s);
     }
 
     #[test]

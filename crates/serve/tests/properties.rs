@@ -8,13 +8,14 @@
 //! answers from the future; admission accounting balances; and the
 //! controller settles its observed p99 inside the SLO band.
 
+use annkit::topk::Neighbor;
+use annkit::workload::TenantId;
 use baselines::engine::QueryOptions;
 use proptest::prelude::*;
+use upanns_serve::admission::AdmissionQueue;
 use upanns_serve::batcher::{BatchFormer, BatchFormerConfig, CloseReason, FormedBatch, PendingQuery};
 use upanns_serve::cache::ResultCache;
 use upanns_serve::controller::{BatchPolicy, SloController, SloControllerConfig};
-use upanns_serve::admission::AdmissionQueue;
-use annkit::topk::Neighbor;
 
 /// The small universe of per-query option mixes the properties draw from
 /// (three compat keys; the budget variant of key 0 must share its group).
@@ -220,20 +221,23 @@ proptest! {
         }
     }
 
-    /// Admission accounting balances under arbitrary admit/release
-    /// interleavings, and the waiting count respects the capacity.
+    /// Single-tenant admission accounting balances under arbitrary
+    /// admit/release interleavings, and the waiting count respects the
+    /// capacity. With one tenant the DRR machinery must degenerate to the
+    /// plain bounded waiting room: room available ⟺ admitted.
     #[test]
     fn admission_queue_accounting_balances(
         ops in prop::collection::vec(0u8..=255, 1..300),
         capacity in 1usize..20,
     ) {
+        let t = TenantId::DEFAULT;
         let mut queue = AdmissionQueue::new(capacity);
         let mut waiting = 0usize;
         let mut admitted = 0u64;
         let mut shed = 0u64;
         for &op in &ops {
             if op & 1 == 0 {
-                let got_in = queue.try_admit();
+                let got_in = queue.try_admit(t);
                 if waiting < capacity {
                     prop_assert!(got_in, "room available but shed");
                     waiting += 1;
@@ -245,7 +249,7 @@ proptest! {
             } else {
                 // Release a batch of up to 7 waiters (never more than exist).
                 let n = ((op >> 1) as usize % 8).min(waiting);
-                queue.release(n);
+                queue.release(t, n);
                 waiting -= n;
             }
             prop_assert!(queue.waiting() <= capacity);
@@ -253,6 +257,190 @@ proptest! {
             prop_assert_eq!(queue.admitted(), admitted);
             prop_assert_eq!(queue.shed(), shed);
         }
+    }
+
+    /// Weighted-fair admission conserves slots exactly: at every step,
+    /// waiting + reserved + free == capacity, per-tenant accounting balances,
+    /// and an arrival is shed only when its tenant holds no reservation and
+    /// the free pool is empty (work conservation — free room is never
+    /// withheld from anyone). Admissions come only from a reservation, the
+    /// free pool, or the staleness valve reclaiming reservations after
+    /// `capacity` consecutive sheds.
+    #[test]
+    fn weighted_admission_conserves_slots_and_free_room(
+        ops in prop::collection::vec(0u16..=1023, 1..400),
+        capacity in 1usize..24,
+        weights in prop::collection::vec(1u32..6, 3),
+    ) {
+        let tenants = [TenantId(1), TenantId(2), TenantId(3)];
+        let mut queue = AdmissionQueue::new(capacity);
+        for (t, w) in tenants.iter().zip(&weights) {
+            queue.register(*t, *w);
+        }
+        let mut waiting = [0usize; 3];
+        let mut admitted = [0u64; 3];
+        let mut shed = [0u64; 3];
+        // Model of the staleness valve's clock: sheds since the last
+        // admission or reservation grant.
+        let mut stale_sheds = 0usize;
+        for &op in &ops {
+            let ti = (op % 3) as usize;
+            let t = tenants[ti];
+            if op & 0x200 == 0 {
+                let free_before = queue.free();
+                let reserved_before = queue.reserved_of(t);
+                let all_reserved_before: usize =
+                    tenants.iter().map(|&t| queue.reserved_of(t)).sum();
+                let got_in = queue.try_admit(t);
+                if got_in {
+                    waiting[ti] += 1;
+                    admitted[ti] += 1;
+                    prop_assert!(
+                        reserved_before > 0
+                            || free_before > 0
+                            || (stale_sheds >= capacity && all_reserved_before > 0),
+                        "admitted out of thin air"
+                    );
+                    stale_sheds = 0;
+                } else {
+                    shed[ti] += 1;
+                    stale_sheds += 1;
+                    prop_assert_eq!(free_before, 0, "shed while free room existed");
+                    prop_assert_eq!(reserved_before, 0, "shed past its own reservation");
+                }
+            } else {
+                let n = (((op >> 2) as usize) % 8).min(waiting[ti]);
+                let reserved_before: usize =
+                    tenants.iter().map(|&t| queue.reserved_of(t)).sum();
+                queue.release(t, n);
+                waiting[ti] -= n;
+                let reserved_after: usize =
+                    tenants.iter().map(|&t| queue.reserved_of(t)).sum();
+                if reserved_after > reserved_before {
+                    stale_sheds = 0; // fresh grants restart the valve's clock
+                }
+            }
+            // Slot conservation across waiting, reservations and free pool.
+            let reserved_total: usize =
+                tenants.iter().map(|&t| queue.reserved_of(t)).sum();
+            prop_assert_eq!(
+                queue.waiting() + reserved_total + queue.free(),
+                capacity,
+                "slots leaked"
+            );
+            for (i, &t) in tenants.iter().enumerate() {
+                prop_assert_eq!(queue.waiting_of(t), waiting[i]);
+                prop_assert_eq!(queue.admitted_of(t), admitted[i]);
+                prop_assert_eq!(queue.shed_of(t), shed[i]);
+            }
+        }
+    }
+
+    /// Under saturation — every tenant continuously arriving and shedding —
+    /// freed capacity is re-admitted in proportion to the tenants' weights:
+    /// post-warmup admission ratios match weight ratios within 20 %.
+    #[test]
+    fn weighted_admission_is_weight_proportional_under_saturation(
+        w1 in 1u32..6,
+        w2 in 1u32..6,
+        release_size in 1usize..5,
+    ) {
+        let (t1, t2) = (TenantId(1), TenantId(2));
+        let capacity = 24usize;
+        let mut queue = AdmissionQueue::new(capacity)
+            .with_tenant(t1, w1)
+            .with_tenant(t2, w2);
+        // Fill the room and build backlog on both tenants.
+        let mut waiting = [0usize; 2];
+        for round in 0..capacity * 2 {
+            let ti = round % 2;
+            if queue.try_admit([t1, t2][ti]) {
+                waiting[ti] += 1;
+            }
+        }
+        // Warm up one full allocation cycle, then measure. Each tenant
+        // re-applies at 3× the completion rate so both stay saturated well
+        // past their fair shares — proportionality is only promised when
+        // every tenant's demand exceeds its entitlement (with thinner
+        // demand, the unused share flows to whoever wants it: work
+        // conservation trumps the weights).
+        let mut admitted_before = [0u64; 2];
+        for phase in 0..2 {
+            if phase == 1 {
+                admitted_before = [queue.admitted_of(t1), queue.admitted_of(t2)];
+            }
+            for _ in 0..600 {
+                // Complete `release_size` waiters of whichever tenant holds
+                // more, then both tenants re-apply (and shed on failure).
+                let ti = if waiting[0] >= waiting[1] { 0 } else { 1 };
+                let n = release_size.min(waiting[ti]);
+                queue.release([t1, t2][ti], n);
+                waiting[ti] -= n;
+                for _ in 0..3 * (n + 1) {
+                    for (i, &t) in [t1, t2].iter().enumerate() {
+                        if queue.try_admit(t) {
+                            waiting[i] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let a1 = (queue.admitted_of(t1) - admitted_before[0]) as f64;
+        let a2 = (queue.admitted_of(t2) - admitted_before[1]) as f64;
+        prop_assert!(a1 > 0.0 && a2 > 0.0, "a tenant was starved outright");
+        let measured = a1 / a2;
+        let expected = f64::from(w1) / f64::from(w2);
+        prop_assert!(
+            (measured / expected - 1.0).abs() < 0.1,
+            "admissions {}:{} = {:.3} vs weights {}:{} = {:.3}",
+            a1, a2, measured, w1, w2, expected
+        );
+    }
+
+    /// No starvation: a weight-1 tenant sharing a saturated queue with a
+    /// maximally heavy rival keeps making progress — it is admitted at least
+    /// once per DRR round, i.e. at least once per `capacity` completions.
+    #[test]
+    fn weighted_admission_never_starves_the_light_tenant(
+        heavy_weight in 1u32..32,
+        capacity in 2usize..16,
+    ) {
+        let (heavy, light) = (TenantId(1), TenantId(2));
+        let mut queue = AdmissionQueue::new(capacity)
+            .with_tenant(heavy, heavy_weight)
+            .with_tenant(light, 1);
+        let mut waiting = [0usize; 2];
+        // Saturate: heavy grabs everything, then both backlog.
+        while queue.try_admit(heavy) {
+            waiting[0] += 1;
+        }
+        for _ in 0..capacity {
+            queue.try_admit(heavy);
+            queue.try_admit(light);
+        }
+        // 20 rounds of single-slot completions with both tenants re-applying.
+        let mut light_progress = 0u64;
+        for _ in 0..20 * capacity {
+            let ti = if waiting[0] >= waiting[1] { 0 } else { 1 };
+            if waiting[ti] == 0 {
+                continue;
+            }
+            queue.release([heavy, light][ti], 1);
+            waiting[ti] -= 1;
+            for (i, &t) in [heavy, light].iter().enumerate() {
+                let before = queue.admitted_of(t);
+                if queue.try_admit(t) {
+                    waiting[i] += 1;
+                }
+                if i == 1 && queue.admitted_of(t) > before {
+                    light_progress += 1;
+                }
+            }
+        }
+        prop_assert!(
+            light_progress >= 10,
+            "light tenant starved: only {light_progress} admissions over 20 rounds"
+        );
     }
 
     /// Convergence: against a synthetic latency model where the observed p99
