@@ -83,6 +83,39 @@ impl Default for QueryOptions {
 }
 
 /// A batch of queries submitted to an engine, with per-query options.
+///
+/// ```
+/// use annkit::vector::Dataset;
+/// use baselines::engine::{QueryOptions, SearchRequest, TenantId};
+///
+/// let mut queries = Dataset::with_capacity(4, 3);
+/// for i in 0..3 {
+///     queries.push(&[i as f32, 0.0, 0.0, 0.0]);
+/// }
+///
+/// // Per-query options: two compatible queries and one needing more
+/// // neighbors. Budgets and tenant labels never split a sub-batch.
+/// let request = SearchRequest::new(
+///     queries,
+///     vec![
+///         QueryOptions::new(10, 8),
+///         QueryOptions::new(10, 8)
+///             .with_latency_budget(5e-3)
+///             .with_tenant(TenantId(7)),
+///         QueryOptions::new(50, 16),
+///     ],
+/// )
+/// .with_id(42);
+///
+/// assert_eq!(request.len(), 3);
+/// assert_eq!(request.max_k(), 50);
+/// assert!(request.uniform_options().is_none(), "mixed ks");
+/// // Engines execute compatible groups as uniform sub-batches:
+/// let groups = request.option_groups();
+/// assert_eq!(groups.len(), 2);
+/// assert_eq!(groups[0].1, vec![0, 1]);
+/// assert_eq!(groups[1].1, vec![2]);
+/// ```
 #[derive(Debug, Clone)]
 pub struct SearchRequest {
     /// Caller-chosen request identifier, echoed in the response.

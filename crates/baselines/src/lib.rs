@@ -6,9 +6,8 @@
 //!
 //! * [`hardware`] — the Table 1 hardware specifications (capacity, peak
 //!   power, bandwidth, price) as data,
-//! * [`engine`] — the request-centric [`AnnEngine`](engine::AnnEngine) trait
-//!   with its [`SearchRequest`](engine::SearchRequest) /
-//!   [`SearchResponse`](engine::SearchResponse) types shared by every engine
+//! * [`engine`] — the request-centric [`AnnEngine`] trait with its
+//!   [`SearchRequest`] / [`SearchResponse`] types shared by every engine
 //!   in the repository (CPU, GPU, PIM-naive, UpANNS),
 //! * [`cpu`] — a functional IVFPQ engine whose stage times follow a roofline
 //!   model of the paper's dual-Xeon platform,

@@ -42,7 +42,44 @@ use baselines::engine::TenantId;
 /// arrival, [`observe_batch`](Self::observe_batch) when a batch is handed to
 /// the engine, and [`observe`](Self::observe) once per completed query — all
 /// on the simulated clock, so a policy sees exactly the feedback a real
-/// controller would.
+/// controller would. The `*_for` variants route the same calls per tenant;
+/// tenant-blind policies inherit defaults that fold them into the global
+/// ones.
+///
+/// Implementing a custom policy takes three methods:
+///
+/// ```
+/// use upanns_serve::batcher::BatchFormerConfig;
+/// use upanns_serve::controller::BatchPolicy;
+///
+/// /// Doubles the batch cap every time a completion is observed.
+/// struct Doubling(BatchFormerConfig, usize);
+///
+/// impl BatchPolicy for Doubling {
+///     fn name(&self) -> &str {
+///         "doubling"
+///     }
+///     fn current(&self) -> BatchFormerConfig {
+///         self.0
+///     }
+///     fn observe(&mut self, _now: f64, _latency_s: f64) {
+///         self.0.max_batch *= 2;
+///         self.1 += 1;
+///     }
+///     fn adjustments(&self) -> usize {
+///         self.1
+///     }
+/// }
+///
+/// let mut policy = Doubling(BatchFormerConfig { max_batch: 8, max_delay_s: 1e-3 }, 0);
+/// policy.observe(0.5, 2e-3);
+/// assert_eq!(policy.current().max_batch, 16);
+/// assert_eq!(policy.adjustments(), 1);
+/// // Tenant-routed feedback folds into the global hooks by default:
+/// use baselines::engine::TenantId;
+/// policy.observe_for(TenantId(3), 0.6, 2e-3);
+/// assert_eq!(policy.current().max_batch, 32);
+/// ```
 pub trait BatchPolicy {
     /// Display name of the policy ("fixed", "adaptive-slo", ...).
     fn name(&self) -> &str;
@@ -179,6 +216,26 @@ impl SloControllerConfig {
 
 /// Closed-loop AIMD controller steering the batch former toward the largest
 /// batching window whose observed p99 still meets the SLO.
+///
+/// ```
+/// use upanns_serve::controller::{BatchPolicy, SloController};
+///
+/// // Target p99 = 100 ms; the controller starts from the SLO-derived
+/// // prior (window = SLO/4) and decides once per SLO interval.
+/// let mut controller = SloController::for_slo(0.1);
+/// let before = controller.current();
+///
+/// // One full decision interval of latencies at 10× the SLO while the
+/// // engine keeps up (no batch-wait feedback): the window itself must be
+/// // the latency, so the controller backs off multiplicatively.
+/// for i in 0..50 {
+///     controller.observe(0.002 * i as f64, 1.0);
+/// }
+/// controller.observe(0.2, 1.0); // crosses the decision boundary
+///
+/// assert_eq!(controller.adjustments(), 1);
+/// assert!(controller.current().max_delay_s <= before.max_delay_s / 2.0 + 1e-12);
+/// ```
 #[derive(Debug, Clone)]
 pub struct SloController {
     config: SloControllerConfig,

@@ -193,4 +193,61 @@ fn main() {
         adaptive_report.final_batcher.max_batch,
         adaptive_report.final_batcher.max_delay_s * 1e3
     );
+
+    // ------------------------------------------------------------------
+    // 5. Multi-tenant serving: two traffic classes with their own rates,
+    //    option mixes, weights and SLOs share the engine. A ControllerBank
+    //    gives each tenant its own SLO-steered batching window, and the
+    //    report breaks attainment down per tenant (see the `serve` binary's
+    //    --tenants flag for the committed two-tenant benchmark).
+    // ------------------------------------------------------------------
+    let tenant_stream = MultiTenantSpec::new()
+        .with_tenant(
+            TenantSpec::new(TenantId(1), StreamSpec::new(120, 6.0).with_slo_p99(2.0))
+                .with_name("interactive")
+                .with_weight(2)
+                .with_option_mix(vec![(10, 4)]),
+        )
+        .with_tenant(
+            TenantSpec::new(TenantId(2), StreamSpec::new(360, 18.0).with_slo_p99(20.0))
+                .with_name("bulk")
+                .with_option_mix(vec![(10, 8), (20, 8)]),
+        )
+        .generate(&dataset);
+    let bank = ControllerBank::for_profiles(
+        &tenant_stream.tenant_profiles,
+        BatchFormerConfig::default(),
+    );
+    let mut tenant_service = SearchService::new(
+        adaptive.into_engine(),
+        ServiceConfig {
+            queue_capacity: 512,
+            batcher: BatchFormerConfig::default(),
+            cache_capacity: 256,
+            cache_lookup_s: 2e-6,
+            slo_p99_s: None, // each tenant is measured against its own SLO
+        },
+    )
+    .with_policy(Box::new(bank));
+    let tenant_report = tenant_service.replay_planned(&tenant_stream);
+    println!();
+    println!(
+        "Multi-tenant:    policy '{}', {} tenants, {} queries ({} shed)",
+        tenant_report.policy,
+        tenant_report.tenants.len(),
+        tenant_report.completed + tenant_report.shed,
+        tenant_report.shed,
+    );
+    for t in &tenant_report.tenants {
+        println!(
+            "  {:<12} weight {} | SLO {:>6.0} ms | p99 {:>8.1} ms | miss {:>5.1}% | window {:>7.1} ms | {}",
+            t.name,
+            t.weight,
+            t.slo_p99_s.unwrap_or(f64::NAN) * 1e3,
+            t.p99() * 1e3,
+            t.slo_miss_fraction() * 100.0,
+            t.final_batcher.max_delay_s * 1e3,
+            if t.meets_slo() { "SLO met" } else { "SLO MISSED" },
+        );
+    }
 }
