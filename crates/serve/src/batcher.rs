@@ -70,6 +70,40 @@ impl FormedBatch {
     pub fn is_empty(&self) -> bool {
         self.members.is_empty()
     }
+
+    /// Splits the batch into consecutive, arrival-ordered chunks of at most
+    /// `max_chunk` members each — the dispatch granularity of the
+    /// [`EngineScheduler`](crate::dispatch::EngineScheduler). Every chunk
+    /// keeps the batch's options, open/close times and close reason (the
+    /// batch still *closed* once; chunking only bounds how long the serial
+    /// engine is committed per dispatch). A batch already within the cap
+    /// comes back whole.
+    ///
+    /// # Panics
+    /// Panics if `max_chunk` is zero.
+    pub fn into_chunks(self, max_chunk: usize) -> Vec<FormedBatch> {
+        assert!(max_chunk > 0, "chunks need at least one query");
+        if self.members.len() <= max_chunk {
+            return vec![self];
+        }
+        let Self {
+            options,
+            members,
+            opened_at,
+            closed_at,
+            reason,
+        } = self;
+        members
+            .chunks(max_chunk)
+            .map(|chunk| FormedBatch {
+                options,
+                members: chunk.to_vec(),
+                opened_at,
+                closed_at,
+                reason,
+            })
+            .collect()
+    }
 }
 
 /// Close conditions of the batch former.
@@ -501,6 +535,50 @@ mod tests {
         );
         assert_eq!(former.config_for(TenantId(2)).max_batch, 100);
         assert_eq!(former.config_for(TenantId(9)).max_batch, 100, "default");
+    }
+
+    #[test]
+    fn into_chunks_partitions_in_arrival_order() {
+        let mut former = BatchFormer::new(BatchFormerConfig {
+            max_batch: 7,
+            max_delay_s: 1.0,
+        });
+        for i in 0..6 {
+            former.push(pending(i, i as f64 * 0.1, 10, 8), i as f64 * 0.1);
+        }
+        let batch = former.push(pending(6, 0.6, 10, 8), 0.6).expect("full");
+        let chunks = batch.clone().into_chunks(3);
+        assert_eq!(chunks.len(), 3, "7 members at cap 3: 3 + 3 + 1");
+        assert_eq!(
+            chunks.iter().map(FormedBatch::len).collect::<Vec<_>>(),
+            vec![3, 3, 1]
+        );
+        let indices: Vec<usize> = chunks
+            .iter()
+            .flat_map(|c| c.members.iter().map(|m| m.stream_index))
+            .collect();
+        assert_eq!(indices, (0..7).collect::<Vec<_>>(), "order preserved");
+        for chunk in &chunks {
+            assert_eq!(chunk.opened_at, batch.opened_at);
+            assert_eq!(chunk.closed_at, batch.closed_at);
+            assert_eq!(chunk.reason, batch.reason);
+            assert_eq!(chunk.options, batch.options);
+        }
+        // A batch within the cap comes back whole.
+        let whole = batch.clone().into_chunks(7);
+        assert_eq!(whole.len(), 1);
+        assert_eq!(whole[0].len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query")]
+    fn zero_chunk_cap_is_rejected() {
+        let mut former = BatchFormer::new(BatchFormerConfig {
+            max_batch: 1,
+            max_delay_s: 1.0,
+        });
+        let batch = former.push(pending(0, 0.0, 10, 8), 0.0).expect("full");
+        let _ = batch.into_chunks(0);
     }
 
     #[test]

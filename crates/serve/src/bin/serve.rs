@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! cargo run --release -p upanns-serve --bin serve -- [--queries N] [--qps R]
-//!     [--repeat F] [--slo-ms S] [--hosts H]
+//!     [--repeat F] [--slo-ms S] [--hosts H] [--max-chunk C]
 //!     [--engines cpu,gpu,pim-naive,upanns,multihost]
 //!     [--policy fixed|adaptive|both] [--tenants SPEC] [--json PATH]
 //! ```
@@ -12,12 +12,19 @@
 //! Besides the single-tenant sweep, the binary replays a **multi-tenant
 //! scenario** on the UpANNS engine (whenever `upanns` is among the selected
 //! engines): several tenants with their own Poisson rates, option mixes,
-//! weights and p99 SLOs share one serving front-end, under three policies —
+//! weights and p99 SLOs share one serving front-end, under four policies —
 //! the fixed global window, one global [`SloController`] (which can only
-//! target the *tightest* SLO in the mix), and the per-tenant
-//! [`ControllerBank`]. The committed default is a tight-SLO low-rate tenant
-//! next to a loose-SLO high-rate one: the per-tenant bank meets both SLOs
-//! where every single-window policy fails at least one.
+//! target the *tightest* SLO in the mix), the per-tenant [`ControllerBank`]
+//! with whole-batch close-order dispatch (window-level isolation only), and
+//! the same bank under **priority-chunked engine dispatch** (`--max-chunk`,
+//! the `adaptive-tenant-chunked` row): bulk batches hit the serial engine
+//! in size-capped chunks, earliest SLO deadline first, so the tight tenant
+//! waits at most one chunk instead of a whole bulk batch. The committed
+//! default is a tight-SLO low-rate tenant next to a loose-SLO bulk tenant
+//! whose batches are individually longer than the tight tenant's slack:
+//! chunked priority dispatch meets both SLOs where per-tenant windows alone
+//! (and every single-window policy) miss the tight tenant — head-of-line
+//! blocking is an engine-level problem the batching window cannot fix.
 //!
 //! `--tenants` replaces the built-in mix. The grammar is
 //! `NAME:key=val,...;NAME:...` with keys `qps` (required), `queries`,
@@ -64,11 +71,15 @@ const MODELED_N: f64 = 1.25e8;
 /// Every engine the binary knows how to build, in report order.
 const KNOWN_ENGINES: [&str; 5] = ["cpu", "gpu", "pim-naive", "upanns", "multihost"];
 
-/// The committed two-tenant scenario: a tight-SLO low-rate tenant sharing
-/// the engine with a loose-SLO high-rate one. The loose tenant needs wide
-/// windows (batch amortization is PIM capacity); any single window tight
-/// enough for the first tenant starves the second.
-const DEFAULT_TENANTS: &str = "tight:qps=2,queries=200,slo-ms=1200,weight=2,mix=10x8;\
+/// The committed head-of-line (HOL) scenario: a tight-SLO low-rate tenant
+/// sharing the engine with a loose-SLO bulk tenant whose batches are
+/// individually *longer than the tight tenant's whole SLO*. Per-tenant
+/// windows (the `adaptive-tenant` row) fix the window-level coupling but
+/// not the engine-level one — the tight tenant still waits out whichever
+/// bulk batch is in flight or already queued, and misses. Only the
+/// priority-chunked dispatcher (`adaptive-tenant-chunked`) bounds that wait
+/// to one chunk and meets both SLOs.
+const DEFAULT_TENANTS: &str = "tight:qps=2,queries=200,slo-ms=700,weight=2,mix=10x8;\
                                bulk:qps=18,queries=1400,slo-ms=30000,weight=1,mix=10x4+10x8+20x8";
 
 struct Args {
@@ -77,6 +88,7 @@ struct Args {
     repeat: f64,
     slo_ms: f64,
     hosts: usize,
+    max_chunk: usize,
     engines: Vec<String>,
     policies: Vec<Policy>,
     tenants: String,
@@ -97,6 +109,7 @@ impl Default for Args {
             repeat: 0.25,
             slo_ms: 6_000.0,
             hosts: 2,
+            max_chunk: 32,
             engines: KNOWN_ENGINES.iter().map(|s| s.to_string()).collect(),
             policies: vec![Policy::Fixed, Policy::Adaptive],
             tenants: DEFAULT_TENANTS.to_string(),
@@ -108,8 +121,11 @@ impl Default for Args {
 fn usage() -> ! {
     eprintln!(
         "usage: serve [--queries N] [--qps R] [--repeat F] [--slo-ms S] [--hosts H]\n\
-         \x20            [--engines cpu,gpu,pim-naive,upanns,multihost] \n\
+         \x20            [--max-chunk C] [--engines cpu,gpu,pim-naive,upanns,multihost] \n\
          \x20            [--policy fixed|adaptive|both] [--tenants SPEC] [--json PATH]\n\
+         \n\
+         --max-chunk caps how many queries one dispatch may commit the engine to\n\
+         in the chunked multi-tenant row (adaptive-tenant-chunked).\n\
          \n\
          --tenants grammar: NAME:key=val,...;NAME:... with keys qps (required),\n\
          queries, slo-ms, weight, repeat, mix (KxN pairs joined by '+'), e.g.\n\
@@ -236,6 +252,12 @@ fn parse_args() -> Args {
             "--qps" => args.qps = value("--qps").parse().expect("--qps: number"),
             "--repeat" => args.repeat = value("--repeat").parse().expect("--repeat: number"),
             "--slo-ms" => args.slo_ms = value("--slo-ms").parse().expect("--slo-ms: number"),
+            "--max-chunk" => {
+                args.max_chunk = value("--max-chunk").parse().expect("--max-chunk: integer");
+                if args.max_chunk == 0 {
+                    reject("--max-chunk must be at least 1".to_string());
+                }
+            }
             "--hosts" => {
                 args.hosts = value("--hosts").parse().expect("--hosts: integer");
                 // Each host needs a meaningful share of the fixed tiny-scale
@@ -357,6 +379,8 @@ fn report_json(r: &ServiceReport, workload: &str) -> String {
             "      \"cache_hit_rate\": {},\n",
             "      \"batches\": {},\n",
             "      \"mean_batch_size\": {},\n",
+            "      \"dispatched_chunks\": {},\n",
+            "      \"mean_chunk_size\": {},\n",
             "      \"final_max_batch\": {},\n",
             "      \"final_max_delay_ms\": {},\n",
             "      \"controller_adjustments\": {},\n",
@@ -379,6 +403,8 @@ fn report_json(r: &ServiceReport, workload: &str) -> String {
         json_num(r.cache_hit_rate()),
         r.batches(),
         json_num(r.mean_batch_size()),
+        r.dispatched_chunks,
+        json_num(r.mean_chunk_size()),
         r.final_batcher.max_batch,
         json_num(r.final_batcher.max_delay_s * 1e3),
         r.controller_adjustments,
@@ -427,6 +453,9 @@ fn main() {
         cache_capacity: 512,
         cache_lookup_s: 2e-6,
         slo_p99_s: None, // the stream's annotation carries the target
+        // The single-tenant sweep keeps whole-batch close-order dispatch:
+        // with nobody to isolate, chunking only sheds batch amortization.
+        max_chunk: None,
     };
 
     // Multihost shards: one IVFPQ index per host over a contiguous slice of
@@ -528,7 +557,9 @@ fn main() {
     // The multi-tenant scenario: several tenants share one UpANNS engine,
     // under the fixed global window, one global SloController (targeting the
     // tightest SLO in the mix — the only honest choice for a tenant-blind
-    // controller), and the per-tenant ControllerBank.
+    // controller), the per-tenant ControllerBank with whole-batch dispatch
+    // (window-level isolation only), and the same bank under priority-
+    // chunked engine dispatch (the head-of-line fix).
     let mut multi_reports: Vec<ServiceReport> = Vec::new();
     if args.engines.iter().any(|e| e == "upanns") {
         let tenant_mix = parse_tenants(&args.tenants);
@@ -539,17 +570,22 @@ fn main() {
             tstream.len()
         );
         let tightest_slo = tstream.slo_p99_s.unwrap_or(slo_s);
-        let mut scenario_policies: Vec<&str> = Vec::new();
+        let mut scenario_policies: Vec<(&str, Option<usize>)> = Vec::new();
         if args.policies.contains(&Policy::Fixed) {
-            scenario_policies.push("fixed");
+            scenario_policies.push(("fixed", None));
         }
         if args.policies.contains(&Policy::Adaptive) {
-            scenario_policies.push("adaptive-slo");
-            scenario_policies.push("adaptive-tenant");
+            scenario_policies.push(("adaptive-slo", None));
+            scenario_policies.push(("adaptive-tenant", None));
+            scenario_policies.push(("adaptive-tenant", Some(args.max_chunk)));
         }
         let mut engine = build_pim(&index, UpAnnsConfig::upanns(), DPUS, work_scale, &history);
-        for policy in scenario_policies {
-            let service = SearchService::new(engine, service_config);
+        for (policy, max_chunk) in scenario_policies {
+            let config = ServiceConfig {
+                max_chunk,
+                ..service_config
+            };
+            let service = SearchService::new(engine, config);
             let mut service = match policy {
                 "fixed" => service,
                 "adaptive-slo" => {
@@ -567,12 +603,12 @@ fn main() {
     }
 
     println!(
-        "| engine | policy | sustained QPS | p50 (ms) | p99 (ms) | SLO miss | completed | shed | batches | mean batch | final window (ms) |"
+        "| engine | policy | sustained QPS | p50 (ms) | p99 (ms) | SLO miss | completed | shed | batches | chunks | mean batch | final window (ms) |"
     );
-    println!("|---|---|---|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|");
     for r in &reports {
         println!(
-            "| {} | {} | {:.1} | {:.3} | {:.3} | {:.1}% | {} | {} | {} | {:.1} | {:.1} |",
+            "| {} | {} | {:.1} | {:.3} | {:.3} | {:.1}% | {} | {} | {} | {} | {:.1} | {:.1} |",
             r.engine,
             r.policy,
             r.sustained_qps(),
@@ -582,6 +618,7 @@ fn main() {
             r.completed,
             r.shed,
             r.batches(),
+            r.dispatched_chunks,
             r.mean_batch_size(),
             r.final_batcher.max_delay_s * 1e3,
         );
@@ -623,7 +660,7 @@ fn main() {
         let json = format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"upanns-serving-bench-v3\",\n",
+                "  \"schema\": \"upanns-serving-bench-v4\",\n",
                 "  \"config\": {{\n",
                 "    \"dataset_n\": {},\n",
                 "    \"nlist\": {},\n",
@@ -634,6 +671,7 @@ fn main() {
                 "    \"repeat_fraction\": {},\n",
                 "    \"slo_p99_ms\": {},\n",
                 "    \"hosts\": {},\n",
+                "    \"max_chunk\": {},\n",
                 "    \"queue_capacity\": {},\n",
                 "    \"fixed_max_batch\": {},\n",
                 "    \"fixed_max_delay_ms\": {},\n",
@@ -652,6 +690,7 @@ fn main() {
             json_num(args.repeat),
             json_num(args.slo_ms),
             args.hosts,
+            args.max_chunk,
             service_config.queue_capacity,
             fixed_batcher.max_batch,
             json_num(fixed_batcher.max_delay_s * 1e3),

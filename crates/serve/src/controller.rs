@@ -137,6 +137,24 @@ pub trait BatchPolicy {
         let _ = tenant;
         self.observe_batch(now, batch_len, engine_wait_s);
     }
+
+    /// The dispatch chunk cap the policy steers, if any — how many queries
+    /// of one batch the [`EngineScheduler`](crate::dispatch::EngineScheduler)
+    /// may commit the serial engine to per dispatch. `None` (the default, and
+    /// every static policy's answer) defers to the service-level cap
+    /// ([`ServiceConfig::max_chunk`](crate::service::ServiceConfig)). The
+    /// service clamps the answer to that cap: a policy may trade amortization
+    /// *below* the operator's isolation bound, never above it.
+    fn chunk(&self) -> Option<usize> {
+        None
+    }
+
+    /// The chunk cap `tenant`'s batches should be split at right now.
+    /// Tenant-blind policies answer with the global [`chunk`](Self::chunk).
+    fn chunk_for(&self, tenant: TenantId) -> Option<usize> {
+        let _ = tenant;
+        self.chunk()
+    }
 }
 
 /// The static policy: always the same close conditions.
@@ -186,6 +204,16 @@ pub struct SloControllerConfig {
     /// The engine counts as saturated when the average time closed batches
     /// spend queued behind it exceeds this multiple of the current window.
     pub saturation_wait_ratio: f64,
+    /// Bounds on the dispatch chunk cap the controller may choose. The
+    /// chunk is steered like the window (saturated misses grow it — bigger
+    /// chunks amortize the per-dispatch overheads — unsaturated misses
+    /// shrink it, comfort grows it additively), so `max_chunk` is the most
+    /// head-of-line delay this tenant may ever inflict per dispatch.
+    pub min_chunk: usize,
+    /// Upper bound on the dispatch chunk cap.
+    pub max_chunk: usize,
+    /// Additive chunk growth applied together with the window growth.
+    pub increase_chunk: usize,
 }
 
 impl SloControllerConfig {
@@ -210,6 +238,9 @@ impl SloControllerConfig {
             increase_batch: 32,
             grow_below: 0.7,
             saturation_wait_ratio: 1.0,
+            min_chunk: 8,
+            max_chunk: 64,
+            increase_chunk: 8,
         }
     }
 }
@@ -240,6 +271,8 @@ impl SloControllerConfig {
 pub struct SloController {
     config: SloControllerConfig,
     current: BatchFormerConfig,
+    /// The dispatch chunk cap, steered alongside the window.
+    chunk: usize,
     /// Latencies observed since the last control decision.
     window: Vec<f64>,
     /// Engine-queue waits of batches dispatched since the last decision.
@@ -283,6 +316,10 @@ impl SloController {
             config.adjust_interval_s > 0.0 && config.adjust_interval_s.is_finite(),
             "decision interval must be a positive time"
         );
+        assert!(
+            config.min_chunk >= 1 && config.min_chunk <= config.max_chunk,
+            "empty chunk range"
+        );
         let current = BatchFormerConfig {
             max_batch: initial.max_batch.clamp(config.min_batch, config.max_batch),
             max_delay_s: initial.max_delay_s.clamp(config.min_delay_s, config.max_delay_s),
@@ -290,6 +327,8 @@ impl SloController {
         Self {
             config,
             current,
+            // Start mid-range: room to amortize up and to isolate down.
+            chunk: (config.min_chunk + config.max_chunk) / 2,
             window: Vec::new(),
             waits: Vec::new(),
             next_decision_at: config.adjust_interval_s,
@@ -339,6 +378,10 @@ impl SloController {
     }
 
     /// One control step against the window's p99 and the engine-wait signal.
+    /// The dispatch chunk cap moves with the window: every branch that
+    /// widens the window also grows the chunk (amortization per dispatch)
+    /// and every branch that shrinks it shrinks the chunk too (less serial
+    /// commitment while the window itself is the latency).
     fn decide(&mut self) {
         let Some(p99) = self.window_p99() else {
             self.waits.clear();
@@ -360,6 +403,9 @@ impl SloController {
                     * self.config.saturated_growth)
                     .round() as usize)
                     .min(self.config.max_batch);
+                self.chunk = ((self.chunk as f64 * self.config.saturated_growth).round()
+                    as usize)
+                    .min(self.config.max_chunk);
             } else {
                 // The engine keeps up; the batching window itself is the
                 // latency. Back off multiplicatively — recovers in one step.
@@ -370,6 +416,9 @@ impl SloController {
                     * self.config.decrease_factor)
                     .round() as usize)
                     .max(self.config.min_batch);
+                self.chunk = ((self.chunk as f64 * self.config.decrease_factor).round()
+                    as usize)
+                    .max(self.config.min_chunk);
             }
         } else if p99 < self.config.grow_below * self.config.slo_p99_s {
             // Comfortably under: grow additively — harvest batch
@@ -378,7 +427,12 @@ impl SloController {
                 (self.current.max_delay_s + self.config.increase_delay_s).min(self.config.max_delay_s);
             self.current.max_batch =
                 (self.current.max_batch + self.config.increase_batch).min(self.config.max_batch);
+            self.chunk = (self.chunk + self.config.increase_chunk).min(self.config.max_chunk);
         }
+        // Chunk-only moves are not counted: `adjustments` keeps its
+        // original meaning (close-condition changes), and the chunk knob is
+        // inert when the service runs whole-batch dispatch — a policy
+        // cannot know which, so it must not report phantom activity.
         if self.current.max_batch != before.max_batch
             || self.current.max_delay_s != before.max_delay_s
         {
@@ -386,6 +440,12 @@ impl SloController {
         }
         self.window.clear();
         self.waits.clear();
+    }
+
+    /// The dispatch chunk cap the controller currently answers
+    /// [`BatchPolicy::chunk`] with.
+    pub fn current_chunk(&self) -> usize {
+        self.chunk
     }
 }
 
@@ -418,6 +478,10 @@ impl BatchPolicy for SloController {
 
     fn adjustments(&self) -> usize {
         self.adjustments
+    }
+
+    fn chunk(&self) -> Option<usize> {
+        Some(self.chunk)
     }
 }
 
@@ -496,6 +560,12 @@ impl BatchPolicy for ControllerBank {
     fn current_for(&self, tenant: TenantId) -> BatchFormerConfig {
         self.controller(tenant)
             .map_or(self.default_config, |c| c.current())
+    }
+
+    /// Tenants with their own controller run its steered chunk cap; the
+    /// rest defer to the service-level default.
+    fn chunk_for(&self, tenant: TenantId) -> Option<usize> {
+        self.controller(tenant).and_then(BatchPolicy::chunk)
     }
 
     fn observe_for(&mut self, tenant: TenantId, now: f64, latency_s: f64) {
@@ -681,6 +751,57 @@ mod tests {
     #[should_panic(expected = "positive time")]
     fn non_positive_slo_is_rejected() {
         let _ = SloControllerConfig::for_slo(0.0);
+    }
+
+    #[test]
+    fn chunk_cap_is_steered_with_the_window() {
+        // Unsaturated misses shrink the chunk alongside the window...
+        let mut c = controller(0.1);
+        let chunk0 = c.current_chunk();
+        assert!(chunk0 >= c.config().min_chunk && chunk0 <= c.config().max_chunk);
+        for i in 0..50 {
+            c.observe(0.002 * i as f64, 1.0);
+        }
+        c.observe(0.2, 1.0);
+        assert!(
+            c.current_chunk() <= chunk0.div_ceil(2) + 1,
+            "chunk should shrink with the window: {} vs {}",
+            c.current_chunk(),
+            chunk0
+        );
+        // ...saturated misses grow it (amortization per dispatch)...
+        let mut s = controller(0.1);
+        let chunk0 = s.current_chunk();
+        for i in 0..50 {
+            let t = 0.002 * i as f64;
+            s.observe_batch(t, 2, 1.0);
+            s.observe(t, 1.0);
+        }
+        s.observe(0.2, 1.0);
+        assert!(s.current_chunk() >= (chunk0 * 2).min(s.config().max_chunk));
+        // ...and sustained pressure in either direction stops at the bounds.
+        for interval in 0..64 {
+            for i in 0..10 {
+                c.observe(interval as f64 + 0.01 * i as f64, 5.0);
+            }
+        }
+        assert_eq!(c.current_chunk(), c.config().min_chunk);
+        assert_eq!(c.chunk(), Some(c.config().min_chunk));
+        // Static policies steer no chunk at all.
+        assert_eq!(FixedPolicy(BatchFormerConfig::default()).chunk(), None);
+        assert_eq!(
+            FixedPolicy(BatchFormerConfig::default()).chunk_for(TenantId(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn bank_routes_chunks_to_owned_tenants_only() {
+        let bank = ControllerBank::new(BatchFormerConfig::default())
+            .with_controller(TenantId(1), controller(0.1));
+        assert!(bank.chunk_for(TenantId(1)).is_some());
+        assert_eq!(bank.chunk_for(TenantId(2)), None, "no controller, no chunk");
+        assert_eq!(bank.chunk(), None, "the bank's global answer is the default");
     }
 
     #[test]

@@ -1,0 +1,444 @@
+//! Engine-level dispatch scheduling: the stage between the batch former and
+//! the serial engine that kills cross-tenant head-of-line blocking.
+//!
+//! The engine is a single serial resource. Before this stage existed, formed
+//! batches ran in **close order**: a tight-SLO tenant whose batch closed just
+//! after a bulk tenant's large batch waited for the *entire* bulk batch —
+//! window-level tenant isolation (per-tenant close conditions) cannot help
+//! once the interference moves behind the former. The [`EngineScheduler`]
+//! fixes both halves of that problem:
+//!
+//! * **Priority.** Queued work is dispatched in SLO-urgency order — earliest
+//!   `arrival + tenant SLO` deadline first (EDF), FIFO within a tenant (and
+//!   between equally urgent chunks) via a submission sequence number. A
+//!   tenant with no SLO sorts last: bulk work yields to everyone.
+//! * **Chunking.** Bulk batches are split into size-capped *chunks*
+//!   ([`FormedBatch::into_chunks`]) at submission, so the serial engine is
+//!   never committed for more than one chunk's service time. A tight-SLO
+//!   batch arriving while a bulk batch drains therefore waits at most one
+//!   chunk — not the whole batch. The cap is per-submission (the service
+//!   resolves it per tenant from the
+//!   [`BatchPolicy`](crate::controller::BatchPolicy)).
+//!
+//! [`DispatchOrder::CloseOrder`] keeps the pre-scheduler semantics — whole
+//! batches, strict FIFO in close order — and is both the single-tenant
+//! default (chunking trades batch amortization for isolation, a bad trade
+//! with nobody to isolate) and the baseline the committed head-of-line
+//! benchmark scenario compares against.
+//!
+//! The scheduler owns the engine-occupancy bookkeeping (`engine_free_at`,
+//! busy time) that used to live inline in the replay loop. It never calls
+//! the engine itself: [`pop_next`](EngineScheduler::pop_next) hands the
+//! caller the next chunk plus its simulated start time, and the caller
+//! reports the modeled service time back via
+//! [`complete`](EngineScheduler::complete). That keeps the scheduler a pure
+//! discrete-event queue, directly checkable by property tests.
+//!
+//! # Invariants
+//!
+//! * **Work conservation** — the engine never idles while a submitted chunk
+//!   is ready: the next dispatch time is `max(engine_free_at, earliest
+//!   ready_at)`.
+//! * **No early answers** — a chunk never starts before its batch closed
+//!   (`start ≥ closed_at`); the former's close is still the only thing that
+//!   releases queries to the engine.
+//! * **Serial finishes** — one chunk in flight at a time, so finish times
+//!   are non-decreasing in dispatch order even though they are no longer
+//!   monotone in *close* order (an urgent late-closing batch overtakes a
+//!   bulk one). Downstream consumers (admission release, controller
+//!   feedback) must order by finish time, not close time.
+//!
+//! ```
+//! use upanns_serve::batcher::{BatchFormer, BatchFormerConfig, PendingQuery};
+//! use upanns_serve::dispatch::{DispatchOrder, EngineScheduler};
+//! use baselines::engine::{QueryOptions, TenantId};
+//!
+//! let mut former = BatchFormer::new(BatchFormerConfig {
+//!     max_batch: 4,
+//!     max_delay_s: 1.0,
+//! });
+//! // The tight tenant runs its own close conditions: singleton batches.
+//! former.set_tenant_config(TenantId(1), BatchFormerConfig {
+//!     max_batch: 1,
+//!     max_delay_s: 1.0,
+//! });
+//! let mut scheduler = EngineScheduler::new(DispatchOrder::SloUrgency);
+//!
+//! // A bulk tenant's 4-query batch fills (closing at t=0.75) ...
+//! let mut bulk = None;
+//! for i in 0..4 {
+//!     let options = QueryOptions::new(10, 8).with_tenant(TenantId(2));
+//!     let q = PendingQuery { arrival_s: 0.25 * i as f64, stream_index: i, options };
+//!     bulk = former.push(q, 0.25 * i as f64).or(bulk);
+//! }
+//! // ... and is submitted with no SLO, chunked in pairs.
+//! scheduler.submit(bulk.expect("full"), None, 2);
+//!
+//! // A tight-SLO query closes its singleton batch at t=1.0, while the
+//! // first bulk chunk is already running (it started at t=0.75).
+//! let options = QueryOptions::new(10, 8).with_tenant(TenantId(1));
+//! let q = PendingQuery { arrival_s: 1.0, stream_index: 4, options };
+//! let tight = former.push(q, 1.0).expect("singleton closes on arrival");
+//! scheduler.submit(tight, Some(0.5), 2);
+//!
+//! // Dispatch order: the in-flight bulk chunk finishes (non-preemptive),
+//! // then the tight batch overtakes the second bulk chunk.
+//! let mut tenants = Vec::new();
+//! while let Some((chunk, start)) = scheduler.pop_next(f64::INFINITY) {
+//!     tenants.push(chunk.batch.options.tenant);
+//!     scheduler.complete(start, 0.3);
+//! }
+//! assert_eq!(tenants, vec![TenantId(2), TenantId(1), TenantId(2)]);
+//! ```
+
+use crate::batcher::FormedBatch;
+
+/// How the [`EngineScheduler`] orders queued work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchOrder {
+    /// Whole batches, strict FIFO in close order — the serial execute-on-
+    /// close semantics the scheduler replaced, kept as the single-tenant
+    /// default and the head-of-line baseline.
+    CloseOrder,
+    /// Size-capped chunks dispatched earliest-deadline-first
+    /// (`arrival + tenant SLO`; no SLO sorts last), FIFO within a tenant.
+    SloUrgency,
+}
+
+/// A chunk waiting for (or leaving) the engine.
+#[derive(Debug, Clone)]
+pub struct QueuedChunk {
+    /// The chunk: a tenant-pure, compat-pure slice of a formed batch
+    /// (the whole batch under [`DispatchOrder::CloseOrder`]).
+    pub batch: FormedBatch,
+    /// The SLO-urgency key: the chunk's earliest member arrival plus its
+    /// tenant's p99 SLO (`f64::INFINITY` for tenants without one).
+    pub deadline: f64,
+    /// Submission order — the FIFO tie-break, and the entire order under
+    /// [`DispatchOrder::CloseOrder`].
+    pub seq: u64,
+    /// Whether this is its batch's first chunk. The lead chunk's dispatch
+    /// wait (`start − closed_at`) is the *batch's* genuine cross-batch
+    /// queueing delay — the engine-saturation signal adaptive policies
+    /// steer by. Trailing chunks queue behind their own siblings, so their
+    /// waits are self-inflicted and must not be reported as saturation.
+    pub lead: bool,
+}
+
+impl QueuedChunk {
+    /// When the chunk became dispatchable (its batch's close time).
+    pub fn ready_at(&self) -> f64 {
+        self.batch.closed_at
+    }
+}
+
+/// The dispatch queue in front of the serial engine: batches enter as
+/// (possibly chunked) [`QueuedChunk`]s at close time and leave in
+/// [`DispatchOrder`] whenever the engine frees. See the module docs for the
+/// scheduling discipline and invariants.
+#[derive(Debug, Clone)]
+pub struct EngineScheduler {
+    order: DispatchOrder,
+    queue: Vec<QueuedChunk>,
+    engine_free_at: f64,
+    busy_s: f64,
+    seq: u64,
+    in_flight: bool,
+    dispatched_chunks: usize,
+    split_batches: usize,
+}
+
+impl EngineScheduler {
+    /// An empty scheduler over an idle engine.
+    pub fn new(order: DispatchOrder) -> Self {
+        Self {
+            order,
+            queue: Vec::new(),
+            engine_free_at: 0.0,
+            busy_s: 0.0,
+            seq: 0,
+            in_flight: false,
+            dispatched_chunks: 0,
+            split_batches: 0,
+        }
+    }
+
+    /// The scheduling discipline.
+    pub fn order(&self) -> DispatchOrder {
+        self.order
+    }
+
+    /// Enqueues a formed batch, split into chunks of at most `max_chunk`
+    /// queries (pass `usize::MAX` to keep it whole; under
+    /// [`DispatchOrder::CloseOrder`] batches are never split regardless).
+    /// `slo_p99_s` is the batch's tenant SLO, from which each chunk's
+    /// urgency deadline is derived — chunk-local, so the trailing chunks of
+    /// a long batch are less urgent than its head and other tenants' work
+    /// interleaves between them.
+    ///
+    /// # Panics
+    /// Panics if the batch is empty or `max_chunk` is zero.
+    pub fn submit(&mut self, batch: FormedBatch, slo_p99_s: Option<f64>, max_chunk: usize) {
+        assert!(!batch.is_empty(), "the former never emits empty batches");
+        let chunks = match self.order {
+            DispatchOrder::CloseOrder => vec![batch],
+            DispatchOrder::SloUrgency => batch.into_chunks(max_chunk),
+        };
+        if chunks.len() > 1 {
+            self.split_batches += 1;
+        }
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            let deadline = match slo_p99_s {
+                Some(slo) => chunk.members[0].arrival_s + slo,
+                None => f64::INFINITY,
+            };
+            self.queue.push(QueuedChunk {
+                batch: chunk,
+                deadline,
+                seq: self.seq,
+                lead: i == 0,
+            });
+            self.seq += 1;
+        }
+    }
+
+    /// When the next dispatch would start, if any work is queued: the engine
+    /// frees *and* a chunk is ready — `max(engine_free_at, earliest
+    /// ready_at)` (under [`DispatchOrder::CloseOrder`], the head-of-queue's
+    /// ready time). The replay loop uses this to interleave dispatches with
+    /// batcher deadlines in simulated-time order.
+    pub fn next_dispatch_at(&self) -> Option<f64> {
+        let ready = match self.order {
+            DispatchOrder::CloseOrder => self.queue.first().map(QueuedChunk::ready_at),
+            DispatchOrder::SloUrgency => self
+                .queue
+                .iter()
+                .map(QueuedChunk::ready_at)
+                .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)),
+        }?;
+        Some(ready.max(self.engine_free_at))
+    }
+
+    /// Pops the chunk the engine should run next, with its simulated start
+    /// time, if that start is no later than `now`. The caller executes the
+    /// chunk and must report the modeled service time via
+    /// [`complete`](Self::complete) before the next pop — the engine is
+    /// serial.
+    ///
+    /// Under [`DispatchOrder::SloUrgency`] the winner is the minimum
+    /// `(deadline, seq)` among chunks ready by the start time; chunks that
+    /// become ready later — even more urgent ones — cannot claim this slot
+    /// (dispatch is non-preemptive and never idles a free engine while work
+    /// waits).
+    ///
+    /// # Panics
+    /// Panics if the previous dispatch was never completed.
+    pub fn pop_next(&mut self, now: f64) -> Option<(QueuedChunk, f64)> {
+        assert!(!self.in_flight, "complete() the in-flight chunk first");
+        let start = self.next_dispatch_at()?;
+        if start > now {
+            return None;
+        }
+        let index = match self.order {
+            DispatchOrder::CloseOrder => 0,
+            DispatchOrder::SloUrgency => self
+                .queue
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.ready_at() <= start)
+                .min_by(|(_, a), (_, b)| {
+                    a.deadline
+                        .partial_cmp(&b.deadline)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.seq.cmp(&b.seq))
+                })
+                .map(|(i, _)| i)
+                .expect("a chunk is ready at the computed start time"),
+        };
+        let chunk = self.queue.remove(index);
+        self.in_flight = true;
+        self.dispatched_chunks += 1;
+        Some((chunk, start))
+    }
+
+    /// Reports the dispatched chunk's modeled service time, occupying the
+    /// engine for `[start, start + seconds)`. Returns the finish time.
+    ///
+    /// # Panics
+    /// Panics without a matching [`pop_next`](Self::pop_next), or on a
+    /// negative/non-finite service time.
+    pub fn complete(&mut self, start: f64, seconds: f64) -> f64 {
+        assert!(self.in_flight, "complete() without a dispatched chunk");
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "service time must be a finite non-negative duration"
+        );
+        self.in_flight = false;
+        self.engine_free_at = start + seconds;
+        self.busy_s += seconds;
+        self.engine_free_at
+    }
+
+    /// When the engine frees (0 before the first dispatch).
+    pub fn engine_free_at(&self) -> f64 {
+        self.engine_free_at
+    }
+
+    /// Total simulated seconds the engine has spent executing chunks.
+    pub fn busy_s(&self) -> f64 {
+        self.busy_s
+    }
+
+    /// Chunks waiting for the engine.
+    pub fn queued_chunks(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Queries waiting for the engine, across all queued chunks.
+    pub fn queued_queries(&self) -> usize {
+        self.queue.iter().map(|c| c.batch.len()).sum()
+    }
+
+    /// Whether nothing is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && !self.in_flight
+    }
+
+    /// Chunks handed to the engine so far.
+    pub fn dispatched_chunks(&self) -> usize {
+        self.dispatched_chunks
+    }
+
+    /// Submitted batches that were split into more than one chunk.
+    pub fn split_batches(&self) -> usize {
+        self.split_batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::{CloseReason, PendingQuery};
+    use baselines::engine::{QueryOptions, TenantId};
+
+    fn batch(tenant: u32, arrivals: &[f64], closed_at: f64) -> FormedBatch {
+        let options = QueryOptions::new(10, 8).with_tenant(TenantId(tenant));
+        FormedBatch {
+            options,
+            members: arrivals
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| PendingQuery {
+                    arrival_s: t,
+                    stream_index: i,
+                    options,
+                })
+                .collect(),
+            opened_at: arrivals[0],
+            closed_at,
+            reason: CloseReason::Deadline,
+        }
+    }
+
+    #[test]
+    fn close_order_is_strict_fifo_over_whole_batches() {
+        let mut s = EngineScheduler::new(DispatchOrder::CloseOrder);
+        s.submit(batch(2, &[0.0, 0.1, 0.2], 0.3), None, 1);
+        s.submit(batch(1, &[0.35], 0.4), Some(0.01), 1);
+        // FIFO: the bulk batch goes first whole despite the cap of 1 and the
+        // urgent rival behind it.
+        let (first, start) = s.pop_next(10.0).expect("work is queued");
+        assert_eq!(first.batch.len(), 3, "never split in close order");
+        assert_eq!(first.batch.options.tenant, TenantId(2));
+        assert_eq!(start, 0.3);
+        s.complete(start, 1.0);
+        let (second, start) = s.pop_next(10.0).expect("one left");
+        assert_eq!(second.batch.options.tenant, TenantId(1));
+        assert_eq!(start, 1.3, "waits for the engine to free");
+        s.complete(start, 0.5);
+        assert!(s.is_idle());
+        assert_eq!(s.dispatched_chunks(), 2);
+        assert_eq!(s.split_batches(), 0);
+        assert!((s.busy_s() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn urgent_chunk_overtakes_bulk_chunks_but_not_the_one_in_flight() {
+        let mut s = EngineScheduler::new(DispatchOrder::SloUrgency);
+        s.submit(batch(2, &[0.0, 0.1, 0.2, 0.3], 0.4), None, 2);
+        assert_eq!(s.queued_chunks(), 2, "bulk split at the cap");
+        assert_eq!(s.queued_queries(), 4);
+        assert_eq!(s.split_batches(), 1);
+        // First bulk chunk dispatches (nothing else is ready)...
+        let (c1, start1) = s.pop_next(10.0).expect("ready");
+        assert_eq!((c1.batch.options.tenant, start1), (TenantId(2), 0.4));
+        s.complete(start1, 1.0);
+        // ...the tight batch closes while it runs...
+        s.submit(batch(1, &[0.5], 0.6), Some(0.25), 2);
+        // ...and overtakes the second bulk chunk when the engine frees.
+        let (c2, start2) = s.pop_next(10.0).expect("ready");
+        assert_eq!((c2.batch.options.tenant, start2), (TenantId(1), 1.4));
+        s.complete(start2, 0.1);
+        let (c3, _) = s.pop_next(10.0).expect("ready");
+        assert_eq!(c3.batch.options.tenant, TenantId(2));
+    }
+
+    #[test]
+    fn fifo_breaks_deadline_ties_within_a_tenant() {
+        let mut s = EngineScheduler::new(DispatchOrder::SloUrgency);
+        // Same deadline (same arrival + SLO): submission order wins.
+        s.submit(batch(1, &[0.0], 0.1), Some(1.0), 8);
+        s.submit(batch(1, &[0.0], 0.1), Some(1.0), 8);
+        let (first, start) = s.pop_next(10.0).expect("ready");
+        assert_eq!(first.seq, 0);
+        s.complete(start, 0.0);
+        let (second, _) = s.pop_next(10.0).expect("ready");
+        assert_eq!(second.seq, 1);
+    }
+
+    #[test]
+    fn no_slo_sorts_after_any_deadline() {
+        let mut s = EngineScheduler::new(DispatchOrder::SloUrgency);
+        s.submit(batch(2, &[0.0], 0.1), None, 8);
+        s.submit(batch(1, &[0.05], 0.1), Some(1e6), 8);
+        let (first, _) = s.pop_next(10.0).expect("ready");
+        assert_eq!(
+            first.batch.options.tenant,
+            TenantId(1),
+            "even a huge finite SLO beats no SLO"
+        );
+    }
+
+    #[test]
+    fn dispatch_never_starts_before_the_close_or_after_now() {
+        let mut s = EngineScheduler::new(DispatchOrder::SloUrgency);
+        s.submit(batch(1, &[0.0], 0.5), Some(1.0), 8);
+        assert_eq!(s.next_dispatch_at(), Some(0.5));
+        assert!(s.pop_next(0.4).is_none(), "not ready yet");
+        let (_, start) = s.pop_next(0.5).expect("ready exactly at the close");
+        assert_eq!(start, 0.5);
+        s.complete(start, 0.0);
+        assert_eq!(s.next_dispatch_at(), None);
+    }
+
+    #[test]
+    fn late_closing_urgent_work_cannot_claim_an_earlier_slot() {
+        // Non-preemptive, work-conserving: at t=1.0 only the bulk chunk is
+        // ready, so it runs even though a more urgent chunk closes at 1.5.
+        let mut s = EngineScheduler::new(DispatchOrder::SloUrgency);
+        s.submit(batch(2, &[0.0], 1.0), None, 8);
+        s.submit(batch(1, &[1.4], 1.5), Some(0.1), 8);
+        let (first, start) = s.pop_next(10.0).expect("ready");
+        assert_eq!((first.batch.options.tenant, start), (TenantId(2), 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "complete() the in-flight chunk first")]
+    fn double_dispatch_without_completion_is_a_bug() {
+        let mut s = EngineScheduler::new(DispatchOrder::SloUrgency);
+        s.submit(batch(1, &[0.0], 0.0), None, 8);
+        s.submit(batch(1, &[0.0], 0.0), None, 8);
+        let _ = s.pop_next(1.0);
+        let _ = s.pop_next(1.0);
+    }
+}

@@ -8,14 +8,14 @@
 //! builds the layer between the two:
 //!
 //! ```text
-//!   QueryStream ──► AdmissionQueue ──► BatchFormer ──► AnnEngine::execute
-//!     (timed, tenant-  (bounded,          (tenant-pure     │
-//!      tagged          weighted-fair       groups close    ▼
-//!      arrivals)       DRR shedding)       on size or   ResultCache
-//!                            ▲             per-tenant  (LRU over exact
-//!                            │             deadline)    query + options)
+//!   QueryStream ──► AdmissionQueue ──► BatchFormer ──► EngineScheduler ──► AnnEngine::execute
+//!     (timed, tenant-  (bounded,          (tenant-pure     (size-capped        │
+//!      tagged          weighted-fair       groups close     chunks, SLO-       ▼
+//!      arrivals)       DRR shedding)       on size or       urgency order   ResultCache
+//!                            ▲             per-tenant       or whole-batch (LRU over exact
+//!                            │             deadline)        close order)    query + options)
 //!                     BatchPolicy / SloController / ControllerBank
-//!                     (per-arrival window steering from causal feedback)
+//!                     (per-arrival window + chunk-cap steering from causal feedback)
 //! ```
 //!
 //! * [`admission::AdmissionQueue`] — a bounded waiting room; arrivals beyond
@@ -36,6 +36,12 @@
 //!   tail-latency target; or the [`controller::ControllerBank`] holding one
 //!   `SloController` per tenant, so a tight-SLO tenant's narrow window and a
 //!   batch-hungry tenant's wide one coexist on one engine.
+//! * [`dispatch::EngineScheduler`] — the stage between the former and the
+//!   serial engine: formed batches queue as (optionally size-capped) chunks
+//!   and dispatch earliest-SLO-deadline-first, so a tight-SLO tenant's
+//!   batch waits at most one chunk of a bulk co-tenant's work instead of
+//!   the whole batch — engine-level head-of-line isolation that window-level
+//!   (per-tenant close conditions) isolation cannot provide.
 //! * [`cache::ResultCache`] — an LRU of exact (query, options) → neighbors
 //!   entries; repeated questions (common in RAG streams) bypass the engine.
 //! * [`service::SearchService`] — ties the pieces together and replays an
@@ -108,6 +114,7 @@ pub mod admission;
 pub mod batcher;
 pub mod cache;
 pub mod controller;
+pub mod dispatch;
 pub mod service;
 
 /// Commonly used items, re-exported for convenience.
@@ -118,6 +125,7 @@ pub mod prelude {
     pub use crate::controller::{
         BatchPolicy, ControllerBank, FixedPolicy, SloController, SloControllerConfig,
     };
+    pub use crate::dispatch::{DispatchOrder, EngineScheduler, QueuedChunk};
     pub use crate::service::{SearchService, ServiceConfig, ServiceReport, TenantReport};
     pub use annkit::workload::{MultiTenantSpec, TenantId, TenantProfile, TenantSpec};
 }

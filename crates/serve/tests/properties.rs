@@ -529,6 +529,7 @@ fn repeats_wait_for_the_original_answer() {
         cache_capacity: 64,
         cache_lookup_s,
         slo_p99_s: None,
+        max_chunk: None,
     };
     // The work scale inflates the modeled execution time so it dwarfs both
     // the arrival spacing and the cache lookup.
