@@ -37,6 +37,8 @@
 //! assert_eq!(result.len(), 10);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod distance;
 pub mod error;
 pub mod flat;

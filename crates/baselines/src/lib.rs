@@ -21,6 +21,8 @@
 //! identical; only their timing models differ. This mirrors the paper's
 //! setup, where all baselines implement the same IVFPQ algorithm.
 
+#![forbid(unsafe_code)]
+
 pub mod cpu;
 pub mod engine;
 pub mod exec;

@@ -7,6 +7,8 @@
 //! cargo run -p upanns-bench --release --bin balance_probe [-- nlist dpus nprobe batch]
 //! ```
 
+#![forbid(unsafe_code)]
+
 use annkit::ivf::{IvfPqIndex, IvfPqParams};
 use annkit::synthetic::SyntheticSpec;
 use annkit::workload::WorkloadSpec;

@@ -11,6 +11,8 @@
 //! `results/`. EXPERIMENTS.md records the mapping to the paper's artifacts
 //! and the measured-vs-paper comparison.
 
+#![forbid(unsafe_code)]
+
 use annkit::flat::FlatIndex;
 use annkit::recall::recall_at_k;
 use annkit::synthetic::DatasetKind;

@@ -7,6 +7,8 @@
 //! all engines constructed on demand. Results are printed as markdown tables
 //! and written as CSV under `results/`.
 
+#![forbid(unsafe_code)]
+
 use annkit::ivf::{IvfPqIndex, IvfPqParams};
 use annkit::synthetic::{DatasetKind, SyntheticDataset, SyntheticSpec};
 use annkit::vector::Dataset;

@@ -53,6 +53,8 @@
 //! println!("QPS = {:.0}", outcome.qps());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod adaptive;
 pub mod builder;
 pub mod config;

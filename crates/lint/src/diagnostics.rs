@@ -1,0 +1,120 @@
+//! Rendering of lint results, human-readable and `--json`.
+//!
+//! The JSON encoder is hand-rolled (the crate is dependency-free by
+//! design); the shape is versioned under `"schema": "upanns-lint/v1"` so
+//! downstream tooling can detect changes.
+
+use crate::rules::Violation;
+
+/// The outcome of linting one root: file count plus sorted violations.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Number of `.rs` files checked.
+    pub files_checked: usize,
+    /// All violations, sorted by (file, line, rule).
+    pub violations: Vec<Violation>,
+}
+
+impl LintReport {
+    /// Whether the lint passed (no violations).
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable rendering: one `rule: file:line: message` per
+    /// violation plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!("{}: {}:{}: {}\n", v.rule, v.file, v.line, v.message));
+        }
+        out.push_str(&format!(
+            "upanns-lint: {} file(s) checked, {} violation(s)\n",
+            self.files_checked,
+            self.violations.len()
+        ));
+        out
+    }
+
+    /// JSON rendering:
+    /// `{"schema":"upanns-lint/v1","files_checked":N,"violations":[...]}`.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"upanns-lint/v1\",\"files_checked\":");
+        out.push_str(&self.files_checked.to_string());
+        out.push_str(",\"violations\":[");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+                json_string(v.rule),
+                json_string(&v.file),
+                v.line,
+                json_string(&v.message)
+            ));
+        }
+        out.push_str("]}");
+        out.push('\n');
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let report = LintReport {
+            files_checked: 2,
+            violations: vec![Violation {
+                rule: "no-wall-clock",
+                file: "a/b.rs".to_string(),
+                line: 7,
+                message: "bad \"quote\"\npath\\x".to_string(),
+            }],
+        };
+        let json = report.render_json();
+        assert!(json.starts_with("{\"schema\":\"upanns-lint/v1\",\"files_checked\":2,"));
+        assert!(json.contains("\\\"quote\\\""));
+        assert!(json.contains("\\n"));
+        assert!(json.contains("path\\\\x"));
+        assert!(json.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn human_render_has_locations_and_summary() {
+        let report = LintReport {
+            files_checked: 3,
+            violations: vec![Violation {
+                rule: "directive",
+                file: "x.rs".to_string(),
+                line: 1,
+                message: "m".to_string(),
+            }],
+        };
+        let text = report.render_human();
+        assert!(text.contains("directive: x.rs:1: m"));
+        assert!(text.contains("3 file(s) checked, 1 violation(s)"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Inline suppression directives.
+//!
+//! A violation can be silenced at its source line with a *reasoned*
+//! directive in a plain (non-doc) comment:
+//!
+//! ```text
+//! // lint: allow(unordered-iter, reason = "min_by_key over unique keys is order-independent")
+//! ```
+//!
+//! Placement follows comment position: a trailing comment silences its own
+//! line; a standalone comment silences the next code line. Every directive
+//! must name a known rule (canonical or short alias) and carry a non-empty
+//! reason; anything that begins with `lint:` but does not parse — and any
+//! directive that matches no violation — is itself reported under the
+//! synthetic rule name `directive`, so suppressions can never rot silently.
+//! Doc comments are never parsed, which lets documentation *show* directive
+//! syntax (as above) without asserting it.
+
+/// A successfully parsed `lint: allow(...)` directive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// Canonical rule name (aliases are resolved during parsing).
+    pub rule: &'static str,
+    /// The mandatory human-readable justification.
+    pub reason: String,
+}
+
+/// Canonical rule names and their accepted short aliases.
+const RULE_ALIASES: &[(&str, &[&str])] = &[
+    ("no-wall-clock", &["wall-clock"]),
+    ("no-ambient-rng", &["ambient-rng"]),
+    ("no-unordered-iteration", &["unordered-iter"]),
+    ("vendor-api-surface", &["vendor-api"]),
+    ("no-unwrap-in-hot-path", &["unwrap"]),
+];
+
+/// Resolves a rule name (canonical or alias) to its canonical form.
+pub fn canonical_rule(name: &str) -> Option<&'static str> {
+    RULE_ALIASES
+        .iter()
+        .find(|(canon, aliases)| *canon == name || aliases.contains(&name))
+        .map(|(canon, _)| *canon)
+}
+
+/// All canonical rule names, for diagnostics.
+pub fn rule_names() -> Vec<&'static str> {
+    RULE_ALIASES.iter().map(|(c, _)| *c).collect()
+}
+
+/// Tries to parse a comment body as a directive.
+///
+/// Returns `None` when the comment is not directive-shaped at all (does not
+/// begin with `lint:`), `Some(Err(why))` when it begins with `lint:` but is
+/// malformed or names an unknown rule, and `Some(Ok(d))` on success.
+pub fn parse(comment_text: &str) -> Option<Result<Directive, String>> {
+    let body = comment_text.trim();
+    let rest = body.strip_prefix("lint:")?;
+    Some(parse_allow(rest.trim()))
+}
+
+fn parse_allow(rest: &str) -> Result<Directive, String> {
+    let inner = rest
+        .strip_prefix("allow")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('('))
+        .ok_or_else(|| "expected `allow(<rule>, reason = \"...\")`".to_string())?;
+    let inner = inner
+        .strip_suffix(')')
+        .ok_or_else(|| "missing closing `)`".to_string())?;
+
+    let (rule_name, after_rule) = inner
+        .split_once(',')
+        .ok_or_else(|| "missing `, reason = \"...\"` after the rule name".to_string())?;
+    let rule_name = rule_name.trim();
+    let rule = canonical_rule(rule_name).ok_or_else(|| {
+        format!(
+            "unknown rule `{rule_name}` (known rules: {})",
+            rule_names().join(", ")
+        )
+    })?;
+
+    let reason_expr = after_rule.trim();
+    let reason = reason_expr
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim)
+        .ok_or_else(|| "expected `reason = \"...\"`".to_string())?;
+    let reason = reason
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| "reason must be a double-quoted string".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".to_string());
+    }
+    Ok(Directive {
+        rule,
+        reason: reason.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_canonical_and_alias_names() {
+        let d = parse(" lint: allow(no-wall-clock, reason = \"replay clock impl\")")
+            .expect("directive-shaped")
+            .expect("well-formed");
+        assert_eq!(d.rule, "no-wall-clock");
+        assert_eq!(d.reason, "replay clock impl");
+
+        let d = parse("lint: allow(unwrap, reason = \"invariant: queue non-empty\")")
+            .expect("directive-shaped")
+            .expect("well-formed");
+        assert_eq!(d.rule, "no-unwrap-in-hot-path");
+    }
+
+    #[test]
+    fn non_directive_comments_are_ignored() {
+        assert!(parse("just a comment").is_none());
+        assert!(parse("the `// lint: allow(...)` form is described elsewhere").is_none());
+    }
+
+    #[test]
+    fn malformed_directives_report_why() {
+        let err = parse("lint: allow(no-wall-clock)").expect("shaped").expect_err("malformed");
+        assert!(err.contains("reason"), "{err}");
+
+        let err = parse("lint: allow(no-such-rule, reason = \"x\")")
+            .expect("shaped")
+            .expect_err("unknown rule");
+        assert!(err.contains("no-such-rule"), "{err}");
+
+        let err = parse("lint: allow(unwrap, reason = \"\")")
+            .expect("shaped")
+            .expect_err("empty reason");
+        assert!(err.contains("empty"), "{err}");
+
+        let err = parse("lint: deny(unwrap)").expect("shaped").expect_err("not allow");
+        assert!(err.contains("allow"), "{err}");
+    }
+}

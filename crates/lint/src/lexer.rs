@@ -1,0 +1,446 @@
+//! A comment- and string-aware Rust lexer.
+//!
+//! The workspace has no registry access, so `syn` is unavailable; the lint
+//! rules instead run over this hand-rolled token stream. It is deliberately
+//! *not* a full Rust lexer — it only needs to be faithful about the things
+//! that make naive `grep`-style linting lie:
+//!
+//! * comments (line, block — nested — and all doc forms) never produce code
+//!   tokens, so a rule name mentioned in documentation is not a violation;
+//! * string literals (plain, raw with any hash count, byte, C) and char
+//!   literals are swallowed into a single [`TokenKind::Literal`] token whose
+//!   text rules never match against;
+//! * lifetimes (`'a`) are distinguished from char literals so a quote does
+//!   not swallow the rest of the file;
+//! * `::` is fused into one punctuation token, which is what lets the rules
+//!   do lightweight path tracking.
+//!
+//! Every token and comment carries its 1-based source line for diagnostics
+//! and for directive placement ([`crate::directives`]).
+
+/// What kind of token a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`self`, `HashMap`, `for`, ...).
+    Ident,
+    /// A punctuation token: one character, except the fused `::`.
+    Punct,
+    /// A numeric, string, char or byte literal. Rules treat literals as
+    /// opaque — their text is never matched against banned names.
+    Literal,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token kind.
+    pub kind: TokenKind,
+    /// The token text (`::` for the fused path separator; literal tokens
+    /// keep their raw text purely for debugging).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == p
+    }
+}
+
+/// One comment, kept out of the token stream but retained for directive
+/// parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// The comment text *without* its `//`/`/*` framing (block comments
+    /// keep interior newlines).
+    pub text: String,
+    /// Whether the comment is a doc comment (`///`, `//!`, `/** */`,
+    /// `/*! */`). Directives are only honoured in plain comments, so
+    /// documentation can safely *show* directives without asserting them.
+    pub doc: bool,
+    /// Whether any code token precedes the comment on its starting line
+    /// (a trailing comment annotates its own line; a standalone one
+    /// annotates the next code line).
+    pub trailing: bool,
+}
+
+/// A lexed source file: code tokens plus the comments that were stripped.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// The code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// The stripped comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl LexedFile {
+    /// The first code line strictly after `line`, if any — where a
+    /// standalone comment's directive lands.
+    pub fn next_code_line(&self, line: u32) -> Option<u32> {
+        self.tokens.iter().map(|t| t.line).find(|&l| l > line)
+    }
+}
+
+/// Lexes `source` into code tokens and comments. Never fails: unterminated
+/// constructs simply consume the rest of the file, which is the safe
+/// direction for a linter (nothing after a lexing confusion is reported).
+pub fn lex(source: &str) -> LexedFile {
+    Lexer::new(source).run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    code_on_line: bool,
+    out: LexedFile,
+}
+
+impl Lexer {
+    fn new(source: &str) -> Self {
+        Self {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            code_on_line: false,
+            out: LexedFile::default(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.code_on_line = false;
+            }
+        }
+        c
+    }
+
+    fn push_token(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.code_on_line = true;
+        self.out.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> LexedFile {
+        while let Some(c) = self.peek(0) {
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed_literal(),
+                c if c.is_ascii_digit() => self.number(),
+                '"' => self.string(0),
+                '\'' => self.char_or_lifetime(),
+                ':' if self.peek(1) == Some(':') => {
+                    let line = self.line;
+                    self.bump();
+                    self.bump();
+                    self.push_token(TokenKind::Punct, "::".to_string(), line);
+                }
+                _ => {
+                    let line = self.line;
+                    let c = self.bump().unwrap_or(' ');
+                    self.push_token(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.code_on_line;
+        self.bump(); // /
+        self.bump(); // /
+        // `///` and `//!` are doc comments; `////...` is a plain comment.
+        let doc = matches!(self.peek(0), Some('!'))
+            || (self.peek(0) == Some('/') && self.peek(1) != Some('/'));
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.out.comments.push(Comment {
+            line,
+            text,
+            doc,
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.code_on_line;
+        self.bump(); // /
+        self.bump(); // *
+        let doc = matches!(self.peek(0), Some('!'))
+            || (self.peek(0) == Some('*') && self.peek(1) != Some('*') && self.peek(1) != Some('/'));
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                self.bump();
+                self.bump();
+                text.push_str("/*");
+            } else if c == '*' && self.peek(1) == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            text,
+            doc,
+            trailing,
+        });
+    }
+
+    fn ident_or_prefixed_literal(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // String-literal prefixes: b"", r"", br"", c"", cr"", r#""#, ...
+        let is_prefix = matches!(text.as_str(), "b" | "r" | "br" | "rb" | "c" | "cr");
+        if is_prefix {
+            if self.peek(0) == Some('"') {
+                self.raw_or_plain_string(&text, 0, line);
+                return;
+            }
+            if self.peek(0) == Some('#') {
+                let mut hashes = 0usize;
+                while self.peek(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                if self.peek(hashes) == Some('"') {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.raw_or_plain_string(&text, hashes, line);
+                    return;
+                }
+            }
+        }
+        self.push_token(TokenKind::Ident, text, line);
+    }
+
+    fn raw_or_plain_string(&mut self, prefix: &str, hashes: usize, line: u32) {
+        if prefix.contains('r') || hashes > 0 {
+            self.raw_string(hashes, line);
+        } else {
+            self.string(0);
+            // Re-tag the just-pushed literal's line: the prefix started it.
+            if let Some(t) = self.out.tokens.last_mut() {
+                t.line = line;
+            }
+        }
+    }
+
+    /// A plain (escaped) string literal. `hashes` is unused for plain
+    /// strings but keeps the two entry points symmetric.
+    fn string(&mut self, _hashes: usize) {
+        let line = self.line;
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push_token(TokenKind::Literal, String::from("\"…\""), line);
+    }
+
+    /// A raw string literal: terminated by `"` followed by `hashes` hashes.
+    fn raw_string(&mut self, hashes: usize, line: u32) {
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0usize;
+                while seen < hashes && self.peek(0) == Some('#') {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+        }
+        self.push_token(TokenKind::Literal, String::from("r\"…\""), line);
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        let next = self.peek(1);
+        let after = self.peek(2);
+        let is_char = match next {
+            Some('\\') => true,
+            Some(c) if c == '_' || c.is_alphanumeric() => after == Some('\''),
+            Some(_) => true, // '(' ' ' etc. — punctuation chars
+            None => false,
+        };
+        if is_char {
+            self.bump(); // opening quote
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push_token(TokenKind::Literal, String::from("'…'"), line);
+        } else {
+            // A lifetime: consume the quote and the identifier.
+            self.bump();
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push_token(TokenKind::Literal, text, line);
+        }
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            let take = c.is_alphanumeric()
+                || c == '_'
+                // `1.5` but not `1..5` and not a method call `1.max(2)`.
+                || (c == '.'
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit()))
+                // Exponent sign: `2e-6`, `1E+9`.
+                || ((c == '+' || c == '-')
+                    && text
+                        .chars()
+                        .last()
+                        .is_some_and(|p| p == 'e' || p == 'E')
+                    && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if take {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokenKind::Literal, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_never_yield_idents() {
+        let src = r##"
+            // Instant in a comment
+            /* SystemTime in /* a nested */ block */
+            /// Instant in a doc comment
+            let s = "Instant::now()";
+            let r = r#"thread_rng()"#;
+            let c = 'I';
+            fn real() {}
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real".to_string()));
+        assert!(!ids.iter().any(|i| i == "Instant" || i == "SystemTime"));
+        assert!(!ids.iter().any(|i| i == "thread_rng"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_swallow_code() {
+        let ids = idents("fn f<'a>(x: &'a Instant) {}");
+        assert!(ids.contains(&"Instant".to_string()));
+    }
+
+    #[test]
+    fn path_separator_is_fused() {
+        let lexed = lex("std::time::Instant");
+        let puncts: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(puncts, vec!["::", "::"]);
+    }
+
+    #[test]
+    fn numeric_literals_with_exponents_stay_literal() {
+        let lexed = lex("let x = 2e-6; let y = 1.5e+9f64; let z = 0..5;");
+        assert!(lexed.tokens.iter().any(|t| t.text == "2e-6"));
+        assert!(lexed.tokens.iter().any(|t| t.text == "1.5e+9f64"));
+        // `0..5` stays a range, not a malformed float.
+        assert!(lexed.tokens.iter().filter(|t| t.is_punct(".")).count() == 2);
+    }
+
+    #[test]
+    fn trailing_and_standalone_comments_are_distinguished() {
+        let lexed = lex("let x = 1; // trailing\n// standalone\nlet y = 2;");
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+        assert_eq!(lexed.next_code_line(2), Some(3));
+    }
+
+    #[test]
+    fn doc_comments_are_flagged_as_doc() {
+        let lexed = lex("/// doc\n//! inner doc\n// plain\n//// many slashes\nfn f() {}");
+        let doc: Vec<bool> = lexed.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(doc, vec![true, true, false, false]);
+    }
+}

@@ -1,0 +1,105 @@
+//! CLI entry point for `upanns-lint`.
+//!
+//! ```text
+//! upanns-lint --workspace [--json]     lint the enclosing cargo workspace
+//! upanns-lint --root DIR [--json]      lint an explicit tree (fixtures, CI)
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+upanns-lint: workspace invariant checker
+
+USAGE:
+    upanns-lint --workspace [--json]
+    upanns-lint --root <DIR> [--json]
+
+OPTIONS:
+    --workspace    lint the enclosing cargo workspace (found by walking up
+                   from the current directory to a Cargo.toml with a
+                   [workspace] section)
+    --root <DIR>   lint the tree rooted at DIR instead
+    --json         machine-readable output (schema upanns-lint/v1)
+    --help         show this help
+";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut workspace = false;
+    let mut root: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage_error("--root requires a directory argument"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unrecognised argument `{other}`")),
+        }
+    }
+
+    let root = match (root, workspace) {
+        (Some(dir), _) => dir,
+        (None, true) => match find_workspace_root() {
+            Some(dir) => dir,
+            None => {
+                eprintln!("upanns-lint: no enclosing cargo workspace found");
+                return ExitCode::from(2);
+            }
+        },
+        (None, false) => return usage_error("pass --workspace or --root <DIR>"),
+    };
+
+    match upanns_lint::lint_root(&root) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_human());
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("upanns-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(why: &str) -> ExitCode {
+    eprintln!("upanns-lint: {why}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]` section.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,615 @@
+//! The rule set. Each rule guards one documented workspace invariant (see
+//! ARCHITECTURE.md, "Static invariants"):
+//!
+//! * **no-wall-clock** — `Instant`/`SystemTime` are banned outside the
+//!   allowlisted vendor timer shim, so the replay clock stays the only time
+//!   source the serving stack can observe.
+//! * **no-ambient-rng** — entropy-seeded RNG constructors are banned outside
+//!   tests; every production stream must derive from an explicit seed.
+//! * **no-unordered-iteration** — iterating a `HashMap`/`HashSet` binding in
+//!   `crates/serve` without a subsequent sort, which would let hash-order
+//!   leak into byte-diffed reports.
+//! * **vendor-api-surface** — qualified paths and `use` imports into the
+//!   vendored stubs must appear in that stub's `API.txt` manifest, so the
+//!   real registry crates can swap in without code changes.
+//! * **no-unwrap-in-hot-path** — `.unwrap()`/`.expect()` in the serve
+//!   dispatch/service/batcher files, where a panic aborts live queries.
+//!
+//! Rules run over the lexed token stream ([`crate::lexer`]) — never raw
+//! text — so names inside comments, docs and string literals are invisible
+//! to them.
+
+use crate::lexer::{LexedFile, Token, TokenKind};
+
+/// One rule violation, keyed by canonical rule name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Canonical rule name, or `directive` for directive hygiene findings.
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A lexed file plus its workspace-relative path.
+pub struct FileInput<'a> {
+    /// Relative path with forward slashes (e.g. `crates/serve/src/cache.rs`).
+    pub rel: &'a str,
+    /// The lexed contents.
+    pub lexed: &'a LexedFile,
+}
+
+/// Per-stub vendor API manifests, loaded from `vendor/<stub>/API.txt`.
+/// `None` means the manifest file is absent (reported at first use site).
+pub struct VendorManifests {
+    /// `(stub crate name, manifest entries)` pairs, in declaration order.
+    pub stubs: Vec<(String, Option<Vec<String>>)>,
+}
+
+/// Files allowed to touch wall-clock types: the vendored criterion shim is
+/// the one place benchmarking genuinely needs real elapsed time.
+const WALL_CLOCK_ALLOWLIST: &[&str] = &["vendor/criterion/src/lib.rs"];
+
+/// Entropy-tapping constructors; seeded construction is always fine.
+const AMBIENT_RNG: &[&str] = &[
+    "thread_rng",
+    "from_entropy",
+    "from_os_rng",
+    "OsRng",
+    "ThreadRng",
+];
+
+/// Unordered-collection methods that expose hash order.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+];
+
+/// Idents whose appearance shortly after an unordered iteration restores a
+/// deterministic order. `min_by_key`/`max_by_key` are deliberately absent:
+/// they break ties in encounter order, which *is* hash order.
+const SORT_FAMILY: &[&str] = &[
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+];
+
+/// How many tokens after an iteration site to scan for a sort.
+const SORT_WINDOW: usize = 80;
+
+/// Serve files whose panic on a bad query would abort unrelated tenants.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/serve/src/dispatch.rs",
+    "crates/serve/src/service.rs",
+    "crates/serve/src/batcher.rs",
+];
+
+/// Runs every rule over one file, returning raw (pre-directive) violations.
+pub fn check_file(input: &FileInput<'_>, vendor: &VendorManifests) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let test_ranges = test_line_ranges(input.lexed);
+    no_wall_clock(input, &mut out);
+    no_ambient_rng(input, &test_ranges, &mut out);
+    no_unordered_iteration(input, &mut out);
+    vendor_api_surface(input, vendor, &mut out);
+    no_unwrap_in_hot_path(input, &test_ranges, &mut out);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// `#[cfg(test)]` region detection
+// ---------------------------------------------------------------------------
+
+/// Line ranges (inclusive) of items gated behind `#[cfg(test)]`. Detection
+/// is token-based: an attribute whose idents include `cfg` and `test` but
+/// not `not`, followed by an item consumed to its matching closing brace
+/// (or terminating semicolon).
+fn test_line_ranges(lexed: &LexedFile) -> Vec<(u32, u32)> {
+    let toks = &lexed.tokens;
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_punct("#") && toks.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        let start_line = toks[i].line;
+        // Collect idents inside the attribute's brackets.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        let mut idents: Vec<&str> = Vec::new();
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct("]") {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if t.kind == TokenKind::Ident {
+                idents.push(&t.text);
+            }
+            j += 1;
+        }
+        let is_cfg_test = idents.contains(&"cfg")
+            && idents.contains(&"test")
+            && !idents.contains(&"not");
+        if !is_cfg_test {
+            i = j + 1;
+            continue;
+        }
+        // Consume the gated item: skip any further attributes, then match
+        // braces to the item's end (or stop at a bare semicolon).
+        let mut k = j + 1;
+        let mut brace_depth = 0usize;
+        let mut end_line = start_line;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct("{") {
+                brace_depth += 1;
+            } else if t.is_punct("}") {
+                brace_depth = brace_depth.saturating_sub(1);
+                if brace_depth == 0 {
+                    end_line = t.line;
+                    break;
+                }
+            } else if t.is_punct(";") && brace_depth == 0 {
+                end_line = t.line;
+                break;
+            }
+            end_line = t.line;
+            k += 1;
+        }
+        ranges.push((start_line, end_line));
+        i = k + 1;
+    }
+    ranges
+}
+
+fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+fn no_wall_clock(input: &FileInput<'_>, out: &mut Vec<Violation>) {
+    if WALL_CLOCK_ALLOWLIST.contains(&input.rel) {
+        return;
+    }
+    for t in &input.lexed.tokens {
+        if t.kind == TokenKind::Ident && (t.text == "Instant" || t.text == "SystemTime") {
+            out.push(Violation {
+                rule: "no-wall-clock",
+                file: input.rel.to_string(),
+                line: t.line,
+                message: format!(
+                    "wall-clock type `{}` is banned; the replay clock (crates/serve) must be \
+                     the only observable time source",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn no_ambient_rng(input: &FileInput<'_>, test_ranges: &[(u32, u32)], out: &mut Vec<Violation>) {
+    // Integration-test trees are exempt wholesale; unit tests are exempt
+    // via their `#[cfg(test)]` ranges.
+    if input.rel.starts_with("tests/") || input.rel.contains("/tests/") {
+        return;
+    }
+    for t in &input.lexed.tokens {
+        if t.kind == TokenKind::Ident
+            && AMBIENT_RNG.contains(&t.text.as_str())
+            && !in_ranges(test_ranges, t.line)
+        {
+            out.push(Violation {
+                rule: "no-ambient-rng",
+                file: input.rel.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` taps ambient entropy; production randomness must come from an \
+                     explicit seed (e.g. `SmallRng::seed_from_u64`)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+fn no_unordered_iteration(input: &FileInput<'_>, out: &mut Vec<Violation>) {
+    if !input.rel.starts_with("crates/serve/") {
+        return;
+    }
+    let toks = &input.lexed.tokens;
+
+    // Pass 1: names bound to HashMap/HashSet — struct fields
+    // (`entries: HashMap<..>`), lets with annotations, and
+    // `name = HashMap::new()` initialisers. `&`/`mut`/lifetimes between the
+    // separator and the type are skipped.
+    let mut unordered: Vec<&str> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 {
+            let p = &toks[j - 1];
+            let skippable = p.is_punct("&")
+                || p.is_ident("mut")
+                || (p.kind == TokenKind::Literal && p.text.starts_with('\''));
+            if skippable {
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+        if j == 0 {
+            continue;
+        }
+        let sep = &toks[j - 1];
+        if (sep.is_punct(":") || sep.is_punct("=")) && j >= 2 {
+            let name = &toks[j - 2];
+            if name.kind == TokenKind::Ident && !unordered.contains(&name.text.as_str()) {
+                unordered.push(&name.text);
+            }
+        }
+    }
+    if unordered.is_empty() {
+        return;
+    }
+
+    let flag = |name: &str, idx: usize, out: &mut Vec<Violation>| {
+        let sorted_after = toks[idx..toks.len().min(idx + SORT_WINDOW)]
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && SORT_FAMILY.contains(&t.text.as_str()));
+        if !sorted_after {
+            out.push(Violation {
+                rule: "no-unordered-iteration",
+                file: input.rel.to_string(),
+                line: toks[idx].line,
+                message: format!(
+                    "iterating unordered collection `{name}` without a subsequent sort lets \
+                     hash order leak into serve output (byte-diffed bench records depend on \
+                     deterministic ordering)"
+                ),
+            });
+        }
+    };
+
+    // Pass 2a: method-call sites `name.iter()` / `self.name.keys()` ...
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokenKind::Ident || !unordered.contains(&t.text.as_str()) {
+            continue;
+        }
+        let dot = toks.get(i + 1).is_some_and(|p| p.is_punct("."));
+        let method = toks.get(i + 2);
+        let call = toks.get(i + 3).is_some_and(|p| p.is_punct("("));
+        if dot && call {
+            if let Some(m) = method {
+                if m.kind == TokenKind::Ident && ITER_METHODS.contains(&m.text.as_str()) {
+                    flag(&t.text, i, out);
+                }
+            }
+        }
+    }
+
+    // Pass 2b: direct `for x in [&][mut] [self.]name {` iteration.
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("for") {
+            continue;
+        }
+        // Find the `in` belonging to this loop header (bounded scan).
+        let Some(in_idx) = (i + 1..toks.len().min(i + 24)).find(|&k| toks[k].is_ident("in"))
+        else {
+            continue;
+        };
+        let mut k = in_idx + 1;
+        while k < toks.len() && (toks[k].is_punct("&") || toks[k].is_ident("mut")) {
+            k += 1;
+        }
+        if k + 1 < toks.len() && toks[k].is_ident("self") && toks[k + 1].is_punct(".") {
+            k += 2;
+        }
+        let Some(name) = toks.get(k) else { continue };
+        if name.kind == TokenKind::Ident
+            && unordered.contains(&name.text.as_str())
+            && toks.get(k + 1).is_some_and(|p| p.is_punct("{"))
+        {
+            flag(&name.text, k, out);
+        }
+    }
+}
+
+fn vendor_api_surface(input: &FileInput<'_>, vendor: &VendorManifests, out: &mut Vec<Violation>) {
+    // The stubs themselves may use internal items freely.
+    if input.rel.starts_with("vendor/") {
+        return;
+    }
+    let toks = &input.lexed.tokens;
+    let stub_names: Vec<&str> = vendor.stubs.iter().map(|(n, _)| n.as_str()).collect();
+    let mut paths: Vec<(String, u32)> = Vec::new();
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_ident("use") {
+            // Parse the whole use statement as a use-tree.
+            let end = (i + 1..toks.len())
+                .find(|&k| toks[k].is_punct(";"))
+                .unwrap_or(toks.len());
+            let mut pos = i + 1;
+            collect_use_tree(&toks[..end], &mut pos, String::new(), &mut paths);
+            i = end + 1;
+            continue;
+        }
+        // Qualified expression/type path starting at a stub crate name.
+        if t.kind == TokenKind::Ident
+            && stub_names.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|p| p.is_punct("::"))
+        {
+            let preceded_by_path = i > 0 && (toks[i - 1].is_punct("::") || toks[i - 1].is_punct("."));
+            if !preceded_by_path {
+                let mut path = t.text.clone();
+                let mut k = i + 1;
+                while toks.get(k).is_some_and(|p| p.is_punct("::"))
+                    && toks.get(k + 1).is_some_and(|s| s.kind == TokenKind::Ident)
+                {
+                    path.push_str("::");
+                    path.push_str(&toks[k + 1].text);
+                    k += 2;
+                }
+                paths.push((path, t.line));
+                i = k;
+                continue;
+            }
+        }
+        i += 1;
+    }
+
+    for (path, line) in paths {
+        let Some(root) = path.split("::").next() else { continue };
+        let Some((_, manifest)) = vendor.stubs.iter().find(|(n, _)| n == root) else {
+            continue;
+        };
+        match manifest {
+            None => out.push(Violation {
+                rule: "vendor-api-surface",
+                file: input.rel.to_string(),
+                line,
+                message: format!(
+                    "`{path}` targets vendored stub `{root}` but vendor/{root}/API.txt is missing"
+                ),
+            }),
+            Some(entries) => {
+                if !path_allowed(&path, entries) {
+                    out.push(Violation {
+                        rule: "vendor-api-surface",
+                        file: input.rel.to_string(),
+                        line,
+                        message: format!(
+                            "`{path}` is not in vendor/{root}/API.txt; either the call site \
+                             uses a stub-only API or the manifest needs a documented entry"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// A used path is allowed when it equals a manifest entry, descends from
+/// one (`rand::rngs::SmallRng` under entry `rand::rngs`), or is an ancestor
+/// of one (`use proptest::prelude` with entry `proptest::prelude::*` —
+/// ancestors are importable module handles for allowed leaves).
+fn path_allowed(path: &str, entries: &[String]) -> bool {
+    entries.iter().any(|e| {
+        path == e
+            || path.strip_prefix(e.as_str()).is_some_and(|r| r.starts_with("::"))
+            || e.strip_prefix(path).is_some_and(|r| r.starts_with("::"))
+    })
+}
+
+/// Expands a use-tree token slice into full paths. Handles nested groups
+/// (`use a::{b, c::{d, e}}`), glob imports (recorded as the glob's parent
+/// path) and `as` renames (the alias ident is skipped).
+fn collect_use_tree(toks: &[Token], pos: &mut usize, prefix: String, out: &mut Vec<(String, u32)>) {
+    let mut segs: Vec<String> = if prefix.is_empty() { Vec::new() } else { vec![prefix] };
+    let mut line = toks.get(*pos).map(|t| t.line).unwrap_or(0);
+    while *pos < toks.len() {
+        let t = &toks[*pos];
+        if t.kind == TokenKind::Ident && t.text != "as" {
+            if segs.is_empty() {
+                line = t.line;
+            }
+            segs.push(t.text.clone());
+            *pos += 1;
+            if toks.get(*pos).is_some_and(|p| p.is_punct("::")) {
+                *pos += 1;
+                continue;
+            }
+            // Optional rename: `X as Y` — skip the alias.
+            if toks.get(*pos).is_some_and(|p| p.is_ident("as")) {
+                *pos += 2;
+            }
+            out.push((segs.join("::"), line));
+            return;
+        }
+        if t.is_punct("*") {
+            *pos += 1;
+            out.push((segs.join("::"), line));
+            return;
+        }
+        if t.is_punct("{") {
+            *pos += 1;
+            loop {
+                if toks.get(*pos).is_none() || toks[*pos].is_punct("}") {
+                    *pos += 1;
+                    return;
+                }
+                collect_use_tree(toks, pos, segs.join("::"), out);
+                if toks.get(*pos).is_some_and(|p| p.is_punct(",")) {
+                    *pos += 1;
+                }
+            }
+        }
+        // `pub`, visibility parens, leading `::` — skip.
+        *pos += 1;
+    }
+    if !segs.is_empty() {
+        out.push((segs.join("::"), line));
+    }
+}
+
+fn no_unwrap_in_hot_path(
+    input: &FileInput<'_>,
+    test_ranges: &[(u32, u32)],
+    out: &mut Vec<Violation>,
+) {
+    if !HOT_PATH_FILES.contains(&input.rel) {
+        return;
+    }
+    let toks = &input.lexed.tokens;
+    for i in 1..toks.len() {
+        let t = &toks[i];
+        if t.kind == TokenKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|p| p.is_punct("("))
+            && !in_ranges(test_ranges, t.line)
+        {
+            out.push(Violation {
+                rule: "no-unwrap-in-hot-path",
+                file: input.rel.to_string(),
+                line: t.line,
+                message: format!(
+                    "`.{}()` in the serve hot path panics the whole service on a bad query; \
+                     handle the `None`/`Err` arm or add a reasoned directive",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn vendor_none() -> VendorManifests {
+        VendorManifests { stubs: Vec::new() }
+    }
+
+    fn check(rel: &str, src: &str) -> Vec<Violation> {
+        let lexed = lex(src);
+        check_file(&FileInput { rel, lexed: &lexed }, &vendor_none())
+    }
+
+    #[test]
+    fn wall_clock_flagged_outside_allowlist() {
+        let v = check("crates/core/src/lib.rs", "use std::time::Instant;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-wall-clock");
+        assert_eq!(v[0].line, 1);
+
+        let v = check("vendor/criterion/src/lib.rs", "use std::time::Instant;\n");
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn ambient_rng_skips_cfg_test_and_test_trees() {
+        let prod = "fn f() { let r = rand::thread_rng(); }\n";
+        assert_eq!(check("crates/core/src/lib.rs", prod)[0].rule, "no-ambient-rng");
+        assert!(check("crates/core/tests/x.rs", prod).is_empty());
+
+        let gated = "#[cfg(test)]\nmod tests {\n  fn f() { let r = rand::thread_rng(); }\n}\n";
+        assert!(check("crates/core/src/lib.rs", gated).is_empty());
+    }
+
+    #[test]
+    fn unordered_iteration_needs_a_sort() {
+        let bad = "struct S { m: HashMap<u32, u32> }\n\
+                   fn f(s: &S) { for (k, v) in s.m.iter() { use_it(k, v); } }\n";
+        let v = check("crates/serve/src/report.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unordered-iteration");
+
+        let good = "struct S { m: HashMap<u32, u32> }\n\
+                    fn f(s: &S) { let mut rows: Vec<_> = s.m.iter().collect();\n\
+                    rows.sort_by_key(|(k, _)| **k); }\n";
+        assert!(check("crates/serve/src/report.rs", good).is_empty());
+
+        // Out of scope: same code elsewhere is not serve output.
+        assert!(check("crates/core/src/lib.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn for_loop_over_unordered_binding_is_flagged() {
+        let bad = "fn f() { let mut seen: HashSet<u32> = HashSet::new();\n\
+                   for s in &seen { touch(s); } }\n";
+        let v = check("crates/serve/src/dispatch_helpers.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn vendor_paths_checked_against_manifest() {
+        let vendor = VendorManifests {
+            stubs: vec![(
+                "rand".to_string(),
+                Some(vec!["rand::Rng".to_string(), "rand::rngs::SmallRng".to_string()]),
+            )],
+        };
+        let src = "use rand::{Rng, SeedableRng};\nfn f() { rand::rngs::SmallRng::seed_from_u64(1); }\n";
+        let lexed = lex(src);
+        let v = check_file(
+            &FileInput { rel: "crates/core/src/lib.rs", lexed: &lexed },
+            &vendor,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("rand::SeedableRng"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn missing_manifest_is_reported_at_use_site() {
+        let vendor = VendorManifests { stubs: vec![("proptest".to_string(), None)] };
+        let lexed = lex("use proptest::prelude::*;\n");
+        let v = check_file(
+            &FileInput { rel: "tests/properties.rs", lexed: &lexed },
+            &vendor,
+        );
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("API.txt is missing"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn unwrap_flagged_only_in_hot_path_files() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let v = check("crates/serve/src/dispatch.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unwrap-in-hot-path");
+
+        assert!(check("crates/serve/src/cache.rs", src).is_empty());
+
+        let gated = "#[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { Some(1).unwrap(); }\n}\n";
+        assert!(check("crates/serve/src/dispatch.rs", gated).is_empty());
+    }
+}

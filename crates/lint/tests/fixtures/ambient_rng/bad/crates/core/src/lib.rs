@@ -1,0 +1,6 @@
+//! Fixture: taps ambient entropy in production code.
+
+pub fn roll() -> u64 {
+    let mut rng = thread_rng();
+    rng.next_u64()
+}

@@ -1,0 +1,8 @@
+//! Fixture: randomness derives from an explicit seed.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+pub fn roll(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}

@@ -1,0 +1,4 @@
+//! Fixture: a directive without a reason is rejected.
+
+// lint: allow(no-wall-clock)
+pub fn nop() {}

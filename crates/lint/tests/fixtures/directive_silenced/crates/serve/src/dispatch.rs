@@ -1,0 +1,5 @@
+//! Fixture: a reasoned trailing directive silences its own line.
+
+pub fn head(queue: &[u32]) -> u32 {
+    queue.first().copied().unwrap() // lint: allow(unwrap, reason = "callers guarantee a non-empty queue")
+}

@@ -1,0 +1,4 @@
+//! Fixture: a directive that matches no violation is itself reported.
+
+// lint: allow(wall-clock, reason = "nothing here reads time")
+pub fn nop() {}

@@ -1,0 +1,11 @@
+//! Fixture: hash order leaks straight into a serve report.
+
+use std::collections::HashMap;
+
+pub fn render(counts: &HashMap<u64, u64>) -> String {
+    let mut out = String::new();
+    for (tenant, n) in counts.iter() {
+        out.push_str(&format!("{tenant}: {n}\n"));
+    }
+    out
+}

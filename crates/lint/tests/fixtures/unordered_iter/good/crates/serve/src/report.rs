@@ -1,0 +1,13 @@
+//! Fixture: rows are sorted before rendering, so output is deterministic.
+
+use std::collections::HashMap;
+
+pub fn render(counts: &HashMap<u64, u64>) -> String {
+    let mut rows: Vec<_> = counts.iter().collect();
+    rows.sort_by_key(|(tenant, _)| **tenant);
+    let mut out = String::new();
+    for (tenant, n) in rows {
+        out.push_str(&format!("{tenant}: {n}\n"));
+    }
+    out
+}

@@ -1,0 +1,5 @@
+//! Fixture: a panic shortcut in the serve dispatch hot path.
+
+pub fn head(queue: &[u32]) -> u32 {
+    queue.first().copied().unwrap()
+}

@@ -1,0 +1,5 @@
+//! Fixture: the empty-queue arm is handled instead of panicking.
+
+pub fn head(queue: &[u32]) -> Option<u32> {
+    queue.first().copied()
+}

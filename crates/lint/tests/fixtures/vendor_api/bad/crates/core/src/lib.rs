@@ -1,0 +1,7 @@
+//! Fixture: imports a vendor item missing from the stub's API manifest.
+
+use rand::StdRng;
+
+pub fn mk() -> StdRng {
+    rand::internal::make_default()
+}

@@ -1,0 +1,7 @@
+//! Fixture: every vendor path appears in the stub's API manifest.
+
+use rand::Rng;
+
+pub fn unit<R: Rng>(rng: &mut R) -> f64 {
+    rng.gen()
+}

@@ -1,0 +1,6 @@
+//! Fixture: reads the wall clock outside the allowlist.
+
+pub fn elapsed_ns() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

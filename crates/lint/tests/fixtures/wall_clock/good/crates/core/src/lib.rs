@@ -1,0 +1,5 @@
+//! Fixture: time flows only through an explicit replay-clock parameter.
+
+pub fn elapsed_ns(clock_ns: u128, started_ns: u128) -> u128 {
+    clock_ns - started_ns
+}

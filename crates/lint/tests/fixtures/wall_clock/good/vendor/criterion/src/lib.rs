@@ -1,0 +1,7 @@
+//! Fixture: the vendored criterion shim is allowlisted for wall-clock use.
+
+pub fn measure<F: FnOnce()>(f: F) -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    f();
+    t0.elapsed()
+}

@@ -47,6 +47,8 @@
 //! assert!(sys.elapsed_seconds() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod cost;
 pub mod dpu;

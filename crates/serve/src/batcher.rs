@@ -235,15 +235,21 @@ impl BatchFormer {
                 }
             }
             None => {
+                if max_batch == 1 {
+                    // A singleton fills its batch on arrival; close it
+                    // directly instead of bouncing through the open list.
+                    let group = OpenGroup {
+                        options: query.options,
+                        members: vec![query],
+                        opened_at: now,
+                    };
+                    return Some(group.close(now, CloseReason::Size));
+                }
                 self.open.push(OpenGroup {
                     options: query.options,
                     members: vec![query],
                     opened_at: now,
                 });
-                if max_batch == 1 {
-                    let group = self.open.pop().expect("just pushed");
-                    return Some(group.close(now, CloseReason::Size));
-                }
             }
         }
         None

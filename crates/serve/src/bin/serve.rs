@@ -41,6 +41,8 @@
 //! collapse, while the [`SloController`] widens the window until batches are
 //! large enough to keep up — without letting the observed p99 cross the SLO.
 
+#![forbid(unsafe_code)]
+
 use annkit::ivf::{IvfPqIndex, IvfPqParams};
 use annkit::synthetic::SyntheticSpec;
 use annkit::workload::{MultiTenantSpec, StreamSpec, TenantId, TenantSpec, WorkloadSpec};

@@ -96,12 +96,12 @@ impl ResultCache {
         self.clock += 1;
         let key = CacheKey::new(query, options);
         if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
-            if let Some(lru) = self
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
+            // Scanning the map in hash order is safe here: `last_used` ticks
+            // are unique per entry, so the minimum is unique and the scan
+            // order cannot affect which key wins.
+            // lint: allow(unordered-iter, reason = "min over unique last_used ticks is order-independent")
+            let lru = self.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone());
+            if let Some(lru) = lru {
                 self.entries.remove(&lru);
             }
         }

@@ -241,19 +241,31 @@ impl EngineScheduler {
         }
         let index = match self.order {
             DispatchOrder::CloseOrder => 0,
-            DispatchOrder::SloUrgency => self
-                .queue
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| c.ready_at() <= start)
-                .min_by(|(_, a), (_, b)| {
-                    a.deadline
-                        .partial_cmp(&b.deadline)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.seq.cmp(&b.seq))
-                })
-                .map(|(i, _)| i)
-                .expect("a chunk is ready at the computed start time"),
+            DispatchOrder::SloUrgency => {
+                let most_urgent = self
+                    .queue
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.ready_at() <= start)
+                    .min_by(|(_, a), (_, b)| {
+                        a.deadline
+                            .partial_cmp(&b.deadline)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.seq.cmp(&b.seq))
+                    })
+                    .map(|(i, _)| i);
+                match most_urgent {
+                    Some(i) => i,
+                    None => {
+                        // `next_dispatch_at` derived `start` from a ready
+                        // chunk, so no candidate here means a scheduler bug;
+                        // degrade to "nothing to dispatch" rather than
+                        // panicking live queries in release builds.
+                        debug_assert!(false, "no chunk ready at the computed start time");
+                        return None;
+                    }
+                }
+            }
         };
         let chunk = self.queue.remove(index);
         self.in_flight = true;

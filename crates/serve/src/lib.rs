@@ -110,6 +110,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod admission;
 pub mod batcher;
 pub mod cache;

@@ -521,8 +521,13 @@ impl ReplayState<'_> {
                     }
                 }
                 (_, Some(_)) => {
-                    let (chunk, start) =
-                        self.scheduler.pop_next(now).expect("a dispatch is due");
+                    // The guard just observed a due dispatch, so `None` here
+                    // means a scheduler bug; stop advancing rather than
+                    // panicking mid-dispatch in release builds.
+                    let Some((chunk, start)) = self.scheduler.pop_next(now) else {
+                        debug_assert!(false, "a dispatch was due but pop_next returned None");
+                        break;
+                    };
                     self.run_chunk(engine, next_request_id, chunk, start);
                 }
                 // `(Some, None)` with a failed guard cannot occur — the

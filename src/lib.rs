@@ -2,6 +2,8 @@
 //!
 //! Re-exports the member crates so examples and integration tests can use a
 //! single dependency.
+
+#![forbid(unsafe_code)]
 pub use annkit;
 pub use baselines;
 pub use pim_sim;

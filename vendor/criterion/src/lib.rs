@@ -20,6 +20,8 @@
 //! iteration count (CI uses a small cap: the record's *names* are checked,
 //! wall-clock means vary by machine).
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::fmt::Write as _;
 use std::sync::Mutex;

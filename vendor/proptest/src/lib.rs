@@ -13,6 +13,8 @@
 //! than grown/shrunk the way real proptest does; each failing case panics
 //! with the case index so it can be replayed.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::SmallRng;
 use rand::Rng;
 use std::ops::{Range, RangeInclusive};

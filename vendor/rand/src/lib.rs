@@ -12,6 +12,8 @@
 //! the test-suite relies on) but are *not* bit-compatible with upstream
 //! `rand`; nothing in the workspace depends on upstream streams.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Types that can be sampled uniformly from the generator's full output.
