@@ -238,6 +238,17 @@ mod tests {
     use annkit::ivf::IvfPqParams;
     use annkit::synthetic::SyntheticSpec;
 
+    /// Compile-time Send audit: the threaded runtime (`upanns-runtime`)
+    /// moves each engine worker into its own thread, so every engine must be
+    /// `Send`. The engine holds `&IvfPqIndex` (a `Sync` shared borrow) plus
+    /// owned plain data, so the bound holds structurally — this test pins it
+    /// against future non-`Send` fields (`Rc`, `RefCell`, raw pointers).
+    #[test]
+    fn cpu_engine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<CpuFaissEngine<'_>>();
+    }
+
     fn engine_fixture() -> (IvfPqIndex, Dataset) {
         let data = SyntheticSpec::sift_like(2000)
             .with_clusters(16)

@@ -251,6 +251,14 @@ mod tests {
     use annkit::ivf::IvfPqParams;
     use annkit::synthetic::SyntheticSpec;
 
+    /// Compile-time Send audit for the threaded runtime's worker threads
+    /// (see `cpu_engine_is_send` for the rationale).
+    #[test]
+    fn gpu_engine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<GpuFaissEngine<'_>>();
+    }
+
     fn fixture() -> (IvfPqIndex, Dataset) {
         let data = SyntheticSpec::sift_like(2500)
             .with_clusters(16)

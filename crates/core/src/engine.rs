@@ -389,6 +389,17 @@ mod tests {
     use pim_sim::config::PimConfig;
     use std::sync::OnceLock;
 
+    /// Compile-time Send audit: the threaded runtime (`upanns-runtime`)
+    /// moves each engine worker into its own thread. The engine's mutable
+    /// state (DPU stores, combo tables, the last exec report) is owned, and
+    /// the index borrow is a `Sync` shared reference, so `Send` holds
+    /// structurally; this pins it against future `Rc`/`RefCell` fields.
+    #[test]
+    fn upanns_engine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<UpAnnsEngine<'_>>();
+    }
+
     struct Fixture {
         index: IvfPqIndex,
         data: Dataset,

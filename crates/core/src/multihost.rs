@@ -222,6 +222,15 @@ mod tests {
     use annkit::recall::recall_at_k;
     use annkit::synthetic::SyntheticSpec;
     use pim_sim::config::PimConfig;
+
+    /// Compile-time Send audit: a multi-host deployment is a vector of
+    /// single-host engines plus plain interconnect parameters, so it is
+    /// `Send` exactly when `UpAnnsEngine` is (see `upanns_engine_is_send`).
+    #[test]
+    fn multihost_engine_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<MultiHostUpAnns<'_>>();
+    }
     use std::sync::OnceLock;
 
     struct Deployment {

@@ -2,13 +2,15 @@
 //! ARCHITECTURE.md, "Static invariants"):
 //!
 //! * **no-wall-clock** — `Instant`/`SystemTime` are banned outside the
-//!   allowlisted vendor timer shim, so the replay clock stays the only time
-//!   source the serving stack can observe.
+//!   allowlisted vendor timer shim and the `crates/runtime/` subtree (the
+//!   threaded runtime is the one subsystem whose *job* is real time), so
+//!   the replay clock stays the only time source the model crates can
+//!   observe.
 //! * **no-ambient-rng** — entropy-seeded RNG constructors are banned outside
 //!   tests; every production stream must derive from an explicit seed.
 //! * **no-unordered-iteration** — iterating a `HashMap`/`HashSet` binding in
-//!   `crates/serve` without a subsequent sort, which would let hash-order
-//!   leak into byte-diffed reports.
+//!   `crates/serve` or `crates/runtime` without a subsequent sort, which
+//!   would let hash-order leak into byte-diffed reports and answer maps.
 //! * **vendor-api-surface** — qualified paths and `use` imports into the
 //!   vendored stubs must appear in that stub's `API.txt` manifest, so the
 //!   real registry crates can swap in without code changes.
@@ -49,9 +51,17 @@ pub struct VendorManifests {
     pub stubs: Vec<(String, Option<Vec<String>>)>,
 }
 
-/// Files allowed to touch wall-clock types: the vendored criterion shim is
-/// the one place benchmarking genuinely needs real elapsed time.
+/// Exact files allowed to touch wall-clock types: the vendored criterion
+/// shim is the one place benchmarking genuinely needs real elapsed time.
 const WALL_CLOCK_ALLOWLIST: &[&str] = &["vendor/criterion/src/lib.rs"];
+
+/// Path *prefixes* allowed to touch wall-clock types: `upanns-runtime`
+/// (`crates/runtime/`) is the threaded serving runtime — driving real
+/// threads against real deadlines is its entire purpose, and its
+/// determinism story is the logical-trace twin (byte-diffed against the
+/// replay in CI), not clock abstinence. Everything outside these prefixes
+/// stays banned so the simulation crates can never observe time.
+const WALL_CLOCK_ALLOWED_PREFIXES: &[&str] = &["crates/runtime/"];
 
 /// Entropy-tapping constructors; seeded construction is always fine.
 const AMBIENT_RNG: &[&str] = &[
@@ -189,7 +199,11 @@ fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
 // ---------------------------------------------------------------------------
 
 fn no_wall_clock(input: &FileInput<'_>, out: &mut Vec<Violation>) {
-    if WALL_CLOCK_ALLOWLIST.contains(&input.rel) {
+    if WALL_CLOCK_ALLOWLIST.contains(&input.rel)
+        || WALL_CLOCK_ALLOWED_PREFIXES
+            .iter()
+            .any(|p| input.rel.starts_with(p))
+    {
         return;
     }
     for t in &input.lexed.tokens {
@@ -234,7 +248,7 @@ fn no_ambient_rng(input: &FileInput<'_>, test_ranges: &[(u32, u32)], out: &mut V
 }
 
 fn no_unordered_iteration(input: &FileInput<'_>, out: &mut Vec<Violation>) {
-    if !input.rel.starts_with("crates/serve/") {
+    if !(input.rel.starts_with("crates/serve/") || input.rel.starts_with("crates/runtime/")) {
         return;
     }
     let toks = &input.lexed.tokens;
@@ -532,6 +546,27 @@ mod tests {
 
         let v = check("vendor/criterion/src/lib.rs", "use std::time::Instant;\n");
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn wall_clock_scope_admits_the_runtime_subtree_only() {
+        let src = "use std::time::Instant;\nfn now() -> Instant { Instant::now() }\n";
+        // Anywhere under crates/runtime/ is in scope, including the binary.
+        assert!(check("crates/runtime/src/pipeline.rs", src).is_empty());
+        assert!(check("crates/runtime/src/bin/serve.rs", src).is_empty());
+        // Prefix match is on the path, not the crate name: a lookalike
+        // directory elsewhere stays banned.
+        assert_eq!(check("crates/serve/src/runtime.rs", src)[0].rule, "no-wall-clock");
+        assert_eq!(check("crates/core/src/lib.rs", src)[0].rule, "no-wall-clock");
+    }
+
+    #[test]
+    fn unordered_iteration_scope_covers_the_runtime() {
+        let bad = "struct S { m: HashMap<u32, u32> }\n\
+                   fn f(s: &S) { for (k, v) in s.m.iter() { use_it(k, v); } }\n";
+        let v = check("crates/runtime/src/pipeline.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unordered-iteration");
     }
 
     #[test]

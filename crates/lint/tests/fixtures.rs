@@ -34,6 +34,16 @@ fn wall_clock_bad_flagged_good_clean() {
 }
 
 #[test]
+fn wall_clock_scope_bad_flagged_good_clean() {
+    // The good tree reads `Instant` from `crates/runtime/` (library and
+    // binary), which the prefix-scoped allowlist admits wholesale; the bad
+    // tree reads it from a lookalike `runtime.rs` under `crates/serve/`,
+    // which stays banned.
+    assert!(lint("wall_clock_scope/good").is_clean());
+    assert!(rules_hit(&lint("wall_clock_scope/bad")).contains(&"no-wall-clock"));
+}
+
+#[test]
 fn ambient_rng_bad_flagged_good_clean() {
     assert!(rules_hit(&lint("ambient_rng/bad")).contains(&"no-ambient-rng"));
     assert!(lint("ambient_rng/good").is_clean());
@@ -112,6 +122,7 @@ fn run_binary(args: &[&str]) -> (Option<i32>, String) {
 fn seeded_violation_exits_nonzero() {
     for bad in [
         "wall_clock/bad",
+        "wall_clock_scope/bad",
         "ambient_rng/bad",
         "unordered_iter/bad",
         "vendor_api/bad",

@@ -1,0 +1,8 @@
+//! Fixture: a lookalike `runtime.rs` *outside* the `crates/runtime/` prefix
+//! gets no wall-clock exemption — scoping is by path prefix, not file name.
+
+use std::time::Instant;
+
+pub fn sneaky_now() -> Instant {
+    Instant::now()
+}

@@ -1,0 +1,8 @@
+//! Fixture: binaries under the runtime prefix are covered too.
+
+use std::time::Instant;
+
+fn main() {
+    let started = Instant::now();
+    println!("{}", started.elapsed().as_nanos());
+}

@@ -1,0 +1,8 @@
+//! Fixture: the threaded runtime subtree may read the wall clock — the
+//! `no-wall-clock` allowlist is scoped to the `crates/runtime/` prefix.
+
+use std::time::Instant;
+
+pub fn elapsed_s(since: Instant) -> f64 {
+    since.elapsed().as_secs_f64()
+}

@@ -3,11 +3,38 @@
 //! report sustained QPS, latency percentiles and SLO attainment.
 //!
 //! ```text
-//! cargo run --release -p upanns-serve --bin serve -- [--queries N] [--qps R]
+//! cargo run --release -p upanns-runtime --bin serve -- [--queries N] [--qps R]
 //!     [--repeat F] [--slo-ms S] [--hosts H] [--max-chunk C]
 //!     [--engines cpu,gpu,pim-naive,upanns,multihost]
 //!     [--policy fixed|adaptive|both] [--tenants SPEC] [--json PATH]
+//!     [--runtime replay|threaded|twin] [--workers LIST] [--sweep-qps LIST]
+//!     [--work-scale X] [--queue N] [--answers PATH]
 //! ```
+//!
+//! # Runtimes
+//!
+//! `--runtime replay` (the default) is the discrete-event replay described
+//! below — single-threaded, simulated clock, byte-reproducible.
+//!
+//! `--runtime threaded` runs the **real multi-threaded pipeline**
+//! ([`upanns_runtime::pipeline`]) against the wall clock: for every worker
+//! count in `--workers` and every offered rate in `--sweep-qps` it serves a
+//! fresh stream on a PIM-backed engine (each worker emulating one modeled
+//! device's occupancy in real time) and reports *measured* wall-clock
+//! sustained QPS and latency percentiles, plus one multi-tenant row per
+//! worker count. `--work-scale` sets the threaded engines' modeled work
+//! scale (smaller than the replay's billion-scale projection so one bench
+//! run finishes in minutes; the scaling *shape* is what the sweep records).
+//! The wall-clock numbers are machine-dependent — CI checks the report's
+//! schema and conservation invariants, not the numbers.
+//!
+//! `--runtime twin` runs the same pipeline in logical-trace mode: the
+//! stream's arrival timestamps drive the batcher exactly as the replay
+//! clock would, nothing sleeps, nothing is shed. Its answer map is
+//! **byte-identical** to the replay's — `--answers PATH` writes the map
+//! (one `workload TAB index TAB id,...` line per query, single-tenant
+//! stream then the multi-tenant scenario) and exits; CI diffs the twin's
+//! file against the replay's.
 //!
 //! Besides the single-tenant sweep, the binary replays a **multi-tenant
 //! scenario** on the UpANNS engine (whenever `upanns` is among the selected
@@ -45,18 +72,20 @@
 
 use annkit::ivf::{IvfPqIndex, IvfPqParams};
 use annkit::synthetic::SyntheticSpec;
-use annkit::workload::{MultiTenantSpec, StreamSpec, TenantId, TenantSpec, WorkloadSpec};
+use annkit::topk::Neighbor;
+use annkit::workload::{MultiTenantSpec, QueryStream, StreamSpec, TenantId, TenantSpec, WorkloadSpec};
 use baselines::cpu::CpuFaissEngine;
-use baselines::engine::QueryOptions;
+use baselines::engine::{AnnEngine, QueryOptions};
 use baselines::gpu::GpuFaissEngine;
 use pim_sim::config::PimConfig;
 use upanns::builder::{BatchCapacity, UpAnnsBuilder};
 use upanns::config::UpAnnsConfig;
 use upanns::multihost::{shard_ranges, InterconnectModel, MultiHostUpAnns};
 use upanns::engine::UpAnnsEngine;
+use upanns_runtime::{run_pipeline, RuntimeConfig, RuntimeReport};
 use upanns_serve::batcher::BatchFormerConfig;
 use upanns_serve::controller::{ControllerBank, SloController};
-use upanns_serve::{SearchService, ServiceConfig, ServiceReport};
+use upanns_serve::{FixedPolicy, SearchService, ServiceConfig, ServiceReport};
 
 /// Fixed tiny-scale evaluation shape (kept stable so the JSON baseline is
 /// comparable PR-over-PR).
@@ -84,6 +113,27 @@ const KNOWN_ENGINES: [&str; 5] = ["cpu", "gpu", "pim-naive", "upanns", "multihos
 const DEFAULT_TENANTS: &str = "tight:qps=2,queries=200,slo-ms=700,weight=2,mix=10x8;\
                                bulk:qps=18,queries=1400,slo-ms=30000,weight=1,mix=10x4+10x8+20x8";
 
+/// The threaded runtime's default multi-tenant mix: the same HOL shape as
+/// [`DEFAULT_TENANTS`] but 3× the rate over an ~8-second arrival window,
+/// because threaded rows burn *real* wall-clock time and run at a smaller
+/// `--work-scale` (where the engine is proportionally faster). Calibrated
+/// so the bulk tenant keeps one worker busy without overflowing the
+/// admission queue — the committed rows show both tenants meeting their
+/// SLOs under priority-chunked dispatch at every worker count.
+const THREADED_TENANTS: &str = "tight:qps=6,queries=48,slo-ms=500,weight=2,mix=10x8;\
+                                bulk:qps=54,queries=432,slo-ms=15000,weight=1,mix=10x4+10x8+20x8";
+
+/// Modeled work scale of the threaded engines. The replay projects to
+/// billion scale (`MODELED_N / DATASET_N` ≈ 31250) because simulated seconds
+/// are free; the threaded runtime *emulates* modeled seconds in real time,
+/// so it defaults to a smaller projection that keeps a full sweep under a
+/// few minutes while leaving per-batch service times (milliseconds) far
+/// above the host's sleep granularity. At this scale one UpANNS worker
+/// saturates near ~300 QPS on the default stream, so the default
+/// `--sweep-qps` top end (960) drives 1 worker deep into overload while 4
+/// workers still keep up — the scaling knee lands inside the sweep.
+const THREADED_WORK_SCALE: f64 = 4_000.0;
+
 struct Args {
     queries: usize,
     qps: f64,
@@ -94,13 +144,31 @@ struct Args {
     engines: Vec<String>,
     policies: Vec<Policy>,
     tenants: String,
+    tenants_overridden: bool,
     json: Option<String>,
+    runtime: RuntimeKind,
+    workers: Vec<usize>,
+    sweep_qps: Vec<f64>,
+    work_scale: f64,
+    queue: Option<usize>,
+    answers: Option<String>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Policy {
     Fixed,
     Adaptive,
+}
+
+/// Which front-end serves the stream (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RuntimeKind {
+    /// Single-threaded discrete-event replay (the committed baseline).
+    Replay,
+    /// The real multi-threaded pipeline against the wall clock.
+    Threaded,
+    /// The multi-threaded pipeline in deterministic logical-trace mode.
+    Twin,
 }
 
 impl Default for Args {
@@ -115,7 +183,14 @@ impl Default for Args {
             engines: KNOWN_ENGINES.iter().map(|s| s.to_string()).collect(),
             policies: vec![Policy::Fixed, Policy::Adaptive],
             tenants: DEFAULT_TENANTS.to_string(),
+            tenants_overridden: false,
             json: None,
+            runtime: RuntimeKind::Replay,
+            workers: vec![1, 2, 4],
+            sweep_qps: vec![60.0, 120.0, 240.0, 480.0, 960.0],
+            work_scale: THREADED_WORK_SCALE,
+            queue: None,
+            answers: None,
         }
     }
 }
@@ -125,6 +200,16 @@ fn usage() -> ! {
         "usage: serve [--queries N] [--qps R] [--repeat F] [--slo-ms S] [--hosts H]\n\
          \x20            [--max-chunk C] [--engines cpu,gpu,pim-naive,upanns,multihost] \n\
          \x20            [--policy fixed|adaptive|both] [--tenants SPEC] [--json PATH]\n\
+         \x20            [--runtime replay|threaded|twin] [--workers LIST]\n\
+         \x20            [--sweep-qps LIST] [--work-scale X] [--queue N] [--answers PATH]\n\
+         \n\
+         --runtime threaded runs the real multi-threaded pipeline (wall clock):\n\
+         one row per --workers value per --sweep-qps offered rate, plus one\n\
+         multi-tenant row per worker count, on a PIM-backed engine at\n\
+         --work-scale. --runtime twin runs the same pipeline in deterministic\n\
+         logical-trace mode; with --answers PATH it writes the answer map and\n\
+         exits (byte-identical to --runtime replay --answers on the same\n\
+         stream). --queue overrides the admission queue capacity.\n\
          \n\
          --max-chunk caps how many queries one dispatch may commit the engine to\n\
          in the chunked multi-tenant row (adaptive-tenant-chunked).\n\
@@ -301,9 +386,63 @@ fn parse_args() -> Args {
             }
             "--tenants" => {
                 args.tenants = value("--tenants");
+                args.tenants_overridden = true;
                 // Parse eagerly so a malformed spec exits 2 before any replay.
                 let _ = parse_tenants(&args.tenants);
             }
+            "--runtime" => {
+                args.runtime = match value("--runtime").as_str() {
+                    "replay" => RuntimeKind::Replay,
+                    "threaded" => RuntimeKind::Threaded,
+                    "twin" => RuntimeKind::Twin,
+                    other => reject(format!(
+                        "unknown runtime '{other}' (known runtimes: replay, threaded, twin)"
+                    )),
+                };
+            }
+            "--workers" => {
+                args.workers = value("--workers")
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| reject(format!("--workers: '{s}' is not an integer")))
+                    })
+                    .collect();
+                if args.workers.is_empty()
+                    || args.workers.iter().any(|&w| w == 0 || w > 32)
+                {
+                    reject("--workers: need a comma list of counts in 1..=32".to_string());
+                }
+            }
+            "--sweep-qps" => {
+                args.sweep_qps = value("--sweep-qps")
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| reject(format!("--sweep-qps: '{s}' is not a number")))
+                    })
+                    .collect();
+                if args.sweep_qps.is_empty()
+                    || args.sweep_qps.iter().any(|&q: &f64| !(q > 0.0 && q.is_finite()))
+                {
+                    reject("--sweep-qps: need a comma list of positive rates".to_string());
+                }
+            }
+            "--work-scale" => {
+                args.work_scale = value("--work-scale").parse().expect("--work-scale: number");
+                if !(args.work_scale >= 1.0 && args.work_scale.is_finite()) {
+                    reject("--work-scale must be at least 1".to_string());
+                }
+            }
+            "--queue" => {
+                args.queue = Some(value("--queue").parse().expect("--queue: integer"));
+                if args.queue == Some(0) {
+                    reject("--queue must be at least 1".to_string());
+                }
+            }
+            "--answers" => args.answers = Some(value("--answers")),
             "--json" => args.json = Some(value("--json")),
             "--help" | "-h" => usage(),
             other => reject(format!("unknown flag {other} (try --help)")),
@@ -415,6 +554,188 @@ fn report_json(r: &ServiceReport, workload: &str) -> String {
     )
 }
 
+/// The options closure of [`SearchService::replay_planned`], shared with the
+/// threaded pipeline so both runtimes ask the exact same questions on a
+/// multi-tenant stream.
+fn planned_options(stream: &QueryStream, i: usize) -> QueryOptions {
+    let (k, nprobe) = stream
+        .option_plan
+        .get(i)
+        .copied()
+        .unwrap_or_else(|| (QueryOptions::default().k, QueryOptions::default().nprobe));
+    QueryOptions::new(k, nprobe).with_tenant(stream.tenant(i))
+}
+
+/// Serializes answer maps as `workload TAB index TAB id,id,...` lines —
+/// the byte format CI diffs between `--runtime replay` and `--runtime twin`.
+/// Only neighbor ids appear: the twin contract is about *which* answers come
+/// back, and ids are byte-stable across platforms where float formatting
+/// might not be.
+fn write_answers(path: &str, single: &[Vec<Neighbor>], multi: &[Vec<Neighbor>]) {
+    let mut out = String::new();
+    for (label, results) in [("single", single), ("multi", multi)] {
+        for (i, neighbors) in results.iter().enumerate() {
+            out.push_str(label);
+            out.push('\t');
+            out.push_str(&i.to_string());
+            out.push('\t');
+            let ids: Vec<String> = neighbors.iter().map(|n| n.id.to_string()).collect();
+            out.push_str(&ids.join(","));
+            out.push('\n');
+        }
+    }
+    std::fs::write(path, out).expect("write answers file");
+    eprintln!("wrote {path}");
+}
+
+/// One threaded-sweep row as JSON (schema `upanns-runtime-bench-v1`).
+fn runtime_row_json(r: &RuntimeReport, workload: &str, offered_qps: f64, num_queries: usize) -> String {
+    let tenants: Vec<String> = r
+        .tenants
+        .iter()
+        .map(|t| {
+            format!(
+                concat!(
+                    "        {{\n",
+                    "          \"tenant\": \"{}\",\n",
+                    "          \"slo_ms\": {},\n",
+                    "          \"completed\": {},\n",
+                    "          \"shed\": {},\n",
+                    "          \"p50_ms\": {},\n",
+                    "          \"p99_ms\": {},\n",
+                    "          \"slo_miss_fraction\": {},\n",
+                    "          \"meets_slo\": {}\n",
+                    "        }}"
+                ),
+                t.name,
+                t.slo_p99_s.map_or_else(|| "null".to_string(), |s| json_num(s * 1e3)),
+                t.completed,
+                t.shed,
+                json_num(t.p50() * 1e3),
+                json_num(t.p99() * 1e3),
+                json_num(t.slo_miss_fraction()),
+                t.meets_slo(),
+            )
+        })
+        .collect();
+    let emulated_utilization = if r.makespan_s > 0.0 && r.workers > 0 {
+        r.busy_modeled_s / (r.makespan_s * r.workers as f64)
+    } else {
+        0.0
+    };
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"engine\": \"{}\",\n",
+            "      \"workload\": \"{}\",\n",
+            "      \"mode\": \"{}\",\n",
+            "      \"policy\": \"{}\",\n",
+            "      \"workers\": {},\n",
+            "      \"offered_qps\": {},\n",
+            "      \"num_queries\": {},\n",
+            "      \"sustained_qps\": {},\n",
+            "      \"p50_ms\": {},\n",
+            "      \"p99_ms\": {},\n",
+            "      \"mean_ms\": {},\n",
+            "      \"completed\": {},\n",
+            "      \"shed\": {},\n",
+            "      \"lost\": {},\n",
+            "      \"duplicated\": {},\n",
+            "      \"cache_hit_rate\": {},\n",
+            "      \"dispatched_chunks\": {},\n",
+            "      \"busy_modeled_s\": {},\n",
+            "      \"makespan_s\": {},\n",
+            "      \"emulated_utilization\": {},\n",
+            "      \"tenants\": [\n{}\n      ]\n",
+            "    }}"
+        ),
+        r.engine,
+        workload,
+        r.mode,
+        r.policy,
+        r.workers,
+        json_num(offered_qps),
+        num_queries,
+        json_num(r.sustained_qps()),
+        json_num(r.p50() * 1e3),
+        json_num(r.p99() * 1e3),
+        json_num(r.mean_latency() * 1e3),
+        r.completed,
+        r.shed,
+        r.lost,
+        r.duplicated,
+        json_num(r.cache_hit_rate()),
+        r.dispatched_chunks,
+        json_num(r.busy_modeled_s),
+        json_num(r.makespan_s),
+        json_num(emulated_utilization),
+        tenants.join(",\n"),
+    )
+}
+
+/// Prints one threaded/twin run as a markdown table row.
+fn print_runtime_row(r: &RuntimeReport, workload: &str, offered_qps: f64) {
+    println!(
+        "| {} | {} | {} | {} | {:.1} | {:.1} | {:.3} | {:.3} | {} | {} | {} | {} | {:.0}% |",
+        r.engine,
+        workload,
+        r.mode,
+        r.workers,
+        offered_qps,
+        r.sustained_qps(),
+        r.p50() * 1e3,
+        r.p99() * 1e3,
+        r.completed,
+        r.shed,
+        r.lost,
+        r.duplicated,
+        r.cache_hit_rate() * 100.0,
+    );
+}
+
+/// Replays both answer streams (single-tenant, then the multi-tenant
+/// scenario) on one engine and returns the two answer maps. The queue is
+/// widened so nothing is shed — the answer map must be total on both sides
+/// of the twin diff.
+fn replay_answers<E: AnnEngine>(
+    engine: E,
+    stream: &QueryStream,
+    tstream: &QueryStream,
+    config: ServiceConfig,
+) -> (Vec<Vec<Neighbor>>, Vec<Vec<Neighbor>>) {
+    let mut service = SearchService::new(engine, config);
+    let single = service.replay(stream, options_of).results;
+    let mut service = SearchService::new(service.into_engine(), config);
+    let multi = service.replay_planned(tstream).results;
+    (single, multi)
+}
+
+/// The twin side of [`replay_answers`]: the same two streams through the
+/// threaded pipeline in logical-trace mode, `workers` engine instances each.
+fn twin_answers<E: AnnEngine + Send>(
+    engines_single: Vec<E>,
+    engines_multi: Vec<E>,
+    stream: &QueryStream,
+    tstream: &QueryStream,
+    config: ServiceConfig,
+) -> (RuntimeReport, RuntimeReport) {
+    let single = run_pipeline(
+        engines_single,
+        stream,
+        options_of,
+        Box::new(FixedPolicy(config.batcher)),
+        RuntimeConfig::logical(config),
+    );
+    let multi = run_pipeline(
+        engines_multi,
+        tstream,
+        |i| planned_options(tstream, i),
+        Box::new(FixedPolicy(config.batcher)),
+        RuntimeConfig::logical(config),
+    );
+    (single, multi)
+}
+
 fn main() {
     let args = parse_args();
     let work_scale = (MODELED_N / DATASET_N as f64).max(1.0);
@@ -450,7 +771,7 @@ fn main() {
         max_delay_s: 25e-3,
     };
     let service_config = ServiceConfig {
-        queue_capacity: 512,
+        queue_capacity: args.queue.unwrap_or(512),
         batcher: fixed_batcher,
         cache_capacity: 512,
         cache_lookup_s: 2e-6,
@@ -501,21 +822,268 @@ fn main() {
             })
             .build()
     }
-    let build_multihost = || {
+    let build_multihost = |ws: f64| {
         let engines: Vec<UpAnnsEngine<'_>> = shard_indexes
             .iter()
-            .map(|ix| {
-                build_pim(
-                    ix,
-                    UpAnnsConfig::upanns(),
-                    DPUS / args.hosts,
-                    work_scale,
-                    &history,
-                )
-            })
+            .map(|ix| build_pim(ix, UpAnnsConfig::upanns(), DPUS / args.hosts, ws, &history))
             .collect();
         MultiHostUpAnns::new(engines, InterconnectModel::default())
     };
+
+    // ------------------------------------------------------------------
+    // Threaded and twin runtimes (and the answer-map writer) exit early;
+    // everything below this block is the replay path, byte-identical to
+    // the committed baseline under the default flags.
+    // ------------------------------------------------------------------
+
+    // The threaded/twin engine: the UpANNS PIM engine when selected (the
+    // paper's engine is what the scaling sweep is about), else the first
+    // engine the user listed.
+    let chosen_engine: &str = if args.engines.iter().any(|e| e == "upanns") {
+        "upanns"
+    } else {
+        args.engines[0].as_str()
+    };
+
+    if args.runtime == RuntimeKind::Twin
+        || (args.runtime == RuntimeKind::Replay && args.answers.is_some())
+    {
+        let tmix = parse_tenants(&args.tenants);
+        let tstream = tmix.generate(&dataset);
+        // The answer map must be total: widen the waiting room past both
+        // streams so neither side of the twin diff sheds anything.
+        let answers_config = ServiceConfig {
+            queue_capacity: service_config
+                .queue_capacity
+                .max(stream.len())
+                .max(tstream.len()),
+            ..service_config
+        };
+        let workers = args.workers[0];
+        macro_rules! answer_maps {
+            ($build:expr) => {{
+                if args.runtime == RuntimeKind::Twin {
+                    let singles: Vec<_> = (0..workers).map(|_| $build).collect();
+                    let multis: Vec<_> = (0..workers).map(|_| $build).collect();
+                    eprintln!(
+                        "twin: {chosen_engine} logical-trace pipeline, {workers} worker(s), \
+                         {} + {} queries ...",
+                        stream.len(),
+                        tstream.len()
+                    );
+                    let (s, m) = twin_answers(singles, multis, &stream, &tstream, answers_config);
+                    assert!(
+                        s.is_conserving() && m.is_conserving(),
+                        "twin run lost or duplicated queries"
+                    );
+                    assert_eq!(s.shed + m.shed, 0, "twin runs shed nothing");
+                    (s.results, m.results)
+                } else {
+                    eprintln!(
+                        "replay: {chosen_engine} answer maps, {} + {} queries ...",
+                        stream.len(),
+                        tstream.len()
+                    );
+                    replay_answers($build, &stream, &tstream, answers_config)
+                }
+            }};
+        }
+        let (single, multi) = match chosen_engine {
+            "cpu" => answer_maps!(CpuFaissEngine::new(&index).with_work_scale(work_scale)),
+            "gpu" => answer_maps!(GpuFaissEngine::new(&index).with_work_scale(work_scale)),
+            "pim-naive" => {
+                answer_maps!(build_pim(&index, UpAnnsConfig::pim_naive(), DPUS, work_scale, &history))
+            }
+            "upanns" => {
+                answer_maps!(build_pim(&index, UpAnnsConfig::upanns(), DPUS, work_scale, &history))
+            }
+            "multihost" => answer_maps!(build_multihost(work_scale)),
+            other => unreachable!("engine '{other}' escaped --engines validation"),
+        };
+        match &args.answers {
+            Some(path) => write_answers(path, &single, &multi),
+            None => eprintln!(
+                "twin run complete ({} + {} answers, all conserved); \
+                 use --answers PATH to write the map",
+                single.len(),
+                multi.len()
+            ),
+        }
+        return;
+    }
+
+    if args.runtime == RuntimeKind::Threaded {
+        // The threaded default tenant mix is rescaled for wall-clock runs;
+        // an explicit --tenants always wins.
+        let threaded_tenants = if args.tenants_overridden {
+            args.tenants.clone()
+        } else {
+            THREADED_TENANTS.to_string()
+        };
+        let tmix = parse_tenants(&threaded_tenants);
+        let tstream = tmix.generate(&dataset);
+        let multi_offered: f64 = tmix.tenants.iter().map(|t| t.stream.mean_qps).sum();
+        let mut rows: Vec<(String, f64, usize, RuntimeReport)> = Vec::new();
+        macro_rules! wall_run {
+            ($w:expr, $stream:expr, $opts:expr, $policy:expr, $cfg:expr) => {
+                match chosen_engine {
+                    "cpu" => run_pipeline(
+                        (0..$w)
+                            .map(|_| CpuFaissEngine::new(&index).with_work_scale(args.work_scale))
+                            .collect(),
+                        $stream,
+                        $opts,
+                        $policy,
+                        $cfg,
+                    ),
+                    "gpu" => run_pipeline(
+                        (0..$w)
+                            .map(|_| GpuFaissEngine::new(&index).with_work_scale(args.work_scale))
+                            .collect(),
+                        $stream,
+                        $opts,
+                        $policy,
+                        $cfg,
+                    ),
+                    "pim-naive" => run_pipeline(
+                        (0..$w)
+                            .map(|_| {
+                                build_pim(&index, UpAnnsConfig::pim_naive(), DPUS, args.work_scale, &history)
+                            })
+                            .collect(),
+                        $stream,
+                        $opts,
+                        $policy,
+                        $cfg,
+                    ),
+                    "upanns" => run_pipeline(
+                        (0..$w)
+                            .map(|_| {
+                                build_pim(&index, UpAnnsConfig::upanns(), DPUS, args.work_scale, &history)
+                            })
+                            .collect(),
+                        $stream,
+                        $opts,
+                        $policy,
+                        $cfg,
+                    ),
+                    "multihost" => run_pipeline(
+                        (0..$w).map(|_| build_multihost(args.work_scale)).collect(),
+                        $stream,
+                        $opts,
+                        $policy,
+                        $cfg,
+                    ),
+                    other => unreachable!("engine '{other}' escaped --engines validation"),
+                }
+            };
+        }
+        for &w in &args.workers {
+            for &qps in &args.sweep_qps {
+                // Bound each row's real duration to roughly six wall-clock
+                // seconds of offered stream: enough arrivals to smooth the
+                // Poisson noise, capped by --queries.
+                let n = args.queries.min(((qps * 6.0) as usize).max(240));
+                let row_stream = StreamSpec::new(n, qps)
+                    .with_repeat_fraction(args.repeat)
+                    .with_slo_p99(slo_s)
+                    .generate(&dataset);
+                eprintln!(
+                    "threaded: {chosen_engine} single-tenant, {w} worker(s), \
+                     {qps} qps offered, {n} queries ..."
+                );
+                let report = wall_run!(
+                    w,
+                    &row_stream,
+                    options_of,
+                    Box::new(FixedPolicy(service_config.batcher)),
+                    RuntimeConfig::wall(service_config)
+                );
+                assert!(report.is_conserving(), "threaded run lost or duplicated queries");
+                rows.push(("single".to_string(), qps, n, report));
+            }
+            eprintln!(
+                "threaded: {chosen_engine} multi-tenant ({} tenants, {} queries), {w} worker(s) ...",
+                tmix.tenants.len(),
+                tstream.len()
+            );
+            let chunked = ServiceConfig {
+                max_chunk: Some(args.max_chunk),
+                ..service_config
+            };
+            let report = wall_run!(
+                w,
+                &tstream,
+                |i| planned_options(&tstream, i),
+                Box::new(ControllerBank::for_profiles(
+                    &tstream.tenant_profiles,
+                    service_config.batcher
+                )),
+                RuntimeConfig::wall(chunked)
+            );
+            assert!(report.is_conserving(), "threaded run lost or duplicated queries");
+            rows.push(("multi".to_string(), multi_offered, tstream.len(), report));
+        }
+
+        println!(
+            "| engine | workload | mode | workers | offered QPS | sustained QPS | p50 (ms) | p99 (ms) | completed | shed | lost | dup | cache hit |"
+        );
+        println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|");
+        for (workload, qps, _n, r) in &rows {
+            print_runtime_row(r, workload, *qps);
+        }
+
+        if let Some(path) = &args.json {
+            let body: Vec<String> = rows
+                .iter()
+                .map(|(workload, qps, n, r)| runtime_row_json(r, workload, *qps, *n))
+                .collect();
+            let workers_list: Vec<String> = args.workers.iter().map(|w| w.to_string()).collect();
+            let sweep_list: Vec<String> = args.sweep_qps.iter().map(|&q| json_num(q)).collect();
+            let json = format!(
+                concat!(
+                    "{{\n",
+                    "  \"schema\": \"upanns-runtime-bench-v1\",\n",
+                    "  \"config\": {{\n",
+                    "    \"dataset_n\": {},\n",
+                    "    \"nlist\": {},\n",
+                    "    \"dpus\": {},\n",
+                    "    \"work_scale\": {},\n",
+                    "    \"workers\": [{}],\n",
+                    "    \"sweep_qps\": [{}],\n",
+                    "    \"repeat_fraction\": {},\n",
+                    "    \"slo_p99_ms\": {},\n",
+                    "    \"max_chunk\": {},\n",
+                    "    \"queue_capacity\": {},\n",
+                    "    \"fixed_max_batch\": {},\n",
+                    "    \"fixed_max_delay_ms\": {},\n",
+                    "    \"cache_capacity\": {},\n",
+                    "    \"tenants\": \"{}\"\n",
+                    "  }},\n",
+                    "  \"rows\": [\n{}\n  ]\n",
+                    "}}\n"
+                ),
+                DATASET_N,
+                NLIST,
+                DPUS,
+                json_num(args.work_scale),
+                workers_list.join(", "),
+                sweep_list.join(", "),
+                json_num(args.repeat),
+                json_num(args.slo_ms),
+                args.max_chunk,
+                service_config.queue_capacity,
+                service_config.batcher.max_batch,
+                json_num(service_config.batcher.max_delay_s * 1e3),
+                service_config.cache_capacity,
+                threaded_tenants,
+                body.join(",\n"),
+            );
+            std::fs::write(path, json).expect("write JSON report");
+            eprintln!("wrote {path}");
+        }
+        return;
+    }
 
     // Replays one engine under every requested policy, rebuilding nothing:
     // the engine is threaded through `into_engine` between replays.
@@ -543,7 +1111,7 @@ fn main() {
             "gpu" => replay_policies!(GpuFaissEngine::new(&index).with_work_scale(work_scale)),
             "pim-naive" => replay_policies!(build_pim(&index, UpAnnsConfig::pim_naive(), DPUS, work_scale, &history)),
             "upanns" => replay_policies!(build_pim(&index, UpAnnsConfig::upanns(), DPUS, work_scale, &history)),
-            "multihost" => replay_policies!(build_multihost()),
+            "multihost" => replay_policies!(build_multihost(work_scale)),
             // parse_args rejects anything outside KNOWN_ENGINES and the
             // caller iterates exactly that list.
             other => unreachable!("engine '{other}' escaped --engines validation"),

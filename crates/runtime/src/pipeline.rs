@@ -1,0 +1,921 @@
+//! The five-stage threaded serving pipeline.
+//!
+//! ```text
+//!                 bounded                bounded               cap-1
+//!  admission ───────────────▶ batcher ───────────▶ dispatcher ═══════▶ worker 0..N
+//!  (AdmissionQueue,           (BatchFormer,        (ChunkQueue,           (one engine
+//!   ResultCache)               BatchPolicy)         SloTable, idle set)    each)
+//!      ▲                          ▲                                          │
+//!      │ releases +               │ policy feedback        completions       │
+//!      │ cache inserts            │ (lossy under backpressure)  bounded      │
+//!      └──────────────────── completion ◀──────────────────────────────────┘
+//!                            (results, latencies, conservation counters)
+//! ```
+//!
+//! Every serve-crate structure is owned by exactly one stage thread —
+//! there is no shared mutable state, no lock, and no `unsafe`; stages
+//! communicate only by message over `std::sync::mpsc` channels. Forward
+//! edges are *bounded* ([`sync_channel`]) so a slow stage exerts
+//! backpressure instead of ballooning memory; the two feedback edges into
+//! admission and the batcher run on channels that can never participate in
+//! a send-cycle deadlock: completion→admission is unbounded (its occupancy
+//! is bounded in practice by the admission queue's capacity, which caps
+//! in-flight queries), and completion→batcher uses `try_send` — policy
+//! feedback is advisory, and stale feedback a saturated batcher cannot
+//! accept yet is precisely the feedback not worth blocking a completion
+//! stage for.
+//!
+//! # The two clocks
+//!
+//! [`RuntimeMode::Wall`] runs the pipeline against real time: admission
+//! paces arrivals with [`thread::sleep`], the batcher turns window
+//! deadlines into [`recv_timeout`](Receiver::recv_timeout) waits, and each
+//! worker *emulates its engine's modeled occupancy* — after computing a
+//! chunk's answers it sleeps until `start + response.seconds` has elapsed,
+//! so one worker thread behaves like one modeled PIM device and adding
+//! workers buys genuine pipeline concurrency against emulated hardware
+//! (this is what makes 1→4 worker scaling measurable on a single host
+//! core: the bottleneck is the emulated device, not the host CPU).
+//!
+//! [`RuntimeMode::Logical`] is the deterministic twin: no thread ever
+//! sleeps, the batcher's windows are driven by `AdvanceTo(arrival)`
+//! messages that mirror the replay's `advance(arrival)` calls, and the
+//! admission queue is widened to the stream length so nothing is shed.
+//!
+//! # The twin contract
+//!
+//! Answers in this workspace are pure functions of `(query vector, k,
+//! nprobe, index)` — batch shape, dispatch order, policy steering and
+//! cache routing change *when* a query is answered, never *what* it is
+//! answered (the serve crate's policy-invariance and dispatch-discipline
+//! tests prove this for the replay; the runtime's twin tests extend it
+//! across threads). Logical mode therefore produces, for every stream
+//! index, byte-for-byte the same neighbor ids as
+//! [`SearchService::replay`](upanns_serve::SearchService::replay) on the
+//! same stream with a shed-proof queue — regardless of worker count or
+//! thread interleaving. Latencies, batch counts and cache hit rates are
+//! *not* part of the contract; only the answer map is.
+//!
+//! # Clean shutdown
+//!
+//! Admission sends `Eos` after the last arrival; the batcher closes its
+//! trailing windows (at their own deadlines in wall mode, at `+∞` in
+//! logical mode — the same trailing-deadline close as the replay) and
+//! forwards `Eos`; the dispatcher drains its chunk queue, waits for every
+//! worker to report idle, shuts the workers down and sends `Drained` to
+//! completion. Channel FIFO plus the happens-before chain through those
+//! hops guarantees `Drained` is dequeued after every completion message,
+//! so the conservation check (`completed + shed == offered`, zero lost,
+//! zero duplicated) is exact, not racy.
+
+use std::sync::mpsc::{channel, sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use annkit::topk::Neighbor;
+use annkit::workload::QueryStream;
+use baselines::engine::{AnnEngine, QueryOptions, SearchRequest, TenantId};
+use upanns_serve::admission::AdmissionQueue;
+use upanns_serve::batcher::{BatchFormer, FormedBatch, PendingQuery};
+use upanns_serve::cache::ResultCache;
+use upanns_serve::controller::BatchPolicy;
+use upanns_serve::dispatch::{ChunkQueue, DispatchOrder, QueuedChunk};
+use upanns_serve::service::{effective_chunk, ServiceConfig, SloTable};
+
+use crate::report::{RuntimeReport, RuntimeTenantRow};
+
+/// Bound of the forward data-path channels. Deep enough that stages only
+/// stall under genuine overload, shallow enough that backpressure reaches
+/// admission while shedding is still useful.
+const STAGE_CHANNEL_BOUND: usize = 1024;
+
+/// Which clock drives the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeMode {
+    /// Real time: paced arrivals, `recv_timeout` batching windows, and
+    /// workers that emulate their engine's modeled occupancy by sleeping.
+    Wall,
+    /// The deterministic twin: the stream's arrival timestamps drive the
+    /// batcher exactly as the replay clock would, nothing sleeps, nothing
+    /// is shed, and the answer map equals the replay's byte for byte.
+    Logical,
+}
+
+impl RuntimeMode {
+    /// The mode's report label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RuntimeMode::Wall => "wall",
+            RuntimeMode::Logical => "logical",
+        }
+    }
+}
+
+/// Configuration for one pipeline run.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// The front-end knobs, shared verbatim with the replay
+    /// ([`ServiceConfig`]) so a threaded run and its twin are configured by
+    /// the same struct.
+    pub service: ServiceConfig,
+    /// Which clock drives the run.
+    pub mode: RuntimeMode,
+}
+
+impl RuntimeConfig {
+    /// Wall-clock mode over the given service configuration.
+    pub fn wall(service: ServiceConfig) -> Self {
+        Self {
+            service,
+            mode: RuntimeMode::Wall,
+        }
+    }
+
+    /// Deterministic-twin mode over the given service configuration.
+    pub fn logical(service: ServiceConfig) -> Self {
+        Self {
+            service,
+            mode: RuntimeMode::Logical,
+        }
+    }
+}
+
+/// The wall clock every stage shares: seconds since pipeline start, so
+/// wall-mode timestamps are directly comparable with the replay's
+/// stream-relative seconds.
+#[derive(Clone, Copy)]
+struct WallClock(Instant);
+
+impl WallClock {
+    fn start() -> Self {
+        Self(Instant::now())
+    }
+
+    fn elapsed_s(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+
+    /// Sleeps until `t` seconds since pipeline start (no-op if already
+    /// past).
+    fn sleep_until(&self, t: f64) {
+        let now = self.elapsed_s();
+        if t > now && t.is_finite() {
+            thread::sleep(Duration::from_secs_f64(t - now));
+        }
+    }
+}
+
+/// Into the batcher stage (from admission, and feedback from completion).
+enum ToBatcher {
+    /// An admitted query to fold into a batch.
+    Query(PendingQuery),
+    /// Logical mode only: the replay clock reached this arrival — close
+    /// every window whose deadline has passed (mirrors `advance(arrival)`).
+    AdvanceTo(f64),
+    /// A query finished: per-query policy feedback.
+    QueryDone {
+        tenant: TenantId,
+        at: f64,
+        latency_s: f64,
+    },
+    /// A lead chunk finished: batch-level policy feedback.
+    BatchDone {
+        tenant: TenantId,
+        at: f64,
+        len: usize,
+        wait_s: f64,
+    },
+    /// No more arrivals: close trailing windows and forward `Eos`.
+    Eos,
+}
+
+/// Into the dispatcher stage (from the batcher, and idle notices from
+/// workers).
+enum ToDispatcher {
+    /// A closed batch, with its per-tenant chunk cap already resolved by
+    /// the batcher (the policy lives there).
+    Batch { batch: FormedBatch, chunk_cap: usize },
+    /// Worker `i` finished its chunk and is ready for the next.
+    WorkerIdle(usize),
+    /// No more batches will arrive.
+    Eos,
+}
+
+/// Into one engine worker.
+enum ToWorker {
+    /// Execute this chunk.
+    Chunk(QueuedChunk),
+    /// Drain complete: exit.
+    Shutdown,
+}
+
+/// Into the completion stage.
+enum ToCompletion {
+    /// Admission answered a query straight from the result cache.
+    CacheHit {
+        stream_index: usize,
+        tenant: TenantId,
+        latency_s: f64,
+        finish_s: f64,
+        neighbors: Vec<Neighbor>,
+    },
+    /// Admission rejected a query (queue full).
+    Shed { tenant: TenantId },
+    /// A worker executed a chunk.
+    Executed {
+        members: Vec<PendingQuery>,
+        answers: Vec<Vec<Neighbor>>,
+        tenant: TenantId,
+        finish_s: f64,
+        modeled_s: f64,
+        lead: bool,
+        wait_s: f64,
+    },
+    /// The dispatcher drained: every completion message is already queued
+    /// ahead of this one (see the module docs' happens-before argument).
+    Drained,
+}
+
+/// Back into admission from completion.
+enum ToAdmission {
+    /// A chunk finished: free its tenant's seats in the waiting room.
+    Release { tenant: TenantId, n: usize },
+    /// An answered query's neighbors, for the result cache.
+    CacheInsert {
+        stream_index: usize,
+        options: QueryOptions,
+        neighbors: Vec<Neighbor>,
+        ready_at: f64,
+    },
+}
+
+/// Runs the full pipeline over `stream`, one engine instance per worker
+/// thread, and returns the merged report once every stage has joined.
+///
+/// `engines` determines the worker count; every element must answer
+/// identically for the same `(query, k, nprobe)` — in this workspace that
+/// holds for N instances of any engine over the same index (answers are
+/// pure), which is exactly what the twin tests assert. The `options_of`
+/// closure maps a stream index to its query options, like
+/// [`SearchService::replay`](upanns_serve::SearchService::replay).
+///
+/// # Panics
+///
+/// Panics if `engines` is empty, or if a stage thread panics.
+pub fn run_pipeline<E, F>(
+    engines: Vec<E>,
+    stream: &QueryStream,
+    options_of: F,
+    policy: Box<dyn BatchPolicy>,
+    config: RuntimeConfig,
+) -> RuntimeReport
+where
+    E: AnnEngine + Send,
+    F: FnMut(usize) -> QueryOptions + Send,
+{
+    assert!(!engines.is_empty(), "the pipeline needs at least one engine worker");
+    let workers = engines.len();
+    let mode = config.mode;
+    let svc = config.service;
+    // The twin must be lossless: whether a query is shed depends on thread
+    // timing, so logical mode widens the waiting room to hold the whole
+    // stream. Wall mode sheds exactly as configured.
+    let queue_capacity = match mode {
+        RuntimeMode::Logical => svc.queue_capacity.max(stream.len()),
+        RuntimeMode::Wall => svc.queue_capacity,
+    };
+    let slo_p99_s = svc.slo_p99_s.or(stream.slo_p99_s);
+    let policy_label = match svc.max_chunk {
+        Some(_) => format!("{}-chunked", policy.name()),
+        None => policy.name().to_string(),
+    };
+    let clock = WallClock::start();
+
+    let (outcome, engine_name) = thread::scope(|scope| {
+        let (to_batcher, batcher_rx) = sync_channel::<ToBatcher>(STAGE_CHANNEL_BOUND);
+        let (to_dispatcher, dispatcher_rx) = sync_channel::<ToDispatcher>(STAGE_CHANNEL_BOUND);
+        let (to_completion, completion_rx) = sync_channel::<ToCompletion>(STAGE_CHANNEL_BOUND);
+        let (to_admission, admission_rx) = channel::<ToAdmission>();
+        let mut worker_txs = Vec::with_capacity(workers);
+        let mut worker_rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = sync_channel::<ToWorker>(1);
+            worker_txs.push(tx);
+            worker_rxs.push(rx);
+        }
+
+        let admission = {
+            let to_batcher = to_batcher.clone();
+            let to_completion = to_completion.clone();
+            let mut options_of = options_of;
+            scope.spawn(move || {
+                admission_stage(
+                    stream,
+                    &mut options_of,
+                    mode,
+                    clock,
+                    svc,
+                    queue_capacity,
+                    &admission_rx,
+                    &to_batcher,
+                    &to_completion,
+                )
+            })
+        };
+
+        let batcher = {
+            let to_dispatcher = to_dispatcher.clone();
+            scope.spawn(move || {
+                batcher_stage(stream, policy, mode, clock, svc, &batcher_rx, &to_dispatcher)
+            })
+        };
+
+        let dispatcher = {
+            let to_completion = to_completion.clone();
+            let worker_txs_for_dispatch = worker_txs;
+            scope.spawn(move || {
+                dispatcher_stage(
+                    stream,
+                    svc,
+                    &dispatcher_rx,
+                    &worker_txs_for_dispatch,
+                    &to_completion,
+                )
+            })
+        };
+
+        let mut worker_handles = Vec::with_capacity(workers);
+        for (w, (engine, rx)) in engines.into_iter().zip(worker_rxs).enumerate() {
+            let to_completion = to_completion.clone();
+            let to_dispatcher = to_dispatcher.clone();
+            worker_handles.push(scope.spawn(move || {
+                worker_stage(w, engine, stream, mode, clock, &rx, &to_completion, &to_dispatcher)
+            }));
+        }
+        // Only the stages hold senders now, so every receiver's disconnect
+        // tracks its true producer set. (The batcher's sender survives in
+        // the completion stage for feedback, but the batcher exits on the
+        // explicit `Eos`, never on disconnect.)
+        drop(to_dispatcher);
+        drop(to_completion);
+
+        let completion = scope.spawn(move || {
+            completion_stage(stream.len(), &completion_rx, &to_admission, &to_batcher)
+        });
+
+        let (cache_hits, cache_misses) = admission.join().expect("admission stage panicked");
+        batcher.join().expect("batcher stage panicked");
+        let (dispatched_chunks, split_batches) =
+            dispatcher.join().expect("dispatcher stage panicked");
+        let mut engine_name = String::new();
+        for handle in worker_handles {
+            engine_name = handle.join().expect("worker stage panicked");
+        }
+        let mut outcome = completion.join().expect("completion stage panicked");
+        outcome.cache_hits = cache_hits;
+        outcome.cache_misses = cache_misses;
+        outcome.dispatched_chunks = dispatched_chunks;
+        outcome.split_batches = split_batches;
+        (outcome, engine_name)
+    });
+
+    finish_report(
+        outcome,
+        engine_name,
+        policy_label,
+        mode,
+        workers,
+        stream,
+        slo_p99_s,
+        svc.slo_p99_s,
+    )
+}
+
+/// Stage 1: paces arrivals, consults the cache, admits or sheds, and keeps
+/// draining releases so bounded senders can never block on a dead stage.
+#[allow(clippy::too_many_arguments)]
+fn admission_stage<F: FnMut(usize) -> QueryOptions>(
+    stream: &QueryStream,
+    options_of: &mut F,
+    mode: RuntimeMode,
+    clock: WallClock,
+    svc: ServiceConfig,
+    queue_capacity: usize,
+    admission_rx: &Receiver<ToAdmission>,
+    to_batcher: &SyncSender<ToBatcher>,
+    to_completion: &SyncSender<ToCompletion>,
+) -> (u64, u64) {
+    let mut queue = AdmissionQueue::new(queue_capacity);
+    for p in &stream.tenant_profiles {
+        queue.register(p.id, p.weight);
+    }
+    let mut cache = ResultCache::new(svc.cache_capacity);
+    let drain = |queue: &mut AdmissionQueue, cache: &mut ResultCache| {
+        while let Ok(msg) = admission_rx.try_recv() {
+            match msg {
+                ToAdmission::Release { tenant, n } => queue.release(tenant, n),
+                ToAdmission::CacheInsert {
+                    stream_index,
+                    options,
+                    neighbors,
+                    ready_at,
+                } => cache.insert(
+                    stream.batch.queries.vector(stream_index),
+                    &options,
+                    neighbors,
+                    ready_at,
+                ),
+            }
+        }
+    };
+    for (arrival, index) in stream.iter() {
+        let now = match mode {
+            RuntimeMode::Wall => {
+                clock.sleep_until(arrival);
+                clock.elapsed_s()
+            }
+            RuntimeMode::Logical => arrival,
+        };
+        drain(&mut queue, &mut cache);
+        if mode == RuntimeMode::Logical {
+            // Close every window the replay clock would have closed before
+            // processing this arrival.
+            let _ = to_batcher.send(ToBatcher::AdvanceTo(arrival));
+        }
+        let options = options_of(index);
+        let tenant = options.tenant;
+        if let Some((neighbors, ready_at)) = cache.lookup(stream.batch.queries.vector(index), &options)
+        {
+            // Wall mode has no modeled ready-at guard: the entry physically
+            // exists, so the hit is served now. Logical mode keeps the
+            // replay's guard so twin latencies stay meaningful.
+            let finish = match mode {
+                RuntimeMode::Wall => now + svc.cache_lookup_s,
+                RuntimeMode::Logical => now.max(ready_at) + svc.cache_lookup_s,
+            };
+            let _ = to_completion.send(ToCompletion::CacheHit {
+                stream_index: index,
+                tenant,
+                latency_s: finish - now,
+                finish_s: finish,
+                neighbors,
+            });
+            continue;
+        }
+        if !queue.try_admit(tenant) {
+            let _ = to_completion.send(ToCompletion::Shed { tenant });
+            continue;
+        }
+        let _ = to_batcher.send(ToBatcher::Query(PendingQuery {
+            arrival_s: now,
+            stream_index: index,
+            options,
+        }));
+    }
+    let _ = to_batcher.send(ToBatcher::Eos);
+    // The pipeline is still draining: keep accepting releases (blocking,
+    // not spinning) until completion hangs up its sender.
+    while let Ok(msg) = admission_rx.recv() {
+        if let ToAdmission::Release { tenant, n } = msg {
+            queue.release(tenant, n);
+        }
+        // A cache insert after the last arrival can no longer produce a
+        // hit; dropping it is harmless.
+    }
+    (cache.hits(), cache.misses())
+}
+
+/// Stage 2: owns the batch former and the policy; closes windows by real
+/// deadline (wall) or by `AdvanceTo` (logical) and forwards closed batches
+/// with their chunk cap resolved.
+fn batcher_stage(
+    stream: &QueryStream,
+    mut policy: Box<dyn BatchPolicy>,
+    mode: RuntimeMode,
+    clock: WallClock,
+    svc: ServiceConfig,
+    batcher_rx: &Receiver<ToBatcher>,
+    to_dispatcher: &SyncSender<ToDispatcher>,
+) {
+    let mut former = BatchFormer::new(policy.current());
+    let mut tenants_seen: Vec<TenantId> = stream.tenant_profiles.iter().map(|p| p.id).collect();
+    for &t in &tenants_seen {
+        former.set_tenant_config(t, policy.current_for(t));
+    }
+    let forward = |batch: FormedBatch, policy: &dyn BatchPolicy| {
+        let cap = effective_chunk(policy, batch.options.tenant, svc.max_chunk);
+        let _ = to_dispatcher.send(ToDispatcher::Batch {
+            batch,
+            chunk_cap: cap,
+        });
+    };
+    let refresh = |former: &mut BatchFormer, policy: &dyn BatchPolicy, tenants: &[TenantId]| {
+        former.set_config(policy.current());
+        for &t in tenants {
+            former.set_tenant_config(t, policy.current_for(t));
+        }
+    };
+    loop {
+        let msg = match mode {
+            RuntimeMode::Wall => match former.next_deadline() {
+                Some(deadline) => {
+                    let now = clock.elapsed_s();
+                    if deadline <= now {
+                        for batch in former.due(now) {
+                            forward(batch, policy.as_ref());
+                        }
+                        continue;
+                    }
+                    match batcher_rx.recv_timeout(Duration::from_secs_f64(deadline - now)) {
+                        Ok(msg) => msg,
+                        Err(RecvTimeoutError::Timeout) => continue,
+                        Err(RecvTimeoutError::Disconnected) => ToBatcher::Eos,
+                    }
+                }
+                None => batcher_rx.recv().unwrap_or(ToBatcher::Eos),
+            },
+            RuntimeMode::Logical => batcher_rx.recv().unwrap_or(ToBatcher::Eos),
+        };
+        match msg {
+            ToBatcher::Query(query) => {
+                let tenant = query.options.tenant;
+                if !tenants_seen.contains(&tenant) {
+                    tenants_seen.push(tenant);
+                }
+                refresh(&mut former, policy.as_ref(), &tenants_seen);
+                let now = match mode {
+                    RuntimeMode::Wall => {
+                        // Close anything whose real deadline passed while
+                        // this message sat in the channel.
+                        let now = clock.elapsed_s();
+                        for batch in former.due(now) {
+                            forward(batch, policy.as_ref());
+                        }
+                        now
+                    }
+                    RuntimeMode::Logical => query.arrival_s,
+                };
+                if let Some(batch) = former.push(query, now) {
+                    forward(batch, policy.as_ref());
+                }
+            }
+            ToBatcher::AdvanceTo(t) => {
+                refresh(&mut former, policy.as_ref(), &tenants_seen);
+                for batch in former.due(t) {
+                    forward(batch, policy.as_ref());
+                }
+            }
+            ToBatcher::QueryDone {
+                tenant,
+                at,
+                latency_s,
+            } => policy.observe_for(tenant, at, latency_s),
+            ToBatcher::BatchDone {
+                tenant,
+                at,
+                len,
+                wait_s,
+            } => policy.observe_batch_for(tenant, at, len, wait_s),
+            ToBatcher::Eos => {
+                match mode {
+                    // The replay closes trailing groups at their own
+                    // deadlines, never flushing early; both modes mirror
+                    // that.
+                    RuntimeMode::Logical => {
+                        for batch in former.due(f64::INFINITY) {
+                            forward(batch, policy.as_ref());
+                        }
+                    }
+                    RuntimeMode::Wall => {
+                        while let Some(deadline) = former.next_deadline() {
+                            clock.sleep_until(deadline);
+                            for batch in former.due(clock.elapsed_s()) {
+                                forward(batch, policy.as_ref());
+                            }
+                        }
+                    }
+                }
+                let _ = to_dispatcher.send(ToDispatcher::Eos);
+                return;
+            }
+        }
+    }
+}
+
+/// Stage 3: owns the chunk queue and the idle-worker set; hands the most
+/// urgent ready chunk to the first idle worker, and runs the drain
+/// protocol once the batcher signals `Eos`.
+fn dispatcher_stage(
+    stream: &QueryStream,
+    svc: ServiceConfig,
+    dispatcher_rx: &Receiver<ToDispatcher>,
+    worker_txs: &[SyncSender<ToWorker>],
+    to_completion: &SyncSender<ToCompletion>,
+) -> (usize, usize) {
+    let order = match svc.max_chunk {
+        Some(_) => DispatchOrder::SloUrgency,
+        None => DispatchOrder::CloseOrder,
+    };
+    let mut queue = ChunkQueue::new(order);
+    let slos = SloTable::new(stream, svc.slo_p99_s);
+    let mut idle: Vec<usize> = (0..worker_txs.len()).collect();
+    let mut eos = false;
+    loop {
+        while !idle.is_empty() {
+            let Some(chunk) = queue.pop_most_urgent() else {
+                break;
+            };
+            let Some(worker) = idle.pop() else { break };
+            // Cap-1 channel to a worker that reported idle (i.e. is blocked
+            // in recv), so this send cannot stall the dispatch loop.
+            let _ = worker_txs[worker].send(ToWorker::Chunk(chunk));
+        }
+        if eos && queue.is_empty() && idle.len() == worker_txs.len() {
+            for tx in worker_txs {
+                let _ = tx.send(ToWorker::Shutdown);
+            }
+            let _ = to_completion.send(ToCompletion::Drained);
+            return (queue.dispatched_chunks(), queue.split_batches());
+        }
+        match dispatcher_rx.recv() {
+            Ok(ToDispatcher::Batch { batch, chunk_cap }) => {
+                let slo = slos.slo_of(batch.options.tenant);
+                queue.submit(batch, slo, chunk_cap);
+            }
+            Ok(ToDispatcher::WorkerIdle(worker)) => idle.push(worker),
+            Ok(ToDispatcher::Eos) => eos = true,
+            // All senders gone without Eos: a stage panicked; exit so the
+            // scope can surface that panic instead of deadlocking here.
+            Err(_) => return (queue.dispatched_chunks(), queue.split_batches()),
+        }
+    }
+}
+
+/// Stage 4 (×N): one engine per worker. Computes a chunk's answers, then —
+/// in wall mode — sleeps out the engine's modeled occupancy so the thread
+/// behaves like one modeled device. Returns the engine's name.
+#[allow(clippy::too_many_arguments)]
+fn worker_stage<E: AnnEngine>(
+    worker: usize,
+    mut engine: E,
+    stream: &QueryStream,
+    mode: RuntimeMode,
+    clock: WallClock,
+    rx: &Receiver<ToWorker>,
+    to_completion: &SyncSender<ToCompletion>,
+    to_dispatcher: &SyncSender<ToDispatcher>,
+) -> String {
+    // Distinct id ranges per worker keep request ids unique without
+    // cross-thread coordination (ids label requests; answers ignore them).
+    let mut next_request_id = (worker as u64) << 32;
+    while let Ok(ToWorker::Chunk(chunk)) = rx.recv() {
+        let batch = chunk.batch;
+        // Chunks are tenant-pure (the former never mixes tenants and the
+        // dispatcher splits without mixing), so the batch options name the
+        // one tenant the release and feedback belong to.
+        let tenant = batch.options.tenant;
+        let indices: Vec<usize> = batch.members.iter().map(|m| m.stream_index).collect();
+        let options: Vec<QueryOptions> = batch.members.iter().map(|m| m.options).collect();
+        let queries = stream.batch.queries.gather(&indices);
+        next_request_id += 1;
+        let started = clock.elapsed_s();
+        let request = SearchRequest::new(queries, options).with_id(next_request_id);
+        let response = engine.execute(&request);
+        let (finish, wait_s) = match mode {
+            RuntimeMode::Wall => {
+                // The real computation is nearly free at fixture scale; the
+                // modeled seconds are the device occupancy being emulated.
+                clock.sleep_until(started + response.seconds);
+                (clock.elapsed_s(), (started - batch.closed_at).max(0.0))
+            }
+            RuntimeMode::Logical => (batch.closed_at + response.seconds, 0.0),
+        };
+        let _ = to_completion.send(ToCompletion::Executed {
+            members: batch.members,
+            answers: response.results,
+            tenant,
+            finish_s: finish,
+            modeled_s: response.seconds,
+            lead: chunk.lead,
+            wait_s,
+        });
+        let _ = to_dispatcher.send(ToDispatcher::WorkerIdle(worker));
+    }
+    engine.name().to_string()
+}
+
+/// Everything the completion stage accumulates; the missing counters
+/// (cache, dispatch) are filled in from the other stages' join results.
+struct Outcome {
+    results: Vec<Vec<Neighbor>>,
+    latencies: Vec<f64>,
+    tenant_latencies: Vec<(TenantId, f64)>,
+    tenant_order: Vec<TenantId>,
+    shed_of: Vec<(TenantId, usize)>,
+    completed: usize,
+    shed: usize,
+    duplicated: usize,
+    lost: usize,
+    busy_modeled_s: f64,
+    makespan_s: f64,
+    cache_hits: u64,
+    cache_misses: u64,
+    dispatched_chunks: usize,
+    split_batches: usize,
+}
+
+/// Stage 5: the single writer of results, latencies and conservation
+/// counters; routes releases and cache inserts back to admission and
+/// (lossily) policy feedback back to the batcher.
+fn completion_stage(
+    expected: usize,
+    completion_rx: &Receiver<ToCompletion>,
+    to_admission: &Sender<ToAdmission>,
+    to_batcher: &SyncSender<ToBatcher>,
+) -> Outcome {
+    // Policy feedback is advisory: if the batcher is saturated (or already
+    // gone), dropping the observation beats blocking the completion stage
+    // on it — hence try_send, never send.
+    let feedback = |msg: ToBatcher| {
+        let _ = to_batcher.try_send(msg);
+    };
+    let mut out = Outcome {
+        results: vec![Vec::new(); expected],
+        latencies: Vec::new(),
+        tenant_latencies: Vec::new(),
+        tenant_order: Vec::new(),
+        shed_of: Vec::new(),
+        completed: 0,
+        shed: 0,
+        duplicated: 0,
+        lost: 0,
+        busy_modeled_s: 0.0,
+        makespan_s: 0.0,
+        cache_hits: 0,
+        cache_misses: 0,
+        dispatched_chunks: 0,
+        split_batches: 0,
+    };
+    let mut answered = vec![false; expected];
+    let mut accounted = 0usize;
+    let note_tenant = |order: &mut Vec<TenantId>, t: TenantId| {
+        if !order.contains(&t) {
+            order.push(t);
+        }
+    };
+    while let Ok(msg) = completion_rx.recv() {
+        match msg {
+            ToCompletion::CacheHit {
+                stream_index,
+                tenant,
+                latency_s,
+                finish_s,
+                neighbors,
+            } => {
+                note_tenant(&mut out.tenant_order, tenant);
+                if answered[stream_index] {
+                    out.duplicated += 1;
+                } else {
+                    answered[stream_index] = true;
+                    out.results[stream_index] = neighbors;
+                }
+                out.completed += 1;
+                accounted += 1;
+                out.latencies.push(latency_s);
+                out.tenant_latencies.push((tenant, latency_s));
+                out.makespan_s = out.makespan_s.max(finish_s);
+            }
+            ToCompletion::Shed { tenant } => {
+                note_tenant(&mut out.tenant_order, tenant);
+                out.shed += 1;
+                accounted += 1;
+                match out.shed_of.iter_mut().find(|(t, _)| *t == tenant) {
+                    Some((_, n)) => *n += 1,
+                    None => out.shed_of.push((tenant, 1)),
+                }
+            }
+            ToCompletion::Executed {
+                members,
+                answers,
+                tenant,
+                finish_s,
+                modeled_s,
+                lead,
+                wait_s,
+            } => {
+                note_tenant(&mut out.tenant_order, tenant);
+                out.busy_modeled_s += modeled_s;
+                out.makespan_s = out.makespan_s.max(finish_s);
+                let n = members.len();
+                if lead {
+                    feedback(ToBatcher::BatchDone {
+                        tenant,
+                        at: finish_s,
+                        len: n,
+                        wait_s,
+                    });
+                }
+                for (member, neighbors) in members.into_iter().zip(answers) {
+                    let latency = finish_s - member.arrival_s;
+                    out.completed += 1;
+                    accounted += 1;
+                    out.latencies.push(latency);
+                    out.tenant_latencies.push((tenant, latency));
+                    let _ = to_admission.send(ToAdmission::CacheInsert {
+                        stream_index: member.stream_index,
+                        options: member.options,
+                        neighbors: neighbors.clone(),
+                        ready_at: finish_s,
+                    });
+                    feedback(ToBatcher::QueryDone {
+                        tenant,
+                        at: finish_s,
+                        latency_s: latency,
+                    });
+                    if answered[member.stream_index] {
+                        out.duplicated += 1;
+                    } else {
+                        answered[member.stream_index] = true;
+                        out.results[member.stream_index] = neighbors;
+                    }
+                }
+                let _ = to_admission.send(ToAdmission::Release { tenant, n });
+            }
+            ToCompletion::Drained => break,
+        }
+    }
+    out.lost = expected.saturating_sub(accounted);
+    out
+}
+
+/// Sorts, groups per tenant and assembles the final [`RuntimeReport`].
+#[allow(clippy::too_many_arguments)]
+fn finish_report(
+    out: Outcome,
+    engine: String,
+    policy: String,
+    mode: RuntimeMode,
+    workers: usize,
+    stream: &QueryStream,
+    slo_p99_s: Option<f64>,
+    config_slo: Option<f64>,
+) -> RuntimeReport {
+    let slos = SloTable::new(stream, config_slo);
+    // Profile order first, then tenants first seen mid-stream — the same
+    // row order as the replay's report.
+    let mut tenant_rows: Vec<TenantId> = stream.tenant_profiles.iter().map(|p| p.id).collect();
+    for &t in &out.tenant_order {
+        if !tenant_rows.contains(&t) {
+            tenant_rows.push(t);
+        }
+    }
+    let tenants = tenant_rows
+        .into_iter()
+        .map(|t| {
+            let mut lats: Vec<f64> = out
+                .tenant_latencies
+                .iter()
+                .filter(|(id, _)| *id == t)
+                .map(|(_, l)| *l)
+                .collect();
+            lats.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            RuntimeTenantRow {
+                id: t,
+                name: stream
+                    .profile(t)
+                    .map_or_else(|| t.to_string(), |p| p.name.clone()),
+                slo_p99_s: slos.slo_of(t),
+                completed: lats.len(),
+                shed: out
+                    .shed_of
+                    .iter()
+                    .find(|(id, _)| *id == t)
+                    .map_or(0, |(_, n)| *n),
+                latencies_s: lats,
+            }
+        })
+        .collect();
+    let mut latencies = out.latencies;
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    RuntimeReport {
+        engine,
+        policy,
+        mode: mode.label(),
+        workers,
+        offered: stream.len(),
+        completed: out.completed,
+        shed: out.shed,
+        lost: out.lost,
+        duplicated: out.duplicated,
+        cache_hits: out.cache_hits,
+        cache_misses: out.cache_misses,
+        dispatched_chunks: out.dispatched_chunks,
+        split_batches: out.split_batches,
+        busy_modeled_s: out.busy_modeled_s,
+        makespan_s: out.makespan_s,
+        slo_p99_s,
+        latencies_s: latencies,
+        results: out.results,
+        tenants,
+    }
+}

@@ -1,0 +1,200 @@
+//! What a threaded runtime run measured.
+//!
+//! The shape deliberately mirrors
+//! [`ServiceReport`](upanns_serve::ServiceReport) — same percentile
+//! convention, same shed-aware miss accounting — so wall-clock rows and
+//! replay rows can sit side by side in one table. The runtime adds the
+//! conservation counters ([`lost`](RuntimeReport::lost) /
+//! [`duplicated`](RuntimeReport::duplicated)) that a single-threaded replay
+//! cannot violate but a pipeline with a shutdown protocol must prove it
+//! does not.
+
+use annkit::topk::Neighbor;
+use baselines::engine::TenantId;
+
+/// Nearest-rank percentile over an ascending-sorted latency list (0 when
+/// empty) — the same convention as the replay's reports.
+fn percentile_of(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p.clamp(0.0, 100.0) / 100.0 * (sorted.len() - 1) as f64).round();
+    sorted[rank as usize]
+}
+
+/// Shed-aware SLO miss fraction (see
+/// [`ServiceReport::slo_miss_fraction`](upanns_serve::ServiceReport::slo_miss_fraction)
+/// for the rationale: a shed query is the worst possible latency).
+fn miss_fraction_of(sorted: &[f64], completed: usize, shed: usize, slo: Option<f64>) -> f64 {
+    let offered = completed + shed;
+    if offered == 0 {
+        return 0.0;
+    }
+    let late = match slo {
+        Some(slo) => sorted.iter().filter(|&&l| l > slo).count(),
+        None => 0,
+    };
+    (late + shed) as f64 / offered as f64
+}
+
+/// One tenant's slice of a [`RuntimeReport`].
+#[derive(Debug, Clone)]
+pub struct RuntimeTenantRow {
+    /// The tenant.
+    pub id: TenantId,
+    /// Report name (from the stream's profile, or the id's display form).
+    pub name: String,
+    /// The SLO this tenant is judged by (same resolution rules as the
+    /// replay's [`SloTable`](upanns_serve::SloTable)).
+    pub slo_p99_s: Option<f64>,
+    /// Queries of this tenant answered (engine or cache).
+    pub completed: usize,
+    /// Queries of this tenant rejected at admission.
+    pub shed: usize,
+    /// This tenant's end-to-end wall-clock latencies, sorted ascending.
+    pub latencies_s: Vec<f64>,
+}
+
+impl RuntimeTenantRow {
+    /// The `p`-th latency percentile in seconds (nearest rank).
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile_of(&self.latencies_s, p)
+    }
+
+    /// Median latency in seconds.
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Tail latency in seconds.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Shed-aware SLO miss fraction for this tenant.
+    pub fn slo_miss_fraction(&self) -> f64 {
+        miss_fraction_of(&self.latencies_s, self.completed, self.shed, self.slo_p99_s)
+    }
+
+    /// Whether this tenant met its SLO (at most 1 % of offered queries
+    /// missed; vacuously true without a target).
+    pub fn meets_slo(&self) -> bool {
+        self.slo_p99_s.is_none() || self.slo_miss_fraction() <= 0.01
+    }
+}
+
+/// What one threaded pipeline run measured.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// The engine's display name.
+    pub engine: String,
+    /// The batch policy's display name (suffixed `-chunked` under priority-
+    /// chunked dispatch, like the replay).
+    pub policy: String,
+    /// `"wall"` or `"logical"` — which clock drove the run.
+    pub mode: &'static str,
+    /// Engine worker threads the pipeline ran.
+    pub workers: usize,
+    /// Queries the stream offered.
+    pub offered: usize,
+    /// Queries answered (engine or cache).
+    pub completed: usize,
+    /// Queries rejected at admission.
+    pub shed: usize,
+    /// Offered queries that were neither answered nor shed when the
+    /// pipeline drained — **must be 0**; a nonzero value means the shutdown
+    /// protocol dropped work.
+    pub lost: usize,
+    /// Queries answered more than once — **must be 0**.
+    pub duplicated: usize,
+    /// Cache hits / misses.
+    pub cache_hits: u64,
+    /// Cache lookups that found nothing.
+    pub cache_misses: u64,
+    /// Chunks the dispatcher handed to workers.
+    pub dispatched_chunks: usize,
+    /// Formed batches split into more than one chunk.
+    pub split_batches: usize,
+    /// Total *modeled* engine seconds across all workers (the emulated
+    /// device occupancy; divide by makespan for emulated device utilization).
+    pub busy_modeled_s: f64,
+    /// Wall-clock seconds from pipeline start to the last completion
+    /// (arrival times in logical mode).
+    pub makespan_s: f64,
+    /// The p99 SLO the run was measured against, if any.
+    pub slo_p99_s: Option<f64>,
+    /// Per-query end-to-end latencies in seconds, sorted ascending.
+    pub latencies_s: Vec<f64>,
+    /// Per-query results in stream order (empty vector for shed queries) —
+    /// the twin byte-diff compares exactly this against
+    /// [`ServiceReport::results`](upanns_serve::ServiceReport::results).
+    pub results: Vec<Vec<Neighbor>>,
+    /// Per-tenant breakdown, stream-profile order first.
+    pub tenants: Vec<RuntimeTenantRow>,
+}
+
+impl RuntimeReport {
+    /// Completed queries per second of makespan.
+    pub fn sustained_qps(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.makespan_s
+        }
+    }
+
+    /// The `p`-th latency percentile in seconds (nearest rank).
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile_of(&self.latencies_s, p)
+    }
+
+    /// Median latency in seconds.
+    pub fn p50(&self) -> f64 {
+        self.percentile(50.0)
+    }
+
+    /// Tail latency in seconds.
+    pub fn p99(&self) -> f64 {
+        self.percentile(99.0)
+    }
+
+    /// Mean latency in seconds (0 when nothing completed).
+    pub fn mean_latency(&self) -> f64 {
+        if self.latencies_s.is_empty() {
+            0.0
+        } else {
+            self.latencies_s.iter().sum::<f64>() / self.latencies_s.len() as f64
+        }
+    }
+
+    /// Shed-aware SLO miss fraction over offered queries.
+    pub fn slo_miss_fraction(&self) -> f64 {
+        miss_fraction_of(&self.latencies_s, self.completed, self.shed, self.slo_p99_s)
+    }
+
+    /// Whether the run met its p99 SLO (shed-aware, vacuous without one).
+    pub fn meets_slo(&self) -> bool {
+        self.slo_p99_s.is_none() || self.slo_miss_fraction() <= 0.01
+    }
+
+    /// Whether every tenant met its own SLO.
+    pub fn all_tenants_meet_slo(&self) -> bool {
+        self.tenants.iter().all(RuntimeTenantRow::meets_slo)
+    }
+
+    /// Cache hit rate over all lookups.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Conservation check: every offered query was answered or shed, exactly
+    /// once. The pipeline's graceful-shutdown CI gate asserts this.
+    pub fn is_conserving(&self) -> bool {
+        self.lost == 0 && self.duplicated == 0 && self.completed + self.shed == self.offered
+    }
+}

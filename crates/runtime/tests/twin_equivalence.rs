@@ -1,0 +1,183 @@
+//! Property-based twin-equivalence tests: the threaded pipeline in
+//! **logical-trace mode** must produce exactly the same answer map
+//! (`query_id -> result ids`, in stream order) as the single-threaded
+//! [`SearchService::replay`] — across engines, worker counts, tenant mixes,
+//! repeat fractions, batch caps, and both dispatch disciplines.
+//!
+//! This is the twin contract the CI byte-diff enforces on one fixed
+//! configuration, generalized by proptest over the configuration space. The
+//! argument for why it *should* hold: every answer is a pure function of
+//! (query vector, k, nprobe, index), so batching, chunking, worker count
+//! and scheduling order can change *when* a query is answered but never
+//! *what* the answer is — provided nothing is shed, which logical mode
+//! guarantees by widening admission to the stream (and the replay side is
+//! given the same widened queue here).
+
+use std::sync::OnceLock;
+
+use annkit::ivf::{IvfPqIndex, IvfPqParams};
+use annkit::synthetic::{SyntheticDataset, SyntheticSpec};
+use annkit::topk::Neighbor;
+use annkit::workload::{
+    MultiTenantSpec, QueryStream, StreamSpec, TenantId, TenantSpec, WorkloadSpec,
+};
+use baselines::cpu::CpuFaissEngine;
+use baselines::engine::QueryOptions;
+use baselines::gpu::GpuFaissEngine;
+use pim_sim::config::PimConfig;
+use proptest::prelude::*;
+use upanns::builder::{BatchCapacity, UpAnnsBuilder};
+use upanns::config::UpAnnsConfig;
+use upanns::engine::UpAnnsEngine;
+use upanns_runtime::{run_pipeline, RuntimeConfig};
+use upanns_serve::service::ServiceConfig;
+use upanns_serve::{FixedPolicy, SearchService};
+
+/// One shared small fixture: index training dominates the test's cost, so
+/// every proptest case reuses it (the *stream* varies per case, the corpus
+/// does not need to).
+fn fixture() -> &'static (SyntheticDataset, IvfPqIndex) {
+    static FIXTURE: OnceLock<(SyntheticDataset, IvfPqIndex)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let data = SyntheticSpec::sift_like(800)
+            .with_clusters(8)
+            .with_seed(41)
+            .generate_with_meta();
+        let index = IvfPqIndex::train(&data.vectors, &IvfPqParams::new(24, 8), 3);
+        (data, index)
+    })
+}
+
+/// A small PIM-backed engine (the paper's); kept tiny so building one per
+/// worker per case stays cheap.
+fn build_upanns<'a>(index: &'a IvfPqIndex, data: &SyntheticDataset) -> UpAnnsEngine<'a> {
+    UpAnnsBuilder::new(index)
+        .with_config(UpAnnsConfig::upanns().with_work_scale(500.0))
+        .with_pim_config(PimConfig::with_dpus(64))
+        .with_history(&data.vectors, 8)
+        .with_batch_capacity(BatchCapacity {
+            batch_size: 64,
+            nprobe: 8,
+            max_k: 20,
+        })
+        .build()
+}
+
+/// The per-query options both sides resolve identically: the stream's
+/// planned (k, nprobe) tier when one exists, tagged with the query's tenant.
+fn planned(stream: &QueryStream, i: usize) -> QueryOptions {
+    let (k, nprobe) = stream
+        .option_plan
+        .get(i)
+        .copied()
+        .unwrap_or_else(|| (QueryOptions::default().k, QueryOptions::default().nprobe));
+    QueryOptions::new(k, nprobe).with_tenant(stream.tenant(i))
+}
+
+/// Projects per-query results down to the id map the contract is stated
+/// over (distances are a function of the ids, but ids are what callers act
+/// on and what the CI byte-diff serializes).
+fn answer_ids(results: &[Vec<Neighbor>]) -> Vec<Vec<u64>> {
+    results
+        .iter()
+        .map(|r| r.iter().map(|n| n.id).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The generalized twin contract (see the module docs).
+    #[test]
+    fn logical_twin_matches_replay(
+        engine_kind in 0usize..3,
+        workers in 1usize..=3,
+        n in 20usize..60,
+        seed in 0u64..1_000,
+        repeat_bit in 0u8..2,
+        two_tenants_bit in 0u8..2,
+        max_batch in 2usize..32,
+        chunked_bit in 0u8..2,
+    ) {
+        let repeat = if repeat_bit == 1 { 0.3 } else { 0.0 };
+        let two_tenants = two_tenants_bit == 1;
+        let chunked = chunked_bit == 1;
+        let (data, index) = fixture();
+        let stream = if two_tenants {
+            MultiTenantSpec::new()
+                .with_tenant(
+                    TenantSpec::new(
+                        TenantId(1),
+                        StreamSpec::new(n, 900.0)
+                            .with_workload(WorkloadSpec::new(n).with_seed(seed))
+                            .with_repeat_fraction(repeat)
+                            .with_slo_p99(0.5),
+                    )
+                    .with_name("tight")
+                    .with_weight(2)
+                    .with_option_mix(vec![(10, 8)]),
+                )
+                .with_tenant(
+                    TenantSpec::new(
+                        TenantId(2),
+                        StreamSpec::new(2 * n, 1_800.0)
+                            .with_workload(WorkloadSpec::new(2 * n).with_seed(seed ^ 0x5bd1))
+                            .with_repeat_fraction(repeat),
+                    )
+                    .with_name("bulk")
+                    .with_option_mix(vec![(10, 4), (20, 8)]),
+                )
+                .generate(data)
+        } else {
+            StreamSpec::new(n, 1_200.0)
+                .with_workload(WorkloadSpec::new(n).with_seed(seed))
+                .with_repeat_fraction(repeat)
+                .generate(data)
+        };
+
+        let mut config = ServiceConfig::default();
+        // Neither side may shed: a total answer map is part of the contract.
+        config.queue_capacity = config.queue_capacity.max(stream.len());
+        config.batcher.max_batch = max_batch;
+        if chunked {
+            config.max_chunk = Some(4);
+        }
+
+        macro_rules! compare {
+            ($build:expr) => {{
+                let replay_results = {
+                    let mut service = SearchService::new($build, config);
+                    service.replay(&stream, |i| planned(&stream, i)).results
+                };
+                let engines: Vec<_> = (0..workers).map(|_| $build).collect();
+                let report = run_pipeline(
+                    engines,
+                    &stream,
+                    |i| planned(&stream, i),
+                    Box::new(FixedPolicy(config.batcher)),
+                    RuntimeConfig::logical(config),
+                );
+                prop_assert!(report.is_conserving(), "twin run lost or duplicated queries");
+                prop_assert_eq!(report.shed, 0, "logical mode is shed-proof");
+                (replay_results, report.results)
+            }};
+        }
+
+        let (replay_results, twin_results) = match engine_kind {
+            0 => compare!(CpuFaissEngine::new(index)),
+            1 => compare!(GpuFaissEngine::new(index)),
+            _ => compare!(build_upanns(index, data)),
+        };
+
+        prop_assert_eq!(replay_results.len(), stream.len());
+        prop_assert_eq!(
+            answer_ids(&replay_results),
+            answer_ids(&twin_results),
+            "threaded logical-trace answers diverged from the replay \
+             (engine_kind={}, workers={}, chunked={})",
+            engine_kind,
+            workers,
+            chunked
+        );
+    }
+}

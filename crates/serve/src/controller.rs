@@ -80,7 +80,12 @@ use baselines::engine::TenantId;
 /// policy.observe_for(TenantId(3), 0.6, 2e-3);
 /// assert_eq!(policy.current().max_batch, 32);
 /// ```
-pub trait BatchPolicy {
+///
+/// Policies are `Send`: the threaded runtime
+/// (`upanns-runtime`) moves the boxed policy into its batch-former stage
+/// thread, which owns it exclusively for the life of the pipeline. All
+/// shipped policies are plain data, so the bound costs nothing.
+pub trait BatchPolicy: Send {
     /// Display name of the policy ("fixed", "adaptive-slo", ...).
     fn name(&self) -> &str;
 

@@ -179,26 +179,9 @@ impl EngineScheduler {
     /// # Panics
     /// Panics if the batch is empty or `max_chunk` is zero.
     pub fn submit(&mut self, batch: FormedBatch, slo_p99_s: Option<f64>, max_chunk: usize) {
-        assert!(!batch.is_empty(), "the former never emits empty batches");
-        let chunks = match self.order {
-            DispatchOrder::CloseOrder => vec![batch],
-            DispatchOrder::SloUrgency => batch.into_chunks(max_chunk),
-        };
-        if chunks.len() > 1 {
+        if enqueue_chunks(self.order, batch, slo_p99_s, max_chunk, &mut self.seq, &mut self.queue)
+        {
             self.split_batches += 1;
-        }
-        for (i, chunk) in chunks.into_iter().enumerate() {
-            let deadline = match slo_p99_s {
-                Some(slo) => chunk.members[0].arrival_s + slo,
-                None => f64::INFINITY,
-            };
-            self.queue.push(QueuedChunk {
-                batch: chunk,
-                deadline,
-                seq: self.seq,
-                lead: i == 0,
-            });
-            self.seq += 1;
         }
     }
 
@@ -317,6 +300,156 @@ impl EngineScheduler {
     }
 
     /// Chunks handed to the engine so far.
+    pub fn dispatched_chunks(&self) -> usize {
+        self.dispatched_chunks
+    }
+
+    /// Submitted batches that were split into more than one chunk.
+    pub fn split_batches(&self) -> usize {
+        self.split_batches
+    }
+}
+
+/// Splits `batch` per `order`, derives each chunk's urgency deadline, and
+/// appends the chunks to `queue` with sequence numbers drawn from `seq`.
+/// Returns whether the batch was split — the one piece of chunking logic the
+/// serial [`EngineScheduler`] and the multi-worker [`ChunkQueue`] share.
+///
+/// # Panics
+/// Panics if the batch is empty or `max_chunk` is zero.
+fn enqueue_chunks(
+    order: DispatchOrder,
+    batch: FormedBatch,
+    slo_p99_s: Option<f64>,
+    max_chunk: usize,
+    seq: &mut u64,
+    queue: &mut Vec<QueuedChunk>,
+) -> bool {
+    assert!(!batch.is_empty(), "the former never emits empty batches");
+    let chunks = match order {
+        DispatchOrder::CloseOrder => vec![batch],
+        DispatchOrder::SloUrgency => batch.into_chunks(max_chunk),
+    };
+    let split = chunks.len() > 1;
+    for (i, chunk) in chunks.into_iter().enumerate() {
+        let deadline = match slo_p99_s {
+            Some(slo) => chunk.members[0].arrival_s + slo,
+            None => f64::INFINITY,
+        };
+        queue.push(QueuedChunk {
+            batch: chunk,
+            deadline,
+            seq: *seq,
+            lead: i == 0,
+        });
+        *seq += 1;
+    }
+    split
+}
+
+/// The dispatch queue of the **threaded runtime**'s dispatcher stage: the
+/// same chunking and SLO-urgency discipline as the [`EngineScheduler`], but
+/// feeding *N concurrent* engine workers instead of one serial simulated
+/// engine — so there is no `engine_free_at`, no single in-flight slot, and
+/// no simulated clock at all.
+///
+/// Two differences from the serial scheduler, both forced by real time:
+///
+/// * **Readiness is implicit.** A batch reaching this queue has already
+///   closed in real time, so every queued chunk is ready by definition;
+///   [`pop_most_urgent`](Self::pop_most_urgent) never needs a `now`.
+/// * **No occupancy bookkeeping.** Worker occupancy lives in the dispatcher
+///   thread's idle-set (it only dispatches to workers that reported idle),
+///   not here — this stays a pure priority queue, clock-free, so the
+///   `no-wall-clock` lint invariant keeps holding for `crates/serve`.
+///
+/// Ordering is identical to the serial scheduler: minimum
+/// `(deadline, seq)` under [`DispatchOrder::SloUrgency`] (no-SLO chunks sort
+/// last, FIFO tie-break), strict submission FIFO under
+/// [`DispatchOrder::CloseOrder`].
+#[derive(Debug, Clone)]
+pub struct ChunkQueue {
+    order: DispatchOrder,
+    queue: Vec<QueuedChunk>,
+    seq: u64,
+    dispatched_chunks: usize,
+    split_batches: usize,
+}
+
+impl ChunkQueue {
+    /// An empty queue under the given discipline.
+    pub fn new(order: DispatchOrder) -> Self {
+        Self {
+            order,
+            queue: Vec::new(),
+            seq: 0,
+            dispatched_chunks: 0,
+            split_batches: 0,
+        }
+    }
+
+    /// The scheduling discipline.
+    pub fn order(&self) -> DispatchOrder {
+        self.order
+    }
+
+    /// Enqueues a formed batch, split into chunks of at most `max_chunk`
+    /// queries exactly like [`EngineScheduler::submit`] (never split under
+    /// [`DispatchOrder::CloseOrder`]; `slo_p99_s` derives each chunk's
+    /// urgency deadline).
+    ///
+    /// # Panics
+    /// Panics if the batch is empty or `max_chunk` is zero.
+    pub fn submit(&mut self, batch: FormedBatch, slo_p99_s: Option<f64>, max_chunk: usize) {
+        if enqueue_chunks(self.order, batch, slo_p99_s, max_chunk, &mut self.seq, &mut self.queue)
+        {
+            self.split_batches += 1;
+        }
+    }
+
+    /// Removes and returns the chunk an idle worker should run next: the
+    /// minimum `(deadline, seq)` under [`DispatchOrder::SloUrgency`], the
+    /// head of the FIFO under [`DispatchOrder::CloseOrder`]. `None` when
+    /// empty.
+    pub fn pop_most_urgent(&mut self) -> Option<QueuedChunk> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        let index = match self.order {
+            DispatchOrder::CloseOrder => 0,
+            DispatchOrder::SloUrgency => {
+                self.queue
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        a.deadline
+                            .partial_cmp(&b.deadline)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(a.seq.cmp(&b.seq))
+                    })
+                    .map(|(i, _)| i)?
+            }
+        };
+        self.dispatched_chunks += 1;
+        Some(self.queue.remove(index))
+    }
+
+    /// Chunks waiting for a worker.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no chunk is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Queries waiting, across all queued chunks.
+    pub fn queued_queries(&self) -> usize {
+        self.queue.iter().map(|c| c.batch.len()).sum()
+    }
+
+    /// Chunks handed to workers so far.
     pub fn dispatched_chunks(&self) -> usize {
         self.dispatched_chunks
     }
@@ -452,5 +585,64 @@ mod tests {
         s.submit(batch(1, &[0.0], 0.0), None, 8);
         let _ = s.pop_next(1.0);
         let _ = s.pop_next(1.0);
+    }
+
+    #[test]
+    fn chunk_queue_pops_in_slo_urgency_order() {
+        let mut q = ChunkQueue::new(DispatchOrder::SloUrgency);
+        q.submit(batch(2, &[0.0, 0.1, 0.2, 0.3], 0.4), None, 2);
+        q.submit(batch(1, &[0.5], 0.6), Some(0.25), 2);
+        assert_eq!(q.len(), 3, "bulk split in two plus the tight singleton");
+        assert_eq!(q.queued_queries(), 5);
+        assert_eq!(q.split_batches(), 1);
+        let order: Vec<TenantId> = std::iter::from_fn(|| q.pop_most_urgent())
+            .map(|c| c.batch.options.tenant)
+            .collect();
+        // The tight chunk overtakes both bulk chunks; bulk stays FIFO.
+        assert_eq!(order, vec![TenantId(1), TenantId(2), TenantId(2)]);
+        assert!(q.is_empty());
+        assert_eq!(q.dispatched_chunks(), 3);
+    }
+
+    #[test]
+    fn chunk_queue_close_order_is_fifo_and_never_splits() {
+        let mut q = ChunkQueue::new(DispatchOrder::CloseOrder);
+        q.submit(batch(2, &[0.0, 0.1, 0.2], 0.3), None, 1);
+        q.submit(batch(1, &[0.35], 0.4), Some(0.01), 1);
+        let first = q.pop_most_urgent().expect("work queued");
+        assert_eq!(first.batch.len(), 3, "never split in close order");
+        assert_eq!(first.batch.options.tenant, TenantId(2));
+        let second = q.pop_most_urgent().expect("one left");
+        assert_eq!(second.batch.options.tenant, TenantId(1));
+        assert!(q.pop_most_urgent().is_none());
+        assert_eq!(q.split_batches(), 0);
+    }
+
+    #[test]
+    fn chunk_queue_matches_serial_scheduler_order() {
+        // The multi-worker queue must pick chunks in exactly the order the
+        // serial scheduler would when drained one at a time with the engine
+        // always free — same (deadline, seq) discipline, same chunking.
+        let submissions = [
+            (batch(2, &[0.0, 0.1, 0.2, 0.3], 0.4), None, 2usize),
+            (batch(1, &[0.1], 0.2), Some(0.5), 2),
+            (batch(3, &[0.15], 0.2), Some(0.1), 2),
+            (batch(1, &[0.3, 0.35], 0.4), Some(0.5), 1),
+        ];
+        let mut serial = EngineScheduler::new(DispatchOrder::SloUrgency);
+        let mut multi = ChunkQueue::new(DispatchOrder::SloUrgency);
+        for (b, slo, cap) in submissions {
+            serial.submit(b.clone(), slo, cap);
+            multi.submit(b, slo, cap);
+        }
+        let mut serial_order = Vec::new();
+        while let Some((chunk, start)) = serial.pop_next(f64::INFINITY) {
+            serial_order.push((chunk.seq, chunk.deadline.to_bits()));
+            serial.complete(start, 0.0);
+        }
+        let multi_order: Vec<(u64, u64)> = std::iter::from_fn(|| multi.pop_most_urgent())
+            .map(|c| (c.seq, c.deadline.to_bits()))
+            .collect();
+        assert_eq!(serial_order, multi_order);
     }
 }

@@ -127,10 +127,10 @@ pub mod prelude {
     pub use crate::controller::{
         BatchPolicy, ControllerBank, FixedPolicy, SloController, SloControllerConfig,
     };
-    pub use crate::dispatch::{DispatchOrder, EngineScheduler, QueuedChunk};
+    pub use crate::dispatch::{ChunkQueue, DispatchOrder, EngineScheduler, QueuedChunk};
     pub use crate::service::{SearchService, ServiceConfig, ServiceReport, TenantReport};
     pub use annkit::workload::{MultiTenantSpec, TenantId, TenantProfile, TenantSpec};
 }
 
 pub use controller::{BatchPolicy, ControllerBank, FixedPolicy, SloController, SloControllerConfig};
-pub use service::{SearchService, ServiceConfig, ServiceReport, TenantReport};
+pub use service::{SearchService, ServiceConfig, ServiceReport, SloTable, TenantReport};

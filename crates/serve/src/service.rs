@@ -337,13 +337,19 @@ impl Feedback {
 /// a profiled tenant's own target (or the config override), the config
 /// override alone for tenants the stream never announced — never the
 /// stream-level SLO, which is the tightest *profiled* tenant's target.
-struct SloTable {
+///
+/// Public because the threaded runtime's dispatcher stage resolves chunk
+/// deadlines with exactly the same table the replay twin uses.
+#[derive(Debug, Clone)]
+pub struct SloTable {
     entries: Vec<(TenantId, Option<f64>)>,
     fallback: Option<f64>,
 }
 
 impl SloTable {
-    fn new(stream: &QueryStream, config_slo: Option<f64>) -> Self {
+    /// Builds the table from the stream's tenant profiles and the service
+    /// config's explicit override (which also covers unannounced tenants).
+    pub fn new(stream: &QueryStream, config_slo: Option<f64>) -> Self {
         Self {
             entries: stream
                 .tenant_profiles
@@ -354,7 +360,8 @@ impl SloTable {
         }
     }
 
-    fn slo_of(&self, tenant: TenantId) -> Option<f64> {
+    /// The SLO `tenant` is judged (and dispatched) by, if any.
+    pub fn slo_of(&self, tenant: TenantId) -> Option<f64> {
         self.entries
             .iter()
             .find(|(id, _)| *id == tenant)
@@ -364,8 +371,13 @@ impl SloTable {
 
 /// The per-tenant dispatch chunk cap: the policy's steered cap clamped by
 /// the service-level ceiling (`usize::MAX` — never split — when chunked
-/// dispatch is off).
-fn effective_chunk(policy: &dyn BatchPolicy, tenant: TenantId, max_chunk: Option<usize>) -> usize {
+/// dispatch is off). Public for the same reason as [`SloTable`]: the
+/// threaded runtime's batcher stage resolves chunk caps identically.
+pub fn effective_chunk(
+    policy: &dyn BatchPolicy,
+    tenant: TenantId,
+    max_chunk: Option<usize>,
+) -> usize {
     match max_chunk {
         None => usize::MAX,
         Some(cap) => policy.chunk_for(tenant).map_or(cap, |c| c.min(cap)).max(1),

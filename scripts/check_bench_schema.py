@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Validate the committed bench records against their schemas.
+
+Usage:
+    check_bench_schema.py BENCH_serving.json BENCH_runtime.json ...
+
+Each file is dispatched on its top-level "schema" tag:
+
+* ``upanns-serving-bench-v4`` — the discrete-event replay record written by
+  ``serve --json`` (default replay runtime).
+* ``upanns-runtime-bench-v1`` — the threaded-runtime sweep written by
+  ``serve --runtime threaded --json``.
+
+Checks are structural (required keys, types, row shapes) plus the
+invariants a record must never violate to be worth committing:
+
+* every runtime row conserves queries (``lost == 0``, ``duplicated == 0``,
+  ``completed + shed == num_queries``);
+* counters are non-negative, fractions live in [0, 1];
+* the runtime sweep contains both workloads and more than one worker count
+  (otherwise it cannot show scaling).
+
+Exit status 0 when every file validates; 1 with a per-file message
+otherwise. This replaces the old inline ``python3 -m json.tool`` CI calls,
+which only proved the files were JSON.
+"""
+
+import json
+import sys
+
+SERVING_SCHEMA = "upanns-serving-bench-v4"
+RUNTIME_SCHEMA = "upanns-runtime-bench-v1"
+
+SERVING_ROW_KEYS = {
+    "name", "workload", "policy", "sustained_qps", "p50_ms", "p99_ms",
+    "mean_ms", "slo_miss_fraction", "meets_slo", "all_tenants_meet_slo",
+    "completed", "shed", "cache_hit_rate", "batches", "mean_batch_size",
+    "dispatched_chunks", "mean_chunk_size", "final_max_batch",
+    "final_max_delay_ms", "controller_adjustments", "engine_busy_s",
+    "tenants",
+}
+
+RUNTIME_ROW_KEYS = {
+    "engine", "workload", "mode", "policy", "workers", "offered_qps",
+    "num_queries", "sustained_qps", "p50_ms", "p99_ms", "mean_ms",
+    "completed", "shed", "lost", "duplicated", "cache_hit_rate",
+    "dispatched_chunks", "busy_modeled_s", "makespan_s",
+    "emulated_utilization", "tenants",
+}
+
+RUNTIME_TENANT_KEYS = {
+    "tenant", "slo_ms", "completed", "shed", "p50_ms", "p99_ms",
+    "slo_miss_fraction", "meets_slo",
+}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def require(cond, message):
+    if not cond:
+        raise SchemaError(message)
+
+
+def check_keys(obj, expected, label):
+    require(isinstance(obj, dict), f"{label} is not an object")
+    missing = expected - set(obj)
+    extra = set(obj) - expected
+    require(not missing, f"{label} is missing keys: {sorted(missing)}")
+    require(not extra, f"{label} has unexpected keys: {sorted(extra)}")
+
+
+def check_fraction(value, label):
+    require(isinstance(value, (int, float)) and 0.0 <= value <= 1.0,
+            f"{label} = {value!r} is not a fraction in [0, 1]")
+
+
+def check_count(value, label):
+    require(isinstance(value, int) and value >= 0,
+            f"{label} = {value!r} is not a non-negative integer")
+
+
+def check_serving(doc):
+    require(set(doc) == {"schema", "config", "engines"},
+            f"top-level keys {sorted(doc)} != ['config', 'engines', 'schema']")
+    require(isinstance(doc["config"], dict) and doc["config"],
+            "config block is missing or empty")
+    rows = doc["engines"]
+    require(isinstance(rows, list) and rows, "engines list is missing or empty")
+    for i, row in enumerate(rows):
+        label = f"engines[{i}]"
+        check_keys(row, SERVING_ROW_KEYS, label)
+        require(row["workload"] in ("single", "multi"),
+                f"{label}.workload = {row['workload']!r}")
+        for key in ("completed", "shed", "batches", "dispatched_chunks"):
+            check_count(row[key], f"{label}.{key}")
+        for key in ("slo_miss_fraction", "cache_hit_rate"):
+            check_fraction(row[key], f"{label}.{key}")
+        require(isinstance(row["tenants"], list), f"{label}.tenants is not a list")
+    workloads = {r["workload"] for r in rows}
+    require(workloads == {"single", "multi"},
+            f"expected single and multi workload rows, got {sorted(workloads)}")
+
+
+def check_runtime(doc):
+    require(set(doc) == {"schema", "config", "rows"},
+            f"top-level keys {sorted(doc)} != ['config', 'rows', 'schema']")
+    require(isinstance(doc["config"], dict) and doc["config"],
+            "config block is missing or empty")
+    rows = doc["rows"]
+    require(isinstance(rows, list) and rows, "rows list is missing or empty")
+    for i, row in enumerate(rows):
+        label = f"rows[{i}]"
+        check_keys(row, RUNTIME_ROW_KEYS, label)
+        require(row["workload"] in ("single", "multi"),
+                f"{label}.workload = {row['workload']!r}")
+        require(row["mode"] in ("wall", "logical"), f"{label}.mode = {row['mode']!r}")
+        for key in ("completed", "shed", "lost", "duplicated", "workers",
+                    "num_queries", "dispatched_chunks"):
+            check_count(row[key], f"{label}.{key}")
+        require(row["workers"] >= 1, f"{label}.workers = {row['workers']}")
+        # The conservation contract: a committed record proving the runtime
+        # dropped or double-answered queries must never land.
+        require(row["lost"] == 0, f"{label} lost {row['lost']} queries")
+        require(row["duplicated"] == 0,
+                f"{label} duplicated {row['duplicated']} queries")
+        require(row["completed"] + row["shed"] == row["num_queries"],
+                f"{label}: completed {row['completed']} + shed {row['shed']} "
+                f"!= offered {row['num_queries']}")
+        check_fraction(row["cache_hit_rate"], f"{label}.cache_hit_rate")
+        require(row["makespan_s"] > 0, f"{label}.makespan_s = {row['makespan_s']}")
+        for j, t in enumerate(row["tenants"]):
+            tlabel = f"{label}.tenants[{j}]"
+            check_keys(t, RUNTIME_TENANT_KEYS, tlabel)
+            check_count(t["completed"], f"{tlabel}.completed")
+            check_count(t["shed"], f"{tlabel}.shed")
+            check_fraction(t["slo_miss_fraction"], f"{tlabel}.slo_miss_fraction")
+        if row["workload"] == "multi":
+            require(len(row["tenants"]) >= 2,
+                    f"{label} is a multi-tenant row with {len(row['tenants'])} tenants")
+    workloads = {r["workload"] for r in rows}
+    require(workloads == {"single", "multi"},
+            f"expected single and multi workload rows, got {sorted(workloads)}")
+    worker_counts = {r["workers"] for r in rows}
+    require(len(worker_counts) > 1,
+            f"a one-worker-count sweep ({sorted(worker_counts)}) cannot show scaling")
+
+
+CHECKERS = {
+    SERVING_SCHEMA: check_serving,
+    RUNTIME_SCHEMA: check_runtime,
+}
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 1
+    failed = False
+    for path in argv[1:]:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+            schema = doc.get("schema")
+            checker = CHECKERS.get(schema)
+            if checker is None:
+                raise SchemaError(
+                    f"unknown schema tag {schema!r} (known: {sorted(CHECKERS)})")
+            checker(doc)
+            print(f"{path}: ok ({schema})")
+        except (OSError, json.JSONDecodeError, SchemaError) as e:
+            print(f"{path}: FAIL: {e}")
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
