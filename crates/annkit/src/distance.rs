@@ -3,6 +3,14 @@
 //! IVFPQ (and the UpANNS paper) use L2 distance; inner-product is provided
 //! because DEEP1B-style embedding workloads are usually maximum-inner-product
 //! searches that Faiss maps onto the same machinery.
+//!
+//! [`l2_squared`] and [`inner_product`] dispatch to the best runtime-detected
+//! backend in [`crate::simd`]; every backend is bitwise-identical to the
+//! scalar reference, so callers (kmeans, `IvfPqIndex::search`, the replay
+//! twin) see the same answers on every machine.
+
+use crate::simd;
+use crate::topk::Neighbor;
 
 /// The similarity metric of an index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -25,50 +33,22 @@ impl Metric {
     }
 }
 
-/// Squared L2 distance between two equal-length vectors.
+/// Squared L2 distance between two equal-length vectors, on the best
+/// runtime-detected backend (bitwise-equal to the scalar reference — see
+/// [`crate::simd`]).
 ///
 /// # Panics
 /// Panics (in debug builds) if the lengths differ.
 #[inline]
 pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len(), "distance dimension mismatch");
-    // Manual 4-way unrolling: the auto-vectorizer handles the chunks and the
-    // scalar tail handles the remainder; this is the standard shape Faiss and
-    // the perf-book recommend for reductions.
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for c in 0..chunks {
-        let i = c * 4;
-        for lane in 0..4 {
-            let d = a[i + lane] - b[i + lane];
-            acc[lane] += d * d;
-        }
-    }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        let d = a[i] - b[i];
-        sum += d * d;
-    }
-    sum
+    simd::l2_squared_with(simd::active(), a, b)
 }
 
-/// Plain inner product of two equal-length vectors.
+/// Plain inner product of two equal-length vectors, on the best
+/// runtime-detected backend (bitwise-equal to the scalar reference).
 #[inline]
 pub fn inner_product(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len(), "distance dimension mismatch");
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for c in 0..chunks {
-        let i = c * 4;
-        for lane in 0..4 {
-            acc[lane] += a[i + lane] * b[i + lane];
-        }
-    }
-    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        sum += a[i] * b[i];
-    }
-    sum
+    simd::inner_product_with(simd::active(), a, b)
 }
 
 /// Squared L2 norm of a vector.
@@ -110,7 +90,10 @@ pub fn nearest_centroids(v: &[f32], centroids: &[f32], dim: usize, n: usize) -> 
         .map(|(i, c)| (i, l2_squared(v, c)))
         .collect();
     let n = n.min(k);
-    all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    // Total order via Neighbor::cmp: a NaN distance (e.g. a poisoned
+    // centroid) sorts last instead of comparing Equal-to-everything, so it
+    // can never displace a finite centroid from the probe set.
+    all.sort_by(|a, b| Neighbor::new(a.0 as u64, a.1).cmp(&Neighbor::new(b.0 as u64, b.1)));
     all.truncate(n);
     all
 }
@@ -174,5 +157,38 @@ mod tests {
         // n larger than the number of centroids is clamped.
         let all = nearest_centroids(&[0.0, 0.0], &centroids, 2, 100);
         assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn nan_centroid_never_enters_probe_set() {
+        // Regression: the old comparator used partial_cmp(..).unwrap_or(Equal),
+        // under which a NaN distance compares Equal to everything and can keep
+        // its position ahead of finite centroids. With Neighbor::cmp the
+        // poisoned centroid sorts strictly last.
+        let centroids = vec![5.0, 5.0, f32::NAN, 0.0, 1.0, 1.0, 3.0, 3.0];
+        let top = nearest_centroids(&[0.0, 0.0], &centroids, 2, 3);
+        assert_eq!(top.iter().map(|t| t.0).collect::<Vec<_>>(), vec![2, 3, 0]);
+        assert!(top.iter().all(|t| !t.1.is_nan()));
+        // Asking for all of them places the NaN centroid last.
+        let all = nearest_centroids(&[0.0, 0.0], &centroids, 2, 4);
+        assert_eq!(all[3].0, 1);
+        assert!(all[3].1.is_nan());
+    }
+
+    #[test]
+    fn dispatched_l2_matches_scalar_reference_bitwise() {
+        use crate::simd;
+        for n in [1usize, 4, 7, 8, 16, 37, 96, 100] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.83).sin()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.29).cos()).collect();
+            assert_eq!(
+                l2_squared(&a, &b).to_bits(),
+                simd::l2_squared_scalar(&a, &b).to_bits()
+            );
+            assert_eq!(
+                inner_product(&a, &b).to_bits(),
+                simd::inner_product_scalar(&a, &b).to_bits()
+            );
+        }
     }
 }

@@ -9,6 +9,8 @@
 //! * the inverted-file index with per-cluster residual PQ codes ([`ivf`]),
 //! * asymmetric-distance lookup tables (LUTs) and ADC scans ([`lut`]),
 //! * bounded heaps and exact top-k selection ([`topk`]),
+//! * runtime-dispatched SIMD fast paths for the scan/distance/top-k hot
+//!   loops, bitwise-equal to their scalar references ([`simd`]),
 //! * brute-force exact search and recall metrics ([`flat`], [`recall`]),
 //! * synthetic SIFT1B/DEEP1B/SPACEV1B-like dataset generators with skewed
 //!   cluster popularity and injected code co-occurrence ([`synthetic`]),
@@ -37,7 +39,11 @@
 //! assert_eq!(result.len(), 10);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one sanctioned exception is [`simd`], which
+// re-allows `unsafe` for `std::arch` intrinsics behind runtime feature
+// detection. The `upanns-lint` rule `no-unsafe-outside-simd` machine-checks
+// that no other file in the workspace uses the keyword.
+#![deny(unsafe_code)]
 
 pub mod distance;
 pub mod error;
@@ -48,6 +54,7 @@ pub mod kmeans;
 pub mod lut;
 pub mod pq;
 pub mod recall;
+pub mod simd;
 pub mod synthetic;
 pub mod topk;
 pub mod vector;

@@ -9,6 +9,7 @@
 
 use crate::distance::l2_squared;
 use crate::pq::{ProductQuantizer, KSUB};
+use crate::simd::{self, Backend};
 
 /// A lookup table of `m * 256` partial distances for one (query, cluster)
 /// pair.
@@ -76,21 +77,32 @@ impl LookupTable {
     /// Scans a packed code buffer (`n` codes of `m` bytes each) and returns
     /// the ADC distance of every code. This is the memory-bound inner loop
     /// that dominates billion-scale IVFPQ (Figure 1 / Figure 19).
+    ///
+    /// Dispatches to the best runtime-detected backend in [`crate::simd`]
+    /// (AVX2 gathers, 8 records in flight); every backend is bitwise-equal
+    /// to the naive record-major scalar scan.
     pub fn adc_scan(&self, packed_codes: &[u8]) -> Vec<f32> {
-        assert!(
-            packed_codes.len().is_multiple_of(self.m),
-            "packed code buffer not a multiple of m"
-        );
-        packed_codes
-            .chunks_exact(self.m)
-            .map(|code| {
-                let mut sum = 0.0f32;
-                for (sub, &c) in code.iter().enumerate() {
-                    sum += self.table[sub * KSUB + c as usize];
-                }
-                sum
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.adc_scan_into(packed_codes, &mut out);
+        out
+    }
+
+    /// Allocation-reusing form of [`adc_scan`](Self::adc_scan): clears `out`
+    /// and appends one distance per code, letting tight loops (the PIM
+    /// kernel's functional scan) reuse one buffer across chunks.
+    #[inline]
+    pub fn adc_scan_into(&self, packed_codes: &[u8], out: &mut Vec<f32>) {
+        self.adc_scan_with(simd::active(), packed_codes, out);
+    }
+
+    /// [`adc_scan_into`](Self::adc_scan_into) on an explicit [`Backend`],
+    /// used by the equivalence tests and the bench variants to pin a path
+    /// regardless of what the dispatcher detected.
+    ///
+    /// # Panics
+    /// Panics if `packed_codes.len()` is not a multiple of `m`.
+    pub fn adc_scan_with(&self, backend: Backend, packed_codes: &[u8], out: &mut Vec<f32>) {
+        simd::adc_scan_with(backend, &self.table, self.m, packed_codes, out);
     }
 
     /// The raw table (`m * 256` floats).
@@ -109,13 +121,14 @@ impl LookupTable {
     /// fixed-point LUT the DPU kernel stores in WRAM. Returns the quantized
     /// entries and the scale such that `value ≈ entry as f32 * scale`.
     pub fn quantize_u16(&self) -> (Vec<u16>, f32) {
-        let max = self
-            .table
-            .iter()
-            .copied()
-            .fold(0.0f32, f32::max)
-            .max(f32::MIN_POSITIVE);
-        let scale = max / (u16::MAX as f32);
+        let max = self.table.iter().copied().fold(0.0f32, f32::max);
+        // Clamp the *scale* (not the max) away from the subnormal range: for
+        // an all-near-zero table, `max / u16::MAX` could be subnormal and
+        // `v / scale` would overflow to inf, saturating every entry to
+        // u16::MAX and inverting the ordering. A floor of MIN_POSITIVE keeps
+        // the scale normal; entries then quantize to ~0, which is correct
+        // for a degenerate table (and exact for the all-zero one).
+        let scale = (max / (u16::MAX as f32)).max(f32::MIN_POSITIVE);
         let q = self
             .table
             .iter()
@@ -199,6 +212,54 @@ mod tests {
         for (i, &orig) in lut.as_flat().iter().enumerate() {
             let rec = q[i] as f32 * scale;
             assert!((rec - orig).abs() <= scale + 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantize_handles_all_near_zero_table() {
+        // Regression: with `max(f32::MIN_POSITIVE)` applied to the *max*, the
+        // scale `MIN_POSITIVE / u16::MAX` was subnormal and `v / scale`
+        // overflowed to inf for any nonzero v, saturating entries to
+        // u16::MAX and inverting the ordering. The scale floor keeps the
+        // division finite and the ordering monotone.
+        let tiny = LookupTable {
+            m: 1,
+            table: (0..KSUB).map(|i| i as f32 * 1e-42).collect(),
+        };
+        let (q, scale) = tiny.quantize_u16();
+        assert!(scale.is_normal(), "scale {scale} must not be subnormal");
+        assert!(
+            q.iter().all(|&e| e < u16::MAX),
+            "near-zero entries must not saturate"
+        );
+        // Ordering of the original (monotone) table is preserved.
+        assert!(q.windows(2).all(|w| w[0] <= w[1]));
+
+        // Exactly-zero table quantizes to exactly zero.
+        let zero = LookupTable {
+            m: 1,
+            table: vec![0.0; KSUB],
+        };
+        let (qz, sz) = zero.quantize_u16();
+        assert!(sz.is_normal());
+        assert!(qz.iter().all(|&e| e == 0));
+    }
+
+    #[test]
+    fn scan_backends_agree_bitwise() {
+        let (pq, ds) = setup(8, 4);
+        let lut = LookupTable::build(&pq, ds.vector(2));
+        // 19 records: two full 8-lane blocks plus a 3-record tail.
+        let codes: Vec<Vec<u8>> = (0..19).map(|i| pq.encode(ds.vector(i))).collect();
+        let packed = crate::pq::pack_codes(&codes, 4);
+        let dispatched = lut.adc_scan(&packed);
+        for backend in [Backend::Scalar, crate::simd::detect()] {
+            let mut out = Vec::new();
+            lut.adc_scan_with(backend, &packed, &mut out);
+            assert_eq!(out.len(), dispatched.len());
+            for (a, b) in out.iter().zip(&dispatched) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{backend:?}");
+            }
         }
     }
 

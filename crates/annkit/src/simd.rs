@@ -1,0 +1,505 @@
+//! Explicitly vectorized fast paths for the three hot kernels — the ADC
+//! scan, the L2/inner-product distances, and the top-k pre-filter — behind
+//! runtime feature detection.
+//!
+//! # The answer-identity contract
+//!
+//! Every committed bench record and the threaded runtime's deterministic
+//! replay twin depend on search answers being a pure function of
+//! `(query, k, nprobe, index)` — *never* of which machine ran the kernel.
+//! This module therefore holds itself to a stronger bar than "epsilon
+//! close": **every vectorized path is bitwise-identical to its scalar
+//! reference**, proven by the `simd_equivalence` proptests:
+//!
+//! * the AVX2 ADC scan sums the same `m` table entries per record in the
+//!   same order as the scalar loop (lanes are independent records);
+//! * the AVX2 distance kernels keep the scalar reference's exact reduction
+//!   tree — a 4-lane accumulator fed in chunk order with explicit
+//!   multiply-then-add (FMA contraction is deliberately *not* used: its
+//!   single rounding would fork the sums from the scalar path and thereby
+//!   fork kmeans trajectories, index contents, and the byte-diffed serving
+//!   records across machines);
+//! * the top-k pre-filter compares exactly (no rounding is involved).
+//!
+//! # Where `unsafe` lives
+//!
+//! This module is the **only** place in the workspace where `unsafe` is
+//! permitted: the crate root demotes `#![forbid(unsafe_code)]` to `deny`
+//! and this file alone re-allows it, the `upanns-lint`
+//! `no-unsafe-outside-simd` rule machine-checks that no other file uses
+//! the keyword, and every unsafe block here is an `std::arch` intrinsic
+//! call whose preconditions (CPU features, in-bounds gathers from a
+//! 256-entry LUT row indexed by a `u8`) are established by the dispatcher
+//! and by construction.
+//!
+//! # Dispatch policy
+//!
+//! [`active`] resolves once per process: an explicit [`force_backend`]
+//! call (used by the forced-fallback equivalence tests) wins, then the
+//! `UPANNS_FORCE_SCALAR` environment variable, then
+//! `is_x86_feature_detected!("avx2")`+`fma`. All kernels also expose
+//! `*_with(Backend, ..)` entry points so benches and tests can pin either
+//! path explicitly inside a single process.
+#![allow(unsafe_code)]
+
+use std::sync::OnceLock;
+
+/// Which implementation of the hot kernels to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Portable chunked scalar code (autovectorization-friendly).
+    Scalar,
+    /// x86-64 AVX2 (+FMA detected, though contraction is unused — see the
+    /// module docs) intrinsics.
+    Avx2,
+}
+
+impl Backend {
+    /// Stable lowercase name (`"scalar"` / `"avx2"`), used in bench ids
+    /// and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+        }
+    }
+}
+
+static FORCED: OnceLock<Backend> = OnceLock::new();
+static ACTIVE: OnceLock<Backend> = OnceLock::new();
+
+/// The backend the dispatching kernel entry points use, resolved once per
+/// process: [`force_backend`] override first, then the
+/// `UPANNS_FORCE_SCALAR` environment variable, then CPU feature detection.
+pub fn active() -> Backend {
+    *ACTIVE.get_or_init(|| {
+        if let Some(f) = FORCED.get() {
+            return *f;
+        }
+        if std::env::var_os("UPANNS_FORCE_SCALAR").is_some_and(|v| v != "0") {
+            return Backend::Scalar;
+        }
+        detect()
+    })
+}
+
+/// What runtime detection reports for this CPU, ignoring any override.
+pub fn detect() -> Backend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return Backend::Avx2;
+        }
+    }
+    Backend::Scalar
+}
+
+/// Pins the process-wide dispatch to `backend` for tests that must observe
+/// a specific path through the *dispatching* entry points (each Rust
+/// integration-test binary is its own process, so a test file can claim
+/// the dispatch for itself by calling this first).
+///
+/// Returns `true` when [`active`] will report `backend` — i.e. the call
+/// happened before the first dispatch (or agreed with it). Production code
+/// never calls this.
+pub fn force_backend(backend: Backend) -> bool {
+    let _ = FORCED.set(backend);
+    active() == backend
+}
+
+// ---------------------------------------------------------------------------
+// Distance kernels
+// ---------------------------------------------------------------------------
+
+/// Scalar reference for [`l2_squared_with`]: 4-lane accumulators fed in
+/// chunk order, combined left-associatively, sequential tail. This is the
+/// exact reduction tree the AVX2 path reproduces bitwise.
+pub fn l2_squared_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "distance dimension mismatch");
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        for lane in 0..4 {
+            let d = a[i + lane] - b[i + lane];
+            acc[lane] += d * d;
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Scalar reference for [`inner_product_with`]; same reduction tree as
+/// [`l2_squared_scalar`].
+pub fn inner_product_scalar(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len(), "distance dimension mismatch");
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        for lane in 0..4 {
+            acc[lane] += a[i + lane] * b[i + lane];
+        }
+    }
+    let mut sum = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Squared L2 distance on an explicit backend (bitwise-equal across
+/// backends; see the module docs).
+#[inline]
+pub fn l2_squared_with(backend: Backend, a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx2 {
+        // Safety: the Avx2 backend is only handed out by `detect()` (which
+        // verified the features), by tests on machines where `force_backend`
+        // succeeded, or by benches that consulted `detect()` themselves.
+        return unsafe { x86::l2_squared_avx2(a, b) };
+    }
+    let _ = backend;
+    l2_squared_scalar(a, b)
+}
+
+/// Inner product on an explicit backend (bitwise-equal across backends).
+#[inline]
+pub fn inner_product_with(backend: Backend, a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx2 {
+        // Safety: as in `l2_squared_with`.
+        return unsafe { x86::inner_product_avx2(a, b) };
+    }
+    let _ = backend;
+    inner_product_scalar(a, b)
+}
+
+// ---------------------------------------------------------------------------
+// ADC scan
+// ---------------------------------------------------------------------------
+
+/// How many records the blocked/vectorized scans keep in flight. Eight
+/// records share one LUT row per sub-quantizer step (a 1 KB row of the
+/// table), which is the cache-blocked access pattern the AVX2 gather path
+/// uses natively.
+pub const SCAN_LANES: usize = 8;
+
+/// Naive record-major scalar ADC scan — the reference implementation every
+/// other path must match bitwise. `table` is row-major (`sub * 256 + code`,
+/// `m * 256` entries); `packed` holds `n` records of `m` code bytes.
+pub fn adc_scan_reference(table: &[f32], m: usize, packed: &[u8], out: &mut Vec<f32>) {
+    debug_assert_eq!(table.len(), m * 256, "LUT table size mismatch");
+    debug_assert!(packed.len().is_multiple_of(m), "packed code buffer not a multiple of m");
+    out.clear();
+    out.reserve(packed.len() / m);
+    for code in packed.chunks_exact(m) {
+        let mut sum = 0.0f32;
+        for (sub, &c) in code.iter().enumerate() {
+            sum += table[sub * 256 + c as usize];
+        }
+        out.push(sum);
+    }
+}
+
+/// Portable cache-blocked ADC scan: [`SCAN_LANES`] records in flight,
+/// iterated sub-major so all lanes read the *same* 256-entry LUT row before
+/// moving to the next — a transposed access pattern over the row-major
+/// table that the autovectorizer can turn into gathers/unrolled loads.
+/// Per record the `m` partial sums are added in sub order, so the result
+/// is bitwise-identical to [`adc_scan_reference`].
+pub fn adc_scan_blocked(table: &[f32], m: usize, packed: &[u8], out: &mut Vec<f32>) {
+    debug_assert_eq!(table.len(), m * 256, "LUT table size mismatch");
+    debug_assert!(packed.len().is_multiple_of(m), "packed code buffer not a multiple of m");
+    let n = packed.len() / m;
+    out.clear();
+    out.reserve(n);
+    let mut r = 0;
+    while r + SCAN_LANES <= n {
+        let block = &packed[r * m..(r + SCAN_LANES) * m];
+        let mut acc = [0.0f32; SCAN_LANES];
+        for sub in 0..m {
+            let row = &table[sub * 256..sub * 256 + 256];
+            for (lane, a) in acc.iter_mut().enumerate() {
+                *a += row[block[lane * m + sub] as usize];
+            }
+        }
+        out.extend_from_slice(&acc);
+        r += SCAN_LANES;
+    }
+    for code in packed[r * m..].chunks_exact(m) {
+        let mut sum = 0.0f32;
+        for (sub, &c) in code.iter().enumerate() {
+            sum += table[sub * 256 + c as usize];
+        }
+        out.push(sum);
+    }
+}
+
+/// ADC scan on an explicit backend, appending one distance per record into
+/// `out` (cleared first). Bitwise-equal across backends.
+///
+/// # Panics
+/// Panics if `table.len() != m * 256` or `packed.len()` is not a multiple
+/// of `m`.
+pub fn adc_scan_with(backend: Backend, table: &[f32], m: usize, packed: &[u8], out: &mut Vec<f32>) {
+    assert_eq!(table.len(), m * 256, "LUT table size mismatch");
+    assert!(
+        packed.len().is_multiple_of(m),
+        "packed code buffer not a multiple of m"
+    );
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx2 {
+        // Safety: feature availability as in `l2_squared_with`; gather
+        // indices are u8 codes (0..=255) into 256-entry rows, in bounds by
+        // the table-size assertion above.
+        unsafe { x86::adc_scan_avx2(table, m, packed, out) };
+        return;
+    }
+    let _ = backend;
+    adc_scan_blocked(table, m, packed, out);
+}
+
+// ---------------------------------------------------------------------------
+// Top-k pre-filter
+// ---------------------------------------------------------------------------
+
+/// Lane mask of `values[i] <= threshold` for up to [`SCAN_LANES`] values
+/// (bit `i` set iff lane `i` passes). `NaN <= t` is false in every lane,
+/// exactly as in the scalar comparison, so NaN candidates are filtered the
+/// same way `TopK::push` rejects them against a full heap. Comparison is
+/// exact — no rounding — so the mask is identical across backends.
+///
+/// # Panics
+/// Panics if `values.len() > SCAN_LANES`.
+pub fn le_mask_with(backend: Backend, values: &[f32], threshold: f32) -> u32 {
+    assert!(values.len() <= SCAN_LANES, "at most SCAN_LANES values");
+    #[cfg(target_arch = "x86_64")]
+    if backend == Backend::Avx2 && values.len() == SCAN_LANES {
+        // Safety: feature availability as in `l2_squared_with`; the length
+        // check above guarantees a full 8-lane unaligned load is in bounds.
+        return unsafe { x86::le_mask_avx2(values, threshold) };
+    }
+    let _ = backend;
+    let mut mask = 0u32;
+    for (i, &v) in values.iter().enumerate() {
+        if v <= threshold {
+            mask |= 1 << i;
+        }
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 implementations
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::SCAN_LANES;
+    use std::arch::x86_64::*;
+
+    /// Bitwise twin of `l2_squared_scalar`: 8 lanes of subtract/multiply
+    /// per step, folded into a 4-lane accumulator as `(acc + lo) + hi` —
+    /// lane `l` receives `d²` terms in exactly the scalar order
+    /// (`8j+l` then `8j+4+l`). Explicit mul+add, no FMA contraction.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn l2_squared_avx2(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len(), "distance dimension mismatch");
+        let n = a.len();
+        let mut acc = _mm_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= n {
+            let va = _mm256_loadu_ps(a.as_ptr().add(i));
+            let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+            let d = _mm256_sub_ps(va, vb);
+            let sq = _mm256_mul_ps(d, d);
+            acc = _mm_add_ps(acc, _mm256_castps256_ps128(sq));
+            acc = _mm_add_ps(acc, _mm256_extractf128_ps::<1>(sq));
+            i += 8;
+        }
+        if i + 4 <= n {
+            let va = _mm_loadu_ps(a.as_ptr().add(i));
+            let vb = _mm_loadu_ps(b.as_ptr().add(i));
+            let d = _mm_sub_ps(va, vb);
+            acc = _mm_add_ps(acc, _mm_mul_ps(d, d));
+            i += 4;
+        }
+        let mut lanes = [0.0f32; 4];
+        _mm_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+        for j in i..n {
+            let d = a[j] - b[j];
+            sum += d * d;
+        }
+        sum
+    }
+
+    /// Bitwise twin of `inner_product_scalar`; same structure as
+    /// [`l2_squared_avx2`].
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn inner_product_avx2(a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len(), "distance dimension mismatch");
+        let n = a.len();
+        let mut acc = _mm_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= n {
+            let va = _mm256_loadu_ps(a.as_ptr().add(i));
+            let vb = _mm256_loadu_ps(b.as_ptr().add(i));
+            let p = _mm256_mul_ps(va, vb);
+            acc = _mm_add_ps(acc, _mm256_castps256_ps128(p));
+            acc = _mm_add_ps(acc, _mm256_extractf128_ps::<1>(p));
+            i += 8;
+        }
+        if i + 4 <= n {
+            let va = _mm_loadu_ps(a.as_ptr().add(i));
+            let vb = _mm_loadu_ps(b.as_ptr().add(i));
+            acc = _mm_add_ps(acc, _mm_mul_ps(va, vb));
+            i += 4;
+        }
+        let mut lanes = [0.0f32; 4];
+        _mm_storeu_ps(lanes.as_mut_ptr(), acc);
+        let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+        for j in i..n {
+            sum += a[j] * b[j];
+        }
+        sum
+    }
+
+    /// Eight records in flight: per sub-quantizer, gather the eight lanes'
+    /// table entries from one 256-entry LUT row and accumulate. Each lane
+    /// is an independent record whose `m` adds happen in sub order, so
+    /// every output is bitwise-equal to the scalar reference.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available, `table.len() == m * 256`, and
+    /// `packed.len().is_multiple_of(m)` (gather indices are u8 codes, in bounds of
+    /// their 256-entry row by construction).
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn adc_scan_avx2(table: &[f32], m: usize, packed: &[u8], out: &mut Vec<f32>) {
+        let n = packed.len() / m;
+        out.clear();
+        out.reserve(n);
+        let mut r = 0;
+        while r + SCAN_LANES <= n {
+            let block = &packed[r * m..];
+            let mut acc = _mm256_setzero_ps();
+            for sub in 0..m {
+                // Lane l gathers row entry `block[l * m + sub]`.
+                let idx = _mm256_set_epi32(
+                    block[7 * m + sub] as i32,
+                    block[6 * m + sub] as i32,
+                    block[5 * m + sub] as i32,
+                    block[4 * m + sub] as i32,
+                    block[3 * m + sub] as i32,
+                    block[2 * m + sub] as i32,
+                    block[m + sub] as i32,
+                    block[sub] as i32,
+                );
+                let row = table.as_ptr().add(sub * 256);
+                acc = _mm256_add_ps(acc, _mm256_i32gather_ps::<4>(row, idx));
+            }
+            let mut lanes = [0.0f32; SCAN_LANES];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+            out.extend_from_slice(&lanes);
+            r += SCAN_LANES;
+        }
+        for code in packed[r * m..].chunks_exact(m) {
+            let mut sum = 0.0f32;
+            for (sub, &c) in code.iter().enumerate() {
+                sum += table[sub * 256 + c as usize];
+            }
+            out.push(sum);
+        }
+    }
+
+    /// 8-lane `v <= threshold` movemask.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available and `values.len() == 8`.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn le_mask_avx2(values: &[f32], threshold: f32) -> u32 {
+        let v = _mm256_loadu_ps(values.as_ptr());
+        let t = _mm256_set1_ps(threshold);
+        let cmp = _mm256_cmp_ps::<_CMP_LE_OQ>(v, t);
+        _mm256_movemask_ps(cmp) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize) -> (Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+        let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.11).cos() * 2.0 - 0.5).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn detected_backend_matches_both_paths_bitwise() {
+        // On AVX2 hardware this proves the vector paths; elsewhere it
+        // degenerates to scalar-vs-scalar, and the proptest suite is the
+        // cross-machine evidence.
+        let backend = detect();
+        for n in [0usize, 1, 3, 4, 7, 8, 12, 15, 16, 33, 128, 131] {
+            let (a, b) = vecs(n);
+            assert_eq!(
+                l2_squared_with(backend, &a, &b).to_bits(),
+                l2_squared_scalar(&a, &b).to_bits(),
+                "l2 dim {n}"
+            );
+            assert_eq!(
+                inner_product_with(backend, &a, &b).to_bits(),
+                inner_product_scalar(&a, &b).to_bits(),
+                "ip dim {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn adc_scan_paths_agree_bitwise() {
+        let m = 6;
+        let table: Vec<f32> = (0..m * 256).map(|i| (i as f32 * 0.013).sin()).collect();
+        let packed: Vec<u8> = (0..m * 21).map(|i| ((i * 37 + 11) % 256) as u8).collect();
+        let mut reference = Vec::new();
+        adc_scan_reference(&table, m, &packed, &mut reference);
+        for backend in [Backend::Scalar, detect()] {
+            let mut got = Vec::new();
+            adc_scan_with(backend, &table, m, &packed, &mut got);
+            assert_eq!(got.len(), reference.len());
+            for (g, r) in got.iter().zip(&reference) {
+                assert_eq!(g.to_bits(), r.to_bits(), "{backend:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn le_mask_matches_scalar_semantics() {
+        let values = [1.0f32, 5.0, f32::NAN, 2.0, 2.0, -1.0, 9.0, 0.0];
+        for backend in [Backend::Scalar, detect()] {
+            let mask = le_mask_with(backend, &values, 2.0);
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(mask & (1 << i) != 0, v <= 2.0, "{backend:?} lane {i}");
+            }
+        }
+        // Short tails take the scalar path on every backend.
+        assert_eq!(le_mask_with(detect(), &[1.0, 3.0, 2.0], 2.0), 0b101);
+    }
+
+    #[test]
+    fn backend_names_are_stable() {
+        assert_eq!(Backend::Scalar.name(), "scalar");
+        assert_eq!(Backend::Avx2.name(), "avx2");
+    }
+}

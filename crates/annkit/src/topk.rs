@@ -7,6 +7,7 @@
 //! (Figure 6) and later converts to a min-heap for the pruned merge
 //! (Figure 9, reproduced in `upanns::topk_prune`).
 
+use crate::simd::{self, Backend, SCAN_LANES};
 use std::cmp::Ordering;
 
 /// A candidate neighbor: dataset row id plus its (approximate) distance.
@@ -137,6 +138,66 @@ impl TopK {
         }
     }
 
+    /// Offers a run of candidates with consecutive ids (`base_id`,
+    /// `base_id + 1`, …) — the shape every scan loop produces — on the best
+    /// runtime-detected backend. Returns the number inserted.
+    ///
+    /// Behaves exactly like calling [`push`](Self::push) for each candidate
+    /// in order (same final heap, same offered/accepted counters), but once
+    /// the heap is full it pre-filters each block of [`SCAN_LANES`]
+    /// distances against [`threshold`](Self::threshold) with one vector
+    /// compare, so the common all-rejected case never touches the heap.
+    #[inline]
+    pub fn push_batch(&mut self, base_id: u64, distances: &[f32]) -> usize {
+        self.push_batch_with(simd::active(), base_id, distances)
+    }
+
+    /// [`push_batch`](Self::push_batch) on an explicit [`Backend`], used by
+    /// the equivalence tests and bench variants.
+    pub fn push_batch_with(&mut self, backend: Backend, base_id: u64, distances: &[f32]) -> usize {
+        let mut inserted = 0usize;
+        let mut i = 0usize;
+        let n = distances.len();
+        while i < n {
+            if self.heap.len() < self.k {
+                // Fill phase: push accepts everything (even NaN) until the
+                // heap is full, so the pre-filter must not run here.
+                if self.push(base_id + i as u64, distances[i]) {
+                    inserted += 1;
+                }
+                i += 1;
+                continue;
+            }
+            let end = (i + SCAN_LANES).min(n);
+            let block = &distances[i..end];
+            let threshold = self.heap[0].distance;
+            let mask = if threshold.is_nan() {
+                // A NaN root loses to every real candidate under
+                // Neighbor::cmp, but `d <= NaN` is false in every lane —
+                // bypass the filter and let push re-check exactly.
+                (1u32 << block.len()) - 1
+            } else {
+                // `<=`, not `<`: a candidate at exactly the threshold can
+                // still win on the id tie-break. The threshold only
+                // tightens within a block, so lanes filtered out here would
+                // be rejected by every later push too.
+                simd::le_mask_with(backend, block, threshold)
+            };
+            let mut remaining = mask;
+            while remaining != 0 {
+                let lane = remaining.trailing_zeros() as usize;
+                remaining &= remaining - 1;
+                if self.push(base_id + (i + lane) as u64, distances[i + lane]) {
+                    inserted += 1;
+                }
+            }
+            // Filtered-out lanes were still offered.
+            self.pushed += (block.len() - mask.count_ones() as usize) as u64;
+            i = end;
+        }
+        inserted
+    }
+
     /// Merges another collector into this one.
     pub fn merge(&mut self, other: &TopK) {
         for n in &other.heap {
@@ -159,8 +220,10 @@ impl TopK {
     /// Consumes the collector, returning neighbors sorted from closest to
     /// furthest.
     pub fn into_sorted(mut self) -> Vec<Neighbor> {
-        self.heap
-            .sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+        // Neighbor::cmp is the single source of ordering truth for every
+        // comparator site (heap, sorts, merges): total, NaN-last, id
+        // tie-broken.
+        self.heap.sort_by(Neighbor::cmp);
         self.heap
     }
 
@@ -168,7 +231,7 @@ impl TopK {
     /// consuming the collector.
     pub fn sorted(&self) -> Vec<Neighbor> {
         let mut v = self.heap.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+        v.sort_by(Neighbor::cmp);
         v
     }
 
@@ -218,7 +281,7 @@ pub fn topk_by_sort(candidates: &[(u64, f32)], k: usize) -> Vec<Neighbor> {
         .iter()
         .map(|&(id, d)| Neighbor::new(id, d))
         .collect();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal));
+    v.sort_by(Neighbor::cmp);
     v.truncate(k);
     v
 }
@@ -303,6 +366,93 @@ mod tests {
         let out = tk.into_sorted();
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|n| !n.distance.is_nan()));
+    }
+
+    #[test]
+    fn nan_injection_heap_and_sort_references_agree() {
+        // Regression for the unwrap_or(Equal) comparators: with NaN treated
+        // as equal-to-everything, a NaN candidate could keep a slot in the
+        // sort-based reference that TopK::push would never grant it. Under
+        // Neighbor::cmp both references agree exactly, NaNs last.
+        let mut candidates: Vec<(u64, f32)> = (0..60)
+            .map(|i| (i as u64, ((i * 31) % 47) as f32 * 0.9))
+            .collect();
+        for slot in [3usize, 17, 29, 44] {
+            candidates[slot].1 = f32::NAN;
+        }
+        let mut tk = TopK::new(8);
+        for &(id, d) in &candidates {
+            tk.push(id, d);
+        }
+        let heap_out = tk.into_sorted();
+        let sort_out = topk_by_sort(&candidates, 8);
+        assert_eq!(heap_out.len(), sort_out.len());
+        for (a, b) in heap_out.iter().zip(&sort_out) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.distance.to_bits(), b.distance.to_bits());
+        }
+        assert!(heap_out.iter().all(|n| !n.distance.is_nan()));
+    }
+
+    #[test]
+    fn push_batch_matches_sequential_push() {
+        let distances: Vec<f32> = (0..100)
+            .map(|i| match i % 13 {
+                0 => f32::NAN,
+                r => ((i * 29) % 53) as f32 + r as f32 * 0.25,
+            })
+            .collect();
+        for backend in [Backend::Scalar, simd::detect()] {
+            let mut sequential = TopK::new(7);
+            for (j, &d) in distances.iter().enumerate() {
+                sequential.push(1000 + j as u64, d);
+            }
+            let mut batched = TopK::new(7);
+            // Split across uneven batch boundaries to cross fill/full phases
+            // and block edges.
+            let mut base = 1000u64;
+            for chunk in distances.chunks(23) {
+                batched.push_batch_with(backend, base, chunk);
+                base += chunk.len() as u64;
+            }
+            assert_eq!(batched.offered(), sequential.offered(), "{backend:?}");
+            assert_eq!(batched.accepted(), sequential.accepted(), "{backend:?}");
+            let (b, s) = (batched.into_sorted(), sequential.into_sorted());
+            assert_eq!(b.len(), s.len());
+            for (x, y) in b.iter().zip(&s) {
+                assert_eq!(x.id, y.id, "{backend:?}");
+                assert_eq!(x.distance.to_bits(), y.distance.to_bits(), "{backend:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn push_batch_threshold_tie_breaks_on_id() {
+        // A candidate at exactly the threshold can still enter when its id
+        // beats the root's — the pre-filter must use `<=`, not `<`.
+        let mut tk = TopK::new(1);
+        tk.push(50, 2.0);
+        let inserted = tk.push_batch(10, &[2.0, 3.0, 2.0, 9.0, 2.0, 4.0, 5.0, 6.0]);
+        assert_eq!(inserted, 1);
+        let out = tk.into_sorted();
+        assert_eq!(out[0].id, 10); // lowest id at distance 2.0 wins
+        assert_eq!(out[0].distance, 2.0);
+    }
+
+    #[test]
+    fn push_batch_recovers_from_nan_root() {
+        // If the heap filled with NaN distances, the root is NaN and the
+        // vector pre-filter (`d <= NaN` false everywhere) must be bypassed
+        // so real candidates can evict it.
+        let mut tk = TopK::new(2);
+        tk.push(0, f32::NAN);
+        tk.push(1, f32::NAN);
+        let inserted = tk.push_batch(10, &[5.0, f32::NAN, 1.0, 7.0, 3.0, 8.0, 9.0, 2.0]);
+        assert!(inserted >= 2);
+        let out = tk.into_sorted();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].distance, 1.0);
+        assert_eq!(out[1].distance, 2.0);
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Property proofs that every SIMD fast path is *bitwise* equivalent to its
+//! scalar reference — the contract that keeps search answers (and therefore
+//! the replay twin and every committed bench record) identical across
+//! machines with and without AVX2.
+//!
+//! Each test exercises both `Backend::Scalar` and the runtime-detected
+//! backend through the explicit `*_with` entry points, so on AVX2 hardware
+//! the vector code is proven against the scalar code in one process, and on
+//! non-AVX2 hardware the suite degenerates to scalar-vs-scalar (still
+//! validating the blocked fallbacks against the naive references). CI
+//! additionally re-runs the whole test suite under `UPANNS_FORCE_SCALAR=1`
+//! so the dispatcher's fallback path is exercised end to end.
+
+use annkit::lut::LookupTable;
+use annkit::pq::ProductQuantizer;
+use annkit::simd::{self, Backend};
+use annkit::topk::TopK;
+use annkit::vector::Dataset;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn backends() -> [Backend; 2] {
+    [Backend::Scalar, simd::detect()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// l2/ip: every backend reproduces the scalar reduction bit for bit,
+    /// across dims that cover empty, sub-lane, full-lane, and ragged tails.
+    #[test]
+    fn distances_bitwise_equal(
+        dim in 0usize..70,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a: Vec<f32> = (0..dim).map(|_| rng.gen_range(-100.0f32..100.0)).collect();
+        let b: Vec<f32> = (0..dim).map(|_| rng.gen_range(-100.0f32..100.0)).collect();
+        let l2_ref = simd::l2_squared_scalar(&a, &b);
+        let ip_ref = simd::inner_product_scalar(&a, &b);
+        for backend in backends() {
+            prop_assert_eq!(simd::l2_squared_with(backend, &a, &b).to_bits(), l2_ref.to_bits());
+            prop_assert_eq!(simd::inner_product_with(backend, &a, &b).to_bits(), ip_ref.to_bits());
+        }
+    }
+
+    /// ADC scan: blocked and gathered paths reproduce the naive record-major
+    /// scan bit for bit, including record counts that leave 1..7-lane tails.
+    #[test]
+    fn adc_scan_bitwise_equal(
+        m in 1usize..24,
+        n in 0usize..40,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let table: Vec<f32> = (0..m * 256).map(|_| rng.gen_range(0.0f32..50.0)).collect();
+        let packed: Vec<u8> = (0..m * n).map(|_| rng.gen_range(0u8..=255)).collect();
+        let mut reference = Vec::new();
+        simd::adc_scan_reference(&table, m, &packed, &mut reference);
+        for backend in backends() {
+            let mut got = Vec::new();
+            simd::adc_scan_with(backend, &table, m, &packed, &mut got);
+            prop_assert_eq!(got.len(), reference.len());
+            for (g, r) in got.iter().zip(&reference) {
+                prop_assert_eq!(g.to_bits(), r.to_bits());
+            }
+        }
+    }
+
+    /// push_batch: same final heap (ids and bitwise distances) and the same
+    /// offered/accepted counters as sequential push, on every backend,
+    /// with NaNs injected to stress the filter's ordering semantics.
+    #[test]
+    fn push_batch_equals_sequential_push(
+        k in 1usize..20,
+        distances in prop::collection::vec(-1000.0f32..1000.0, 0..120),
+        nan_stride in 2usize..30,
+        base_id in 0u64..1_000_000,
+    ) {
+        let mut distances = distances;
+        for i in (0..distances.len()).step_by(nan_stride) {
+            // Deterministically poison a subset with NaN.
+            if i % (nan_stride * 3) == 0 {
+                distances[i] = f32::NAN;
+            }
+        }
+        let mut reference = TopK::new(k);
+        for (j, &d) in distances.iter().enumerate() {
+            reference.push(base_id + j as u64, d);
+        }
+        for backend in backends() {
+            let mut batched = TopK::new(k);
+            batched.push_batch_with(backend, base_id, &distances);
+            prop_assert_eq!(batched.offered(), reference.offered());
+            prop_assert_eq!(batched.accepted(), reference.accepted());
+            let got = batched.into_sorted();
+            let want = reference.sorted();
+            prop_assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                prop_assert_eq!(g.id, w.id);
+                prop_assert_eq!(g.distance.to_bits(), w.distance.to_bits());
+            }
+        }
+    }
+}
+
+/// End-to-end: a LookupTable built from a real trained PQ scans identically
+/// on every backend, and the dispatching `adc_scan` agrees with whichever
+/// backend `active()` selected (honouring `UPANNS_FORCE_SCALAR` when CI
+/// sets it).
+#[test]
+fn trained_lut_scan_dispatch_consistent() {
+    let mut rng = SmallRng::seed_from_u64(77);
+    let dim = 16;
+    let mut ds = Dataset::new(dim);
+    let mut v = vec![0.0f32; dim];
+    for _ in 0..500 {
+        for x in v.iter_mut() {
+            *x = rng.gen_range(-1.0..1.0);
+        }
+        ds.push(&v);
+    }
+    let pq = ProductQuantizer::train(&ds, 8, 5);
+    let lut = LookupTable::build(&pq, ds.vector(1));
+    let codes: Vec<Vec<u8>> = (0..37).map(|i| pq.encode(ds.vector(i))).collect();
+    let packed = annkit::pq::pack_codes(&codes, 8);
+
+    let dispatched = lut.adc_scan(&packed);
+    let mut via_active = Vec::new();
+    lut.adc_scan_with(simd::active(), &packed, &mut via_active);
+    assert_eq!(dispatched.len(), via_active.len());
+    for (a, b) in dispatched.iter().zip(&via_active) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    if std::env::var_os("UPANNS_FORCE_SCALAR").is_some_and(|s| s != "0") {
+        assert_eq!(
+            simd::active(),
+            Backend::Scalar,
+            "UPANNS_FORCE_SCALAR must pin the dispatcher to the fallback"
+        );
+    }
+
+    for backend in backends() {
+        let mut out = Vec::new();
+        lut.adc_scan_with(backend, &packed, &mut out);
+        for (a, b) in dispatched.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{backend:?}");
+        }
+    }
+}

@@ -3,10 +3,20 @@
 //! These quantify the *simulation* overhead per modeled unit of work, which
 //! bounds how large an experiment the harness can run.
 
+use annkit::ivf::{IvfPqIndex, IvfPqParams};
+use annkit::synthetic::SyntheticSpec;
+use annkit::vector::residual;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pim_sim::config::PimConfig;
 use pim_sim::cost::CostModel;
 use pim_sim::host::PimSystem;
+use std::collections::HashMap;
+use upanns::config::UpAnnsConfig;
+use upanns::kernel::{
+    mailbox_slot_bytes, run_batch_kernel, ClusterReplica, DpuBatchPlan, DpuStore, KernelShared,
+    ListEncoding,
+};
+use upanns::scheduling::Assignment;
 
 fn bench_cost_model(c: &mut Criterion) {
     let cm = CostModel::default();
@@ -61,5 +71,97 @@ fn bench_kernel_launch(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cost_model, bench_kernel_launch);
+/// The full batch kernel (LUT build, functional ADC scan, pruned merge,
+/// mailbox write) on one DPU, with the host-side scan pinned to either the
+/// best detected SIMD backend or the portable scalar fallback. The modeled
+/// DPU cost is identical for both — this measures harness wall-clock, i.e.
+/// how much simulation throughput the vectorized scan buys.
+fn bench_adc_kernel(c: &mut Criterion) {
+    let data = SyntheticSpec::sift_like(2_000)
+        .with_clusters(8)
+        .with_seed(5)
+        .generate();
+    let index = IvfPqIndex::train(&data, &IvfPqParams::new(8, 16).with_train_size(700), 3);
+    let k = 10;
+
+    let mut sys = PimSystem::new(PimConfig::with_dpus(1));
+    let mut store = DpuStore::default();
+    let codebook = vec![1u8; index.dim() * 256];
+    store.codebook_addr = sys.mram_alloc(0, codebook.len()).unwrap();
+    store.codebook_bytes = codebook.len();
+    sys.dpu_mut(0)
+        .mram_mut()
+        .write(store.codebook_addr, &codebook)
+        .unwrap();
+    for cl in 0..index.nlist() {
+        let list = index.list(cl);
+        if list.is_empty() {
+            continue;
+        }
+        let mut ids_bytes = Vec::with_capacity(list.len() * 8);
+        for &id in list.ids() {
+            ids_bytes.extend_from_slice(&id.to_le_bytes());
+        }
+        let ids_addr = sys.mram_alloc(0, ids_bytes.len()).unwrap();
+        sys.dpu_mut(0).mram_mut().write(ids_addr, &ids_bytes).unwrap();
+        let codes = list.packed_codes().to_vec();
+        let codes_addr = sys.mram_alloc(0, codes.len()).unwrap();
+        sys.dpu_mut(0).mram_mut().write(codes_addr, &codes).unwrap();
+        store.replicas.insert(
+            cl,
+            ClusterReplica {
+                cluster: cl,
+                num_vectors: list.len(),
+                ids_addr,
+                codes_addr,
+                codes_bytes: codes.len(),
+                encoding: ListEncoding::PlainU8,
+            },
+        );
+    }
+    store.query_buffer_bytes = 4096;
+    store.query_buffer_addr = sys.mram_alloc(0, store.query_buffer_bytes).unwrap();
+    store.mailbox_bytes = 8 * mailbox_slot_bytes(k);
+    store.mailbox_addr = sys.mram_alloc(0, store.mailbox_bytes).unwrap();
+
+    let mut plan = DpuBatchPlan::default();
+    for (qi, &row) in [3usize, 500, 1200].iter().enumerate() {
+        let q = data.vector(row);
+        for (cl, _) in index.filter_clusters(q, 8) {
+            plan.assignments.push(Assignment { query: qi, cluster: cl });
+            plan.residuals.push(residual(q, index.coarse().centroid(cl)));
+        }
+        plan.queries.push(qi);
+    }
+    let config = UpAnnsConfig::pim_naive();
+    let combos = HashMap::new();
+
+    let mut group = c.benchmark_group("pim_kernel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(plan.assignments.len() as u64));
+    for (variant, backend) in [
+        ("simd", annkit::simd::detect()),
+        ("scalar", annkit::simd::Backend::Scalar),
+    ] {
+        let shared = KernelShared {
+            pq: index.pq(),
+            combos: &combos,
+            config: &config,
+            k,
+            scan_backend: backend,
+        };
+        group.bench_with_input(BenchmarkId::new("adc_kernel", variant), &(), |b, ()| {
+            b.iter(|| {
+                let mut written = 0usize;
+                sys.execute("bench_search", |ctx| {
+                    written = run_batch_kernel(ctx, &store, &plan, &shared).mailbox_bytes_written;
+                });
+                std::hint::black_box(written)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_model, bench_kernel_launch, bench_adc_kernel);
 criterion_main!(benches);

@@ -16,6 +16,9 @@ fn bench_heap_push(c: &mut Criterion) {
     let mut group = c.benchmark_group("topk_heap_push");
     group.sample_size(20);
     let candidates = candidate_stream(100_000);
+    // Distances only, consecutive ids — the shape the scan loops feed to
+    // push_batch.
+    let distances: Vec<f32> = candidates.iter().map(|&(_, d)| d).collect();
     for &k in &[10usize, 100] {
         group.throughput(Throughput::Elements(candidates.len() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
@@ -27,6 +30,21 @@ fn bench_heap_push(c: &mut Criterion) {
                 std::hint::black_box(heap.threshold())
             });
         });
+        // Pinned-backend batch-insert variants: `simd` is the best detected
+        // backend's vector pre-filter, `scalar` the portable one. Both
+        // names exist on every machine (the name check requires them).
+        for (variant, backend) in [
+            ("push_batch_simd", annkit::simd::detect()),
+            ("push_batch_scalar", annkit::simd::Backend::Scalar),
+        ] {
+            group.bench_with_input(BenchmarkId::new(variant, k), &k, |b, &k| {
+                b.iter(|| {
+                    let mut heap = TopK::new(k);
+                    heap.push_batch_with(backend, 0, &distances);
+                    std::hint::black_box(heap.threshold())
+                });
+            });
+        }
     }
     group.finish();
 }

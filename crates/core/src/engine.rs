@@ -274,6 +274,7 @@ impl<'a> UpAnnsEngine<'a> {
             combos: &self.combos,
             config: &self.config,
             k,
+            scan_backend: annkit::simd::active(),
         };
         let mut outputs: Vec<KernelOutput> = vec![KernelOutput::default(); self.sys.num_dpus()];
         let report = self.sys.execute("dpu_search", |ctx| {

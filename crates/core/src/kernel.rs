@@ -80,6 +80,12 @@ pub struct KernelShared<'a> {
     pub config: &'a UpAnnsConfig,
     /// Requested top-k size.
     pub k: usize,
+    /// SIMD backend for the functional ADC scan and top-k pre-filter.
+    /// Answers are bitwise-identical across backends (annkit's equivalence
+    /// contract), so this only affects host-side wall-clock speed — never
+    /// the modeled DPU cost or the results. Engines pass
+    /// [`annkit::simd::active()`]; benches pin one explicitly.
+    pub scan_backend: annkit::simd::Backend,
 }
 
 /// The work of one DPU for one batch.
@@ -256,25 +262,25 @@ pub fn run_batch_kernel(
                 match &replica.encoding {
                     ListEncoding::PlainU8 => {
                         // Functional scan: fixed-size records, read
-                        // `read_bytes` worth of codes at a time, compute the
-                        // ADC sum of each record.
+                        // `read_bytes` worth of codes at a time, then the
+                        // vectorized ADC scan + batch top-k insert (bitwise
+                        // equal to the per-record scalar sum on every
+                        // backend). `read_bytes >= m` is guaranteed by
+                        // `kernel_read_bytes`, so every chunk holds at least
+                        // one whole record.
+                        let mut dist_buf = Vec::new();
                         let mut v = start;
                         while v < end {
-                            let chunk_vectors = ((end - v) * m).min(read_bytes) / m;
-                            let chunk_vectors = chunk_vectors.max(1).min(end - v);
+                            let chunk_vectors =
+                                (((end - v) * m).min(read_bytes) / m).min(end - v);
                             let len = chunk_vectors * m;
                             let data = t
                                 .mram_read_uncharged(replica.codes_addr + v * m, len)
                                 .to_vec();
                             bytes_read += len as u64;
-                            for (j, code) in data.chunks_exact(m).enumerate() {
-                                let mut sum = 0.0f32;
-                                for (pos, &c) in code.iter().enumerate() {
-                                    sum += lut.get(pos, c);
-                                }
-                                heap.push((v + j) as u64, sum);
-                                lookups += m as u64;
-                            }
+                            lut.adc_scan_with(shared.scan_backend, &data, &mut dist_buf);
+                            heap.push_batch_with(shared.scan_backend, v as u64, &dist_buf);
+                            lookups += len as u64;
                             v += chunk_vectors;
                         }
                         // Charged cost of this tasklet's modeled share:
@@ -454,8 +460,15 @@ pub fn parse_mailbox(bytes: &[u8], queries: usize, k: usize) -> Vec<(usize, Vec<
 
 /// MRAM read-buffer size (bytes per transfer) implied by the configuration
 /// for codes of `m` bytes (plain) — CAE streams use the same buffer size.
+///
+/// Clamped to at least one whole record: if the configured buffer were
+/// smaller than `m`, the scan's chunk computation would floor to zero
+/// records and the loop would then issue an `m`-byte read that exceeds the
+/// WRAM buffer it charges DMA for, silently under-charging every transfer.
+/// Sizing the buffer (and its WRAM allocation and DMA charge) to `m`
+/// instead keeps the functional read and the charged model consistent.
 pub fn kernel_read_bytes(config: &UpAnnsConfig, m: usize) -> usize {
-    config.mram_read_bytes(m)
+    config.mram_read_bytes(m).max(m)
 }
 
 #[cfg(test)]
@@ -585,6 +598,7 @@ mod tests {
             combos: &combos,
             config: &config,
             k,
+            scan_backend: annkit::simd::active(),
         };
         let mut output = KernelOutput::default();
         let report = sys.execute("search", |ctx| {
@@ -643,6 +657,7 @@ mod tests {
             combos: &combos,
             config: &config,
             k: 5,
+            scan_backend: annkit::simd::active(),
         };
         let mut output = KernelOutput::default();
         sys.execute("search", |ctx| {
@@ -696,6 +711,25 @@ mod tests {
     }
 
     #[test]
+    fn read_buffer_never_smaller_than_one_record() {
+        // Regression: for m > the configured DMA ceiling, mram_read_bytes
+        // returns a buffer smaller than one code; the scan's old `.max(1)`
+        // fallback then read m bytes while charging DMA for read_bytes,
+        // under-charging every transfer. kernel_read_bytes must clamp up to
+        // a whole record so the functional read, the WRAM allocation, and
+        // the DMA charge all agree.
+        let config = UpAnnsConfig::pim_naive();
+        for m in [8usize, 16, 100, 2048, 3000, 4096] {
+            let rb = kernel_read_bytes(&config, m);
+            assert!(rb >= m, "read buffer {rb} smaller than one {m}-byte code");
+            // For record sizes within the DMA ceiling, the clamp is a no-op.
+            if m <= 2048 {
+                assert_eq!(rb, config.mram_read_bytes(m));
+            }
+        }
+    }
+
+    #[test]
     fn empty_plan_is_a_noop() {
         let fix = fixture();
         let mut sys = PimSystem::new(PimConfig::with_dpus(1));
@@ -706,6 +740,7 @@ mod tests {
             combos: &combos,
             config: &config,
             k: 5,
+            scan_backend: annkit::simd::active(),
         };
         let mut output = KernelOutput::default();
         sys.execute("search", |ctx| {

@@ -1,0 +1,135 @@
+//! Kernel-level proof that `run_batch_kernel` answers are unchanged by the
+//! SIMD routing: this test binary pins the process-wide dispatcher to the
+//! scalar fallback (integration tests are separate processes, so the pin
+//! cannot leak into other suites), runs the PIM kernel both through the
+//! dispatcher and with each backend pinned explicitly, and requires
+//! identical ids and bitwise-identical distances everywhere — including
+//! against the host-side `IvfPqIndex::search` reference.
+
+use annkit::ivf::{IvfPqIndex, IvfPqParams};
+use annkit::simd::{self, Backend};
+use annkit::synthetic::SyntheticSpec;
+use annkit::topk::Neighbor;
+use annkit::vector::residual;
+use pim_sim::config::PimConfig;
+use pim_sim::prelude::PimSystem;
+use std::collections::HashMap;
+use upanns::config::UpAnnsConfig;
+use upanns::kernel::{
+    mailbox_slot_bytes, run_batch_kernel, ClusterReplica, DpuBatchPlan, DpuStore, KernelShared,
+    ListEncoding,
+};
+use upanns::scheduling::Assignment;
+
+fn run_kernel(backend: Backend, k: usize) -> Vec<(usize, Vec<Neighbor>)> {
+    let data = SyntheticSpec::sift_like(1200)
+        .with_clusters(8)
+        .with_seed(19)
+        .generate();
+    let index = IvfPqIndex::train(&data, &IvfPqParams::new(8, 16).with_train_size(600), 3);
+
+    let mut sys = PimSystem::new(PimConfig::with_dpus(1));
+    let mut store = DpuStore::default();
+    let codebook = vec![1u8; index.dim() * 256];
+    store.codebook_addr = sys.mram_alloc(0, codebook.len()).unwrap();
+    store.codebook_bytes = codebook.len();
+    sys.dpu_mut(0)
+        .mram_mut()
+        .write(store.codebook_addr, &codebook)
+        .unwrap();
+    for c in 0..index.nlist() {
+        let list = index.list(c);
+        if list.is_empty() {
+            continue;
+        }
+        let mut ids_bytes = Vec::with_capacity(list.len() * 8);
+        for &id in list.ids() {
+            ids_bytes.extend_from_slice(&id.to_le_bytes());
+        }
+        let ids_addr = sys.mram_alloc(0, ids_bytes.len()).unwrap();
+        sys.dpu_mut(0).mram_mut().write(ids_addr, &ids_bytes).unwrap();
+        let codes = list.packed_codes().to_vec();
+        let codes_addr = sys.mram_alloc(0, codes.len()).unwrap();
+        sys.dpu_mut(0).mram_mut().write(codes_addr, &codes).unwrap();
+        store.replicas.insert(
+            c,
+            ClusterReplica {
+                cluster: c,
+                num_vectors: list.len(),
+                ids_addr,
+                codes_addr,
+                codes_bytes: codes.len(),
+                encoding: ListEncoding::PlainU8,
+            },
+        );
+    }
+    store.query_buffer_bytes = 4096;
+    store.query_buffer_addr = sys.mram_alloc(0, store.query_buffer_bytes).unwrap();
+    store.mailbox_bytes = 4 * mailbox_slot_bytes(k);
+    store.mailbox_addr = sys.mram_alloc(0, store.mailbox_bytes).unwrap();
+
+    let mut plan = DpuBatchPlan::default();
+    for (qi, &row) in [7usize, 250, 800].iter().enumerate() {
+        let q = data.vector(row);
+        for (c, _) in index.filter_clusters(q, 8) {
+            plan.assignments.push(Assignment { query: qi, cluster: c });
+            plan.residuals.push(residual(q, index.coarse().centroid(c)));
+        }
+        plan.queries.push(qi);
+    }
+
+    let config = UpAnnsConfig::pim_naive();
+    let combos = HashMap::new();
+    let shared = KernelShared {
+        pq: index.pq(),
+        combos: &combos,
+        config: &config,
+        k,
+        scan_backend: backend,
+    };
+    let mut partials = Vec::new();
+    sys.execute("search", |ctx| {
+        partials = run_batch_kernel(ctx, &store, &plan, &shared).partials;
+    });
+
+    // The host-side reference must agree on ids for every query too (the
+    // kernel scans exactly the probed clusters).
+    for (qi, &row) in [7usize, 250, 800].iter().enumerate() {
+        let reference = index.search(data.vector(row), 8, k);
+        let got = &partials.iter().find(|(q, _)| *q == qi).unwrap().1;
+        assert_eq!(
+            got.iter().map(|n| n.id).collect::<Vec<_>>(),
+            reference.iter().map(|n| n.id).collect::<Vec<_>>(),
+            "query {qi} disagrees with host reference on {backend:?}"
+        );
+    }
+    partials
+}
+
+#[test]
+fn kernel_answers_identical_across_backends_and_dispatch() {
+    // Pin this process's dispatcher to the fallback before anything else
+    // resolves it: the engines and the host reference index now run on the
+    // scalar path even on AVX2 hardware.
+    assert!(
+        simd::force_backend(Backend::Scalar),
+        "dispatch was resolved before the test could pin it"
+    );
+    assert_eq!(simd::active(), Backend::Scalar);
+
+    let scalar = run_kernel(Backend::Scalar, 10);
+    let vectorized = run_kernel(simd::detect(), 10);
+    assert_eq!(scalar.len(), vectorized.len());
+    for ((qa, na), (qb, nb)) in scalar.iter().zip(&vectorized) {
+        assert_eq!(qa, qb);
+        assert_eq!(na.len(), nb.len());
+        for (a, b) in na.iter().zip(nb) {
+            assert_eq!(a.id, b.id, "query {qa}: SIMD routing changed an id");
+            assert_eq!(
+                a.distance.to_bits(),
+                b.distance.to_bits(),
+                "query {qa}: SIMD routing changed a distance bit pattern"
+            );
+        }
+    }
+}

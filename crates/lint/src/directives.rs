@@ -32,6 +32,7 @@ const RULE_ALIASES: &[(&str, &[&str])] = &[
     ("no-unordered-iteration", &["unordered-iter"]),
     ("vendor-api-surface", &["vendor-api"]),
     ("no-unwrap-in-hot-path", &["unwrap"]),
+    ("no-unsafe-outside-simd", &["unsafe"]),
 ];
 
 /// Resolves a rule name (canonical or alias) to its canonical form.

@@ -4,12 +4,12 @@
 //! answer-invariance proptests, the replay-clock model — rests on
 //! invariants that ordinary compilation does not enforce: no wall-clock
 //! reads, no ambient randomness, no hash-order-dependent serve output,
-//! vendored stubs used only through their documented API surface, and no
-//! panicking shortcuts in the serve hot path. This crate machine-checks
-//! them.
+//! vendored stubs used only through their documented API surface, no
+//! panicking shortcuts in the serve hot path, and no `unsafe` outside the
+//! one sanctioned SIMD module. This crate machine-checks them.
 //!
 //! The pipeline per file is: [`lexer::lex`] (comment/string-aware token
-//! stream) → [`rules::check_file`] (the five rules) → directive
+//! stream) → [`rules::check_file`] (the six rules) → directive
 //! application ([`directives`]) which removes violations carrying a
 //! reasoned `allow` and reports unused or malformed directives. Results
 //! come back as a [`LintReport`] with deterministic ordering — the linter

@@ -16,6 +16,11 @@
 //!   real registry crates can swap in without code changes.
 //! * **no-unwrap-in-hot-path** — `.unwrap()`/`.expect()` in the serve
 //!   dispatch/service/batcher files, where a panic aborts live queries.
+//! * **no-unsafe-outside-simd** — the `unsafe` keyword is banned everywhere
+//!   except the one sanctioned SIMD module (`crates/annkit/src/simd.rs`),
+//!   whose intrinsics are proven bitwise-equal to scalar references by the
+//!   equivalence proptests; `unsafe` anywhere else dodges that proof
+//!   obligation and the crate-root `deny(unsafe_code)` reasoning.
 //!
 //! Rules run over the lexed token stream ([`crate::lexer`]) — never raw
 //! text — so names inside comments, docs and string literals are invisible
@@ -107,6 +112,12 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/serve/src/batcher.rs",
 ];
 
+/// The only files allowed to contain `unsafe`: the sanctioned SIMD module,
+/// where every unsafe block is an `std::arch` intrinsic call whose
+/// preconditions are established by runtime feature detection and whose
+/// results are proven bitwise-equal to scalar references.
+const UNSAFE_ALLOWLIST: &[&str] = &["crates/annkit/src/simd.rs"];
+
 /// Runs every rule over one file, returning raw (pre-directive) violations.
 pub fn check_file(input: &FileInput<'_>, vendor: &VendorManifests) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -116,6 +127,7 @@ pub fn check_file(input: &FileInput<'_>, vendor: &VendorManifests) -> Vec<Violat
     no_unordered_iteration(input, &mut out);
     vendor_api_surface(input, vendor, &mut out);
     no_unwrap_in_hot_path(input, &test_ranges, &mut out);
+    no_unsafe_outside_simd(input, &mut out);
     out
 }
 
@@ -523,6 +535,25 @@ fn no_unwrap_in_hot_path(
     }
 }
 
+fn no_unsafe_outside_simd(input: &FileInput<'_>, out: &mut Vec<Violation>) {
+    if UNSAFE_ALLOWLIST.contains(&input.rel) {
+        return;
+    }
+    for t in &input.lexed.tokens {
+        if t.kind == TokenKind::Ident && t.text == "unsafe" {
+            out.push(Violation {
+                rule: "no-unsafe-outside-simd",
+                file: input.rel.to_string(),
+                line: t.line,
+                message: "`unsafe` is confined to crates/annkit/src/simd.rs, where every \
+                          intrinsic is proven bitwise-equal to a scalar reference; move the \
+                          code there or find a safe formulation"
+                    .to_string(),
+            });
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -633,6 +664,22 @@ mod tests {
         );
         assert_eq!(v.len(), 1);
         assert!(v[0].message.contains("API.txt is missing"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn unsafe_confined_to_the_simd_module() {
+        let src = "fn f(p: *const f32) -> f32 { unsafe { *p } }\n";
+        let v = check("crates/core/src/kernel.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "no-unsafe-outside-simd");
+        assert_eq!(v[0].line, 1);
+
+        // The sanctioned module is exempt.
+        assert!(check("crates/annkit/src/simd.rs", src).is_empty());
+
+        // Token-based: `unsafe` in comments or strings is invisible.
+        let commented = "// this is unsafe in prose only\nfn f() {}\n";
+        assert!(check("crates/core/src/kernel.rs", commented).is_empty());
     }
 
     #[test]

@@ -75,6 +75,14 @@ fn unwrap_hot_path_bad_flagged_good_clean() {
 }
 
 #[test]
+fn unsafe_outside_simd_bad_flagged_good_clean() {
+    // The bad tree hides `unsafe` in a serve-side "fast path"; the good
+    // tree keeps it in the one sanctioned module path.
+    assert!(rules_hit(&lint("unsafe_outside_simd/bad")).contains(&"no-unsafe-outside-simd"));
+    assert!(lint("unsafe_outside_simd/good").is_clean());
+}
+
+#[test]
 fn reasoned_directive_silences_the_violation() {
     let report = lint("directive_silenced");
     assert!(report.is_clean(), "{:?}", report.violations);
@@ -127,6 +135,7 @@ fn seeded_violation_exits_nonzero() {
         "unordered_iter/bad",
         "vendor_api/bad",
         "unwrap_hot_path/bad",
+        "unsafe_outside_simd/bad",
     ] {
         let root = fixture(bad);
         let (code, _) = run_binary(&["--root", root.to_str().expect("utf-8 path")]);

@@ -1,0 +1,11 @@
+//! Fixture: hand-rolled `unsafe` pointer arithmetic outside the sanctioned
+//! SIMD module — exactly the shortcut the rule exists to reject.
+
+pub fn sum_unchecked(values: &[f32]) -> f32 {
+    let mut total = 0.0f32;
+    let ptr = values.as_ptr();
+    for i in 0..values.len() {
+        total += unsafe { *ptr.add(i) };
+    }
+    total
+}

@@ -1,0 +1,6 @@
+//! Fixture: the sanctioned SIMD module may use `unsafe` for intrinsics —
+//! this exact path (`crates/annkit/src/simd.rs`) is the rule's allowlist.
+
+pub fn first_unchecked(values: &[f32]) -> f32 {
+    unsafe { *values.as_ptr() }
+}
