@@ -120,6 +120,14 @@ impl Default for QueryOptions {
 pub struct SearchRequest {
     /// Caller-chosen request identifier, echoed in the response.
     pub id: u64,
+    /// Simulated dispatch time of the request on the replay clock, in
+    /// seconds. Engines that model host availability (the replicated
+    /// multihost tier) evaluate their fault schedule at this instant; plain
+    /// engines ignore it. The serving layers set it to the batch's close
+    /// time — the one timestamp that is identical between the discrete-event
+    /// replay and its threaded twin — so answers stay a pure function of the
+    /// request. Defaults to 0.0 (the start of simulated time).
+    pub at: f64,
     queries: Dataset,
     options: Vec<QueryOptions>,
 }
@@ -137,6 +145,7 @@ impl SearchRequest {
         );
         Self {
             id: 0,
+            at: 0.0,
             queries,
             options,
         }
@@ -152,6 +161,13 @@ impl SearchRequest {
     /// Sets the request id.
     pub fn with_id(mut self, id: u64) -> Self {
         self.id = id;
+        self
+    }
+
+    /// Sets the simulated dispatch time (see the field docs on
+    /// [`at`](Self::at)).
+    pub fn with_at(mut self, at: f64) -> Self {
+        self.at = at;
         self
     }
 
@@ -349,6 +365,24 @@ pub trait AnnEngine {
 
     /// The peak-power / price model of the hardware this engine represents.
     fn energy_model(&self) -> EnergyModel;
+
+    /// Asks the engine to resize itself to `hosts` serving hosts at simulated
+    /// time `now`, returning the modeled migration seconds the resize costs,
+    /// or `None` when the engine has no host-level elasticity (the default —
+    /// single-host engines ignore the request). Engines that do support it
+    /// (the replicated multihost tier) rebalance their shard→host map and
+    /// charge the data movement through their interconnect model; hosts being
+    /// migrated onto only start serving once the migration completes.
+    fn scale_to(&mut self, hosts: usize, now: f64) -> Option<f64> {
+        let _ = (hosts, now);
+        None
+    }
+
+    /// The number of hosts currently provisioned, or `None` for engines
+    /// without host-level elasticity.
+    fn live_hosts(&self) -> Option<usize> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -33,6 +33,16 @@ pub struct WorkloadStats {
     pub k: usize,
     /// Requested nprobe.
     pub nprobe: usize,
+    /// Query×shard pairs dropped because no live replica covered the shard
+    /// at dispatch time (degraded coverage — never silently zero when
+    /// answers are partial).
+    pub degraded: u64,
+    /// Shard groups cloned to a second replica because the primary's modeled
+    /// completion exceeded the hedging budget.
+    pub hedged: u64,
+    /// Shard groups re-dispatched to a surviving replica after their host
+    /// died with the work in flight (each such group moves exactly once).
+    pub redispatched: u64,
 }
 
 impl WorkloadStats {
@@ -49,6 +59,9 @@ impl WorkloadStats {
         self.topk_insertions += other.topk_insertions;
         self.k = self.k.max(other.k);
         self.nprobe = self.nprobe.max(other.nprobe);
+        self.degraded += other.degraded;
+        self.hedged += other.hedged;
+        self.redispatched += other.redispatched;
     }
 
     /// Average memory accesses (LUT lookups) per query — the quantity the

@@ -19,6 +19,7 @@
 //! | Query-pattern drift adaptation (replica adjustment / full relocation) | §4.1.2 | [`adaptive`] |
 //! | Latency-budget-aware per-query nprobe selection | §4.1.2 (request-time tier) | [`adaptive::NprobePolicy`] |
 //! | Multi-host scale-out (sharding + coordinator merge) | §5.5 | [`multihost`] |
+//! | Fault-tolerant replication (replica map, fault injection, hedging, elasticity) | §5.5 extension | [`replica`] |
 //! | Serving front-end (admission, dynamic batching, result cache) | §5 (online phase) | `upanns-serve` crate |
 //! | SLO-driven adaptive batching (closed-loop max_delay/max_batch control) | §5 batching argument | `upanns-serve::controller` |
 //! | Multi-tenant serving (weighted-fair DRR admission, per-tenant SLO windows) | §5 multi-client setting | `upanns-serve::admission`, `upanns-serve::controller::ControllerBank` |
@@ -64,6 +65,7 @@ pub mod engine;
 pub mod kernel;
 pub mod multihost;
 pub mod placement;
+pub mod replica;
 pub mod scheduling;
 pub mod topk_prune;
 pub mod wram_layout;
@@ -81,6 +83,10 @@ pub mod prelude {
     pub use crate::engine::UpAnnsEngine;
     pub use crate::multihost::{shard_ranges, InterconnectModel, MultiHostUpAnns};
     pub use crate::placement::{place_pim_aware, place_round_robin, Placement, PlacementInput};
+    pub use crate::replica::{
+        FaultEvent, FaultSchedule, MigrationPlan, ReplicaMap, ReplicaMapError,
+        ReplicatedMultiHost, ShardMove,
+    };
     pub use crate::scheduling::{schedule_queries, Assignment, Schedule};
     pub use crate::topk_prune::{merge_thread_local, MergeStats};
     pub use crate::wram_layout::{WramPlan, WramPlanInput};

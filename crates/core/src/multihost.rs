@@ -114,11 +114,17 @@ impl<'a> MultiHostUpAnns<'a> {
         &self.interconnect
     }
 
-    /// The worst per-host DPU balance ratio of the last batch.
+    /// The worst per-host DPU balance ratio of the last batch. Non-finite
+    /// per-host values (a host that has not executed anything since its
+    /// engine was rebuilt, or a degenerate 0/0 workload ratio) are discarded
+    /// rather than poisoning the max, so the value stays well-defined when
+    /// the host set changes between batches; with no finite contribution it
+    /// is 1.0 (perfectly balanced, vacuously).
     pub fn last_balance_ratio(&self) -> f64 {
         self.hosts
             .iter()
             .map(|h| h.last_balance_ratio())
+            .filter(|r| r.is_finite())
             .fold(1.0f64, f64::max)
     }
 }

@@ -9,6 +9,7 @@
 //!     [--policy fixed|adaptive|both] [--tenants SPEC] [--json PATH]
 //!     [--runtime replay|threaded|twin] [--workers LIST] [--sweep-qps LIST]
 //!     [--work-scale X] [--queue N] [--answers PATH]
+//!     [--replicas R] [--fault HOST@DOWN..UP[,...]] [--hedge-ms B]
 //! ```
 //!
 //! # Runtimes
@@ -67,6 +68,23 @@
 //! the per-(query,cluster) granules don't amortize and the PIM engines
 //! collapse, while the [`SloController`] widens the window until batches are
 //! large enough to keep up — without letting the observed p99 cross the SLO.
+//!
+//! # The kill-a-host failover scenario
+//!
+//! Whenever `multihost` is among the selected engines, the replay also runs
+//! the committed **failover scenario**: a replicated deployment
+//! ([`ReplicatedMultiHost`], `--replicas` copies of each shard) serves a
+//! dedicated single-tenant stream while the `--fault` schedule takes one
+//! host down mid-stream. Hedged retries (`--hedge-ms`) and an SLO-feedback
+//! [`Autoscaler`] (driven by the linear capacity model the
+//! `capacity_planning` example fits) absorb the outage; the report row
+//! carries the fault counters (`degraded`, `hedged`, `redispatched`,
+//! `scale_events`, `migration_s`) and a [`RecoveryEnvelope`] — baseline SLO
+//! attainment, the max dip after the failure instant, and the recovery time
+//! — which CI asserts stays inside the committed bounds. The threaded path
+//! adds one logical-mode failover row per worker count (same schedule, same
+//! conservation checks), and `--answers` adds a `failover` section to the
+//! twin byte-diff, proving the fault injection itself is deterministic.
 
 #![forbid(unsafe_code)]
 
@@ -82,10 +100,14 @@ use upanns::builder::{BatchCapacity, UpAnnsBuilder};
 use upanns::config::UpAnnsConfig;
 use upanns::multihost::{shard_ranges, InterconnectModel, MultiHostUpAnns};
 use upanns::engine::UpAnnsEngine;
+use upanns::replica::{FaultSchedule, ReplicatedMultiHost};
 use upanns_runtime::{run_pipeline, RuntimeConfig, RuntimeReport};
 use upanns_serve::batcher::BatchFormerConfig;
 use upanns_serve::controller::{ControllerBank, SloController};
-use upanns_serve::{FixedPolicy, SearchService, ServiceConfig, ServiceReport};
+use upanns_serve::{
+    Autoscaler, CapacityModel, FixedPolicy, RecoveryEnvelope, SearchService, ServiceConfig,
+    ServiceReport,
+};
 
 /// Fixed tiny-scale evaluation shape (kept stable so the JSON baseline is
 /// comparable PR-over-PR).
@@ -101,6 +123,46 @@ const MODELED_N: f64 = 1.25e8;
 
 /// Every engine the binary knows how to build, in report order.
 const KNOWN_ENGINES: [&str; 5] = ["cpu", "gpu", "pim-naive", "upanns", "multihost"];
+
+/// Fixed shape of the committed kill-a-host failover scenario (see the
+/// module docs). Three shards on three hosts with `--replicas 2` means one
+/// host death leaves every shard covered — the dip comes from halved
+/// effective parallelism and mid-flight redispatch, not lost answers.
+const FAILOVER_SHARDS: usize = 3;
+const FAILOVER_HOSTS: usize = 3;
+/// The failover scenario's own stream: ~30 healthy seconds before the
+/// default outage to establish a baseline, ~55 after it ends to drain the
+/// backlog and prove recovery. The rate puts the chunk-capped deployment
+/// near 80 % utilization, so stacking two shards on one surviving host
+/// during the outage pushes it past saturation — the dip is real queueing,
+/// not noise.
+const FAILOVER_QUERIES: usize = 2_200;
+const FAILOVER_QPS: f64 = 22.0;
+/// Chunk cap for the failover scenario's dispatcher. Bounding the batch
+/// amortization keeps the deployment's capacity roughly flat in offered
+/// load, so losing a host genuinely saturates it instead of being absorbed
+/// by ever-larger batches.
+const FAILOVER_MAX_CHUNK: usize = 8;
+const FAILOVER_SLO_MS: f64 = 2_500.0;
+/// Envelope bucket width: wide enough that one bucket smooths Poisson
+/// arrival noise at [`FAILOVER_QPS`], narrow enough to resolve the dip.
+const ENVELOPE_BUCKET_S: f64 = 5.0;
+/// Defaults for the failover flags — the committed baseline uses exactly
+/// these, so a default-flag rerun reproduces `BENCH_serving.json` bytewise.
+/// The down instant lands while a host-1 leg is in flight (so the committed
+/// run exercises the redispatch path), and the hedge budget sits just above
+/// one healthy shard leg (~0.2 s) and below a stacked two-leg pile-up
+/// (~0.45 s), so hedges fire only while the outage is queueing work.
+const DEFAULT_REPLICAS: usize = 2;
+const DEFAULT_FAULT: &str = "1@31..45";
+const DEFAULT_HEDGE_MS: f64 = 400.0;
+/// `(hosts, sustained QPS)` samples for the autoscaler's linear capacity
+/// model — the same OLS fit the `capacity_planning` example runs. The
+/// samples are deliberately conservative (measured under small fixed
+/// chunks, the scenario's worst case) so the planner keeps headroom; the
+/// actual scale-up trigger is the SLO-miss window, with [`CapacityModel`]
+/// bounding how far a step may reach.
+const CAPACITY_SAMPLES: [(f64, f64); 4] = [(1.0, 5.8), (2.0, 11.2), (3.0, 16.4), (4.0, 21.3)];
 
 /// The committed head-of-line (HOL) scenario: a tight-SLO low-rate tenant
 /// sharing the engine with a loose-SLO bulk tenant whose batches are
@@ -152,6 +214,9 @@ struct Args {
     work_scale: f64,
     queue: Option<usize>,
     answers: Option<String>,
+    replicas: usize,
+    fault: String,
+    hedge_ms: f64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -191,6 +256,9 @@ impl Default for Args {
             work_scale: THREADED_WORK_SCALE,
             queue: None,
             answers: None,
+            replicas: DEFAULT_REPLICAS,
+            fault: DEFAULT_FAULT.to_string(),
+            hedge_ms: DEFAULT_HEDGE_MS,
         }
     }
 }
@@ -202,6 +270,14 @@ fn usage() -> ! {
          \x20            [--policy fixed|adaptive|both] [--tenants SPEC] [--json PATH]\n\
          \x20            [--runtime replay|threaded|twin] [--workers LIST]\n\
          \x20            [--sweep-qps LIST] [--work-scale X] [--queue N] [--answers PATH]\n\
+         \x20            [--replicas R] [--fault HOST@DOWN..UP[,...]] [--hedge-ms B]\n\
+         \n\
+         The failover scenario (run whenever multihost is selected) serves a\n\
+         replicated deployment under the --fault outage schedule: --replicas\n\
+         copies of each shard (default 2; must be 1..=3 for the 3-host\n\
+         deployment), hedged retries past --hedge-ms, and an SLO-feedback\n\
+         autoscaler. The report row carries the fault counters and the\n\
+         recovery envelope CI asserts on.\n\
          \n\
          --runtime threaded runs the real multi-threaded pipeline (wall clock):\n\
          one row per --workers value per --sweep-qps offered rate, plus one\n\
@@ -443,6 +519,37 @@ fn parse_args() -> Args {
                 }
             }
             "--answers" => args.answers = Some(value("--answers")),
+            "--replicas" => {
+                args.replicas = value("--replicas")
+                    .parse()
+                    .unwrap_or_else(|_| reject("--replicas: not an integer".to_string()));
+                if args.replicas == 0 {
+                    reject("--replicas must be at least 1".to_string());
+                }
+                if args.replicas > FAILOVER_HOSTS {
+                    reject(format!(
+                        "--replicas {} exceeds the failover deployment's {FAILOVER_HOSTS} hosts; \
+                         refusing to co-locate replicas on one failure domain",
+                        args.replicas
+                    ));
+                }
+            }
+            "--fault" => {
+                args.fault = value("--fault");
+                // Parse eagerly so a malformed schedule exits 2 before any
+                // replay.
+                if let Err(err) = FaultSchedule::parse(&args.fault) {
+                    reject(format!("--fault: {err}"));
+                }
+            }
+            "--hedge-ms" => {
+                args.hedge_ms = value("--hedge-ms")
+                    .parse()
+                    .unwrap_or_else(|_| reject("--hedge-ms: not a number".to_string()));
+                if !(args.hedge_ms > 0.0 && args.hedge_ms.is_finite()) {
+                    reject("--hedge-ms must be a positive number".to_string());
+                }
+            }
             "--json" => args.json = Some(value("--json")),
             "--help" | "-h" => usage(),
             other => reject(format!("unknown flag {other} (try --help)")),
@@ -500,7 +607,31 @@ fn tenant_json(t: &upanns_serve::TenantReport) -> String {
     )
 }
 
-fn report_json(r: &ServiceReport, workload: &str) -> String {
+/// The recovery envelope as a JSON object (`null` for rows without one —
+/// every workload except `failover`). `recovery_s` is `null` when attainment
+/// never recovered inside the observed timeline.
+fn envelope_json(env: Option<&RecoveryEnvelope>) -> String {
+    match env {
+        None => "null".to_string(),
+        Some(e) => format!(
+            "{{ \"bucket_s\": {}, \"t_down\": {}, \"baseline_attainment\": {}, \
+             \"max_dip\": {}, \"dip_at\": {}, \"recovery_s\": {}, \"recovered\": {} }}",
+            json_num(e.bucket_s),
+            json_num(e.t_down),
+            json_num(e.baseline_attainment),
+            json_num(e.max_dip),
+            json_num(e.dip_at),
+            if e.recovery_s.is_finite() {
+                json_num(e.recovery_s)
+            } else {
+                "null".to_string()
+            },
+            e.recovered,
+        ),
+    }
+}
+
+fn report_json(r: &ServiceReport, workload: &str, env: Option<&RecoveryEnvelope>) -> String {
     let tenants: Vec<String> = r.tenants.iter().map(tenant_json).collect();
     format!(
         concat!(
@@ -526,6 +657,12 @@ fn report_json(r: &ServiceReport, workload: &str) -> String {
             "      \"final_max_delay_ms\": {},\n",
             "      \"controller_adjustments\": {},\n",
             "      \"engine_busy_s\": {},\n",
+            "      \"degraded\": {},\n",
+            "      \"hedged\": {},\n",
+            "      \"redispatched\": {},\n",
+            "      \"scale_events\": {},\n",
+            "      \"migration_s\": {},\n",
+            "      \"envelope\": {},\n",
             "      \"tenants\": [\n{}\n      ]\n",
             "    }}"
         ),
@@ -550,6 +687,12 @@ fn report_json(r: &ServiceReport, workload: &str) -> String {
         json_num(r.final_batcher.max_delay_s * 1e3),
         r.controller_adjustments,
         json_num(r.engine_busy_s),
+        r.degraded,
+        r.hedged,
+        r.redispatched,
+        r.scale_events,
+        json_num(r.migration_s),
+        envelope_json(env),
         tenants.join(",\n"),
     )
 }
@@ -571,9 +714,14 @@ fn planned_options(stream: &QueryStream, i: usize) -> QueryOptions {
 /// Only neighbor ids appear: the twin contract is about *which* answers come
 /// back, and ids are byte-stable across platforms where float formatting
 /// might not be.
-fn write_answers(path: &str, single: &[Vec<Neighbor>], multi: &[Vec<Neighbor>]) {
+fn write_answers(
+    path: &str,
+    single: &[Vec<Neighbor>],
+    multi: &[Vec<Neighbor>],
+    failover: &[Vec<Neighbor>],
+) {
     let mut out = String::new();
-    for (label, results) in [("single", single), ("multi", multi)] {
+    for (label, results) in [("single", single), ("multi", multi), ("failover", failover)] {
         for (i, neighbors) in results.iter().enumerate() {
             out.push_str(label);
             out.push('\t');
@@ -588,7 +736,7 @@ fn write_answers(path: &str, single: &[Vec<Neighbor>], multi: &[Vec<Neighbor>]) 
     eprintln!("wrote {path}");
 }
 
-/// One threaded-sweep row as JSON (schema `upanns-runtime-bench-v1`).
+/// One threaded-sweep row as JSON (schema `upanns-runtime-bench-v2`).
 fn runtime_row_json(r: &RuntimeReport, workload: &str, offered_qps: f64, num_queries: usize) -> String {
     let tenants: Vec<String> = r
         .tenants
@@ -641,6 +789,9 @@ fn runtime_row_json(r: &RuntimeReport, workload: &str, offered_qps: f64, num_que
             "      \"shed\": {},\n",
             "      \"lost\": {},\n",
             "      \"duplicated\": {},\n",
+            "      \"degraded\": {},\n",
+            "      \"hedged\": {},\n",
+            "      \"redispatched\": {},\n",
             "      \"cache_hit_rate\": {},\n",
             "      \"dispatched_chunks\": {},\n",
             "      \"busy_modeled_s\": {},\n",
@@ -664,6 +815,9 @@ fn runtime_row_json(r: &RuntimeReport, workload: &str, offered_qps: f64, num_que
         r.shed,
         r.lost,
         r.duplicated,
+        r.degraded,
+        r.hedged,
+        r.redispatched,
         json_num(r.cache_hit_rate()),
         r.dispatched_chunks,
         json_num(r.busy_modeled_s),
@@ -830,6 +984,53 @@ fn main() {
         MultiHostUpAnns::new(engines, InterconnectModel::default())
     };
 
+    // The failover scenario's fixed-shape replicated deployment (see the
+    // module docs): its own shard set, stream and outage schedule, decoupled
+    // from --hosts so the committed recovery envelope stays comparable.
+    let failover_on = args.engines.iter().any(|e| e == "multihost");
+    let faults = FaultSchedule::parse(&args.fault)
+        .unwrap_or_else(|err| reject(format!("--fault: {err}")));
+    let failover_indexes: Vec<IvfPqIndex> = if failover_on {
+        shard_ranges(dataset.vectors.len(), FAILOVER_SHARDS)
+            .iter()
+            .map(|r| {
+                let rows: Vec<usize> = r.clone().collect();
+                let shard = dataset.vectors.gather(&rows);
+                let nlist = (NLIST / FAILOVER_SHARDS).max(16);
+                let mut ix = IvfPqIndex::train_empty(
+                    &shard,
+                    &IvfPqParams::new(nlist, PQ_M).with_train_size(2_400 / FAILOVER_SHARDS),
+                    5,
+                );
+                ix.add(&shard, r.start as u64);
+                ix
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let failover_stream = StreamSpec::new(FAILOVER_QUERIES, FAILOVER_QPS)
+        .with_repeat_fraction(args.repeat)
+        .with_slo_p99(FAILOVER_SLO_MS / 1e3)
+        .generate(&dataset);
+    let build_failover = |ws: f64| {
+        let engines: Vec<UpAnnsEngine<'_>> = failover_indexes
+            .iter()
+            .map(|ix| build_pim(ix, UpAnnsConfig::upanns(), DPUS / FAILOVER_SHARDS, ws, &history))
+            .collect();
+        match ReplicatedMultiHost::new(
+            engines,
+            FAILOVER_HOSTS,
+            args.replicas,
+            InterconnectModel::default(),
+        ) {
+            Ok(engine) => engine
+                .with_faults(faults.clone())
+                .with_hedge_budget(args.hedge_ms / 1e3),
+            Err(err) => reject(format!("--replicas: {err}")),
+        }
+    };
+
     // ------------------------------------------------------------------
     // Threaded and twin runtimes (and the answer-map writer) exit early;
     // everything below this block is the replay path, byte-identical to
@@ -856,7 +1057,8 @@ fn main() {
             queue_capacity: service_config
                 .queue_capacity
                 .max(stream.len())
-                .max(tstream.len()),
+                .max(tstream.len())
+                .max(failover_stream.len()),
             ..service_config
         };
         let workers = args.workers[0];
@@ -900,13 +1102,55 @@ fn main() {
             "multihost" => answer_maps!(build_multihost(work_scale)),
             other => unreachable!("engine '{other}' escaped --engines validation"),
         };
+        // The failover section: the replicated deployment under the fault
+        // schedule, on both sides of the diff — fault membership is a pure
+        // function of the batch close time, so the maps must stay
+        // byte-identical even while hosts die and recover.
+        let failover = if failover_on {
+            // Same fixed chunk cap as the scenario rows, on both sides of
+            // the diff.
+            let failover_config = ServiceConfig {
+                max_chunk: Some(FAILOVER_MAX_CHUNK),
+                ..answers_config
+            };
+            if args.runtime == RuntimeKind::Twin {
+                let engines: Vec<_> = (0..workers).map(|_| build_failover(work_scale)).collect();
+                eprintln!(
+                    "twin: failover logical-trace pipeline, {workers} worker(s), \
+                     {} queries under fault schedule {:?} ...",
+                    failover_stream.len(),
+                    args.fault
+                );
+                let report = run_pipeline(
+                    engines,
+                    &failover_stream,
+                    options_of,
+                    Box::new(FixedPolicy(failover_config.batcher)),
+                    RuntimeConfig::logical(failover_config),
+                );
+                assert!(report.is_conserving(), "twin failover run lost or duplicated queries");
+                assert_eq!(report.shed, 0, "twin runs shed nothing");
+                report.results
+            } else {
+                eprintln!(
+                    "replay: failover answer map, {} queries under fault schedule {:?} ...",
+                    failover_stream.len(),
+                    args.fault
+                );
+                let mut service = SearchService::new(build_failover(work_scale), failover_config);
+                service.replay(&failover_stream, options_of).results
+            }
+        } else {
+            Vec::new()
+        };
         match &args.answers {
-            Some(path) => write_answers(path, &single, &multi),
+            Some(path) => write_answers(path, &single, &multi, &failover),
             None => eprintln!(
-                "twin run complete ({} + {} answers, all conserved); \
+                "twin run complete ({} + {} + {} answers, all conserved); \
                  use --answers PATH to write the map",
                 single.len(),
-                multi.len()
+                multi.len(),
+                failover.len()
             ),
         }
         return;
@@ -1023,6 +1267,33 @@ fn main() {
             );
             assert!(report.is_conserving(), "threaded run lost or duplicated queries");
             rows.push(("multi".to_string(), multi_offered, tstream.len(), report));
+            if failover_on {
+                // The kill-a-host row runs in deterministic logical mode —
+                // the fault schedule lives on the simulated clock, and the
+                // row's point is conservation under faults, not wall time.
+                eprintln!(
+                    "threaded: failover (logical) under fault schedule {:?}, {w} worker(s), \
+                     {} queries ...",
+                    args.fault,
+                    failover_stream.len()
+                );
+                let failover_config = ServiceConfig {
+                    max_chunk: Some(FAILOVER_MAX_CHUNK),
+                    ..service_config
+                };
+                let report = run_pipeline(
+                    (0..w).map(|_| build_failover(args.work_scale)).collect(),
+                    &failover_stream,
+                    options_of,
+                    Box::new(FixedPolicy(failover_config.batcher)),
+                    RuntimeConfig::logical(failover_config),
+                );
+                assert!(
+                    report.is_conserving(),
+                    "failover run lost or duplicated queries"
+                );
+                rows.push(("failover".to_string(), FAILOVER_QPS, failover_stream.len(), report));
+            }
         }
 
         println!(
@@ -1043,7 +1314,7 @@ fn main() {
             let json = format!(
                 concat!(
                     "{{\n",
-                    "  \"schema\": \"upanns-runtime-bench-v1\",\n",
+                    "  \"schema\": \"upanns-runtime-bench-v2\",\n",
                     "  \"config\": {{\n",
                     "    \"dataset_n\": {},\n",
                     "    \"nlist\": {},\n",
@@ -1058,6 +1329,9 @@ fn main() {
                     "    \"fixed_max_batch\": {},\n",
                     "    \"fixed_max_delay_ms\": {},\n",
                     "    \"cache_capacity\": {},\n",
+                    "    \"replicas\": {},\n",
+                    "    \"fault\": \"{}\",\n",
+                    "    \"hedge_ms\": {},\n",
                     "    \"tenants\": \"{}\"\n",
                     "  }},\n",
                     "  \"rows\": [\n{}\n  ]\n",
@@ -1076,6 +1350,9 @@ fn main() {
                 service_config.batcher.max_batch,
                 json_num(service_config.batcher.max_delay_s * 1e3),
                 service_config.cache_capacity,
+                args.replicas,
+                args.fault,
+                json_num(args.hedge_ms),
                 threaded_tenants,
                 body.join(",\n"),
             );
@@ -1172,6 +1449,52 @@ fn main() {
         }
     }
 
+    // The kill-a-host failover scenario: the replicated deployment serves
+    // its own stream under the outage schedule, with hedged retries and the
+    // capacity-model autoscaler in the loop; the recovery envelope is the
+    // committed deliverable CI asserts on.
+    let mut failover_reports: Vec<(ServiceReport, Option<RecoveryEnvelope>)> = Vec::new();
+    if failover_on {
+        eprintln!(
+            "replaying failover scenario ({FAILOVER_SHARDS} shards on {FAILOVER_HOSTS} hosts, \
+             r={}, fault {:?}, hedge {} ms, {} queries at {} qps) ...",
+            args.replicas,
+            args.fault,
+            args.hedge_ms,
+            failover_stream.len(),
+            FAILOVER_QPS
+        );
+        let scaler = Autoscaler::new(
+            CapacityModel::fit(&CAPACITY_SAMPLES),
+            FAILOVER_QPS,
+            FAILOVER_HOSTS,
+            // Never below the committed shape (scale-downs would change the
+            // healthy baseline), two hosts of elastic headroom above it.
+            FAILOVER_HOSTS,
+            FAILOVER_HOSTS + 2,
+        );
+        let failover_config = ServiceConfig {
+            max_chunk: Some(FAILOVER_MAX_CHUNK),
+            ..service_config
+        };
+        let mut service = SearchService::new(build_failover(work_scale), failover_config)
+            .with_policy(Box::new(SloController::for_slo(FAILOVER_SLO_MS / 1e3)))
+            .with_autoscaler(scaler);
+        let report = service.replay(&failover_stream, options_of);
+        let t_down = faults
+            .events()
+            .iter()
+            .map(|e| e.down_at)
+            .fold(f64::INFINITY, f64::min);
+        let envelope = RecoveryEnvelope::from_outcomes(
+            &report.outcomes,
+            FAILOVER_SLO_MS / 1e3,
+            t_down,
+            ENVELOPE_BUCKET_S,
+        );
+        failover_reports.push((report, envelope));
+    }
+
     println!(
         "| engine | policy | sustained QPS | p50 (ms) | p99 (ms) | SLO miss | completed | shed | batches | chunks | mean batch | final window (ms) |"
     );
@@ -1221,16 +1544,65 @@ fn main() {
         }
     }
 
+    if !failover_reports.is_empty() {
+        println!();
+        println!(
+            "Failover scenario: {FAILOVER_SHARDS} shards / {FAILOVER_HOSTS} hosts, r={}, \
+             fault {}, hedge {} ms",
+            args.replicas, args.fault, args.hedge_ms
+        );
+        println!(
+            "| policy | sustained QPS | p99 (ms) | SLO miss | degraded | hedged | redisp | scale events | migration (s) | baseline | max dip | recovery (s) |"
+        );
+        println!("|---|---|---|---|---|---|---|---|---|---|---|---|");
+        for (r, env) in &failover_reports {
+            let (baseline, dip, recovery) = env.as_ref().map_or_else(
+                || ("-".to_string(), "-".to_string(), "-".to_string()),
+                |e| {
+                    (
+                        format!("{:.3}", e.baseline_attainment),
+                        format!("{:.3}", e.max_dip),
+                        if e.recovered {
+                            format!("{:.1}", e.recovery_s)
+                        } else {
+                            "never".to_string()
+                        },
+                    )
+                },
+            );
+            println!(
+                "| {} | {:.1} | {:.3} | {:.1}% | {} | {} | {} | {} | {:.3} | {} | {} | {} |",
+                r.policy,
+                r.sustained_qps(),
+                r.p99() * 1e3,
+                r.slo_miss_fraction() * 100.0,
+                r.degraded,
+                r.hedged,
+                r.redispatched,
+                r.scale_events,
+                r.migration_s,
+                baseline,
+                dip,
+                recovery,
+            );
+        }
+    }
+
     if let Some(path) = args.json {
         let engines: Vec<String> = reports
             .iter()
-            .map(|r| report_json(r, "single"))
-            .chain(multi_reports.iter().map(|r| report_json(r, "multi")))
+            .map(|r| report_json(r, "single", None))
+            .chain(multi_reports.iter().map(|r| report_json(r, "multi", None)))
+            .chain(
+                failover_reports
+                    .iter()
+                    .map(|(r, env)| report_json(r, "failover", env.as_ref())),
+            )
             .collect();
         let json = format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"upanns-serving-bench-v4\",\n",
+                "  \"schema\": \"upanns-serving-bench-v5\",\n",
                 "  \"config\": {{\n",
                 "    \"dataset_n\": {},\n",
                 "    \"nlist\": {},\n",
@@ -1246,6 +1618,9 @@ fn main() {
                 "    \"fixed_max_batch\": {},\n",
                 "    \"fixed_max_delay_ms\": {},\n",
                 "    \"cache_capacity\": {},\n",
+                "    \"replicas\": {},\n",
+                "    \"fault\": \"{}\",\n",
+                "    \"hedge_ms\": {},\n",
                 "    \"tenants\": \"{}\"\n",
                 "  }},\n",
                 "  \"engines\": [\n{}\n  ]\n",
@@ -1265,6 +1640,9 @@ fn main() {
             fixed_batcher.max_batch,
             json_num(fixed_batcher.max_delay_s * 1e3),
             service_config.cache_capacity,
+            args.replicas,
+            args.fault,
+            json_num(args.hedge_ms),
             args.tenants,
             engines.join(",\n"),
         );

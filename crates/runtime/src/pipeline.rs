@@ -230,6 +230,11 @@ enum ToCompletion {
         modeled_s: f64,
         lead: bool,
         wait_s: f64,
+        /// Fault-tolerance counters from the engine's `WorkloadStats`
+        /// (nonzero only for replicated engines under a fault schedule).
+        degraded: u64,
+        hedged: u64,
+        redispatched: u64,
     },
     /// The dispatcher drained: every completion message is already queued
     /// ahead of this one (see the module docs' happens-before argument).
@@ -679,7 +684,12 @@ fn worker_stage<E: AnnEngine>(
         let queries = stream.batch.queries.gather(&indices);
         next_request_id += 1;
         let started = clock.elapsed_s();
-        let request = SearchRequest::new(queries, options).with_id(next_request_id);
+        // The batch close time is the one timestamp identical between this
+        // runtime and the replay twin, so fault membership stays a pure
+        // function of the schedule and the request.
+        let request = SearchRequest::new(queries, options)
+            .with_id(next_request_id)
+            .with_at(batch.closed_at);
         let response = engine.execute(&request);
         let (finish, wait_s) = match mode {
             RuntimeMode::Wall => {
@@ -698,6 +708,9 @@ fn worker_stage<E: AnnEngine>(
             modeled_s: response.seconds,
             lead: chunk.lead,
             wait_s,
+            degraded: response.stats.degraded,
+            hedged: response.stats.hedged,
+            redispatched: response.stats.redispatched,
         });
         let _ = to_dispatcher.send(ToDispatcher::WorkerIdle(worker));
     }
@@ -722,6 +735,9 @@ struct Outcome {
     cache_misses: u64,
     dispatched_chunks: usize,
     split_batches: usize,
+    degraded: u64,
+    hedged: u64,
+    redispatched: u64,
 }
 
 /// Stage 5: the single writer of results, latencies and conservation
@@ -755,6 +771,9 @@ fn completion_stage(
         cache_misses: 0,
         dispatched_chunks: 0,
         split_batches: 0,
+        degraded: 0,
+        hedged: 0,
+        redispatched: 0,
     };
     let mut answered = vec![false; expected];
     let mut accounted = 0usize;
@@ -802,10 +821,16 @@ fn completion_stage(
                 modeled_s,
                 lead,
                 wait_s,
+                degraded,
+                hedged,
+                redispatched,
             } => {
                 note_tenant(&mut out.tenant_order, tenant);
                 out.busy_modeled_s += modeled_s;
                 out.makespan_s = out.makespan_s.max(finish_s);
+                out.degraded += degraded;
+                out.hedged += hedged;
+                out.redispatched += redispatched;
                 let n = members.len();
                 if lead {
                     feedback(ToBatcher::BatchDone {
@@ -911,6 +936,9 @@ fn finish_report(
         cache_misses: out.cache_misses,
         dispatched_chunks: out.dispatched_chunks,
         split_batches: out.split_batches,
+        degraded: out.degraded,
+        hedged: out.hedged,
+        redispatched: out.redispatched,
         busy_modeled_s: out.busy_modeled_s,
         makespan_s: out.makespan_s,
         slo_p99_s,

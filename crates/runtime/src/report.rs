@@ -115,6 +115,13 @@ pub struct RuntimeReport {
     pub dispatched_chunks: usize,
     /// Formed batches split into more than one chunk.
     pub split_batches: usize,
+    /// Query×shard pairs served with degraded (partial) coverage because a
+    /// shard had no live replica at dispatch time.
+    pub degraded: u64,
+    /// Shards cloned to a second replica past the hedging budget.
+    pub hedged: u64,
+    /// Shards re-dispatched after their host died with the work in flight.
+    pub redispatched: u64,
     /// Total *modeled* engine seconds across all workers (the emulated
     /// device occupancy; divide by makespan for emulated device utilization).
     pub busy_modeled_s: f64,

@@ -29,6 +29,8 @@ use proptest::prelude::*;
 use upanns::builder::{BatchCapacity, UpAnnsBuilder};
 use upanns::config::UpAnnsConfig;
 use upanns::engine::UpAnnsEngine;
+use upanns::multihost::{shard_ranges, InterconnectModel};
+use upanns::replica::{FaultEvent, FaultSchedule, ReplicatedMultiHost};
 use upanns_runtime::{run_pipeline, RuntimeConfig};
 use upanns_serve::service::ServiceConfig;
 use upanns_serve::{FixedPolicy, SearchService};
@@ -45,6 +47,26 @@ fn fixture() -> &'static (SyntheticDataset, IvfPqIndex) {
             .generate_with_meta();
         let index = IvfPqIndex::train(&data.vectors, &IvfPqParams::new(24, 8), 3);
         (data, index)
+    })
+}
+
+/// The same corpus split into three shards with globally unique ids, for
+/// the replicated fault-injection twin property.
+fn sharded_fixture() -> &'static Vec<IvfPqIndex> {
+    static SHARDS: OnceLock<Vec<IvfPqIndex>> = OnceLock::new();
+    SHARDS.get_or_init(|| {
+        let (data, _) = fixture();
+        shard_ranges(data.vectors.len(), 3)
+            .iter()
+            .map(|r| {
+                let rows: Vec<usize> = r.clone().collect();
+                let shard = data.vectors.gather(&rows);
+                let mut index =
+                    IvfPqIndex::train_empty(&shard, &IvfPqParams::new(8, 8).with_train_size(260), 2);
+                index.add(&shard, r.start as u64);
+                index
+            })
+            .collect()
     })
 }
 
@@ -178,6 +200,88 @@ proptest! {
             engine_kind,
             workers,
             chunked
+        );
+    }
+
+    /// The twin contract survives fault injection: a replicated deployment
+    /// under a random outage schedule answers identically in the replay and
+    /// the threaded logical pipeline — fault membership is a pure function
+    /// of the batch close time, which both runtimes stamp on the request —
+    /// and the pipeline conserves every query (nothing lost, duplicated, or
+    /// shed) while hosts die and return mid-stream.
+    #[test]
+    fn faulted_replicated_twin_conserves_and_matches(
+        workers in 1usize..=3,
+        n in 30usize..80,
+        seed in 0u64..1_000,
+        replicas in 1usize..=3,
+        down_host in 0usize..3,
+        down_at in 0.0f64..0.2,
+        outage_s in 0.01f64..0.3,
+        hedge_bit in 0u8..2,
+        max_batch in 2usize..16,
+    ) {
+        let (data, _) = fixture();
+        let shards = sharded_fixture();
+        let faults = FaultSchedule::new(vec![FaultEvent {
+            host: down_host,
+            down_at,
+            up_at: down_at + outage_s,
+        }]);
+        let build = || {
+            let engines: Vec<UpAnnsEngine<'_>> = shards.iter().map(|ix| {
+                UpAnnsBuilder::new(ix)
+                    .with_config(UpAnnsConfig::upanns().with_work_scale(500.0))
+                    .with_pim_config(PimConfig::with_dpus(48))
+                    .with_batch_capacity(BatchCapacity {
+                        batch_size: 32,
+                        nprobe: 8,
+                        max_k: 20,
+                    })
+                    .build()
+            }).collect();
+            let engine = ReplicatedMultiHost::new(engines, 3, replicas, InterconnectModel::default())
+                .expect("3 hosts cover any replica factor up to 3")
+                .with_faults(faults.clone());
+            if hedge_bit == 1 {
+                engine.with_hedge_budget(0.05)
+            } else {
+                engine
+            }
+        };
+        // ~200 qps keeps the stream long enough (0.15-0.4 s) that the drawn
+        // outage windows actually overlap the arrivals.
+        let stream = StreamSpec::new(n, 200.0)
+            .with_workload(WorkloadSpec::new(n).with_seed(seed))
+            .generate(data);
+
+        let mut config = ServiceConfig::default();
+        config.queue_capacity = config.queue_capacity.max(stream.len());
+        config.batcher.max_batch = max_batch;
+
+        let replay_results = {
+            let mut service = SearchService::new(build(), config);
+            service.replay(&stream, |i| planned(&stream, i)).results
+        };
+        let report = run_pipeline(
+            (0..workers).map(|_| build()).collect(),
+            &stream,
+            |i| planned(&stream, i),
+            Box::new(FixedPolicy(config.batcher)),
+            RuntimeConfig::logical(config),
+        );
+        prop_assert!(report.is_conserving(), "faulted twin lost or duplicated queries");
+        prop_assert_eq!(report.shed, 0, "logical mode is shed-proof under faults");
+        prop_assert_eq!(report.completed, stream.len());
+        prop_assert_eq!(
+            answer_ids(&replay_results),
+            answer_ids(&report.results),
+            "fault injection diverged between replay and twin \
+             (workers={}, replicas={}, outage {}..{})",
+            workers,
+            replicas,
+            down_at,
+            down_at + outage_s
         );
     }
 }

@@ -113,16 +113,20 @@
 #![forbid(unsafe_code)]
 
 pub mod admission;
+pub mod autoscale;
 pub mod batcher;
 pub mod cache;
 pub mod controller;
 pub mod dispatch;
+pub mod envelope;
 pub mod service;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::admission::AdmissionQueue;
+    pub use crate::autoscale::{Autoscaler, CapacityModel};
     pub use crate::batcher::{BatchFormer, BatchFormerConfig, CloseReason, FormedBatch, PendingQuery};
+    pub use crate::envelope::RecoveryEnvelope;
     pub use crate::cache::ResultCache;
     pub use crate::controller::{
         BatchPolicy, ControllerBank, FixedPolicy, SloController, SloControllerConfig,
@@ -132,5 +136,7 @@ pub mod prelude {
     pub use annkit::workload::{MultiTenantSpec, TenantId, TenantProfile, TenantSpec};
 }
 
+pub use autoscale::{Autoscaler, CapacityModel};
 pub use controller::{BatchPolicy, ControllerBank, FixedPolicy, SloController, SloControllerConfig};
+pub use envelope::RecoveryEnvelope;
 pub use service::{SearchService, ServiceConfig, ServiceReport, SloTable, TenantReport};

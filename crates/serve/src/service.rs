@@ -14,6 +14,7 @@
 //! the CPU, GPU and PIM engines exactly like the batch benchmarks.
 
 use crate::admission::AdmissionQueue;
+use crate::autoscale::Autoscaler;
 use crate::batcher::{BatchFormer, BatchFormerConfig, CloseReason, FormedBatch, PendingQuery};
 use crate::cache::ResultCache;
 use crate::controller::{BatchPolicy, FixedPolicy};
@@ -196,6 +197,23 @@ pub struct ServiceReport {
     pub latencies_s: Vec<f64>,
     /// Per-query results in stream order (empty vector for shed queries).
     pub results: Vec<Vec<Neighbor>>,
+    /// Per-query `(arrival, Some(latency) | None)` outcomes — `None` marks a
+    /// shed query. The raw material of a
+    /// [`RecoveryEnvelope`](crate::envelope::RecoveryEnvelope) over a
+    /// fault-injected replay.
+    pub outcomes: Vec<(f64, Option<f64>)>,
+    /// Query×shard pairs the engine dropped for lack of a live replica
+    /// (degraded coverage; 0 for engines without replication).
+    pub degraded: u64,
+    /// Shard groups the engine hedged to a second replica.
+    pub hedged: u64,
+    /// Shard groups the engine re-dispatched after their host died in
+    /// flight.
+    pub redispatched: u64,
+    /// Host-count changes an attached [`Autoscaler`] applied.
+    pub scale_events: usize,
+    /// Total modeled shard-migration seconds those scale events charged.
+    pub migration_s: f64,
     /// Per-tenant breakdown, in the stream's tenant-profile order (one
     /// `default` row for single-tenant replays).
     pub tenants: Vec<TenantReport>,
@@ -405,6 +423,15 @@ struct ReplayState<'s> {
     latencies: Vec<f64>,
     tenant_latencies: Vec<(TenantId, f64)>,
     results: Vec<Vec<Neighbor>>,
+    /// Per-query `(arrival, Some(latency) | None)` — shed queries are `None`.
+    outcomes: Vec<(f64, Option<f64>)>,
+    /// `(time, missed)` SLO observations an attached autoscaler has not yet
+    /// consumed; drained causally, like `pending_feedback`.
+    pending_slo_events: Vec<(f64, bool)>,
+    /// Fault-tolerance work counters accumulated from engine responses.
+    degraded: u64,
+    hedged: u64,
+    redispatched: u64,
     makespan_s: f64,
     size_closed: usize,
     deadline_closed: usize,
@@ -470,8 +497,17 @@ impl ReplayState<'_> {
         let options: Vec<QueryOptions> = batch.members.iter().map(|m| m.options).collect();
         let queries = self.stream.batch.queries.gather(&indices);
         *next_request_id += 1;
-        let request = SearchRequest::new(queries, options).with_id(*next_request_id);
+        // The request is stamped with the batch's *close* time — the one
+        // timestamp the threaded twin reproduces exactly — so an engine with
+        // a fault schedule evaluates host liveness identically in replay and
+        // twin runs.
+        let request = SearchRequest::new(queries, options)
+            .with_id(*next_request_id)
+            .with_at(batch.closed_at);
         let response = engine.execute(&request);
+        self.degraded += response.stats.degraded;
+        self.hedged += response.stats.hedged;
+        self.redispatched += response.stats.redispatched;
         let finish = self.scheduler.complete(start, response.seconds);
         debug_assert!(
             self.completions.last().is_none_or(|&(f, _, _)| f <= finish),
@@ -493,10 +529,14 @@ impl ReplayState<'_> {
                 wait_s: start - batch.closed_at,
             });
         }
+        let slo = self.slos.slo_of(tenant);
         for (member, neighbors) in batch.members.iter().zip(response.results) {
             let latency = finish - member.arrival_s;
             self.latencies.push(latency);
             self.tenant_latencies.push((tenant, latency));
+            self.outcomes.push((member.arrival_s, Some(latency)));
+            self.pending_slo_events
+                .push((finish, slo.is_some_and(|s| latency > s)));
             self.pending_feedback.push(Feedback::Query {
                 at: finish,
                 tenant,
@@ -586,6 +626,7 @@ pub struct SearchService<E: AnnEngine> {
     engine: E,
     config: ServiceConfig,
     policy: Box<dyn BatchPolicy>,
+    autoscaler: Option<Autoscaler>,
     next_request_id: u64,
 }
 
@@ -597,8 +638,19 @@ impl<E: AnnEngine> SearchService<E> {
             engine,
             policy: Box::new(FixedPolicy(config.batcher)),
             config,
+            autoscaler: None,
             next_request_id: 0,
         }
+    }
+
+    /// Attaches a host [`Autoscaler`]: per-query SLO outcomes feed it
+    /// causally on the replay clock, and its steps are applied to the engine
+    /// through [`AnnEngine::scale_to`] (a no-op `None` for engines without
+    /// host-level elasticity). The controller's believed host count is
+    /// re-synced with [`AnnEngine::live_hosts`] when the replay starts.
+    pub fn with_autoscaler(mut self, autoscaler: Autoscaler) -> Self {
+        self.autoscaler = Some(autoscaler);
+        self
     }
 
     /// Replaces the batch policy (e.g. with an
@@ -671,8 +723,14 @@ impl<E: AnnEngine> SearchService<E> {
     ) -> ServiceReport {
         let engine = &mut self.engine;
         let policy = &mut self.policy;
+        let autoscaler = &mut self.autoscaler;
         let next_request_id = &mut self.next_request_id;
         let config = self.config;
+        let mut scale_events = 0usize;
+        let mut migration_s = 0.0f64;
+        if let (Some(scaler), Some(hosts)) = (autoscaler.as_mut(), engine.live_hosts()) {
+            scaler.sync(hosts);
+        }
         let mut queue = AdmissionQueue::new(config.queue_capacity);
         for p in &stream.tenant_profiles {
             queue.register(p.id, p.weight);
@@ -705,6 +763,11 @@ impl<E: AnnEngine> SearchService<E> {
             latencies: Vec::with_capacity(stream.len()),
             tenant_latencies: Vec::with_capacity(stream.len()),
             results: vec![Vec::new(); stream.len()],
+            outcomes: Vec::with_capacity(stream.len()),
+            pending_slo_events: Vec::new(),
+            degraded: 0,
+            hedged: 0,
+            redispatched: 0,
             makespan_s: 0.0,
             size_closed: 0,
             deadline_closed: 0,
@@ -724,6 +787,31 @@ impl<E: AnnEngine> SearchService<E> {
                 state.former.set_tenant_config(t, policy.current_for(t));
             }
             state.advance(engine, next_request_id, policy.as_ref(), arrival);
+
+            // The elasticity loop: deliver the SLO outcomes the clock has
+            // caught up with to the autoscaler (causally, like policy
+            // feedback) and apply any step it decides through the engine's
+            // own scale hook, charging the modeled migration time.
+            if let Some(scaler) = autoscaler.as_mut() {
+                let mut due = Vec::new();
+                state.pending_slo_events.retain(|&(t, missed)| {
+                    if t <= arrival {
+                        due.push((t, missed));
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for (t, missed) in due {
+                    scaler.observe(t, missed);
+                }
+                if let Some(target) = scaler.decide(arrival) {
+                    if let Some(cost) = engine.scale_to(target, arrival) {
+                        scale_events += 1;
+                        migration_s += cost;
+                    }
+                }
+            }
 
             // Free the waiting room of every chunk finished by now (the
             // engine is serial, so finish times are non-decreasing in
@@ -750,6 +838,14 @@ impl<E: AnnEngine> SearchService<E> {
                 let finish = arrival.max(ready_at) + config.cache_lookup_s;
                 state.latencies.push(finish - arrival);
                 state.tenant_latencies.push((tenant, finish - arrival));
+                state.outcomes.push((arrival, Some(finish - arrival)));
+                state.pending_slo_events.push((
+                    finish,
+                    state
+                        .slos
+                        .slo_of(tenant)
+                        .is_some_and(|s| finish - arrival > s),
+                ));
                 state.pending_feedback.push(Feedback::Query {
                     at: finish,
                     tenant,
@@ -760,7 +856,11 @@ impl<E: AnnEngine> SearchService<E> {
                 continue;
             }
             if !queue.try_admit(tenant) {
-                continue; // shed at the door, charged to this tenant
+                // Shed at the door, charged to this tenant — and recorded:
+                // a query that got no answer is the worst SLO outcome.
+                state.outcomes.push((arrival, None));
+                state.pending_slo_events.push((arrival, true));
+                continue;
             }
             let pending = PendingQuery {
                 arrival_s: arrival,
@@ -800,6 +900,10 @@ impl<E: AnnEngine> SearchService<E> {
             mut latencies,
             tenant_latencies,
             results,
+            outcomes,
+            degraded,
+            hedged,
+            redispatched,
             makespan_s,
             size_closed,
             deadline_closed,
@@ -858,6 +962,12 @@ impl<E: AnnEngine> SearchService<E> {
             makespan_s,
             latencies_s: latencies,
             results,
+            outcomes,
+            degraded,
+            hedged,
+            redispatched,
+            scale_events,
+            migration_s,
             tenants,
         }
     }
@@ -1017,6 +1127,12 @@ mod tests {
             makespan_s: 0.0,
             latencies_s: Vec::new(),
             results: Vec::new(),
+            outcomes: Vec::new(),
+            degraded: 0,
+            hedged: 0,
+            redispatched: 0,
+            scale_events: 0,
+            migration_s: 0.0,
             tenants: Vec::new(),
         };
         assert_eq!(report.slo_miss_fraction(), 1.0);

@@ -6,9 +6,9 @@ Usage:
 
 Each file is dispatched on its top-level "schema" tag:
 
-* ``upanns-serving-bench-v4`` — the discrete-event replay record written by
+* ``upanns-serving-bench-v5`` — the discrete-event replay record written by
   ``serve --json`` (default replay runtime).
-* ``upanns-runtime-bench-v1`` — the threaded-runtime sweep written by
+* ``upanns-runtime-bench-v2`` — the threaded-runtime sweep written by
   ``serve --runtime threaded --json``.
 
 Checks are structural (required keys, types, row shapes) plus the
@@ -17,8 +17,12 @@ invariants a record must never violate to be worth committing:
 * every runtime row conserves queries (``lost == 0``, ``duplicated == 0``,
   ``completed + shed == num_queries``);
 * counters are non-negative, fractions live in [0, 1];
-* the runtime sweep contains both workloads and more than one worker count
-  (otherwise it cannot show scaling).
+* the runtime sweep contains every workload (single, multi, failover) and
+  more than one worker count (otherwise it cannot show scaling);
+* the serving failover row carries a recovery envelope that actually
+  recovered, and only failover rows carry one;
+* runtime failover rows ran in deterministic logical mode (the fault
+  schedule lives on the simulated clock).
 
 Exit status 0 when every file validates; 1 with a per-file message
 otherwise. This replaces the old inline ``python3 -m json.tool`` CI calls,
@@ -28,8 +32,10 @@ which only proved the files were JSON.
 import json
 import sys
 
-SERVING_SCHEMA = "upanns-serving-bench-v4"
-RUNTIME_SCHEMA = "upanns-runtime-bench-v1"
+SERVING_SCHEMA = "upanns-serving-bench-v5"
+RUNTIME_SCHEMA = "upanns-runtime-bench-v2"
+
+WORKLOADS = ("single", "multi", "failover")
 
 SERVING_ROW_KEYS = {
     "name", "workload", "policy", "sustained_qps", "p50_ms", "p99_ms",
@@ -37,15 +43,21 @@ SERVING_ROW_KEYS = {
     "completed", "shed", "cache_hit_rate", "batches", "mean_batch_size",
     "dispatched_chunks", "mean_chunk_size", "final_max_batch",
     "final_max_delay_ms", "controller_adjustments", "engine_busy_s",
-    "tenants",
+    "degraded", "hedged", "redispatched", "scale_events", "migration_s",
+    "envelope", "tenants",
+}
+
+ENVELOPE_KEYS = {
+    "bucket_s", "t_down", "baseline_attainment", "max_dip", "dip_at",
+    "recovery_s", "recovered",
 }
 
 RUNTIME_ROW_KEYS = {
     "engine", "workload", "mode", "policy", "workers", "offered_qps",
     "num_queries", "sustained_qps", "p50_ms", "p99_ms", "mean_ms",
-    "completed", "shed", "lost", "duplicated", "cache_hit_rate",
-    "dispatched_chunks", "busy_modeled_s", "makespan_s",
-    "emulated_utilization", "tenants",
+    "completed", "shed", "lost", "duplicated", "degraded", "hedged",
+    "redispatched", "cache_hit_rate", "dispatched_chunks", "busy_modeled_s",
+    "makespan_s", "emulated_utilization", "tenants",
 }
 
 RUNTIME_TENANT_KEYS = {
@@ -91,16 +103,48 @@ def check_serving(doc):
     for i, row in enumerate(rows):
         label = f"engines[{i}]"
         check_keys(row, SERVING_ROW_KEYS, label)
-        require(row["workload"] in ("single", "multi"),
+        require(row["workload"] in WORKLOADS,
                 f"{label}.workload = {row['workload']!r}")
-        for key in ("completed", "shed", "batches", "dispatched_chunks"):
+        for key in ("completed", "shed", "batches", "dispatched_chunks",
+                    "degraded", "hedged", "redispatched", "scale_events"):
             check_count(row[key], f"{label}.{key}")
         for key in ("slo_miss_fraction", "cache_hit_rate"):
             check_fraction(row[key], f"{label}.{key}")
+        require(isinstance(row["migration_s"], (int, float))
+                and row["migration_s"] >= 0,
+                f"{label}.migration_s = {row['migration_s']!r}")
         require(isinstance(row["tenants"], list), f"{label}.tenants is not a list")
+        if row["workload"] == "failover":
+            check_envelope(row["envelope"], f"{label}.envelope")
+        else:
+            require(row["envelope"] is None,
+                    f"{label} is a {row['workload']} row but carries an envelope")
     workloads = {r["workload"] for r in rows}
-    require(workloads == {"single", "multi"},
-            f"expected single and multi workload rows, got {sorted(workloads)}")
+    require(workloads == set(WORKLOADS),
+            f"expected single, multi and failover rows, got {sorted(workloads)}")
+
+
+def check_envelope(env, label):
+    """A committed failover row must prove the deployment recovered: the
+    envelope is the CI-asserted contract (max dip bounded, recovery reached
+    within the run) — a record showing an unrecovered outage must not land."""
+    check_keys(env, ENVELOPE_KEYS, label)
+    require(isinstance(env["bucket_s"], (int, float)) and env["bucket_s"] > 0,
+            f"{label}.bucket_s = {env['bucket_s']!r}")
+    require(isinstance(env["t_down"], (int, float)) and env["t_down"] >= 0,
+            f"{label}.t_down = {env['t_down']!r}")
+    check_fraction(env["baseline_attainment"], f"{label}.baseline_attainment")
+    require(env["baseline_attainment"] > 0,
+            f"{label}: baseline attainment {env['baseline_attainment']} means "
+            "the deployment was already failing before the outage")
+    check_fraction(env["max_dip"], f"{label}.max_dip")
+    require(env["recovered"] is True,
+            f"{label}: the scenario never recovered from its outage")
+    require(isinstance(env["recovery_s"], (int, float)) and env["recovery_s"] >= 0,
+            f"{label}.recovery_s = {env['recovery_s']!r}")
+    require(isinstance(env["dip_at"], (int, float))
+            and env["dip_at"] >= env["t_down"],
+            f"{label}.dip_at = {env['dip_at']!r} precedes the outage")
 
 
 def check_runtime(doc):
@@ -113,11 +157,17 @@ def check_runtime(doc):
     for i, row in enumerate(rows):
         label = f"rows[{i}]"
         check_keys(row, RUNTIME_ROW_KEYS, label)
-        require(row["workload"] in ("single", "multi"),
+        require(row["workload"] in WORKLOADS,
                 f"{label}.workload = {row['workload']!r}")
         require(row["mode"] in ("wall", "logical"), f"{label}.mode = {row['mode']!r}")
+        if row["workload"] == "failover":
+            # The fault schedule lives on the simulated clock, so failover
+            # rows are only meaningful (and only deterministic) in logical mode.
+            require(row["mode"] == "logical",
+                    f"{label} is a failover row in {row['mode']!r} mode")
         for key in ("completed", "shed", "lost", "duplicated", "workers",
-                    "num_queries", "dispatched_chunks"):
+                    "num_queries", "dispatched_chunks", "degraded", "hedged",
+                    "redispatched"):
             check_count(row[key], f"{label}.{key}")
         require(row["workers"] >= 1, f"{label}.workers = {row['workers']}")
         # The conservation contract: a committed record proving the runtime
@@ -140,8 +190,8 @@ def check_runtime(doc):
             require(len(row["tenants"]) >= 2,
                     f"{label} is a multi-tenant row with {len(row['tenants'])} tenants")
     workloads = {r["workload"] for r in rows}
-    require(workloads == {"single", "multi"},
-            f"expected single and multi workload rows, got {sorted(workloads)}")
+    require(workloads == set(WORKLOADS),
+            f"expected single, multi and failover rows, got {sorted(workloads)}")
     worker_counts = {r["workers"] for r in rows}
     require(len(worker_counts) > 1,
             f"a one-worker-count sweep ({sorted(worker_counts)}) cannot show scaling")
