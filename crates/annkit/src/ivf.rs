@@ -113,9 +113,24 @@ impl InvertedList {
         self.ids.len() * (std::mem::size_of::<u64>() + m)
     }
 
-    fn push(&mut self, id: u64, code: &[u8]) {
+    pub(crate) fn push(&mut self, id: u64, code: &[u8]) {
         self.ids.push(id);
         self.packed.extend_from_slice(code);
+    }
+
+    /// Rebuilds the list without the entry at position `i`, preserving the
+    /// order of the remaining entries (copy-on-write delete support).
+    pub(crate) fn without_entry(&self, i: usize, m: usize) -> InvertedList {
+        let mut ids = Vec::with_capacity(self.ids.len().saturating_sub(1));
+        let mut packed = Vec::with_capacity(self.packed.len().saturating_sub(m));
+        for (j, &id) in self.ids.iter().enumerate() {
+            if j == i {
+                continue;
+            }
+            ids.push(id);
+            packed.extend_from_slice(&self.packed[j * m..(j + 1) * m]);
+        }
+        InvertedList { ids, packed }
     }
 }
 
@@ -256,8 +271,52 @@ impl IvfPqIndex {
     }
 
     /// Sizes of all inverted lists (the cluster-size skew of Figure 4b).
+    ///
+    /// Allocates a fresh `Vec` per call; hot paths that only need to *read*
+    /// the sizes (per-batch scheduling, compaction-skew decision ticks)
+    /// should use [`iter_list_sizes`](Self::iter_list_sizes) or the cached
+    /// slice on [`crate::mutation::IndexSnapshot::list_sizes`] instead.
     pub fn list_sizes(&self) -> Vec<usize> {
-        self.lists.iter().map(|l| l.len()).collect()
+        self.iter_list_sizes().collect()
+    }
+
+    /// Allocation-free view of the inverted-list sizes.
+    #[inline]
+    pub fn iter_list_sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.lists.iter().map(|l| l.len())
+    }
+
+    /// A structurally identical index with the same trained quantizers but
+    /// empty inverted lists — the starting point for rebuilding the corpus
+    /// from a mutation log (see `tests/mutation_snapshot.rs`) or folding a
+    /// compacted view back into a base index.
+    pub fn fresh_like(&self) -> IvfPqIndex {
+        Self {
+            params: self.params.clone(),
+            coarse: self.coarse.clone(),
+            pq: self.pq.clone(),
+            lists: vec![InvertedList::default(); self.params.nlist],
+            dim: self.dim,
+            ntotal: 0,
+        }
+    }
+
+    /// Adds a single vector under an explicit row id (streaming-ingest path;
+    /// the batch [`add`](Self::add) derives ids from an offset instead).
+    pub fn add_one(&mut self, v: &[f32], id: u64) {
+        assert_eq!(v.len(), self.dim, "add dimension mismatch");
+        let (c, _) = self.coarse.assign(v);
+        let code = self.pq.encode(&residual(v, self.coarse.centroid(c)));
+        self.lists[c].push(id, &code);
+        self.ntotal += 1;
+    }
+
+    /// Replaces the inverted lists wholesale (compaction fold support); the
+    /// caller is responsible for `lists` holding exactly `ntotal` entries.
+    pub(crate) fn replace_lists(&mut self, lists: Vec<InvertedList>, ntotal: u64) {
+        assert_eq!(lists.len(), self.params.nlist, "list count mismatch");
+        self.lists = lists;
+        self.ntotal = ntotal;
     }
 
     /// Total compressed footprint in bytes (ids + codes), the number that

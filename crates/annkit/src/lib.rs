@@ -7,6 +7,8 @@
 //! * k-means / k-means++ coarse quantization ([`kmeans`]),
 //! * product quantization — codebook training, encoding, decoding ([`pq`]),
 //! * the inverted-file index with per-cluster residual PQ codes ([`ivf`]),
+//! * streaming upserts/deletes with epoch-stamped copy-on-write snapshots
+//!   ([`mutation`]),
 //! * asymmetric-distance lookup tables (LUTs) and ADC scans ([`lut`]),
 //! * bounded heaps and exact top-k selection ([`topk`]),
 //! * runtime-dispatched SIMD fast paths for the scan/distance/top-k hot
@@ -52,6 +54,7 @@ pub mod io;
 pub mod ivf;
 pub mod kmeans;
 pub mod lut;
+pub mod mutation;
 pub mod pq;
 pub mod recall;
 pub mod simd;
@@ -67,14 +70,15 @@ pub mod prelude {
     pub use crate::ivf::{IvfPqIndex, IvfPqParams, ListEntry};
     pub use crate::kmeans::{KMeans, KMeansParams};
     pub use crate::lut::LookupTable;
+    pub use crate::mutation::{IndexSnapshot, MutableIvf, SnapshotTimeline};
     pub use crate::pq::{PqCode, ProductQuantizer};
     pub use crate::recall::{recall_at_k, RecallReport};
     pub use crate::synthetic::{DatasetKind, SyntheticSpec};
     pub use crate::topk::{Neighbor, TopK};
     pub use crate::vector::Dataset;
     pub use crate::workload::{
-        MultiTenantSpec, QueryBatch, QueryStream, StreamSpec, TenantId, TenantProfile,
-        TenantSpec, WorkloadSpec,
+        MultiTenantSpec, MutationEvent, MutationOp, MutationSpec, MutationStream, QueryBatch,
+        QueryStream, StreamSpec, TenantId, TenantProfile, TenantSpec, WorkloadSpec,
     };
 }
 

@@ -1,0 +1,598 @@
+//! Live index mutation: streaming upserts/deletes over an [`IvfPqIndex`]
+//! with epoch-stamped copy-on-write snapshots.
+//!
+//! Production ANN never serves a frozen index. [`MutableIvf`] layers
+//! per-list copy-on-write segments over an immutable base index: an upsert
+//! or delete clones only the touched inverted list, bumps a monotonically
+//! increasing **epoch**, and leaves every previously taken snapshot
+//! untouched. [`snapshot`](MutableIvf::snapshot) is cheap — a handful of
+//! `Arc` clones — and returns an [`IndexSnapshot`] that mirrors the whole
+//! read API of [`IvfPqIndex`], so every engine can search a consistent view
+//! while mutations continue.
+//!
+//! [`SnapshotTimeline`] maps the replay clock onto snapshots: the serving
+//! layer installs a snapshot at each refresh point and every request
+//! resolves the snapshot (and epoch) active at its batch-close time. Because
+//! activation times come from the deterministic replay clock, the threaded
+//! twin resolves the exact same snapshot per request — answers stay a pure
+//! function of `(query, options, mutation stream, close time)`.
+//!
+//! Compaction ([`MutableIvf::compact`]) folds the overlays into a fresh base
+//! index. It preserves the effective entry order of every list, so answers
+//! at the same epoch are bitwise identical before and after — the epoch
+//! deliberately does **not** advance. Its cost is modeled as a
+//! [`CompactionWindow`] on the timeline; requests landing inside a window
+//! are stalled to the window's end by the engines.
+
+use crate::ivf::{InvertedList, IvfPqIndex};
+use crate::lut::LookupTable;
+use crate::topk::{Neighbor, TopK};
+use crate::vector::{residual, Dataset};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An immutable, epoch-stamped view of a (possibly mutated) IVFPQ index.
+///
+/// Cloning is cheap (`Arc` bumps); the view mirrors the read API of
+/// [`IvfPqIndex`] so engines are generic over "frozen index" and "live
+/// snapshot" without code duplication.
+#[derive(Debug, Clone)]
+pub struct IndexSnapshot {
+    base: Arc<IvfPqIndex>,
+    /// Per-list copy-on-write overrides; `None` means the base list is live.
+    overlays: Arc<Vec<Option<Arc<InvertedList>>>>,
+    /// Cached per-list sizes — hot paths (per-batch scheduling, skew checks)
+    /// read this slice instead of allocating via `IvfPqIndex::list_sizes`.
+    sizes: Arc<Vec<usize>>,
+    epoch: u64,
+    ntotal: u64,
+}
+
+impl IndexSnapshot {
+    /// The mutation epoch this snapshot was taken at (0 = unmutated base).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Vector dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.base.dim()
+    }
+
+    /// Number of coarse clusters.
+    #[inline]
+    pub fn nlist(&self) -> usize {
+        self.base.nlist()
+    }
+
+    /// Number of PQ sub-quantizers.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.base.m()
+    }
+
+    /// Total number of indexed vectors at this epoch.
+    #[inline]
+    pub fn ntotal(&self) -> u64 {
+        self.ntotal
+    }
+
+    /// The trained coarse quantizer (shared with the base; quantizers never
+    /// change under mutation — only compaction retrains placement, not
+    /// codebooks).
+    #[inline]
+    pub fn coarse(&self) -> &crate::kmeans::KMeans {
+        self.base.coarse()
+    }
+
+    /// The trained product quantizer.
+    #[inline]
+    pub fn pq(&self) -> &crate::pq::ProductQuantizer {
+        self.base.pq()
+    }
+
+    /// The inverted list of cluster `c` as seen by this snapshot.
+    #[inline]
+    pub fn list(&self, c: usize) -> &InvertedList {
+        match &self.overlays[c] {
+            Some(list) => list,
+            None => self.base.list(c),
+        }
+    }
+
+    /// Cached sizes of all inverted lists — no allocation per call.
+    #[inline]
+    pub fn list_sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Total compressed footprint in bytes (ids + codes) at this epoch.
+    pub fn compressed_bytes(&self) -> usize {
+        (0..self.nlist()).map(|c| self.list(c).bytes(self.m())).sum()
+    }
+
+    /// Stage (a) — cluster filtering against the (immutable) coarse
+    /// centroids.
+    pub fn filter_clusters(&self, query: &[f32], nprobe: usize) -> Vec<(usize, f32)> {
+        self.base.filter_clusters(query, nprobe)
+    }
+
+    /// Stage (b) — LUT construction for one probed cluster.
+    pub fn build_lut(&self, query: &[f32], cluster: usize) -> LookupTable {
+        self.base.build_lut(query, cluster)
+    }
+
+    /// Reference single-query search over this snapshot's list views; agrees
+    /// bitwise with [`IvfPqIndex::search`] when the snapshot is unmutated.
+    pub fn search(&self, query: &[f32], nprobe: usize, k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim(), "query dimension mismatch");
+        let m = self.m();
+        let mut topk = TopK::new(k);
+        for (cluster, _) in self.filter_clusters(query, nprobe) {
+            let lut = self.build_lut(query, cluster);
+            let list = self.list(cluster);
+            for (i, code) in list.packed_codes().chunks_exact(m).enumerate() {
+                topk.push(list.ids()[i], lut.adc_distance(code));
+            }
+        }
+        topk.into_sorted()
+    }
+
+    /// Batched reference search.
+    pub fn search_batch(&self, queries: &Dataset, nprobe: usize, k: usize) -> Vec<Vec<Neighbor>> {
+        queries.iter().map(|q| self.search(q, nprobe, k)).collect()
+    }
+}
+
+impl From<&IvfPqIndex> for IndexSnapshot {
+    fn from(index: &IvfPqIndex) -> Self {
+        Arc::new(index.clone()).into()
+    }
+}
+
+impl From<IvfPqIndex> for IndexSnapshot {
+    fn from(index: IvfPqIndex) -> Self {
+        Arc::new(index).into()
+    }
+}
+
+impl From<Arc<IvfPqIndex>> for IndexSnapshot {
+    fn from(base: Arc<IvfPqIndex>) -> Self {
+        let sizes: Vec<usize> = base.iter_list_sizes().collect();
+        let overlays = vec![None; base.nlist()];
+        let ntotal = base.ntotal();
+        Self {
+            base,
+            overlays: Arc::new(overlays),
+            sizes: Arc::new(sizes),
+            epoch: 0,
+            ntotal,
+        }
+    }
+}
+
+/// Statistics returned by a [`MutableIvf::compact`] fold.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CompactionStats {
+    /// Inverted lists that carried an overlay and were folded.
+    pub folded_lists: usize,
+    /// Bytes (ids + codes) of the folded lists — the data a real system
+    /// would rewrite, and the quantity the cost model charges.
+    pub moved_bytes: usize,
+}
+
+/// The mutable layer: per-list copy-on-write segments over an immutable
+/// base, with a monotonically increasing epoch.
+#[derive(Debug, Clone)]
+pub struct MutableIvf {
+    base: Arc<IvfPqIndex>,
+    overlays: Vec<Option<Arc<InvertedList>>>,
+    /// Incrementally maintained per-list sizes: the compaction-skew decision
+    /// tick reads this slice without allocating.
+    sizes: Vec<usize>,
+    /// id → cluster, for O(1)-ish deletes. Point lookups only — never
+    /// iterated, so hash order cannot leak into any answer.
+    locations: HashMap<u64, usize>,
+    epoch: u64,
+    ntotal: u64,
+}
+
+impl MutableIvf {
+    /// Wraps a trained index as the epoch-0 base.
+    pub fn new(base: &IvfPqIndex) -> Self {
+        Self::from_arc(Arc::new(base.clone()))
+    }
+
+    /// Wraps an already-shared index without cloning it.
+    pub fn from_arc(base: Arc<IvfPqIndex>) -> Self {
+        let sizes: Vec<usize> = base.iter_list_sizes().collect();
+        let mut locations = HashMap::with_capacity(base.ntotal() as usize);
+        for (c, list) in base.lists().iter().enumerate() {
+            for &id in list.ids() {
+                locations.insert(id, c);
+            }
+        }
+        let ntotal = base.ntotal();
+        Self {
+            overlays: vec![None; base.nlist()],
+            sizes,
+            locations,
+            epoch: 0,
+            ntotal,
+            base,
+        }
+    }
+
+    /// The current mutation epoch (number of effective upserts + deletes).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total number of live vectors.
+    #[inline]
+    pub fn ntotal(&self) -> u64 {
+        self.ntotal
+    }
+
+    /// Whether `id` is currently indexed.
+    #[inline]
+    pub fn contains(&self, id: u64) -> bool {
+        self.locations.contains_key(&id)
+    }
+
+    /// Allocation-free view of the current per-list sizes (the
+    /// compaction-skew trigger reads this every decision tick).
+    #[inline]
+    pub fn list_sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    fn overlay_mut(&mut self, c: usize) -> &mut InvertedList {
+        let slot = &mut self.overlays[c];
+        if slot.is_none() {
+            *slot = Some(Arc::new(self.base.list(c).clone()));
+        }
+        Arc::make_mut(slot.as_mut().expect("overlay was just installed"))
+    }
+
+    /// Inserts `vector` under `id`, replacing any existing entry with that
+    /// id (upsert semantics). Bumps the epoch exactly once.
+    pub fn upsert(&mut self, vector: &[f32], id: u64) {
+        assert_eq!(vector.len(), self.base.dim(), "upsert dimension mismatch");
+        if self.remove_entry(id) {
+            self.ntotal -= 1;
+        }
+        let (c, _) = self.base.coarse().assign(vector);
+        let code = self
+            .base
+            .pq()
+            .encode(&residual(vector, self.base.coarse().centroid(c)));
+        self.overlay_mut(c).push(id, &code);
+        self.sizes[c] += 1;
+        self.locations.insert(id, c);
+        self.ntotal += 1;
+        self.epoch += 1;
+    }
+
+    /// Deletes `id` if present. Returns whether anything was removed; a
+    /// no-op delete does **not** bump the epoch (no snapshot changed).
+    pub fn delete(&mut self, id: u64) -> bool {
+        if self.remove_entry(id) {
+            self.ntotal -= 1;
+            self.epoch += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn remove_entry(&mut self, id: u64) -> bool {
+        let Some(c) = self.locations.remove(&id) else {
+            return false;
+        };
+        let m = self.base.m();
+        let pos = {
+            let list = match &self.overlays[c] {
+                Some(list) => list.as_ref(),
+                None => self.base.list(c),
+            };
+            list.ids()
+                .iter()
+                .position(|&x| x == id)
+                .expect("locations map points at a list holding the id")
+        };
+        let folded = match &self.overlays[c] {
+            Some(list) => list.without_entry(pos, m),
+            None => self.base.list(c).without_entry(pos, m),
+        };
+        self.overlays[c] = Some(Arc::new(folded));
+        self.sizes[c] -= 1;
+        true
+    }
+
+    /// Takes a cheap immutable snapshot of the current state. In-flight
+    /// readers of earlier snapshots are unaffected by later mutations.
+    pub fn snapshot(&self) -> IndexSnapshot {
+        IndexSnapshot {
+            base: Arc::clone(&self.base),
+            overlays: Arc::new(self.overlays.clone()),
+            sizes: Arc::new(self.sizes.clone()),
+            epoch: self.epoch,
+            ntotal: self.ntotal,
+        }
+    }
+
+    /// Folds every copy-on-write overlay into a fresh base index.
+    ///
+    /// The effective content and **order** of every list is preserved, so
+    /// searches at the same epoch return bitwise-identical answers before
+    /// and after — which is why the epoch does not advance. Snapshots taken
+    /// earlier keep their own `Arc` to the old base and stay valid.
+    pub fn compact(&mut self) -> CompactionStats {
+        let m = self.base.m();
+        let mut stats = CompactionStats::default();
+        let mut lists = Vec::with_capacity(self.base.nlist());
+        for (c, slot) in self.overlays.iter_mut().enumerate() {
+            match slot.take() {
+                Some(list) => {
+                    stats.folded_lists += 1;
+                    stats.moved_bytes += list.bytes(m);
+                    lists.push(list.as_ref().clone());
+                }
+                None => lists.push(self.base.list(c).clone()),
+            }
+        }
+        let mut folded = self.base.fresh_like();
+        folded.replace_lists(lists, self.ntotal);
+        self.base = Arc::new(folded);
+        stats
+    }
+}
+
+/// A compaction window on the replay clock: requests whose batch closes
+/// inside `[start, end)` are stalled to `end` by the engines (the modeled
+/// cost of the background fold + re-placement).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompactionWindow {
+    /// Window start (replay-clock seconds).
+    pub start: f64,
+    /// Window end (replay-clock seconds); must be `>= start`.
+    pub end: f64,
+}
+
+impl CompactionWindow {
+    /// Whether `t` falls inside the window.
+    #[inline]
+    pub fn contains(&self, t: f64) -> bool {
+        self.start <= t && t < self.end
+    }
+}
+
+/// Maps the deterministic replay clock onto installed snapshots.
+///
+/// The serving layer installs a snapshot at each refresh point; engines
+/// resolve the snapshot active at a request's batch-close time, so the
+/// replay and the threaded twin — which agree on close times by
+/// construction — serve identical epochs.
+#[derive(Debug, Clone)]
+pub struct SnapshotTimeline {
+    /// `(activation_time, snapshot)`, sorted by activation time. The first
+    /// entry activates at `-inf` (it serves everything before the first
+    /// refresh).
+    entries: Vec<(f64, IndexSnapshot)>,
+    windows: Vec<CompactionWindow>,
+}
+
+impl SnapshotTimeline {
+    /// A timeline that serves `initial` forever (until more snapshots are
+    /// installed).
+    pub fn new(initial: IndexSnapshot) -> Self {
+        Self {
+            entries: vec![(f64::NEG_INFINITY, initial)],
+            windows: Vec::new(),
+        }
+    }
+
+    /// Convenience: a frozen (never-mutated) timeline over a plain index.
+    pub fn frozen(index: &IvfPqIndex) -> Self {
+        Self::new(IndexSnapshot::from(index))
+    }
+
+    /// Installs `snapshot` to activate at time `at` (must not precede the
+    /// previously installed activation).
+    pub fn install(&mut self, at: f64, snapshot: IndexSnapshot) {
+        let last = self.entries.last().map(|(t, _)| *t).unwrap_or(f64::NEG_INFINITY);
+        assert!(at >= last, "snapshot activations must be monotone: {at} < {last}");
+        self.entries.push((at, snapshot));
+    }
+
+    /// Records a compaction window (monotone, non-overlapping by caller
+    /// contract).
+    pub fn push_window(&mut self, start: f64, end: f64) {
+        assert!(end >= start, "compaction window ends before it starts");
+        self.windows.push(CompactionWindow { start, end });
+    }
+
+    /// The snapshot active at time `t`: the installed entry with the
+    /// largest activation `<= t`.
+    pub fn at(&self, t: f64) -> &IndexSnapshot {
+        &self.entries[self.index_at(t)].1
+    }
+
+    /// The entry index active at time `t` (engines keep per-entry derived
+    /// state — placement, staged MRAM — in a parallel vector).
+    pub fn index_at(&self, t: f64) -> usize {
+        let idx = self.entries.partition_point(|(when, _)| *when <= t);
+        idx.saturating_sub(1)
+    }
+
+    /// The epoch active at time `t`.
+    #[inline]
+    pub fn epoch_at(&self, t: f64) -> u64 {
+        self.at(t).epoch()
+    }
+
+    /// Modeled compaction stall for a request at time `t`: the remaining
+    /// span of the window containing `t`, or 0 outside every window.
+    pub fn stall_after(&self, t: f64) -> f64 {
+        self.windows
+            .iter()
+            .find(|w| w.contains(t))
+            .map(|w| w.end - t)
+            .unwrap_or(0.0)
+    }
+
+    /// All installed `(activation, snapshot)` entries, in activation order.
+    pub fn entries(&self) -> &[(f64, IndexSnapshot)] {
+        &self.entries
+    }
+
+    /// All recorded compaction windows.
+    pub fn windows(&self) -> &[CompactionWindow] {
+        &self.windows
+    }
+
+    /// The epoch of the last installed snapshot.
+    pub fn max_epoch(&self) -> u64 {
+        self.entries.last().map(|(_, s)| s.epoch()).unwrap_or(0)
+    }
+
+    /// Whether this timeline can never change an answer relative to the
+    /// frozen base: one epoch-0 snapshot and no compaction windows.
+    pub fn is_frozen(&self) -> bool {
+        self.entries.len() == 1 && self.entries[0].1.epoch() == 0 && self.windows.is_empty()
+    }
+
+    /// The `(activation, epoch)` schedule, for layers that only need epochs
+    /// (the result cache stamps entries with these).
+    pub fn epoch_schedule(&self) -> Vec<(f64, u64)> {
+        self.entries.iter().map(|(t, s)| (*t, s.epoch())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivf::IvfPqParams;
+    use crate::synthetic::SyntheticSpec;
+
+    fn fixture() -> (IvfPqIndex, Dataset) {
+        let data = SyntheticSpec::sift_like(600)
+            .with_clusters(8)
+            .with_seed(19)
+            .generate();
+        let index = IvfPqIndex::train(&data, &IvfPqParams::new(8, 8).with_train_size(400), 3);
+        (index, data)
+    }
+
+    #[test]
+    fn unmutated_snapshot_matches_base_bitwise() {
+        let (index, data) = fixture();
+        let snap = IndexSnapshot::from(&index);
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.ntotal(), index.ntotal());
+        assert_eq!(snap.list_sizes(), index.list_sizes().as_slice());
+        for qi in [0usize, 13, 257, 599] {
+            let a = index.search(data.vector(qi), 4, 10);
+            let b = snap.search(data.vector(qi), 4, 10);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn snapshots_are_immune_to_later_mutations() {
+        let (index, data) = fixture();
+        let mut live = MutableIvf::new(&index);
+        let before = live.snapshot();
+        let baseline = before.search(data.vector(5), 8, 10);
+        live.upsert(data.vector(5), 9000);
+        live.delete(5);
+        assert_eq!(live.epoch(), 2);
+        let after = live.snapshot();
+        // The old snapshot still sees the old world, bitwise.
+        let replay = before.search(data.vector(5), 8, 10);
+        assert_eq!(
+            baseline.iter().map(|n| n.id).collect::<Vec<_>>(),
+            replay.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
+        assert!(replay.iter().any(|n| n.id == 5));
+        // The new snapshot sees the mutation.
+        let fresh = after.search(data.vector(5), 8, 10);
+        assert!(fresh.iter().all(|n| n.id != 5));
+        assert!(fresh.iter().any(|n| n.id == 9000));
+    }
+
+    #[test]
+    fn noop_delete_does_not_bump_the_epoch() {
+        let (index, _) = fixture();
+        let mut live = MutableIvf::new(&index);
+        assert!(!live.delete(123_456));
+        assert_eq!(live.epoch(), 0);
+        assert!(live.delete(17));
+        assert_eq!(live.epoch(), 1);
+        assert!(!live.contains(17));
+    }
+
+    #[test]
+    fn compaction_preserves_answers_and_epoch() {
+        let (index, data) = fixture();
+        let mut live = MutableIvf::new(&index);
+        for i in 0..20u64 {
+            live.upsert(data.vector((i as usize * 13) % 600), 10_000 + i);
+        }
+        for id in [3u64, 44, 199] {
+            live.delete(id);
+        }
+        let epoch = live.epoch();
+        let before = live.snapshot();
+        let stats = live.compact();
+        assert!(stats.folded_lists > 0);
+        assert!(stats.moved_bytes > 0);
+        assert_eq!(live.epoch(), epoch, "compaction must not advance the epoch");
+        let after = live.snapshot();
+        assert_eq!(before.ntotal(), after.ntotal());
+        for qi in (0..600).step_by(37) {
+            let a = before.search(data.vector(qi), 8, 10);
+            let b = after.search(data.vector(qi), 8, 10);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.distance.to_bits(), y.distance.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_resolves_snapshots_and_windows_on_the_replay_clock() {
+        let (index, data) = fixture();
+        let mut live = MutableIvf::new(&index);
+        let mut timeline = SnapshotTimeline::new(live.snapshot());
+        live.upsert(data.vector(1), 7001);
+        timeline.install(10.0, live.snapshot());
+        live.upsert(data.vector(2), 7002);
+        timeline.install(20.0, live.snapshot());
+        timeline.push_window(12.0, 13.5);
+
+        assert_eq!(timeline.epoch_at(0.0), 0);
+        assert_eq!(timeline.epoch_at(10.0), 1);
+        assert_eq!(timeline.epoch_at(15.0), 1);
+        assert_eq!(timeline.epoch_at(25.0), 2);
+        assert_eq!(timeline.max_epoch(), 2);
+        assert!(!timeline.is_frozen());
+        assert!(SnapshotTimeline::frozen(&index).is_frozen());
+        assert_eq!(timeline.stall_after(11.0), 0.0);
+        assert!((timeline.stall_after(12.5) - 1.0).abs() < 1e-12);
+        assert_eq!(timeline.stall_after(13.5), 0.0);
+        assert_eq!(
+            timeline.epoch_schedule(),
+            vec![(f64::NEG_INFINITY, 0), (10.0, 1), (20.0, 2)]
+        );
+    }
+}

@@ -573,6 +573,241 @@ impl QueryStream {
     }
 }
 
+/// One mutation operation against the live index.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutationOp {
+    /// Insert-or-replace `id` with `vector`.
+    Upsert {
+        /// The row id to insert or replace.
+        id: u64,
+        /// The vector content.
+        vector: Vec<f32>,
+    },
+    /// Remove `id` (a no-op if it is not indexed).
+    Delete {
+        /// The row id to remove.
+        id: u64,
+    },
+}
+
+/// One timed mutation event of a [`MutationStream`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutationEvent {
+    /// Arrival time on the replay clock (seconds).
+    pub at: f64,
+    /// The tenant whose corpus mutates.
+    pub tenant: TenantId,
+    /// The operation.
+    pub op: MutationOp,
+}
+
+/// One tenant's mutation rates within a [`MutationSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantMutationSpec {
+    /// The mutating tenant.
+    pub tenant: TenantId,
+    /// Mean upsert rate (operations/second of simulated time).
+    pub upsert_qps: f64,
+    /// Mean delete rate (operations/second of simulated time).
+    pub delete_qps: f64,
+}
+
+/// Specification of a deterministic mutation stream: per-tenant Poisson
+/// upsert/delete rates over a fixed horizon, interleaved arrival-ordered
+/// with the query stream by the serving layer.
+///
+/// Generation is a pure function of the spec, the dataset and the base
+/// corpus size, so the replay and the threaded twin apply the exact same
+/// mutations at the exact same simulated times.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MutationSpec {
+    /// Per-tenant rates, in report order.
+    pub tenants: Vec<TenantMutationSpec>,
+    /// Horizon in simulated seconds (events beyond it are not generated).
+    pub duration_s: f64,
+    /// RNG seed for arrival gaps, id choices and vector perturbation.
+    pub seed: u64,
+}
+
+impl MutationSpec {
+    /// An empty spec over `duration_s` seconds with the default seed.
+    pub fn new(duration_s: f64) -> Self {
+        assert!(
+            duration_s >= 0.0 && duration_s.is_finite(),
+            "mutation horizon must be a non-negative time"
+        );
+        Self {
+            tenants: Vec::new(),
+            duration_s,
+            seed: 0x11FE_57A6,
+        }
+    }
+
+    /// Adds one tenant's upsert/delete rates.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite rates, or a duplicate tenant.
+    pub fn with_tenant(mut self, tenant: TenantId, upsert_qps: f64, delete_qps: f64) -> Self {
+        assert!(
+            upsert_qps >= 0.0 && upsert_qps.is_finite() && delete_qps >= 0.0 && delete_qps.is_finite(),
+            "mutation rates must be non-negative and finite"
+        );
+        assert!(
+            self.tenants.iter().all(|t| t.tenant != tenant),
+            "duplicate mutating tenant {tenant}"
+        );
+        self.tenants.push(TenantMutationSpec {
+            tenant,
+            upsert_qps,
+            delete_qps,
+        });
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether the spec can generate no events (the frozen-index fast path).
+    pub fn is_empty(&self) -> bool {
+        self.tenants
+            .iter()
+            .all(|t| t.upsert_qps <= 0.0 && t.delete_qps <= 0.0)
+            || self.duration_s <= 0.0
+    }
+
+    /// Generates the arrival-ordered event stream against `dataset`, whose
+    /// first `base_ntotal` row ids form the initially live corpus. Upserted
+    /// vectors are seeded perturbations of existing dataset vectors; fresh
+    /// ids are assigned from `base_ntotal` upward; deletes target a random
+    /// currently-live id, so the stream is always applicable in order.
+    pub fn generate(&self, dataset: &SyntheticDataset, base_ntotal: u64) -> MutationStream {
+        // Live ids in deterministic insertion order; deletes swap-remove a
+        // seeded random position. Shared across tenants (the corpus is one
+        // index), so event generation must advance in *global* arrival
+        // order — otherwise one tenant could delete an id another tenant
+        // only upserts later on the clock.
+        let mut live: Vec<u64> = (0..base_ntotal).collect();
+        let mut next_id = base_ntotal;
+        let noise = 0.5 * cluster_noise_estimate(dataset);
+        let dim = dataset.vectors.dim();
+
+        struct Cursor {
+            tenant: TenantId,
+            upsert_qps: f64,
+            rate: f64,
+            rng: SmallRng,
+            next_at: f64,
+        }
+        let mut cursors: Vec<Cursor> = Vec::new();
+        for t in &self.tenants {
+            let rate = t.upsert_qps + t.delete_qps;
+            if rate <= 0.0 {
+                continue;
+            }
+            let salt = 0x9B5E_0007u64.wrapping_mul(u64::from(t.tenant.0) + 1);
+            let mut rng = SmallRng::seed_from_u64(self.seed ^ salt);
+            let u: f64 = rng.gen::<f64>();
+            let next_at = -(1.0 - u).ln() / rate;
+            cursors.push(Cursor {
+                tenant: t.tenant,
+                upsert_qps: t.upsert_qps,
+                rate,
+                rng,
+                next_at,
+            });
+        }
+
+        let mut events = Vec::new();
+        // The tenant with the earliest pending event goes next (ties break
+        // toward spec order — deterministic).
+        while let Some(ci) = cursors
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.next_at <= self.duration_s)
+            .min_by(|a, b| {
+                a.1.next_at
+                    .partial_cmp(&b.1.next_at)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+        {
+            let c = &mut cursors[ci];
+            let at = c.next_at;
+            let is_upsert = c.rng.gen::<f64>() * c.rate < c.upsert_qps;
+            let op = if is_upsert {
+                let base = c.rng.gen_range(0..dataset.vectors.len());
+                let mut v = dataset.vectors.vector(base).to_vec();
+                for x in v.iter_mut().take(dim) {
+                    *x += c.rng.gen_range(-1.0f32..1.0) * noise;
+                }
+                let id = next_id;
+                next_id += 1;
+                live.push(id);
+                Some(MutationOp::Upsert { id, vector: v })
+            } else if live.is_empty() {
+                None
+            } else {
+                let pos = c.rng.gen_range(0..live.len());
+                let id = live.swap_remove(pos);
+                Some(MutationOp::Delete { id })
+            };
+            if let Some(op) = op {
+                events.push(MutationEvent {
+                    at,
+                    tenant: c.tenant,
+                    op,
+                });
+            }
+            let u: f64 = c.rng.gen::<f64>();
+            c.next_at = at + -(1.0 - u).ln() / c.rate;
+        }
+        MutationStream { events }
+    }
+}
+
+/// An arrival-ordered stream of mutation events (see [`MutationSpec`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MutationStream {
+    /// The events, sorted by arrival time.
+    pub events: Vec<MutationEvent>,
+}
+
+impl MutationStream {
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the stream has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the last event (0 for an empty stream).
+    pub fn duration(&self) -> f64 {
+        self.events.last().map(|e| e.at).unwrap_or(0.0)
+    }
+
+    /// Number of upsert events.
+    pub fn upserts(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.op, MutationOp::Upsert { .. }))
+            .count()
+    }
+
+    /// Number of delete events.
+    pub fn deletes(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.op, MutationOp::Delete { .. }))
+            .count()
+    }
+}
+
 /// Rough estimate of within-cluster spread used to scale query perturbation.
 fn cluster_noise_estimate(dataset: &SyntheticDataset) -> f32 {
     // Use the average absolute deviation of a small sample of vectors from
@@ -792,6 +1027,45 @@ mod tests {
         let _ = MultiTenantSpec::new()
             .with_tenant(TenantSpec::new(TenantId(1), StreamSpec::new(10, 100.0)))
             .with_tenant(TenantSpec::new(TenantId(1), StreamSpec::new(10, 100.0)));
+    }
+
+    #[test]
+    fn mutation_stream_is_deterministic_ordered_and_applicable() {
+        let ds = dataset();
+        let spec = MutationSpec::new(30.0)
+            .with_tenant(TenantId(1), 4.0, 1.0)
+            .with_tenant(TenantId(2), 0.5, 0.5)
+            .with_seed(77);
+        assert!(!spec.is_empty());
+        let stream = spec.generate(&ds, 1200);
+        assert!(!stream.is_empty());
+        assert!(stream.events.windows(2).all(|w| w[0].at <= w[1].at));
+        assert!(stream.duration() <= 30.0);
+        assert_eq!(stream.upserts() + stream.deletes(), stream.len());
+        // Tenant 1 mutates ~5×/s, tenant 2 ~1×/s: the split shows it.
+        let t1 = stream.events.iter().filter(|e| e.tenant == TenantId(1)).count();
+        let t2 = stream.events.iter().filter(|e| e.tenant == TenantId(2)).count();
+        assert!(t1 > 2 * t2, "t1 {t1} vs t2 {t2}");
+        // Fresh ids start at the base corpus size; deletes only target ids
+        // that are live at that point in the stream.
+        let mut live: std::collections::HashSet<u64> = (0..1200u64).collect();
+        for e in &stream.events {
+            match &e.op {
+                MutationOp::Upsert { id, vector } => {
+                    assert!(*id >= 1200);
+                    assert_eq!(vector.len(), 128);
+                    live.insert(*id);
+                }
+                MutationOp::Delete { id } => {
+                    assert!(live.remove(id), "delete of dead id {id}");
+                }
+            }
+        }
+        // Deterministic replay.
+        assert_eq!(stream, spec.generate(&ds, 1200));
+        // The empty spec generates nothing.
+        assert!(MutationSpec::new(30.0).is_empty());
+        assert!(MutationSpec::new(30.0).generate(&ds, 1200).is_empty());
     }
 
     #[test]

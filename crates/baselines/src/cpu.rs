@@ -15,10 +15,11 @@
 //! the effective-bandwidth curve explicitly via
 //! [`CpuSpec::effective_scan_bandwidth`].
 
-use crate::engine::{execute_grouped, AnnEngine, SearchRequest, SearchResponse};
+use crate::engine::{execute_by_entry, execute_grouped, AnnEngine, SearchRequest, SearchResponse};
 use crate::exec::run_ivfpq;
 use crate::hardware::HardwareSpec;
 use annkit::ivf::IvfPqIndex;
+use annkit::mutation::{IndexSnapshot, SnapshotTimeline};
 use annkit::vector::Dataset;
 use pim_sim::energy::EnergyModel;
 use pim_sim::stats::StageBreakdown;
@@ -96,8 +97,13 @@ impl CpuSpec {
 }
 
 /// The Faiss-CPU-like engine: exact IVFPQ results, dual-Xeon timing.
-pub struct CpuFaissEngine<'a> {
-    index: &'a IvfPqIndex,
+///
+/// Holds a [`SnapshotTimeline`] rather than a borrowed index: a frozen
+/// timeline for the classic frozen-index case, or a live-mutation timeline
+/// installed via [`AnnEngine::install_timeline`] — each request searches the
+/// snapshot active at its dispatch time.
+pub struct CpuFaissEngine {
+    timeline: SnapshotTimeline,
     spec: CpuSpec,
     /// When `true` (default) the distance-calculation stage is modeled in the
     /// billion-scale (DRAM-bound) regime regardless of the actual reduced
@@ -111,11 +117,11 @@ pub struct CpuFaissEngine<'a> {
     work_scale: f64,
 }
 
-impl<'a> CpuFaissEngine<'a> {
+impl CpuFaissEngine {
     /// Creates an engine over a trained index with the paper's CPU spec.
-    pub fn new(index: &'a IvfPqIndex) -> Self {
+    pub fn new(index: &IvfPqIndex) -> Self {
         Self {
-            index,
+            timeline: SnapshotTimeline::frozen(index),
             spec: CpuSpec::default(),
             billion_scale_regime: true,
             work_scale: 1.0,
@@ -148,9 +154,10 @@ impl<'a> CpuFaissEngine<'a> {
         &self.spec
     }
 
-    /// The index this engine searches.
-    pub fn index(&self) -> &IvfPqIndex {
-        self.index
+    /// The snapshot this engine searches for requests at time 0 (the base
+    /// index view when no timeline was installed).
+    pub fn snapshot(&self) -> &IndexSnapshot {
+        &self.timeline.entries()[0].1
     }
 
     /// Computes the stage timing for a given functional run. Exposed so the
@@ -160,14 +167,15 @@ impl<'a> CpuFaissEngine<'a> {
         stats: &crate::workload_stats::WorkloadStats,
     ) -> StageBreakdown {
         let spec = &self.spec;
-        let dim = self.index.dim() as f64;
-        let dsub = (self.index.dim() / self.index.m()) as f64;
+        let index = self.snapshot();
+        let dim = index.dim() as f64;
+        let dsub = (index.dim() / index.m()) as f64;
         let scale = self.work_scale;
         let mut b = StageBreakdown::new();
 
         // Stage (a): cluster filtering — dense distance to all centroids.
         let filter_flops = stats.centroid_comparisons as f64 * dim * 2.0;
-        let filter_bytes = stats.queries as f64 * self.index.nlist() as f64 * dim * 4.0;
+        let filter_bytes = stats.queries as f64 * index.nlist() as f64 * dim * 4.0;
         let t_filter = (filter_flops / spec.compute_flops())
             .max(filter_bytes / spec.dram_bandwidth);
         b.add("cluster_filtering", t_filter);
@@ -203,8 +211,14 @@ impl<'a> CpuFaissEngine<'a> {
 
     /// One uniform sub-batch: functional IVFPQ search plus the roofline
     /// timing of the dual-Xeon platform.
-    fn run_uniform(&mut self, queries: &Dataset, nprobe: usize, k: usize) -> SearchResponse {
-        let run = run_ivfpq(self.index, queries, nprobe, k);
+    fn run_uniform(
+        &mut self,
+        snapshot: &IndexSnapshot,
+        queries: &Dataset,
+        nprobe: usize,
+        k: usize,
+    ) -> SearchResponse {
+        let run = run_ivfpq(snapshot, queries, nprobe, k);
         let breakdown = self.stage_seconds(&run.stats);
         SearchResponse {
             request_id: 0,
@@ -216,19 +230,28 @@ impl<'a> CpuFaissEngine<'a> {
     }
 }
 
-impl AnnEngine for CpuFaissEngine<'_> {
+impl AnnEngine for CpuFaissEngine {
     fn name(&self) -> &str {
         "Faiss-CPU"
     }
 
     fn execute(&mut self, request: &SearchRequest) -> SearchResponse {
-        execute_grouped(request, |queries, nprobe, k| {
-            self.run_uniform(queries, nprobe, k)
+        let timeline = self.timeline.clone();
+        execute_by_entry(&timeline, request, |entry, sub| {
+            let snapshot = &timeline.entries()[entry].1;
+            execute_grouped(sub, |queries, nprobe, k| {
+                self.run_uniform(snapshot, queries, nprobe, k)
+            })
         })
     }
 
     fn energy_model(&self) -> EnergyModel {
         HardwareSpec::cpu().energy_model()
+    }
+
+    fn install_timeline(&mut self, timeline: SnapshotTimeline) -> bool {
+        self.timeline = timeline;
+        true
     }
 }
 
@@ -240,13 +263,14 @@ mod tests {
 
     /// Compile-time Send audit: the threaded runtime (`upanns-runtime`)
     /// moves each engine worker into its own thread, so every engine must be
-    /// `Send`. The engine holds `&IvfPqIndex` (a `Sync` shared borrow) plus
-    /// owned plain data, so the bound holds structurally — this test pins it
-    /// against future non-`Send` fields (`Rc`, `RefCell`, raw pointers).
+    /// `Send`. The engine owns its snapshot timeline (`Arc`s over plain
+    /// data) plus owned scalars, so the bound holds structurally — this test
+    /// pins it against future non-`Send` fields (`Rc`, `RefCell`, raw
+    /// pointers).
     #[test]
     fn cpu_engine_is_send() {
         fn assert_send<T: Send>() {}
-        assert_send::<CpuFaissEngine<'_>>();
+        assert_send::<CpuFaissEngine>();
     }
 
     fn engine_fixture() -> (IvfPqIndex, Dataset) {

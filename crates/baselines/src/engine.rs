@@ -122,14 +122,18 @@ pub struct SearchRequest {
     pub id: u64,
     /// Simulated dispatch time of the request on the replay clock, in
     /// seconds. Engines that model host availability (the replicated
-    /// multihost tier) evaluate their fault schedule at this instant; plain
-    /// engines ignore it. The serving layers set it to the batch's close
-    /// time — the one timestamp that is identical between the discrete-event
-    /// replay and its threaded twin — so answers stay a pure function of the
-    /// request. Defaults to 0.0 (the start of simulated time).
+    /// multihost tier) evaluate their fault schedule at this instant, and
+    /// live-mutation engines charge compaction-window stalls against it;
+    /// plain engines ignore it. The serving layers set it to the batch's
+    /// close time — the one timestamp that is identical between the
+    /// discrete-event replay and its threaded twin. Defaults to 0.0 (the
+    /// start of simulated time).
     pub at: f64,
     queries: Dataset,
     options: Vec<QueryOptions>,
+    /// Per-query arrival times (see [`with_arrivals`](Self::with_arrivals));
+    /// empty means "every query dispatched at [`at`](Self::at)".
+    arrivals: Vec<f64>,
 }
 
 impl SearchRequest {
@@ -148,6 +152,7 @@ impl SearchRequest {
             at: 0.0,
             queries,
             options,
+            arrivals: Vec::new(),
         }
     }
 
@@ -169,6 +174,46 @@ impl SearchRequest {
     pub fn with_at(mut self, at: f64) -> Self {
         self.at = at;
         self
+    }
+
+    /// Sets each query's own arrival time on the replay clock. Engines
+    /// serving a live [`SnapshotTimeline`](annkit::mutation::SnapshotTimeline)
+    /// resolve every query's snapshot
+    /// at its *arrival* (see [`execute_by_entry`]), so the answer is a pure
+    /// function of (query, arrival) — independent of how the serving layer
+    /// happened to batch it. Without arrivals every query resolves at
+    /// [`at`](Self::at), which on a frozen timeline is the same snapshot
+    /// either way.
+    ///
+    /// # Panics
+    /// Panics if `arrivals` is non-empty and its length differs from the
+    /// query count.
+    pub fn with_arrivals(mut self, arrivals: Vec<f64>) -> Self {
+        assert!(
+            arrivals.is_empty() || arrivals.len() == self.queries.len(),
+            "one arrival per query required"
+        );
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Query `i`'s dispatch time: its own arrival when one was recorded,
+    /// the request's [`at`](Self::at) otherwise.
+    pub fn arrival_of(&self, i: usize) -> f64 {
+        self.arrivals.get(i).copied().unwrap_or(self.at)
+    }
+
+    /// The sub-request of the queries at `members`, preserving the id and
+    /// batch dispatch time. Per-query arrivals are dropped: subsets are
+    /// built by [`execute_by_entry`] to be snapshot-uniform already.
+    fn subset(&self, members: &[usize]) -> SearchRequest {
+        SearchRequest {
+            id: self.id,
+            at: self.at,
+            queries: self.queries.gather(members),
+            options: members.iter().map(|&i| self.options[i]).collect(),
+            arrivals: Vec::new(),
+        }
     }
 
     /// The query vectors.
@@ -339,6 +384,78 @@ where
     }
 }
 
+/// Runs `request` with every query served by the timeline entry active at
+/// that query's own dispatch time ([`SearchRequest::arrival_of`]):
+/// `run_entry(entry_index, sub_request)` answers one snapshot-uniform
+/// sub-request, results are scattered back to request order, and times add
+/// up like [`execute_grouped`]'s option groups. Because each answer depends
+/// only on (query, arrival), batching, chunking and cache-hit timing cannot
+/// change *what* is answered — the invariant the threaded twin's byte-diff
+/// relies on under live mutation.
+///
+/// Requests without per-query arrivals — or whose arrivals all resolve to
+/// one entry, which includes every frozen timeline — take a fast path that
+/// is bitwise identical (answers *and* modeled seconds) to running the
+/// whole request against one snapshot. The compaction-window stall is
+/// charged once at the request's batch dispatch time: the *device* stalls,
+/// regardless of which snapshots its queries read.
+pub fn execute_by_entry<F>(
+    timeline: &annkit::mutation::SnapshotTimeline,
+    request: &SearchRequest,
+    mut run_entry: F,
+) -> SearchResponse
+where
+    F: FnMut(usize, &SearchRequest) -> SearchResponse,
+{
+    let entry_of = |i: usize| timeline.index_at(request.arrival_of(i));
+    let mut response = if request.is_empty() || (1..request.len()).all(|i| entry_of(i) == entry_of(0))
+    {
+        let entry = if request.is_empty() {
+            timeline.index_at(request.at)
+        } else {
+            entry_of(0)
+        };
+        run_entry(entry, request)
+    } else {
+        // First-seen entry order, like execute_grouped's option groups.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for i in 0..request.len() {
+            let entry = entry_of(i);
+            match groups.iter_mut().find(|(g, _)| *g == entry) {
+                Some((_, members)) => members.push(i),
+                None => groups.push((entry, vec![i])),
+            }
+        }
+        let mut results: Vec<Vec<Neighbor>> = vec![Vec::new(); request.len()];
+        let mut seconds = 0.0;
+        let mut breakdown = StageBreakdown::new();
+        let mut stats = WorkloadStats::default();
+        for (entry, members) in groups {
+            let part = run_entry(entry, &request.subset(&members));
+            for (slot, result) in members.iter().zip(part.results) {
+                results[*slot] = result;
+            }
+            seconds += part.seconds;
+            breakdown.merge(&part.breakdown);
+            stats.merge(&part.stats);
+        }
+        SearchResponse {
+            request_id: request.id,
+            results,
+            seconds,
+            breakdown,
+            stats,
+        }
+    };
+    response.request_id = request.id;
+    let stall = timeline.stall_after(request.at);
+    if stall > 0.0 {
+        response.seconds += stall;
+        response.breakdown.add("compaction_stall", stall);
+    }
+    response
+}
+
 /// A search engine that answers IVFPQ queries and reports simulated timing.
 ///
 /// Implemented by [`CpuFaissEngine`](crate::cpu::CpuFaissEngine),
@@ -365,6 +482,20 @@ pub trait AnnEngine {
 
     /// The peak-power / price model of the hardware this engine represents.
     fn energy_model(&self) -> EnergyModel;
+
+    /// Installs a live-mutation [`SnapshotTimeline`](annkit::mutation::SnapshotTimeline):
+    /// every subsequent query resolves the snapshot active at its own
+    /// dispatch time ([`SearchRequest::arrival_of`], via
+    /// [`execute_by_entry`]), and requests landing inside a compaction
+    /// window are stalled to its end. Returns whether the engine
+    /// supports live mutation; the default declines (engines without
+    /// support keep serving their construction-time index — the multihost
+    /// tiers, whose shard indexes are independent, are the documented
+    /// residue).
+    fn install_timeline(&mut self, timeline: annkit::mutation::SnapshotTimeline) -> bool {
+        let _ = timeline;
+        false
+    }
 
     /// Asks the engine to resize itself to `hosts` serving hosts at simulated
     /// time `now`, returning the modeled migration seconds the resize costs,

@@ -6,7 +6,7 @@
 //! and the [`WorkloadStats`] that the per-architecture timing models consume.
 
 use crate::workload_stats::WorkloadStats;
-use annkit::ivf::IvfPqIndex;
+use annkit::mutation::IndexSnapshot;
 use annkit::topk::{Neighbor, TopK};
 use annkit::vector::Dataset;
 
@@ -25,10 +25,14 @@ pub struct FunctionalRun {
 /// Runs cluster filtering, LUT construction, ADC distance calculation and
 /// top-k selection for every query, counting the work of each stage.
 ///
+/// Takes an [`IndexSnapshot`] so the same code path serves both a frozen
+/// index (an epoch-0 snapshot, bitwise identical to scanning the index
+/// directly) and any live-mutation epoch.
+///
 /// # Panics
 /// Panics if `queries.dim() != index.dim()` or `k == 0`.
 pub fn run_ivfpq(
-    index: &IvfPqIndex,
+    index: &IndexSnapshot,
     queries: &Dataset,
     nprobe: usize,
     k: usize,
@@ -90,13 +94,15 @@ mod tests {
     use annkit::ivf::IvfPqParams;
     use annkit::synthetic::SyntheticSpec;
 
-    fn small_index() -> (IvfPqIndex, Dataset) {
+    use annkit::ivf::IvfPqIndex;
+
+    fn small_index() -> (IndexSnapshot, Dataset) {
         let data = SyntheticSpec::sift_like(1200)
             .with_clusters(8)
             .with_seed(3)
             .generate();
         let index = IvfPqIndex::train(&data, &IvfPqParams::new(8, 16).with_train_size(600), 1);
-        (index, data)
+        (IndexSnapshot::from(index), data)
     }
 
     #[test]

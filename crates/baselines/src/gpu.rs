@@ -14,10 +14,11 @@
 //! DEEP1B in Figure 12 (Faiss needs the raw float vectors resident for that
 //! configuration, and 10⁹ × 96 × 4 B = 384 GB does not fit).
 
-use crate::engine::{execute_grouped, AnnEngine, SearchRequest, SearchResponse};
+use crate::engine::{execute_by_entry, execute_grouped, AnnEngine, SearchRequest, SearchResponse};
 use crate::exec::run_ivfpq;
 use crate::hardware::HardwareSpec;
 use annkit::ivf::IvfPqIndex;
+use annkit::mutation::{IndexSnapshot, SnapshotTimeline};
 use annkit::vector::Dataset;
 use pim_sim::energy::EnergyModel;
 use pim_sim::stats::StageBreakdown;
@@ -83,19 +84,22 @@ pub enum GpuMemoryCheck {
 }
 
 /// The Faiss-GPU-like engine: exact IVFPQ results, A100 timing.
-pub struct GpuFaissEngine<'a> {
-    index: &'a IvfPqIndex,
+///
+/// Like the CPU baseline, holds a [`SnapshotTimeline`] so live-mutation
+/// timelines can be installed via [`AnnEngine::install_timeline`].
+pub struct GpuFaissEngine {
+    timeline: SnapshotTimeline,
     spec: GpuSpec,
     /// Work-scale factor projecting reduced-scale runs to the modeled dataset
     /// size (see [`CpuFaissEngine::with_work_scale`](crate::cpu::CpuFaissEngine::with_work_scale)).
     work_scale: f64,
 }
 
-impl<'a> GpuFaissEngine<'a> {
+impl GpuFaissEngine {
     /// Creates an engine over a trained index with the default A100 spec.
-    pub fn new(index: &'a IvfPqIndex) -> Self {
+    pub fn new(index: &IvfPqIndex) -> Self {
         Self {
-            index,
+            timeline: SnapshotTimeline::frozen(index),
             spec: GpuSpec::default(),
             work_scale: 1.0,
         }
@@ -141,6 +145,12 @@ impl<'a> GpuFaissEngine<'a> {
         compressed + overhead + raw
     }
 
+    /// The snapshot this engine searches for requests at time 0 (the base
+    /// index view when no timeline was installed).
+    pub fn snapshot(&self) -> &IndexSnapshot {
+        &self.timeline.entries()[0].1
+    }
+
     /// Checks whether a (possibly billion-scale, extrapolated) configuration
     /// fits in device memory.
     pub fn check_memory(
@@ -148,10 +158,11 @@ impl<'a> GpuFaissEngine<'a> {
         ntotal: u64,
         store_raw_vectors: bool,
     ) -> GpuMemoryCheck {
+        let index = self.snapshot();
         let required = Self::memory_required_bytes(
             ntotal,
-            self.index.dim(),
-            self.index.m(),
+            index.dim(),
+            index.m(),
             store_raw_vectors,
         );
         if required <= self.spec.memory_bytes {
@@ -172,8 +183,9 @@ impl<'a> GpuFaissEngine<'a> {
         per_query_candidates: &[u64],
     ) -> StageBreakdown {
         let spec = &self.spec;
-        let dim = self.index.dim() as f64;
-        let dsub = (self.index.dim() / self.index.m()) as f64;
+        let index = self.snapshot();
+        let dim = index.dim() as f64;
+        let dsub = (index.dim() / index.m()) as f64;
         let mut b = StageBreakdown::new();
 
         let effective_flops = spec.peak_flops * spec.compute_efficiency;
@@ -215,8 +227,14 @@ impl<'a> GpuFaissEngine<'a> {
     }
 
     /// One uniform sub-batch: functional IVFPQ search plus the A100 timing.
-    fn run_uniform(&mut self, queries: &Dataset, nprobe: usize, k: usize) -> SearchResponse {
-        let run = run_ivfpq(self.index, queries, nprobe, k);
+    fn run_uniform(
+        &mut self,
+        snapshot: &IndexSnapshot,
+        queries: &Dataset,
+        nprobe: usize,
+        k: usize,
+    ) -> SearchResponse {
+        let run = run_ivfpq(snapshot, queries, nprobe, k);
         let breakdown = self.stage_seconds(&run.stats, &run.per_query_candidates);
         SearchResponse {
             request_id: 0,
@@ -228,19 +246,28 @@ impl<'a> GpuFaissEngine<'a> {
     }
 }
 
-impl AnnEngine for GpuFaissEngine<'_> {
+impl AnnEngine for GpuFaissEngine {
     fn name(&self) -> &str {
         "Faiss-GPU"
     }
 
     fn execute(&mut self, request: &SearchRequest) -> SearchResponse {
-        execute_grouped(request, |queries, nprobe, k| {
-            self.run_uniform(queries, nprobe, k)
+        let timeline = self.timeline.clone();
+        execute_by_entry(&timeline, request, |entry, sub| {
+            let snapshot = &timeline.entries()[entry].1;
+            execute_grouped(sub, |queries, nprobe, k| {
+                self.run_uniform(snapshot, queries, nprobe, k)
+            })
         })
     }
 
     fn energy_model(&self) -> EnergyModel {
         HardwareSpec::gpu().energy_model()
+    }
+
+    fn install_timeline(&mut self, timeline: SnapshotTimeline) -> bool {
+        self.timeline = timeline;
+        true
     }
 }
 
@@ -256,7 +283,7 @@ mod tests {
     #[test]
     fn gpu_engine_is_send() {
         fn assert_send<T: Send>() {}
-        assert_send::<GpuFaissEngine<'_>>();
+        assert_send::<GpuFaissEngine>();
     }
 
     fn fixture() -> (IvfPqIndex, Dataset) {

@@ -709,7 +709,7 @@ struct EvalContextProxy<'a> {
 }
 
 impl<'a> EvalContextProxy<'a> {
-    fn build_engine(&self, config: UpAnnsConfig) -> upanns::engine::UpAnnsEngine<'a> {
+    fn build_engine(&self, config: UpAnnsConfig) -> upanns::engine::UpAnnsEngine {
         let nprobe_max = self.params.nprobes.iter().copied().max().unwrap_or(16);
         upanns::builder::UpAnnsBuilder::new(&self.ctx.index)
             .with_config(config)

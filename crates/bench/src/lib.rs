@@ -127,18 +127,18 @@ impl EvalContext {
     }
 
     /// Builds a full UpANNS engine (all optimizations, work-scale projected).
-    pub fn upanns(&self) -> UpAnnsEngine<'_> {
+    pub fn upanns(&self) -> UpAnnsEngine {
         self.upanns_with(UpAnnsConfig::upanns().with_work_scale(self.params.work_scale()))
     }
 
     /// Builds the PIM-naive baseline engine.
-    pub fn pim_naive(&self) -> UpAnnsEngine<'_> {
+    pub fn pim_naive(&self) -> UpAnnsEngine {
         self.upanns_with(UpAnnsConfig::pim_naive().with_work_scale(self.params.work_scale()))
     }
 
     /// Builds a PIM engine with an explicit configuration (work scale is NOT
     /// added automatically here).
-    pub fn upanns_with(&self, config: UpAnnsConfig) -> UpAnnsEngine<'_> {
+    pub fn upanns_with(&self, config: UpAnnsConfig) -> UpAnnsEngine {
         let nprobe_max = self.params.nprobes.iter().copied().max().unwrap_or(16);
         // One engine serves every nprobe of the sweep, so the placement
         // frequencies are estimated at *every* swept nprobe and summed. This
@@ -171,12 +171,12 @@ impl EvalContext {
     }
 
     /// Builds the Faiss-CPU baseline (work-scale projected).
-    pub fn cpu(&self) -> CpuFaissEngine<'_> {
+    pub fn cpu(&self) -> CpuFaissEngine {
         CpuFaissEngine::new(&self.index).with_work_scale(self.params.work_scale())
     }
 
     /// Builds the Faiss-GPU baseline (work-scale projected).
-    pub fn gpu(&self) -> GpuFaissEngine<'_> {
+    pub fn gpu(&self) -> GpuFaissEngine {
         GpuFaissEngine::new(&self.index).with_work_scale(self.params.work_scale())
     }
 }

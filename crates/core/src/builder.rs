@@ -16,10 +16,12 @@
 use crate::config::UpAnnsConfig;
 use crate::cooccurrence::{mine_cluster_combos, ComboTable, MiningParams};
 use crate::encoding::CaeList;
-use crate::engine::UpAnnsEngine;
+use crate::engine::{EpochState, UpAnnsEngine};
 use crate::kernel::{mailbox_slot_bytes, ClusterReplica, DpuStore, ListEncoding};
 use crate::placement::{place_pim_aware, place_round_robin, Placement, PlacementInput};
 use annkit::ivf::IvfPqIndex;
+use annkit::mutation::IndexSnapshot;
+use annkit::pq::ProductQuantizer;
 use annkit::vector::Dataset;
 use pim_sim::config::PimConfig;
 use pim_sim::host::PimSystem;
@@ -126,160 +128,200 @@ impl<'a> UpAnnsBuilder<'a> {
         self
     }
 
-    /// Runs the offline phase and returns a ready engine.
-    pub fn build(self) -> UpAnnsEngine<'a> {
-        let index = self.index;
-        let nlist = index.nlist();
-        let m = index.m();
-        let num_dpus = self.pim_config.num_dpus;
-
-        // 1. Access frequencies (uniform when no history is supplied).
-        let frequencies = self
-            .frequencies
-            .unwrap_or_else(|| vec![1.0 / nlist as f64; nlist]);
-
-        // 2. Placement.
-        let bytes_per_vector = m.max(2) * 2 + 8;
-        let max_dpu_vectors = self
-            .config
-            .max_dpu_vectors
-            .unwrap_or(self.pim_config.mram_bytes / bytes_per_vector);
-        let mut placement_input = PlacementInput::new(
-            index.list_sizes(),
-            frequencies,
-            num_dpus,
-            max_dpu_vectors,
-        );
-        placement_input.threshold_rate = self.config.placement_threshold_rate;
-        let placement: Placement = match self.placement_override {
-            Some(p) => {
-                assert_eq!(
-                    p.dpu_workload.len(),
-                    num_dpus,
-                    "placement override targets a different DPU count"
-                );
-                p
-            }
-            None if self.config.pim_aware_placement => place_pim_aware(&placement_input),
-            None => place_round_robin(&placement_input),
+    /// Runs the offline phase and returns a ready engine serving a frozen
+    /// single-entry timeline. The builder's inputs are retained by the
+    /// engine as its build recipe, so installing a
+    /// [`SnapshotTimeline`](annkit::mutation::SnapshotTimeline) later
+    /// re-runs this same offline phase per installed snapshot.
+    pub fn build(self) -> UpAnnsEngine {
+        let recipe = BuildRecipe {
+            config: self.config,
+            pim_config: self.pim_config,
+            frequencies: self.frequencies,
+            capacity: self.capacity,
+            mining: self.mining,
         };
-        placement
-            .validate(&placement_input)
-            .expect("placement must satisfy structural invariants");
+        let state = build_epoch_state(
+            IndexSnapshot::from(self.index),
+            &recipe,
+            self.placement_override,
+        );
+        UpAnnsEngine::from_build(recipe, state)
+    }
+}
 
-        // 3. Mining + re-encoding (Opt3).
-        let mut combos: HashMap<usize, ComboTable> = HashMap::new();
-        let mut encoded: HashMap<usize, CaeList> = HashMap::new();
-        if self.config.cooccurrence_encoding {
-            for c in 0..nlist {
-                let list = index.list(c);
-                if list.is_empty() {
-                    continue;
-                }
-                let table = mine_cluster_combos(list.packed_codes(), m, &self.mining);
-                let cae = CaeList::encode(list.packed_codes(), m, &table);
-                combos.insert(c, table);
-                encoded.insert(c, cae);
-            }
+/// The offline-phase inputs an engine keeps so it can rebuild its per-epoch
+/// state when a snapshot timeline is installed. The historical frequencies
+/// are reused across epochs: the workload history does not change when the
+/// corpus mutates, and the cluster count is invariant under mutation
+/// (upserts assign to existing coarse clusters).
+#[derive(Clone)]
+pub(crate) struct BuildRecipe {
+    pub(crate) config: UpAnnsConfig,
+    pub(crate) pim_config: PimConfig,
+    pub(crate) frequencies: Option<Vec<f64>>,
+    pub(crate) capacity: BatchCapacity,
+    pub(crate) mining: MiningParams,
+}
+
+/// Runs steps 1–4 of the offline phase against one snapshot: placement (so
+/// every epoch gets re-placed against its own list sizes), co-occurrence
+/// mining/re-encoding, and MRAM staging.
+pub(crate) fn build_epoch_state(
+    snapshot: IndexSnapshot,
+    recipe: &BuildRecipe,
+    placement_override: Option<Placement>,
+) -> EpochState {
+    let nlist = snapshot.nlist();
+    let m = snapshot.m();
+    let num_dpus = recipe.pim_config.num_dpus;
+
+    // 1. Access frequencies (uniform when no history is supplied).
+    let frequencies = recipe
+        .frequencies
+        .clone()
+        .unwrap_or_else(|| vec![1.0 / nlist as f64; nlist]);
+
+    // 2. Placement.
+    let bytes_per_vector = m.max(2) * 2 + 8;
+    let max_dpu_vectors = recipe
+        .config
+        .max_dpu_vectors
+        .unwrap_or(recipe.pim_config.mram_bytes / bytes_per_vector);
+    let mut placement_input = PlacementInput::new(
+        snapshot.list_sizes().to_vec(),
+        frequencies,
+        num_dpus,
+        max_dpu_vectors,
+    );
+    placement_input.threshold_rate = recipe.config.placement_threshold_rate;
+    let placement: Placement = match placement_override {
+        Some(p) => {
+            assert_eq!(
+                p.dpu_workload.len(),
+                num_dpus,
+                "placement override targets a different DPU count"
+            );
+            p
         }
+        None if recipe.config.pim_aware_placement => place_pim_aware(&placement_input),
+        None => place_round_robin(&placement_input),
+    };
+    placement
+        .validate(&placement_input)
+        .expect("placement must satisfy structural invariants");
 
-        // 4. Stage everything into MRAM.
-        let mut sys = PimSystem::new(self.pim_config.clone());
-        let codebook = quantized_codebook(index);
-        let expected_assignments_per_dpu = ((self.capacity.batch_size * self.capacity.nprobe)
-            .div_ceil(num_dpus))
-        .max(8)
-            * 2;
-        let expected_queries_per_dpu = expected_assignments_per_dpu.min(self.capacity.batch_size);
-        let query_record_bytes = 8 + index.dim() * 4;
-        let mut stores = Vec::with_capacity(num_dpus);
-        for dpu in 0..num_dpus {
-            let codebook_addr = sys
-                .mram_alloc(dpu, codebook.len())
-                .expect("codebook fits in MRAM");
-            sys.dpu_mut(dpu)
-                .mram_mut()
-                .write(codebook_addr, &codebook)
-                .expect("codebook write");
-            let query_buffer_bytes = expected_assignments_per_dpu * query_record_bytes;
-            let query_buffer_addr = sys
-                .mram_alloc(dpu, query_buffer_bytes)
-                .expect("query buffer fits in MRAM");
-            let mailbox_bytes = expected_queries_per_dpu * mailbox_slot_bytes(self.capacity.max_k);
-            let mailbox_addr = sys
-                .mram_alloc(dpu, mailbox_bytes)
-                .expect("mailbox fits in MRAM");
-            stores.push(DpuStore {
-                codebook_addr,
-                codebook_bytes: codebook.len(),
-                query_buffer_addr,
-                query_buffer_bytes,
-                mailbox_addr,
-                mailbox_bytes,
-                ..DpuStore::default()
-            });
-        }
-
-        for (cluster, dpus) in placement.cluster_to_dpus.iter().enumerate() {
-            let list = index.list(cluster);
+    // 3. Mining + re-encoding (Opt3).
+    let mut combos: HashMap<usize, ComboTable> = HashMap::new();
+    let mut encoded: HashMap<usize, CaeList> = HashMap::new();
+    if recipe.config.cooccurrence_encoding {
+        for c in 0..nlist {
+            let list = snapshot.list(c);
             if list.is_empty() {
                 continue;
             }
-            let mut ids_bytes = Vec::with_capacity(list.len() * 8);
-            for &id in list.ids() {
-                ids_bytes.extend_from_slice(&id.to_le_bytes());
-            }
-            let payload: Vec<u8> = match encoded.get(&cluster) {
-                Some(cae) => cae.to_bytes(),
-                None => list.packed_codes().to_vec(),
-            };
-            for &dpu in dpus {
-                let ids_addr = sys
-                    .mram_alloc(dpu, ids_bytes.len())
-                    .expect("ids fit in MRAM");
-                sys.dpu_mut(dpu)
-                    .mram_mut()
-                    .write(ids_addr, &ids_bytes)
-                    .expect("ids write");
-                let codes_addr = sys
-                    .mram_alloc(dpu, payload.len())
-                    .expect("codes fit in MRAM");
-                sys.dpu_mut(dpu)
-                    .mram_mut()
-                    .write(codes_addr, &payload)
-                    .expect("codes write");
-                let encoding = match encoded.get(&cluster) {
-                    Some(cae) => ListEncoding::CaeU16(cae.clone()),
-                    None => ListEncoding::PlainU8,
-                };
-                stores[dpu].replicas.insert(
-                    cluster,
-                    ClusterReplica {
-                        cluster,
-                        num_vectors: list.len(),
-                        ids_addr,
-                        codes_addr,
-                        codes_bytes: payload.len(),
-                        encoding,
-                    },
-                );
-            }
+            let table = mine_cluster_combos(list.packed_codes(), m, &recipe.mining);
+            let cae = CaeList::encode(list.packed_codes(), m, &table);
+            combos.insert(c, table);
+            encoded.insert(c, cae);
         }
+    }
 
-        let reduction_rates: HashMap<usize, f64> = encoded
-            .iter()
-            .map(|(&c, cae)| (c, cae.reduction_rate()))
-            .collect();
+    // 4. Stage everything into MRAM.
+    let mut sys = PimSystem::new(recipe.pim_config.clone());
+    let codebook = quantized_codebook(snapshot.pq());
+    let expected_assignments_per_dpu = ((recipe.capacity.batch_size * recipe.capacity.nprobe)
+        .div_ceil(num_dpus))
+    .max(8)
+        * 2;
+    let expected_queries_per_dpu = expected_assignments_per_dpu.min(recipe.capacity.batch_size);
+    let query_record_bytes = 8 + snapshot.dim() * 4;
+    let mut stores = Vec::with_capacity(num_dpus);
+    for dpu in 0..num_dpus {
+        let codebook_addr = sys
+            .mram_alloc(dpu, codebook.len())
+            .expect("codebook fits in MRAM");
+        sys.dpu_mut(dpu)
+            .mram_mut()
+            .write(codebook_addr, &codebook)
+            .expect("codebook write");
+        let query_buffer_bytes = expected_assignments_per_dpu * query_record_bytes;
+        let query_buffer_addr = sys
+            .mram_alloc(dpu, query_buffer_bytes)
+            .expect("query buffer fits in MRAM");
+        let mailbox_bytes = expected_queries_per_dpu * mailbox_slot_bytes(recipe.capacity.max_k);
+        let mailbox_addr = sys
+            .mram_alloc(dpu, mailbox_bytes)
+            .expect("mailbox fits in MRAM");
+        stores.push(DpuStore {
+            codebook_addr,
+            codebook_bytes: codebook.len(),
+            query_buffer_addr,
+            query_buffer_bytes,
+            mailbox_addr,
+            mailbox_bytes,
+            ..DpuStore::default()
+        });
+    }
 
-        UpAnnsEngine::from_parts(
-            index,
-            self.config,
-            placement,
-            combos,
-            reduction_rates,
-            stores,
-            sys,
-        )
+    for (cluster, dpus) in placement.cluster_to_dpus.iter().enumerate() {
+        let list = snapshot.list(cluster);
+        if list.is_empty() {
+            continue;
+        }
+        let mut ids_bytes = Vec::with_capacity(list.len() * 8);
+        for &id in list.ids() {
+            ids_bytes.extend_from_slice(&id.to_le_bytes());
+        }
+        let payload: Vec<u8> = match encoded.get(&cluster) {
+            Some(cae) => cae.to_bytes(),
+            None => list.packed_codes().to_vec(),
+        };
+        for &dpu in dpus {
+            let ids_addr = sys
+                .mram_alloc(dpu, ids_bytes.len())
+                .expect("ids fit in MRAM");
+            sys.dpu_mut(dpu)
+                .mram_mut()
+                .write(ids_addr, &ids_bytes)
+                .expect("ids write");
+            let codes_addr = sys
+                .mram_alloc(dpu, payload.len())
+                .expect("codes fit in MRAM");
+            sys.dpu_mut(dpu)
+                .mram_mut()
+                .write(codes_addr, &payload)
+                .expect("codes write");
+            let encoding = match encoded.get(&cluster) {
+                Some(cae) => ListEncoding::CaeU16(cae.clone()),
+                None => ListEncoding::PlainU8,
+            };
+            stores[dpu].replicas.insert(
+                cluster,
+                ClusterReplica {
+                    cluster,
+                    num_vectors: list.len(),
+                    ids_addr,
+                    codes_addr,
+                    codes_bytes: payload.len(),
+                    encoding,
+                },
+            );
+        }
+    }
+
+    let reduction_rates: HashMap<usize, f64> = encoded
+        .iter()
+        .map(|(&c, cae)| (c, cae.reduction_rate()))
+        .collect();
+
+    EpochState {
+        snapshot,
+        placement,
+        combos,
+        reduction_rates,
+        stores,
+        sys,
     }
 }
 
@@ -304,8 +346,8 @@ pub fn frequencies_from_queries(index: &IvfPqIndex, history: &Dataset, nprobe: u
 /// themselves are only used to account WRAM/MRAM traffic; the functional LUT
 /// is built from the full-precision codebook on the host side of the
 /// simulator.
-fn quantized_codebook(index: &IvfPqIndex) -> Vec<u8> {
-    let flat = index.pq().codebooks_flat();
+fn quantized_codebook(pq: &ProductQuantizer) -> Vec<u8> {
+    let flat = pq.codebooks_flat();
     let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
     for &x in flat {
         lo = lo.min(x);
@@ -422,7 +464,7 @@ mod tests {
     #[test]
     fn quantized_codebook_has_expected_size() {
         let (index, _) = shared_index();
-        let cb = quantized_codebook(index);
+        let cb = quantized_codebook(index.pq());
         assert_eq!(cb.len(), index.dim() * 256);
         assert_eq!(cb.len(), index.pq().codebooks_flat().len());
     }

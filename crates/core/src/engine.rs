@@ -14,10 +14,17 @@
 //! 6. **Host merge** — fold per-DPU partial top-k lists into the final
 //!    answer per query.
 //!
+//! The engine serves a [`SnapshotTimeline`] rather than a frozen index: each
+//! installed snapshot gets its own epoch state — placement, combo tables
+//! and staged MRAM derived from that snapshot by re-running the offline
+//! phase — and every request runs against the state active at its
+//! batch-close time. A freshly built engine holds a single frozen entry, so
+//! the unmutated path is bitwise identical to the pre-mutation design.
+//!
 //! The engine implements [`AnnEngine`], so the benchmark harness sweeps it
 //! interchangeably with the CPU/GPU baselines.
 
-use crate::config::UpAnnsConfig;
+use crate::builder::{build_epoch_state, BuildRecipe};
 use crate::cooccurrence::ComboTable;
 use crate::kernel::{
     mailbox_slot_bytes, parse_mailbox, run_batch_kernel, DpuBatchPlan, DpuStore, KernelOutput,
@@ -25,46 +32,92 @@ use crate::kernel::{
 };
 use crate::placement::Placement;
 use crate::scheduling::{schedule_queries, Assignment, Schedule};
-use annkit::ivf::IvfPqIndex;
+use annkit::mutation::{IndexSnapshot, SnapshotTimeline};
 use annkit::topk::{Neighbor, TopK};
 use annkit::vector::{residual, Dataset};
 use baselines::cpu::CpuSpec;
-use baselines::engine::{execute_grouped, AnnEngine, SearchRequest, SearchResponse};
+use baselines::engine::{execute_by_entry, execute_grouped, AnnEngine, SearchRequest, SearchResponse};
 use baselines::workload_stats::WorkloadStats;
 use pim_sim::energy::EnergyModel;
 use pim_sim::host::{DpuRead, DpuWrite, ExecReport, PimSystem};
 use std::collections::HashMap;
 
+/// Everything the six-stage pipeline needs to serve one installed snapshot:
+/// the snapshot itself plus the offline artifacts (placement, combo tables,
+/// reduction rates, staged MRAM and the simulated system) derived from it.
+pub(crate) struct EpochState {
+    pub(crate) snapshot: IndexSnapshot,
+    pub(crate) placement: Placement,
+    pub(crate) combos: HashMap<usize, ComboTable>,
+    pub(crate) reduction_rates: HashMap<usize, f64>,
+    pub(crate) stores: Vec<DpuStore>,
+    pub(crate) sys: PimSystem,
+}
+
+/// Ensures DPU `dpu`'s staging buffers can hold `query_bytes` /
+/// `mailbox_bytes`, growing them (new MRAM allocations) if needed.
+fn ensure_capacity(
+    sys: &mut PimSystem,
+    stores: &mut [DpuStore],
+    dpu: usize,
+    query_bytes: usize,
+    mailbox_bytes: usize,
+) {
+    if stores[dpu].query_buffer_bytes < query_bytes {
+        let addr = sys
+            .mram_alloc(dpu, query_bytes)
+            .expect("MRAM for enlarged query buffer");
+        stores[dpu].query_buffer_addr = addr;
+        stores[dpu].query_buffer_bytes = query_bytes;
+    }
+    if stores[dpu].mailbox_bytes < mailbox_bytes {
+        let addr = sys
+            .mram_alloc(dpu, mailbox_bytes)
+            .expect("MRAM for enlarged mailbox");
+        stores[dpu].mailbox_addr = addr;
+        stores[dpu].mailbox_bytes = mailbox_bytes;
+    }
+}
+
+fn host_filter_seconds(host: &CpuSpec, queries: usize, nlist: usize, dim: usize) -> f64 {
+    let flops = queries as f64 * nlist as f64 * dim as f64 * 2.0;
+    flops / host.compute_flops()
+}
+
+fn host_schedule_seconds(host: &CpuSpec, assignments: usize, dim: usize) -> f64 {
+    // Algorithm 2 is O(|Q| × nprobe) with small constants, plus the
+    // residual computation for each assignment.
+    let cycles = assignments as f64 * 60.0 + assignments as f64 * dim as f64;
+    cycles / host.freq_hz
+}
+
+fn host_merge_seconds(host: &CpuSpec, partials: usize, k: usize) -> f64 {
+    let cycles = partials as f64 * k as f64 * 12.0;
+    cycles / host.freq_hz
+}
+
 /// The UpANNS search engine (also the PIM-naive baseline, depending on the
-/// [`UpAnnsConfig`] it was built with).
-pub struct UpAnnsEngine<'a> {
-    index: &'a IvfPqIndex,
-    config: UpAnnsConfig,
-    placement: Placement,
-    combos: HashMap<usize, ComboTable>,
-    reduction_rates: HashMap<usize, f64>,
-    stores: Vec<DpuStore>,
-    sys: PimSystem,
+/// [`UpAnnsConfig`](crate::config::UpAnnsConfig) it was built with).
+pub struct UpAnnsEngine {
+    timeline: SnapshotTimeline,
+    /// One derived state per timeline entry (parallel to
+    /// `timeline.entries()`).
+    epochs: Vec<EpochState>,
+    /// The offline-phase inputs, kept so `install_timeline` can re-run the
+    /// build for every installed snapshot.
+    recipe: BuildRecipe,
     host_cpu: CpuSpec,
     name: String,
     last_exec_report: Option<ExecReport>,
     last_schedule_ratio: f64,
 }
 
-impl<'a> UpAnnsEngine<'a> {
+impl UpAnnsEngine {
     /// Assembles an engine from the builder's outputs (use
     /// [`UpAnnsBuilder`](crate::builder::UpAnnsBuilder) rather than calling
     /// this directly).
-    #[allow(clippy::too_many_arguments)]
-    pub(crate) fn from_parts(
-        index: &'a IvfPqIndex,
-        config: UpAnnsConfig,
-        placement: Placement,
-        combos: HashMap<usize, ComboTable>,
-        reduction_rates: HashMap<usize, f64>,
-        stores: Vec<DpuStore>,
-        sys: PimSystem,
-    ) -> Self {
+    pub(crate) fn from_build(recipe: BuildRecipe, state: EpochState) -> Self {
+        let config = &recipe.config;
         let name = if config.pim_aware_placement
             && config.cooccurrence_encoding
             && config.topk_pruning
@@ -79,13 +132,9 @@ impl<'a> UpAnnsEngine<'a> {
             "UpANNS(partial)".to_string()
         };
         Self {
-            index,
-            config,
-            placement,
-            combos,
-            reduction_rates,
-            stores,
-            sys,
+            timeline: SnapshotTimeline::new(state.snapshot.clone()),
+            epochs: vec![state],
+            recipe,
             host_cpu: CpuSpec::default(),
             name,
             last_exec_report: None,
@@ -100,37 +149,49 @@ impl<'a> UpAnnsEngine<'a> {
     }
 
     /// The engine configuration.
-    pub fn config(&self) -> &UpAnnsConfig {
-        &self.config
+    pub fn config(&self) -> &crate::config::UpAnnsConfig {
+        &self.recipe.config
     }
 
-    /// The offline data placement.
+    /// The snapshot timeline currently being served.
+    pub fn timeline(&self) -> &SnapshotTimeline {
+        &self.timeline
+    }
+
+    /// The state of the most recently activated epoch (a fresh engine has
+    /// exactly one).
+    fn current(&self) -> &EpochState {
+        self.epochs.last().expect("an engine always has one epoch")
+    }
+
+    /// The offline data placement (of the most recently activated epoch).
     pub fn placement(&self) -> &Placement {
-        &self.placement
+        &self.current().placement
     }
 
     /// The per-DPU MRAM directories (exposed for tests and diagnostics).
     pub fn stores(&self) -> &[DpuStore] {
-        &self.stores
+        &self.current().stores
     }
 
     /// The simulated PIM system (for energy and configuration queries).
     pub fn pim_system(&self) -> &PimSystem {
-        &self.sys
+        &self.current().sys
     }
 
     /// Mean co-occurrence length-reduction rate across encoded clusters
     /// (0 when CAE is disabled) — the x-axis quantity of Figure 14.
     pub fn mean_reduction_rate(&self) -> f64 {
-        if self.reduction_rates.is_empty() {
+        let rates = &self.current().reduction_rates;
+        if rates.is_empty() {
             return 0.0;
         }
-        self.reduction_rates.values().sum::<f64>() / self.reduction_rates.len() as f64
+        rates.values().sum::<f64>() / rates.len() as f64
     }
 
     /// Per-cluster reduction rates (clusters without CAE encoding are absent).
     pub fn reduction_rates(&self) -> &HashMap<usize, f64> {
-        &self.reduction_rates
+        &self.current().reduction_rates
     }
 
     /// The max/avg DPU busy-time ratio of the most recent batch (Figure 11's
@@ -153,81 +214,68 @@ impl<'a> UpAnnsEngine<'a> {
         self.last_exec_report.as_ref()
     }
 
-    fn host_filter_seconds(&self, queries: usize) -> f64 {
-        let flops = queries as f64 * self.index.nlist() as f64 * self.index.dim() as f64 * 2.0;
-        flops / self.host_cpu.compute_flops()
-    }
-
-    fn host_schedule_seconds(&self, assignments: usize) -> f64 {
-        // Algorithm 2 is O(|Q| × nprobe) with small constants, plus the
-        // residual computation for each assignment.
-        let cycles = assignments as f64 * 60.0
-            + assignments as f64 * self.index.dim() as f64;
-        cycles / self.host_cpu.freq_hz
-    }
-
-    fn host_merge_seconds(&self, partials: usize, k: usize) -> f64 {
-        let cycles = partials as f64 * k as f64 * 12.0;
-        cycles / self.host_cpu.freq_hz
-    }
-
-    /// Ensures DPU `dpu`'s staging buffers can hold `query_bytes` /
-    /// `mailbox_bytes`, growing them (new MRAM allocations) if needed.
-    fn ensure_capacity(&mut self, dpu: usize, query_bytes: usize, mailbox_bytes: usize) {
-        if self.stores[dpu].query_buffer_bytes < query_bytes {
-            let addr = self
-                .sys
-                .mram_alloc(dpu, query_bytes)
-                .expect("MRAM for enlarged query buffer");
-            self.stores[dpu].query_buffer_addr = addr;
-            self.stores[dpu].query_buffer_bytes = query_bytes;
-        }
-        if self.stores[dpu].mailbox_bytes < mailbox_bytes {
-            let addr = self
-                .sys
-                .mram_alloc(dpu, mailbox_bytes)
-                .expect("MRAM for enlarged mailbox");
-            self.stores[dpu].mailbox_addr = addr;
-            self.stores[dpu].mailbox_bytes = mailbox_bytes;
-        }
-    }
-
-    /// One uniform sub-batch through the full six-stage PIM pipeline.
-    fn run_uniform(&mut self, queries: &Dataset, nprobe: usize, k: usize) -> SearchResponse {
-        assert_eq!(queries.dim(), self.index.dim(), "query dimension mismatch");
+    /// One uniform sub-batch through the full six-stage PIM pipeline, against
+    /// the epoch state at index `epoch`.
+    fn run_uniform(
+        &mut self,
+        epoch: usize,
+        queries: &Dataset,
+        nprobe: usize,
+        k: usize,
+    ) -> SearchResponse {
+        let Self {
+            epochs,
+            recipe,
+            host_cpu,
+            last_exec_report,
+            last_schedule_ratio,
+            ..
+        } = self;
+        let EpochState {
+            snapshot,
+            placement,
+            combos,
+            stores,
+            sys,
+            ..
+        } = &mut epochs[epoch];
+        let config = &recipe.config;
+        assert_eq!(queries.dim(), snapshot.dim(), "query dimension mismatch");
         assert!(k > 0, "k must be positive");
-        let nprobe = nprobe.min(self.index.nlist()).max(1);
+        let nprobe = nprobe.min(snapshot.nlist()).max(1);
         let nq = queries.len();
-        self.sys.reset_clock();
+        sys.reset_clock();
 
         // ---- Stage 1: cluster filtering (host CPU) ------------------------
         let filtered: Vec<Vec<usize>> = queries
             .iter()
             .map(|q| {
-                self.index
+                snapshot
                     .filter_clusters(q, nprobe)
                     .into_iter()
                     .map(|(c, _)| c)
                     .collect()
             })
             .collect();
-        let filter_seconds = self.host_filter_seconds(nq);
-        self.sys.advance_host("cluster_filtering", filter_seconds);
+        let filter_seconds = host_filter_seconds(host_cpu, nq, snapshot.nlist(), snapshot.dim());
+        sys.advance_host("cluster_filtering", filter_seconds);
 
         // ---- Stage 2: query scheduling (host CPU, Algorithm 2) ------------
-        let cluster_sizes = self.index.list_sizes();
-        let schedule: Schedule = schedule_queries(&filtered, &self.placement, &cluster_sizes);
-        self.last_schedule_ratio = schedule.max_to_avg_workload();
+        // The snapshot's cached size slice keeps this per-batch step
+        // allocation-free.
+        let cluster_sizes = snapshot.list_sizes();
+        let schedule: Schedule = schedule_queries(&filtered, placement, cluster_sizes);
+        *last_schedule_ratio = schedule.max_to_avg_workload();
         let total_assignments = schedule.total_assignments();
-        let schedule_seconds = self.host_schedule_seconds(total_assignments);
-        self.sys.advance_host("query_scheduling", schedule_seconds);
+        let schedule_seconds = host_schedule_seconds(host_cpu, total_assignments, snapshot.dim());
+        sys.advance_host("query_scheduling", schedule_seconds);
 
         // ---- Stage 3: query transfer (host → DPU, uniform padded buffers) -
-        let dim = self.index.dim();
+        let dim = snapshot.dim();
         let record_bytes = 8 + dim * 4; // (query id, cluster id) header + residual
         let max_assignments = schedule.max_assignments_per_dpu().max(1);
         let uniform_query_bytes = max_assignments * record_bytes;
-        let mut plans: Vec<DpuBatchPlan> = vec![DpuBatchPlan::default(); self.sys.num_dpus()];
+        let mut plans: Vec<DpuBatchPlan> = vec![DpuBatchPlan::default(); sys.num_dpus()];
         let mut writes = Vec::new();
         for (dpu, plan_slot) in plans.iter_mut().enumerate() {
             let assignments = &schedule.per_dpu[dpu];
@@ -236,14 +284,14 @@ impl<'a> UpAnnsEngine<'a> {
             }
             let mailbox_needed =
                 assignments.len().min(nq) * mailbox_slot_bytes(k).max(mailbox_slot_bytes(1));
-            self.ensure_capacity(dpu, uniform_query_bytes, mailbox_needed);
+            ensure_capacity(sys, stores, dpu, uniform_query_bytes, mailbox_needed);
 
             let mut buffer = Vec::with_capacity(uniform_query_bytes);
             let mut plan = DpuBatchPlan::default();
             let mut seen_queries = Vec::new();
             for a in assignments {
                 let q = queries.vector(a.query);
-                let res = residual(q, self.index.coarse().centroid(a.cluster));
+                let res = residual(q, snapshot.coarse().centroid(a.cluster));
                 buffer.extend_from_slice(&(a.query as u32).to_le_bytes());
                 buffer.extend_from_slice(&(a.cluster as u32).to_le_bytes());
                 for &x in &res {
@@ -259,41 +307,45 @@ impl<'a> UpAnnsEngine<'a> {
                 }
             }
             buffer.resize(uniform_query_bytes, 0); // pad to the uniform size
-            writes.push(DpuWrite::new(dpu, self.stores[dpu].query_buffer_addr, buffer));
+            writes.push(DpuWrite::new(dpu, stores[dpu].query_buffer_addr, buffer));
             plan.queries = seen_queries;
             *plan_slot = plan;
         }
-        self.sys
-            .push_to_dpus("query_transfer", &writes)
+        sys.push_to_dpus("query_transfer", &writes)
             .expect("query staging buffers are sized by ensure_capacity");
 
         // ---- Stage 4: DPU kernel -------------------------------------------
-        let stores = &self.stores;
+        let stores_ref: &[DpuStore] = stores;
         let shared = KernelShared {
-            pq: self.index.pq(),
-            combos: &self.combos,
-            config: &self.config,
+            pq: snapshot.pq(),
+            combos,
+            config,
             k,
             scan_backend: annkit::simd::active(),
         };
-        let mut outputs: Vec<KernelOutput> = vec![KernelOutput::default(); self.sys.num_dpus()];
-        let report = self.sys.execute("dpu_search", |ctx| {
+        let mut outputs: Vec<KernelOutput> = vec![KernelOutput::default(); sys.num_dpus()];
+        let report = sys.execute("dpu_search", |ctx| {
             let dpu = ctx.dpu_id();
             if plans[dpu].is_empty() {
                 return;
             }
-            outputs[dpu] = run_batch_kernel(ctx, &stores[dpu], &plans[dpu], &shared);
+            outputs[dpu] = run_batch_kernel(ctx, &stores_ref[dpu], &plans[dpu], &shared);
         });
 
         // ---- Stage 5: result transfer (DPU → host) -------------------------
         let max_queries_per_dpu = plans.iter().map(|p| p.queries.len()).max().unwrap_or(0);
         let uniform_mailbox = max_queries_per_dpu * mailbox_slot_bytes(k);
-        let reads: Vec<DpuRead> = (0..self.sys.num_dpus())
+        let reads: Vec<DpuRead> = (0..sys.num_dpus())
             .filter(|&d| !plans[d].is_empty() && uniform_mailbox > 0)
-            .map(|d| DpuRead::new(d, self.stores[d].mailbox_addr, uniform_mailbox.min(self.stores[d].mailbox_bytes)))
+            .map(|d| {
+                DpuRead::new(
+                    d,
+                    stores_ref[d].mailbox_addr,
+                    uniform_mailbox.min(stores_ref[d].mailbox_bytes),
+                )
+            })
             .collect();
-        let mailboxes = self
-            .sys
+        let mailboxes = sys
             .pull_from_dpus("result_transfer", &reads)
             .expect("mailboxes were allocated by the builder");
 
@@ -310,8 +362,8 @@ impl<'a> UpAnnsEngine<'a> {
                 }
             }
         }
-        let merge_seconds = self.host_merge_seconds(partial_count, k);
-        self.sys.advance_host("host_merge", merge_seconds);
+        let merge_seconds = host_merge_seconds(host_cpu, partial_count, k);
+        sys.advance_host("host_merge", merge_seconds);
 
         let results: Vec<Vec<Neighbor>> = merged.into_iter().map(|h| h.into_sorted()).collect();
 
@@ -320,9 +372,9 @@ impl<'a> UpAnnsEngine<'a> {
             queries: nq,
             k,
             nprobe,
-            centroid_comparisons: (nq * self.index.nlist()) as u64,
+            centroid_comparisons: (nq * snapshot.nlist()) as u64,
             luts_built: total_assignments as u64,
-            lut_entries: (total_assignments * self.index.m() * 256) as u64,
+            lut_entries: (total_assignments * snapshot.m() * 256) as u64,
             ..WorkloadStats::default()
         };
         for o in &outputs {
@@ -333,7 +385,7 @@ impl<'a> UpAnnsEngine<'a> {
             stats.topk_insertions += o.merge_stats.insertions;
         }
 
-        let mut breakdown = self.sys.breakdown().clone();
+        let mut breakdown = sys.breakdown().clone();
         // Fold the kernel-internal stage labels of the critical DPU into the
         // top-level breakdown in place of the opaque "dpu_search" total.
         let dpu_total = breakdown.seconds("dpu_search");
@@ -351,31 +403,45 @@ impl<'a> UpAnnsEngine<'a> {
             }
             breakdown = detailed;
         }
-        self.last_exec_report = Some(report);
+        *last_exec_report = Some(report);
+        let seconds = sys.elapsed_seconds();
 
         SearchResponse {
             request_id: 0,
             results,
-            seconds: self.sys.elapsed_seconds(),
+            seconds,
             breakdown,
             stats,
         }
     }
 }
 
-impl AnnEngine for UpAnnsEngine<'_> {
+impl AnnEngine for UpAnnsEngine {
     fn name(&self) -> &str {
         &self.name
     }
 
     fn execute(&mut self, request: &SearchRequest) -> SearchResponse {
-        execute_grouped(request, |queries, nprobe, k| {
-            self.run_uniform(queries, nprobe, k)
+        let timeline = self.timeline.clone();
+        execute_by_entry(&timeline, request, |epoch, sub| {
+            execute_grouped(sub, |queries, nprobe, k| {
+                self.run_uniform(epoch, queries, nprobe, k)
+            })
         })
     }
 
     fn energy_model(&self) -> EnergyModel {
-        EnergyModel::pim(self.sys.config())
+        EnergyModel::pim(self.current().sys.config())
+    }
+
+    fn install_timeline(&mut self, timeline: SnapshotTimeline) -> bool {
+        self.epochs = timeline
+            .entries()
+            .iter()
+            .map(|(_, snapshot)| build_epoch_state(snapshot.clone(), &self.recipe, None))
+            .collect();
+        self.timeline = timeline;
+        true
     }
 }
 
@@ -383,7 +449,8 @@ impl AnnEngine for UpAnnsEngine<'_> {
 mod tests {
     use super::*;
     use crate::builder::{BatchCapacity, UpAnnsBuilder};
-    use annkit::ivf::IvfPqParams;
+    use crate::config::UpAnnsConfig;
+    use annkit::ivf::{IvfPqIndex, IvfPqParams};
     use annkit::recall::recall_at_k;
     use annkit::synthetic::SyntheticSpec;
     use baselines::cpu::CpuFaissEngine;
@@ -393,12 +460,12 @@ mod tests {
     /// Compile-time Send audit: the threaded runtime (`upanns-runtime`)
     /// moves each engine worker into its own thread. The engine's mutable
     /// state (DPU stores, combo tables, the last exec report) is owned, and
-    /// the index borrow is a `Sync` shared reference, so `Send` holds
+    /// the snapshot shares the index via `Arc`, so `Send` holds
     /// structurally; this pins it against future `Rc`/`RefCell` fields.
     #[test]
     fn upanns_engine_is_send() {
         fn assert_send<T: Send>() {}
-        assert_send::<UpAnnsEngine<'_>>();
+        assert_send::<UpAnnsEngine>();
     }
 
     struct Fixture {
@@ -439,7 +506,7 @@ mod tests {
         })
     }
 
-    fn build(config: UpAnnsConfig, dpus: usize) -> UpAnnsEngine<'static> {
+    fn build(config: UpAnnsConfig, dpus: usize) -> UpAnnsEngine {
         let fix = shared_index();
         UpAnnsBuilder::new(&fix.index)
             .with_config(config)
@@ -571,5 +638,43 @@ mod tests {
                 b.iter().take(5).map(|n| n.id).collect::<Vec<_>>()
             );
         }
+    }
+
+    #[test]
+    fn installed_timeline_serves_per_epoch_answers_and_stalls() {
+        use annkit::mutation::{MutableIvf, SnapshotTimeline};
+        let fix = shared_index();
+        let mut engine = build(UpAnnsConfig::upanns(), 8);
+        let queries = fix.data.gather(&[3, 77, 1234]);
+
+        // Baseline answers on the frozen single-entry timeline.
+        let frozen = engine.execute(&SearchRequest::uniform(&queries, 4, 10));
+
+        // Upsert a duplicate of query 3's vector under a fresh id and
+        // install the mutated snapshot at t = 10.
+        let mut live = MutableIvf::new(&fix.index);
+        let mut timeline = SnapshotTimeline::new(live.snapshot());
+        live.upsert(fix.data.vector(3), 90_000);
+        timeline.install(10.0, live.snapshot());
+        timeline.push_window(20.0, 21.5);
+        assert!(engine.install_timeline(timeline));
+
+        // Before activation the engine still serves the frozen answers.
+        let early = engine.execute(&SearchRequest::uniform(&queries, 4, 10).with_at(5.0));
+        for (a, b) in frozen.results.iter().zip(&early.results) {
+            assert_eq!(
+                a.iter().map(|n| n.id).collect::<Vec<_>>(),
+                b.iter().map(|n| n.id).collect::<Vec<_>>()
+            );
+        }
+
+        // After activation the new id is visible.
+        let late = engine.execute(&SearchRequest::uniform(&queries, 4, 10).with_at(12.0));
+        assert!(late.results[0].iter().any(|n| n.id == 90_000));
+
+        // A request inside the compaction window pays the stall.
+        let stalled = engine.execute(&SearchRequest::uniform(&queries, 4, 10).with_at(20.5));
+        assert!(stalled.breakdown.seconds("compaction_stall") > 0.9);
+        assert!(stalled.seconds > late.seconds);
     }
 }

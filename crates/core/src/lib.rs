@@ -18,6 +18,7 @@
 //! |---|---|---|
 //! | Query-pattern drift adaptation (replica adjustment / full relocation) | §4.1.2 | [`adaptive`] |
 //! | Latency-budget-aware per-query nprobe selection | §4.1.2 (request-time tier) | [`adaptive::NprobePolicy`] |
+//! | Live index mutation (epoch-snapshot serving + skew-triggered background compaction) | production extension | [`compaction`], `annkit::mutation` |
 //! | Multi-host scale-out (sharding + coordinator merge) | §5.5 | [`multihost`] |
 //! | Fault-tolerant replication (replica map, fault injection, hedging, elasticity) | §5.5 extension | [`replica`] |
 //! | Serving front-end (admission, dynamic batching, result cache) | §5 (online phase) | `upanns-serve` crate |
@@ -58,6 +59,7 @@
 
 pub mod adaptive;
 pub mod builder;
+pub mod compaction;
 pub mod config;
 pub mod cooccurrence;
 pub mod encoding;
@@ -77,6 +79,9 @@ pub mod prelude {
         DriftReport, NprobePolicy, ReplicaAdjustment,
     };
     pub use crate::builder::{BatchCapacity, UpAnnsBuilder};
+    pub use crate::compaction::{
+        list_size_skew, plan_live_index, CompactionPolicy, LiveIndexPlan, PlannedCompaction,
+    };
     pub use crate::config::UpAnnsConfig;
     pub use crate::cooccurrence::{Combo, ComboTable, Element, MiningParams};
     pub use crate::encoding::CaeList;

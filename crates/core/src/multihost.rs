@@ -76,20 +76,20 @@ pub fn shard_ranges(n: usize, hosts: usize) -> Vec<std::ops::Range<usize>> {
 
 /// A multi-host UpANNS deployment: one single-host engine per shard plus the
 /// coordinator-side network and merge model.
-pub struct MultiHostUpAnns<'a> {
-    hosts: Vec<UpAnnsEngine<'a>>,
+pub struct MultiHostUpAnns {
+    hosts: Vec<UpAnnsEngine>,
     interconnect: InterconnectModel,
     name: String,
 }
 
-impl<'a> MultiHostUpAnns<'a> {
+impl MultiHostUpAnns {
     /// Assembles a deployment from per-shard engines (each built by
     /// [`UpAnnsBuilder`](crate::builder::UpAnnsBuilder) over that shard's
     /// index, with globally unique vector ids).
     ///
     /// # Panics
     /// Panics if no engines are supplied.
-    pub fn new(hosts: Vec<UpAnnsEngine<'a>>, interconnect: InterconnectModel) -> Self {
+    pub fn new(hosts: Vec<UpAnnsEngine>, interconnect: InterconnectModel) -> Self {
         assert!(!hosts.is_empty(), "a deployment needs at least one host");
         let name = format!("UpANNS x{} hosts", hosts.len());
         Self {
@@ -105,7 +105,7 @@ impl<'a> MultiHostUpAnns<'a> {
     }
 
     /// The per-host engines (for inspection).
-    pub fn hosts(&self) -> &[UpAnnsEngine<'a>] {
+    pub fn hosts(&self) -> &[UpAnnsEngine] {
         &self.hosts
     }
 
@@ -129,7 +129,7 @@ impl<'a> MultiHostUpAnns<'a> {
     }
 }
 
-impl AnnEngine for MultiHostUpAnns<'_> {
+impl AnnEngine for MultiHostUpAnns {
     fn name(&self) -> &str {
         &self.name
     }
@@ -235,7 +235,7 @@ mod tests {
     #[test]
     fn multihost_engine_is_send() {
         fn assert_send<T: Send>() {}
-        assert_send::<MultiHostUpAnns<'_>>();
+        assert_send::<MultiHostUpAnns>();
     }
     use std::sync::OnceLock;
 
@@ -275,7 +275,7 @@ mod tests {
         })
     }
 
-    fn host_engine(index: &IvfPqIndex, dpus: usize) -> UpAnnsEngine<'_> {
+    fn host_engine(index: &IvfPqIndex, dpus: usize) -> UpAnnsEngine {
         UpAnnsBuilder::new(index)
             .with_config(UpAnnsConfig::upanns())
             .with_pim_config(PimConfig::with_dpus(dpus))
@@ -309,7 +309,7 @@ mod tests {
     #[test]
     fn two_hosts_return_global_ids_and_sane_recall() {
         let dep = deployment();
-        let hosts: Vec<UpAnnsEngine<'_>> =
+        let hosts: Vec<UpAnnsEngine> =
             dep.shards.iter().map(|ix| host_engine(ix, 8)).collect();
         let mut multi = MultiHostUpAnns::new(hosts, InterconnectModel::default());
         assert_eq!(multi.num_hosts(), 2);
@@ -342,7 +342,7 @@ mod tests {
     #[test]
     fn search_time_includes_network_and_slowest_host() {
         let dep = deployment();
-        let hosts: Vec<UpAnnsEngine<'_>> =
+        let hosts: Vec<UpAnnsEngine> =
             dep.shards.iter().map(|ix| host_engine(ix, 8)).collect();
         let mut multi = MultiHostUpAnns::new(hosts, InterconnectModel::default());
         let queries = dep.data.gather(&[1, 2, 3, 4]);
@@ -354,7 +354,7 @@ mod tests {
         assert!(out.qps() > 0.0);
 
         // A slower fabric makes the same batch slower, all else equal.
-        let hosts2: Vec<UpAnnsEngine<'_>> =
+        let hosts2: Vec<UpAnnsEngine> =
             dep.shards.iter().map(|ix| host_engine(ix, 8)).collect();
         let slow = InterconnectModel {
             bandwidth_bytes_per_s: 1e6,

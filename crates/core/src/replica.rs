@@ -304,8 +304,8 @@ impl FaultSchedule {
 /// One underlying [`UpAnnsEngine`] serves each *shard*; hosts are modeled
 /// timing entities that the [`ReplicaMap`] assigns shards to. See the module
 /// docs for the answer-purity contract.
-pub struct ReplicatedMultiHost<'a> {
-    shards: Vec<UpAnnsEngine<'a>>,
+pub struct ReplicatedMultiHost {
+    shards: Vec<UpAnnsEngine>,
     shard_bytes: Vec<usize>,
     map: ReplicaMap,
     interconnect: InterconnectModel,
@@ -322,12 +322,12 @@ pub struct ReplicatedMultiHost<'a> {
     migration_s_total: f64,
 }
 
-impl<'a> ReplicatedMultiHost<'a> {
+impl ReplicatedMultiHost {
     /// Assembles a deployment from per-shard engines (each built over that
     /// shard's index with globally unique vector ids), `hosts` hosts and
     /// replica factor `replicas`.
     pub fn new(
-        shards: Vec<UpAnnsEngine<'a>>,
+        shards: Vec<UpAnnsEngine>,
         hosts: usize,
         replicas: usize,
         interconnect: InterconnectModel,
@@ -419,7 +419,7 @@ impl<'a> ReplicatedMultiHost<'a> {
     }
 }
 
-impl AnnEngine for ReplicatedMultiHost<'_> {
+impl AnnEngine for ReplicatedMultiHost {
     fn name(&self) -> &str {
         &self.name
     }

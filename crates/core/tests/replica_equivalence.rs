@@ -75,7 +75,7 @@ fn fixture() -> &'static Fixture {
 
 /// One shard's engine — the same construction for the replicated deployment
 /// and the unreplicated reference, so any divergence is the replica layer's.
-fn shard_engine(index: &IvfPqIndex) -> UpAnnsEngine<'_> {
+fn shard_engine(index: &IvfPqIndex) -> UpAnnsEngine {
     UpAnnsBuilder::new(index)
         .with_config(UpAnnsConfig::upanns())
         .with_pim_config(PimConfig::with_dpus(48))
@@ -87,7 +87,7 @@ fn shard_engine(index: &IvfPqIndex) -> UpAnnsEngine<'_> {
         .build()
 }
 
-fn engines_for(shards: &[IvfPqIndex]) -> Vec<UpAnnsEngine<'_>> {
+fn engines_for(shards: &[IvfPqIndex]) -> Vec<UpAnnsEngine> {
     shards.iter().map(shard_engine).collect()
 }
 

@@ -260,7 +260,15 @@ fn no_ambient_rng(input: &FileInput<'_>, test_ranges: &[(u32, u32)], out: &mut V
 }
 
 fn no_unordered_iteration(input: &FileInput<'_>, out: &mut Vec<Violation>) {
-    if !(input.rel.starts_with("crates/serve/") || input.rel.starts_with("crates/runtime/")) {
+    // The serving/runtime layers plus the live-index modules: snapshot
+    // installs, mutation replay and compaction planning all feed the
+    // byte-reproducible twin contract, so iteration order there must be
+    // deterministic too.
+    if !(input.rel.starts_with("crates/serve/")
+        || input.rel.starts_with("crates/runtime/")
+        || input.rel == "crates/annkit/src/mutation.rs"
+        || input.rel == "crates/core/src/compaction.rs")
+    {
         return;
     }
     let toks = &input.lexed.tokens;

@@ -51,7 +51,21 @@ fn ambient_rng_bad_flagged_good_clean() {
 
 #[test]
 fn unordered_iteration_bad_flagged_good_clean() {
-    assert!(rules_hit(&lint("unordered_iter/bad")).contains(&"no-unordered-iteration"));
+    let report = lint("unordered_iter/bad");
+    assert!(rules_hit(&report).contains(&"no-unordered-iteration"));
+    // The rule's scope covers the serving layer AND the live-index mutation
+    // module — both fixture files must be flagged.
+    let files: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "no-unordered-iteration")
+        .map(|v| v.file.as_str())
+        .collect();
+    assert!(files.iter().any(|f| f.contains("crates/serve/")), "{files:?}");
+    assert!(
+        files.iter().any(|f| f.contains("crates/annkit/src/mutation.rs")),
+        "{files:?}"
+    );
     assert!(lint("unordered_iter/good").is_clean());
 }
 

@@ -1,0 +1,12 @@
+//! Fixture: hash order leaks into the tombstone fold of a compaction —
+//! the rebuilt lists would differ run to run, breaking snapshot equality.
+
+use std::collections::HashSet;
+
+pub fn fold_tombstones(dead: &HashSet<u64>) -> Vec<u64> {
+    let mut folded = Vec::new();
+    for id in dead.iter() {
+        folded.push(*id);
+    }
+    folded
+}

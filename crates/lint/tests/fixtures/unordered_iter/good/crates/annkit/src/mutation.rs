@@ -1,0 +1,10 @@
+//! Fixture: tombstones are sorted before the fold, so the rebuilt lists
+//! are identical run to run.
+
+use std::collections::HashSet;
+
+pub fn fold_tombstones(dead: &HashSet<u64>) -> Vec<u64> {
+    let mut folded: Vec<u64> = dead.iter().copied().collect();
+    folded.sort_unstable();
+    folded
+}

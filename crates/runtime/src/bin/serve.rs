@@ -10,6 +10,7 @@
 //!     [--runtime replay|threaded|twin] [--workers LIST] [--sweep-qps LIST]
 //!     [--work-scale X] [--queue N] [--answers PATH]
 //!     [--replicas R] [--fault HOST@DOWN..UP[,...]] [--hedge-ms B]
+//!     [--mutations upsert=QPS,delete=QPS[,seed=N] | none]
 //! ```
 //!
 //! # Runtimes
@@ -85,18 +86,49 @@
 //! adds one logical-mode failover row per worker count (same schedule, same
 //! conservation checks), and `--answers` adds a `failover` section to the
 //! twin byte-diff, proving the fault injection itself is deterministic.
+//!
+//! # The live-mutation scenario
+//!
+//! Whenever `upanns` is among the selected engines and `--mutations` is not
+//! `none`, the replay also serves the single-tenant stream against a **live
+//! index**: a deterministic per-tenant upsert/delete stream
+//! ([`MutationSpec`]) is folded into an epoch-stamped [`SnapshotTimeline`]
+//! (snapshot refresh every [`LIVE_REFRESH_S`] seconds, background compaction
+//! per [`CompactionPolicy`]), queries resolve the snapshot active at their
+//! *own arrival*, and the result cache invalidates entries stamped with an
+//! older epoch. The row's audit ([`LiveSummary`]) re-executes every answer
+//! at its arrival (`stale_served` must be 0 — CI asserts it), splits p99 by
+//! compaction-window membership, and buckets recall against the
+//! *exact up-to-the-second corpus* by mutation lag — the recall-vs-staleness
+//! curve. A second row (`live-growth`) replays the multi-tenant scenario
+//! while the bulk tenant's corpus grows mid-stream at
+//! [`LIVE_GROWTH_UPSERT_QPS`] upserts/s. The threaded path adds one
+//! logical-mode `live-mutation` row per worker count, and `--answers` adds a
+//! `live` section to the twin byte-diff, proving mutation visibility is
+//! deterministic across runtimes. `--mutations none` disables all of it and
+//! reproduces the frozen-index rows bytewise.
+//!
+//! [`MutationSpec`]: annkit::workload::MutationSpec
+//! [`SnapshotTimeline`]: annkit::mutation::SnapshotTimeline
+//! [`CompactionPolicy`]: upanns::compaction::CompactionPolicy
 
 #![forbid(unsafe_code)]
 
 use annkit::ivf::{IvfPqIndex, IvfPqParams};
+use annkit::mutation::MutableIvf;
 use annkit::synthetic::SyntheticSpec;
 use annkit::topk::Neighbor;
-use annkit::workload::{MultiTenantSpec, QueryStream, StreamSpec, TenantId, TenantSpec, WorkloadSpec};
+use annkit::vector::Dataset;
+use annkit::workload::{
+    MultiTenantSpec, MutationOp, MutationSpec, MutationStream, QueryStream, StreamSpec, TenantId,
+    TenantSpec, WorkloadSpec,
+};
 use baselines::cpu::CpuFaissEngine;
-use baselines::engine::{AnnEngine, QueryOptions};
+use baselines::engine::{AnnEngine, QueryOptions, SearchRequest};
 use baselines::gpu::GpuFaissEngine;
 use pim_sim::config::PimConfig;
 use upanns::builder::{BatchCapacity, UpAnnsBuilder};
+use upanns::compaction::{plan_live_index, CompactionPolicy, LiveIndexPlan};
 use upanns::config::UpAnnsConfig;
 use upanns::multihost::{shard_ranges, InterconnectModel, MultiHostUpAnns};
 use upanns::engine::UpAnnsEngine;
@@ -185,6 +217,44 @@ const DEFAULT_TENANTS: &str = "tight:qps=2,queries=200,slo-ms=700,weight=2,mix=1
 const THREADED_TENANTS: &str = "tight:qps=6,queries=48,slo-ms=500,weight=2,mix=10x8;\
                                 bulk:qps=54,queries=432,slo-ms=15000,weight=1,mix=10x4+10x8+20x8";
 
+/// The committed live-mutation stream: upserts dominate (the corpus grows),
+/// deletes churn, seed pinned so the epoch timeline — and therefore every
+/// answer — is byte-reproducible. `--mutations none` turns the live rows
+/// off entirely and reproduces the frozen-index baseline bytewise.
+const DEFAULT_MUTATIONS: &str = "upsert=24,delete=8,seed=77";
+/// Snapshot refresh cadence for the live-index plan: how many replay-clock
+/// seconds of mutations accumulate before a new epoch becomes visible to
+/// queries. Coarse enough that the default stream (~83 s) sees ~20 epochs
+/// (a real staleness spread), fine enough that the recall-vs-staleness
+/// buckets past lag 100 stay populated under the default rates.
+const LIVE_REFRESH_S: f64 = 4.0;
+/// The live growth scenario: the *last* tenant in the mix (the bulk tenant
+/// in the committed default) grows its corpus mid-stream at this upsert
+/// rate, with no deletes — the tenant-corpus-grows-mid-stream case.
+const LIVE_GROWTH_UPSERT_QPS: f64 = 40.0;
+/// The bench's compaction policy: the default skew trigger and cooldown but
+/// a deliberately slow modeled fold. At the tiny fixture scale the default
+/// 64 MiB/s folds the whole corpus in microseconds — no arrival ever lands
+/// inside a window and the p99-during-compaction column measures nothing.
+/// 256 KiB/s stretches each window to the order of a second, so the
+/// committed rows catch real arrivals mid-compaction (and charge them the
+/// modeled stall).
+fn bench_compaction_policy() -> CompactionPolicy {
+    CompactionPolicy {
+        bytes_per_second: 256.0 * 1024.0,
+        ..CompactionPolicy::default()
+    }
+}
+
+/// Recall-vs-staleness bucket edges, by mutation lag: how many mutations the
+/// served snapshot trails the exact corpus by at the query's arrival.
+const STALENESS_BUCKETS: [(&str, u64, u64); 4] = [
+    ("lag=0", 0, 0),
+    ("lag=1-10", 1, 10),
+    ("lag=11-100", 11, 100),
+    ("lag=101+", 101, u64::MAX),
+];
+
 /// Modeled work scale of the threaded engines. The replay projects to
 /// billion scale (`MODELED_N / DATASET_N` ≈ 31250) because simulated seconds
 /// are free; the threaded runtime *emulates* modeled seconds in real time,
@@ -217,6 +287,7 @@ struct Args {
     replicas: usize,
     fault: String,
     hedge_ms: f64,
+    mutations: String,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -259,6 +330,7 @@ impl Default for Args {
             replicas: DEFAULT_REPLICAS,
             fault: DEFAULT_FAULT.to_string(),
             hedge_ms: DEFAULT_HEDGE_MS,
+            mutations: DEFAULT_MUTATIONS.to_string(),
         }
     }
 }
@@ -271,6 +343,14 @@ fn usage() -> ! {
          \x20            [--runtime replay|threaded|twin] [--workers LIST]\n\
          \x20            [--sweep-qps LIST] [--work-scale X] [--queue N] [--answers PATH]\n\
          \x20            [--replicas R] [--fault HOST@DOWN..UP[,...]] [--hedge-ms B]\n\
+         \x20            [--mutations upsert=QPS,delete=QPS[,seed=N] | none]\n\
+         \n\
+         --mutations drives the live-mutation scenario (run whenever upanns is\n\
+         selected): a deterministic upsert/delete stream is folded into an\n\
+         epoch-stamped snapshot timeline (refresh every 4 s, background\n\
+         compaction on list-size skew) that the engine serves while the\n\
+         queries replay. 'none' disables it and reproduces the frozen-index\n\
+         rows bytewise.\n\
          \n\
          The failover scenario (run whenever multihost is selected) serves a\n\
          replicated deployment under the --fault outage schedule: --replicas\n\
@@ -400,6 +480,64 @@ fn parse_tenants(spec: &str) -> MultiTenantSpec {
         );
     }
     mix
+}
+
+/// The `--mutations` rates, parsed. `None` means `--mutations none`.
+#[derive(Debug, Clone, Copy)]
+struct LiveMutationArgs {
+    upsert_qps: f64,
+    delete_qps: f64,
+    seed: u64,
+}
+
+/// Parses the `--mutations` grammar: `upsert=QPS,delete=QPS[,seed=N]` (any
+/// subset of keys, rates default to 0, seed to the committed default) or the
+/// literal `none`. Malformed specs exit 2 — silently serving a frozen index
+/// when live rows were asked for would fake a clean bench run.
+fn parse_mutations(spec: &str) -> Option<LiveMutationArgs> {
+    if spec.trim() == "none" {
+        return None;
+    }
+    let mut out = LiveMutationArgs {
+        upsert_qps: 0.0,
+        delete_qps: 0.0,
+        seed: 77,
+    };
+    for kv in spec.split(',') {
+        let kv = kv.trim();
+        let (key, value) = kv.split_once('=').unwrap_or_else(|| {
+            reject(format!(
+                "--mutations: '{kv}' is not key=value \
+                 (grammar: upsert=QPS,delete=QPS[,seed=N], or 'none')"
+            ))
+        });
+        fn bad<T>(kv: &str, what: &str) -> T {
+            reject(format!("--mutations: {kv}: {what}"))
+        }
+        match key.trim() {
+            "upsert" => {
+                out.upsert_qps = value.parse().unwrap_or_else(|_| bad(kv, "not a number"));
+            }
+            "delete" => {
+                out.delete_qps = value.parse().unwrap_or_else(|_| bad(kv, "not a number"));
+            }
+            "seed" => out.seed = value.parse().unwrap_or_else(|_| bad(kv, "not an integer")),
+            other => reject(format!(
+                "--mutations: unknown key '{other}' (known: upsert, delete, seed)"
+            )),
+        }
+    }
+    for (name, rate) in [("upsert", out.upsert_qps), ("delete", out.delete_qps)] {
+        if !(rate >= 0.0 && rate.is_finite()) {
+            reject(format!("--mutations: {name} rate must be non-negative and finite"));
+        }
+    }
+    if out.upsert_qps == 0.0 && out.delete_qps == 0.0 {
+        reject(
+            "--mutations: at least one rate must be positive (use 'none' to disable)".to_string(),
+        );
+    }
+    Some(out)
 }
 
 fn parse_args() -> Args {
@@ -550,6 +688,11 @@ fn parse_args() -> Args {
                     reject("--hedge-ms must be a positive number".to_string());
                 }
             }
+            "--mutations" => {
+                args.mutations = value("--mutations");
+                // Parse eagerly so a malformed spec exits 2 before any replay.
+                let _ = parse_mutations(&args.mutations);
+            }
             "--json" => args.json = Some(value("--json")),
             "--help" | "-h" => usage(),
             other => reject(format!("unknown flag {other} (try --help)")),
@@ -631,7 +774,12 @@ fn envelope_json(env: Option<&RecoveryEnvelope>) -> String {
     }
 }
 
-fn report_json(r: &ServiceReport, workload: &str, env: Option<&RecoveryEnvelope>) -> String {
+fn report_json(
+    r: &ServiceReport,
+    workload: &str,
+    env: Option<&RecoveryEnvelope>,
+    live: Option<&LiveSummary>,
+) -> String {
     let tenants: Vec<String> = r.tenants.iter().map(tenant_json).collect();
     format!(
         concat!(
@@ -649,6 +797,7 @@ fn report_json(r: &ServiceReport, workload: &str, env: Option<&RecoveryEnvelope>
             "      \"completed\": {},\n",
             "      \"shed\": {},\n",
             "      \"cache_hit_rate\": {},\n",
+            "      \"cache_invalidated\": {},\n",
             "      \"batches\": {},\n",
             "      \"mean_batch_size\": {},\n",
             "      \"dispatched_chunks\": {},\n",
@@ -663,6 +812,7 @@ fn report_json(r: &ServiceReport, workload: &str, env: Option<&RecoveryEnvelope>
             "      \"scale_events\": {},\n",
             "      \"migration_s\": {},\n",
             "      \"envelope\": {},\n",
+            "      \"live\": {},\n",
             "      \"tenants\": [\n{}\n      ]\n",
             "    }}"
         ),
@@ -679,6 +829,7 @@ fn report_json(r: &ServiceReport, workload: &str, env: Option<&RecoveryEnvelope>
         r.completed,
         r.shed,
         json_num(r.cache_hit_rate()),
+        r.cache_invalidated,
         r.batches(),
         json_num(r.mean_batch_size()),
         r.dispatched_chunks,
@@ -693,6 +844,7 @@ fn report_json(r: &ServiceReport, workload: &str, env: Option<&RecoveryEnvelope>
         r.scale_events,
         json_num(r.migration_s),
         envelope_json(env),
+        live_json(live),
         tenants.join(",\n"),
     )
 }
@@ -719,9 +871,15 @@ fn write_answers(
     single: &[Vec<Neighbor>],
     multi: &[Vec<Neighbor>],
     failover: &[Vec<Neighbor>],
+    live: &[Vec<Neighbor>],
 ) {
     let mut out = String::new();
-    for (label, results) in [("single", single), ("multi", multi), ("failover", failover)] {
+    for (label, results) in [
+        ("single", single),
+        ("multi", multi),
+        ("failover", failover),
+        ("live", live),
+    ] {
         for (i, neighbors) in results.iter().enumerate() {
             out.push_str(label);
             out.push('\t');
@@ -736,7 +894,187 @@ fn write_answers(
     eprintln!("wrote {path}");
 }
 
-/// One threaded-sweep row as JSON (schema `upanns-runtime-bench-v2`).
+/// One recall-vs-staleness bucket: queries whose serving snapshot trailed
+/// the exact corpus by a mutation lag inside the bucket's range.
+struct StalenessBucket {
+    label: &'static str,
+    queries: usize,
+    mean_recall: f64,
+}
+
+/// The post-replay audit of a live-mutation row (see the module docs).
+struct LiveSummary {
+    final_epoch: u64,
+    snapshots: usize,
+    compactions: usize,
+    mutation_events: usize,
+    /// Served answers that differ from re-executing the query at its own
+    /// arrival on the same engine. The consistency contract says 0.
+    stale_served: usize,
+    /// Completed queries whose arrival fell inside a compaction window.
+    answered_in_window: usize,
+    p99_steady_ms: f64,
+    p99_compaction_ms: f64,
+    buckets: Vec<StalenessBucket>,
+}
+
+/// Nearest-rank p99 over unsorted millisecond latencies (0 when empty).
+fn p99_ms(latencies_ms: &mut [f64]) -> f64 {
+    if latencies_ms.is_empty() {
+        return 0.0;
+    }
+    latencies_ms.sort_by(f64::total_cmp);
+    let rank = ((0.99 * latencies_ms.len() as f64).ceil() as usize).max(1) - 1;
+    latencies_ms[rank.min(latencies_ms.len() - 1)]
+}
+
+/// Audits a live-mutation replay after the fact:
+///
+/// - **stale_served** — every completed answer is re-executed as a
+///   single-query request at its own arrival time on `oracle` (the engine
+///   that served the replay, timeline still installed). Answers are a pure
+///   function of (query, arrival), so any difference means a stale cache
+///   entry or a wrong snapshot was served. Must be 0.
+/// - **p99 split** — completed latencies split by whether the arrival fell
+///   inside a compaction window (the stall the plan charges).
+/// - **recall-vs-staleness** — a [`MutableIvf`] replays the mutation events
+///   alongside the arrivals, so each query's served ids are scored against
+///   an exact search of the *up-to-the-second* corpus; buckets group by how
+///   many mutations the serving snapshot trailed by.
+fn live_summary<E: AnnEngine, F: Fn(usize) -> QueryOptions>(
+    report: &ServiceReport,
+    oracle: &mut E,
+    base: &IvfPqIndex,
+    stream: &QueryStream,
+    options: F,
+    events: &MutationStream,
+    plan: &LiveIndexPlan,
+) -> LiveSummary {
+    let mut steady_ms: Vec<f64> = Vec::new();
+    let mut window_ms: Vec<f64> = Vec::new();
+    for &(arrival, latency) in &report.outcomes {
+        let Some(latency) = latency else { continue };
+        if plan.timeline.windows().iter().any(|w| w.contains(arrival)) {
+            window_ms.push(latency * 1e3);
+        } else {
+            steady_ms.push(latency * 1e3);
+        }
+    }
+    let answered_in_window = window_ms.len();
+
+    // The exact-corpus twin of the timeline: same base, same events, but
+    // refreshed at *every* event instead of every LIVE_REFRESH_S.
+    let mut exact = MutableIvf::new(base);
+    let mut next_event = 0usize;
+    let mut stale_served = 0usize;
+    let mut buckets: Vec<(usize, f64)> = vec![(0, 0.0); STALENESS_BUCKETS.len()];
+    for (i, &arrival) in stream.arrivals.iter().enumerate() {
+        while next_event < events.events.len() && events.events[next_event].at <= arrival {
+            match &events.events[next_event].op {
+                MutationOp::Upsert { id, vector } => {
+                    exact.upsert(vector, *id);
+                }
+                MutationOp::Delete { id } => {
+                    exact.delete(*id);
+                }
+            }
+            next_event += 1;
+        }
+        let served = &report.results[i];
+        if served.is_empty() {
+            continue; // shed
+        }
+        let opt = options(i);
+        let query = stream.batch.queries.vector(i);
+
+        let mut one = Dataset::with_capacity(stream.batch.queries.dim(), 1);
+        one.push(query);
+        let expect = oracle
+            .execute(&SearchRequest::new(one, vec![opt]).with_at(arrival))
+            .results
+            .swap_remove(0);
+        if served.len() != expect.len()
+            || served.iter().zip(&expect).any(|(a, b)| a.id != b.id)
+        {
+            stale_served += 1;
+        }
+
+        let exact_top = exact.snapshot().search(query, opt.nprobe, opt.k);
+        let exact_ids: std::collections::HashSet<u64> =
+            exact_top.iter().map(|n| n.id).collect();
+        let recall = if exact_ids.is_empty() {
+            1.0
+        } else {
+            served.iter().filter(|n| exact_ids.contains(&n.id)).count() as f64
+                / exact_ids.len() as f64
+        };
+        let lag = exact.epoch() - plan.timeline.epoch_at(arrival);
+        let bucket = STALENESS_BUCKETS
+            .iter()
+            .position(|&(_, lo, hi)| lo <= lag && lag <= hi)
+            .expect("staleness buckets cover all lags");
+        buckets[bucket].0 += 1;
+        buckets[bucket].1 += recall;
+    }
+
+    LiveSummary {
+        final_epoch: plan.final_epoch,
+        snapshots: plan.timeline.entries().len(),
+        compactions: plan.compactions.len(),
+        mutation_events: events.len(),
+        stale_served,
+        answered_in_window,
+        p99_steady_ms: p99_ms(&mut steady_ms),
+        p99_compaction_ms: p99_ms(&mut window_ms),
+        buckets: STALENESS_BUCKETS
+            .iter()
+            .zip(buckets)
+            .map(|(&(label, _, _), (queries, recall_sum))| StalenessBucket {
+                label,
+                queries,
+                mean_recall: if queries == 0 { 1.0 } else { recall_sum / queries as f64 },
+            })
+            .collect(),
+    }
+}
+
+/// The live-mutation audit as a JSON object (`null` for frozen-index rows).
+fn live_json(live: Option<&LiveSummary>) -> String {
+    match live {
+        None => "null".to_string(),
+        Some(s) => {
+            let buckets: Vec<String> = s
+                .buckets
+                .iter()
+                .map(|b| {
+                    format!(
+                        "{{ \"lag\": \"{}\", \"queries\": {}, \"mean_recall\": {} }}",
+                        b.label,
+                        b.queries,
+                        json_num(b.mean_recall)
+                    )
+                })
+                .collect();
+            format!(
+                "{{ \"final_epoch\": {}, \"snapshots\": {}, \"compactions\": {}, \
+                 \"mutation_events\": {}, \"stale_served\": {}, \"answered_in_window\": {}, \
+                 \"p99_steady_ms\": {}, \"p99_compaction_ms\": {}, \
+                 \"recall_vs_staleness\": [{}] }}",
+                s.final_epoch,
+                s.snapshots,
+                s.compactions,
+                s.mutation_events,
+                s.stale_served,
+                s.answered_in_window,
+                json_num(s.p99_steady_ms),
+                json_num(s.p99_compaction_ms),
+                buckets.join(", "),
+            )
+        }
+    }
+}
+
+/// One threaded-sweep row as JSON (schema `upanns-runtime-bench-v3`).
 fn runtime_row_json(r: &RuntimeReport, workload: &str, offered_qps: f64, num_queries: usize) -> String {
     let tenants: Vec<String> = r
         .tenants
@@ -793,6 +1131,7 @@ fn runtime_row_json(r: &RuntimeReport, workload: &str, offered_qps: f64, num_que
             "      \"hedged\": {},\n",
             "      \"redispatched\": {},\n",
             "      \"cache_hit_rate\": {},\n",
+            "      \"cache_invalidated\": {},\n",
             "      \"dispatched_chunks\": {},\n",
             "      \"busy_modeled_s\": {},\n",
             "      \"makespan_s\": {},\n",
@@ -819,6 +1158,7 @@ fn runtime_row_json(r: &RuntimeReport, workload: &str, offered_qps: f64, num_que
         r.hedged,
         r.redispatched,
         json_num(r.cache_hit_rate()),
+        r.cache_invalidated,
         r.dispatched_chunks,
         json_num(r.busy_modeled_s),
         json_num(r.makespan_s),
@@ -935,6 +1275,34 @@ fn main() {
         max_chunk: None,
     };
 
+    // The live-mutation plan: the committed mutation stream folded into an
+    // epoch-stamped snapshot timeline, shared by every runtime path below.
+    // Only the UpANNS engine serves it (the single-host tiers install
+    // timelines; the multihost tiers decline — documented residue).
+    let live_args = parse_mutations(&args.mutations);
+    let live_on = live_args.is_some() && args.engines.iter().any(|e| e == "upanns");
+    if live_args.is_some() && !live_on {
+        eprintln!("note: --mutations set but upanns is not selected; skipping live rows");
+    }
+    let (live_events, live_plan) = if live_on {
+        let la = live_args.expect("gated on is_some");
+        let events = MutationSpec::new(stream.duration())
+            .with_tenant(TenantId::DEFAULT, la.upsert_qps, la.delete_qps)
+            .with_seed(la.seed)
+            .generate(&dataset, index.ntotal());
+        let plan = plan_live_index(&index, &events, LIVE_REFRESH_S, &bench_compaction_policy());
+        eprintln!(
+            "live-mutation plan: {} events -> {} snapshots, {} compaction(s), final epoch {}",
+            events.len(),
+            plan.timeline.entries().len(),
+            plan.compactions.len(),
+            plan.final_epoch
+        );
+        (Some(events), Some(plan))
+    } else {
+        (None, None)
+    };
+
     // Multihost shards: one IVFPQ index per host over a contiguous slice of
     // the corpus, with globally unique ids; each stored vector keeps the same
     // modeled scale, so the deployment models the same corpus.
@@ -958,13 +1326,13 @@ fn main() {
         Vec::new()
     };
 
-    fn build_pim<'a>(
-        index: &'a IvfPqIndex,
+    fn build_pim(
+        index: &IvfPqIndex,
         config: UpAnnsConfig,
         dpus: usize,
         work_scale: f64,
         history: &annkit::vector::Dataset,
-    ) -> UpAnnsEngine<'a> {
+    ) -> UpAnnsEngine {
         UpAnnsBuilder::new(index)
             .with_config(config.with_work_scale(work_scale))
             .with_pim_config(PimConfig::with_dpus(dpus))
@@ -977,7 +1345,7 @@ fn main() {
             .build()
     }
     let build_multihost = |ws: f64| {
-        let engines: Vec<UpAnnsEngine<'_>> = shard_indexes
+        let engines: Vec<UpAnnsEngine> = shard_indexes
             .iter()
             .map(|ix| build_pim(ix, UpAnnsConfig::upanns(), DPUS / args.hosts, ws, &history))
             .collect();
@@ -1014,7 +1382,7 @@ fn main() {
         .with_slo_p99(FAILOVER_SLO_MS / 1e3)
         .generate(&dataset);
     let build_failover = |ws: f64| {
-        let engines: Vec<UpAnnsEngine<'_>> = failover_indexes
+        let engines: Vec<UpAnnsEngine> = failover_indexes
             .iter()
             .map(|ix| build_pim(ix, UpAnnsConfig::upanns(), DPUS / FAILOVER_SHARDS, ws, &history))
             .collect();
@@ -1143,14 +1511,67 @@ fn main() {
         } else {
             Vec::new()
         };
+        // The live section: the single-tenant stream against the mutating
+        // index, on both sides of the diff — snapshot resolution is a pure
+        // function of each query's own arrival time, so the maps must stay
+        // byte-identical even while epochs advance and compactions run.
+        let live = if live_on {
+            let plan = live_plan.as_ref().expect("live_on implies a plan");
+            if args.runtime == RuntimeKind::Twin {
+                let engines: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let mut engine =
+                            build_pim(&index, UpAnnsConfig::upanns(), DPUS, work_scale, &history);
+                        assert!(
+                            engine.install_timeline(plan.timeline.clone()),
+                            "the upanns engine accepts snapshot timelines"
+                        );
+                        engine
+                    })
+                    .collect();
+                eprintln!(
+                    "twin: live-mutation logical-trace pipeline, {workers} worker(s), \
+                     {} queries over {} epochs ...",
+                    stream.len(),
+                    plan.final_epoch
+                );
+                let report = run_pipeline(
+                    engines,
+                    &stream,
+                    options_of,
+                    Box::new(FixedPolicy(answers_config.batcher)),
+                    RuntimeConfig::logical(answers_config)
+                        .with_epoch_schedule(plan.timeline.epoch_schedule()),
+                );
+                assert!(report.is_conserving(), "twin live run lost or duplicated queries");
+                assert_eq!(report.shed, 0, "twin runs shed nothing");
+                report.results
+            } else {
+                eprintln!(
+                    "replay: live-mutation answer map, {} queries over {} epochs ...",
+                    stream.len(),
+                    plan.final_epoch
+                );
+                let (mut service, accepted) = SearchService::new(
+                    build_pim(&index, UpAnnsConfig::upanns(), DPUS, work_scale, &history),
+                    answers_config,
+                )
+                .with_live_index(&plan.timeline);
+                assert!(accepted, "the upanns engine accepts snapshot timelines");
+                service.replay(&stream, options_of).results
+            }
+        } else {
+            Vec::new()
+        };
         match &args.answers {
-            Some(path) => write_answers(path, &single, &multi, &failover),
+            Some(path) => write_answers(path, &single, &multi, &failover, &live),
             None => eprintln!(
-                "twin run complete ({} + {} + {} answers, all conserved); \
+                "twin run complete ({} + {} + {} + {} answers, all conserved); \
                  use --answers PATH to write the map",
                 single.len(),
                 multi.len(),
-                failover.len()
+                failover.len(),
+                live.len()
             ),
         }
         return;
@@ -1294,6 +1715,47 @@ fn main() {
                 );
                 rows.push(("failover".to_string(), FAILOVER_QPS, failover_stream.len(), report));
             }
+            if live_on {
+                // The live-mutation row runs in deterministic logical mode —
+                // epoch visibility lives on the simulated clock, and the
+                // row's point is conservation and zero stale answers while
+                // the index mutates, not wall time.
+                let plan = live_plan.as_ref().expect("live_on implies a plan");
+                eprintln!(
+                    "threaded: live-mutation (logical), {w} worker(s), \
+                     {} queries over {} epochs ...",
+                    stream.len(),
+                    plan.final_epoch
+                );
+                let report = run_pipeline(
+                    (0..w)
+                        .map(|_| {
+                            let mut engine = build_pim(
+                                &index,
+                                UpAnnsConfig::upanns(),
+                                DPUS,
+                                args.work_scale,
+                                &history,
+                            );
+                            assert!(
+                                engine.install_timeline(plan.timeline.clone()),
+                                "the upanns engine accepts snapshot timelines"
+                            );
+                            engine
+                        })
+                        .collect(),
+                    &stream,
+                    options_of,
+                    Box::new(FixedPolicy(service_config.batcher)),
+                    RuntimeConfig::logical(service_config)
+                        .with_epoch_schedule(plan.timeline.epoch_schedule()),
+                );
+                assert!(
+                    report.is_conserving(),
+                    "live-mutation run lost or duplicated queries"
+                );
+                rows.push(("live-mutation".to_string(), args.qps, stream.len(), report));
+            }
         }
 
         println!(
@@ -1314,7 +1776,7 @@ fn main() {
             let json = format!(
                 concat!(
                     "{{\n",
-                    "  \"schema\": \"upanns-runtime-bench-v2\",\n",
+                    "  \"schema\": \"upanns-runtime-bench-v3\",\n",
                     "  \"config\": {{\n",
                     "    \"dataset_n\": {},\n",
                     "    \"nlist\": {},\n",
@@ -1332,6 +1794,7 @@ fn main() {
                     "    \"replicas\": {},\n",
                     "    \"fault\": \"{}\",\n",
                     "    \"hedge_ms\": {},\n",
+                    "    \"mutations\": \"{}\",\n",
                     "    \"tenants\": \"{}\"\n",
                     "  }},\n",
                     "  \"rows\": [\n{}\n  ]\n",
@@ -1353,6 +1816,7 @@ fn main() {
                 args.replicas,
                 args.fault,
                 json_num(args.hedge_ms),
+                args.mutations,
                 threaded_tenants,
                 body.join(",\n"),
             );
@@ -1495,6 +1959,92 @@ fn main() {
         failover_reports.push((report, envelope));
     }
 
+    // The live-mutation scenario: the single-tenant stream served against
+    // the mutating index, then the tenant-corpus-grows-mid-stream variant
+    // on the multi-tenant mix. Each row is audited after the fact — the
+    // served answers are re-executed at their own arrivals (zero tolerance
+    // for stale answers), p99 splits by compaction-window membership, and
+    // recall is scored against the exact up-to-the-second corpus.
+    let mut live_reports: Vec<(&'static str, ServiceReport, LiveSummary)> = Vec::new();
+    if live_on {
+        let plan = live_plan.as_ref().expect("live_on implies a plan");
+        let events = live_events.as_ref().expect("live_on implies events");
+        eprintln!(
+            "replaying live-mutation scenario on upanns ({} events, {} epochs, \
+             {} compaction(s)) ...",
+            events.len(),
+            plan.final_epoch,
+            plan.compactions.len()
+        );
+        // Like the failover scenario, the live rows always run under the
+        // adaptive policy: the fixed window collapses the UpANNS engine at
+        // this offered load, and a collapsed row's p99 split would measure
+        // queueing, not compaction.
+        let (service, accepted) = SearchService::new(
+            build_pim(&index, UpAnnsConfig::upanns(), DPUS, work_scale, &history),
+            service_config,
+        )
+        .with_live_index(&plan.timeline);
+        assert!(accepted, "the upanns engine accepts snapshot timelines");
+        let mut service = service.with_policy(Box::new(SloController::for_slo(slo_s)));
+        let report = service.replay(&stream, options_of);
+        let mut oracle = service.into_engine();
+        let summary =
+            live_summary(&report, &mut oracle, &index, &stream, options_of, events, plan);
+        assert_eq!(
+            summary.stale_served, 0,
+            "live-mutation replay served answers that differ from their arrival snapshot"
+        );
+        live_reports.push(("live-mutation", report, summary));
+
+        // The growth variant: the last tenant in the mix (the bulk tenant in
+        // the committed default) grows its corpus mid-stream, upserts only.
+        let tenant_mix = parse_tenants(&args.tenants);
+        let tstream = tenant_mix.generate(&dataset);
+        let growth_tenant = TenantId(tenant_mix.tenants.len() as u32);
+        let growth_events = MutationSpec::new(tstream.duration())
+            .with_tenant(growth_tenant, LIVE_GROWTH_UPSERT_QPS, 0.0)
+            .with_seed(live_args.expect("gated on live_on").seed ^ 0x9E37_79B9)
+            .generate(&dataset, index.ntotal());
+        let growth_plan = plan_live_index(
+            &index,
+            &growth_events,
+            LIVE_REFRESH_S,
+            &bench_compaction_policy(),
+        );
+        eprintln!(
+            "replaying live-growth scenario (tenant {growth_tenant} grows at \
+             {LIVE_GROWTH_UPSERT_QPS} upserts/s: {} events, {} epochs, {} compaction(s)) ...",
+            growth_events.len(),
+            growth_plan.final_epoch,
+            growth_plan.compactions.len()
+        );
+        let (service, accepted) = SearchService::new(
+            build_pim(&index, UpAnnsConfig::upanns(), DPUS, work_scale, &history),
+            service_config,
+        )
+        .with_live_index(&growth_plan.timeline);
+        assert!(accepted, "the upanns engine accepts snapshot timelines");
+        let tightest = tstream.slo_p99_s.unwrap_or(slo_s);
+        let mut service = service.with_policy(Box::new(SloController::for_slo(tightest)));
+        let report = service.replay_planned(&tstream);
+        let mut oracle = service.into_engine();
+        let summary = live_summary(
+            &report,
+            &mut oracle,
+            &index,
+            &tstream,
+            |i| planned_options(&tstream, i),
+            &growth_events,
+            &growth_plan,
+        );
+        assert_eq!(
+            summary.stale_served, 0,
+            "live-growth replay served answers that differ from their arrival snapshot"
+        );
+        live_reports.push(("live-growth", report, summary));
+    }
+
     println!(
         "| engine | policy | sustained QPS | p50 (ms) | p99 (ms) | SLO miss | completed | shed | batches | chunks | mean batch | final window (ms) |"
     );
@@ -1588,21 +2138,67 @@ fn main() {
         }
     }
 
+    if !live_reports.is_empty() {
+        println!();
+        println!(
+            "Live-mutation scenario (upanns): {} (snapshot refresh every {} s)",
+            args.mutations, LIVE_REFRESH_S
+        );
+        println!(
+            "| workload | events | epochs | compactions | invalidated | stale | in-window | p99 steady (ms) | p99 compaction (ms) | recall lag=0 | lag=1-10 | lag=11-100 | lag=101+ |"
+        );
+        println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|");
+        for (workload, r, s) in &live_reports {
+            let recalls: Vec<String> = s
+                .buckets
+                .iter()
+                .map(|b| {
+                    if b.queries == 0 {
+                        "-".to_string()
+                    } else {
+                        format!("{:.3} ({})", b.mean_recall, b.queries)
+                    }
+                })
+                .collect();
+            println!(
+                "| {} | {} | {} | {} | {} | {} | {} | {:.3} | {:.3} | {} | {} | {} | {} |",
+                workload,
+                s.mutation_events,
+                s.final_epoch,
+                s.compactions,
+                r.cache_invalidated,
+                s.stale_served,
+                s.answered_in_window,
+                s.p99_steady_ms,
+                s.p99_compaction_ms,
+                recalls[0],
+                recalls[1],
+                recalls[2],
+                recalls[3],
+            );
+        }
+    }
+
     if let Some(path) = args.json {
         let engines: Vec<String> = reports
             .iter()
-            .map(|r| report_json(r, "single", None))
-            .chain(multi_reports.iter().map(|r| report_json(r, "multi", None)))
+            .map(|r| report_json(r, "single", None, None))
+            .chain(multi_reports.iter().map(|r| report_json(r, "multi", None, None)))
             .chain(
                 failover_reports
                     .iter()
-                    .map(|(r, env)| report_json(r, "failover", env.as_ref())),
+                    .map(|(r, env)| report_json(r, "failover", env.as_ref(), None)),
+            )
+            .chain(
+                live_reports
+                    .iter()
+                    .map(|(workload, r, s)| report_json(r, workload, None, Some(s))),
             )
             .collect();
         let json = format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"upanns-serving-bench-v5\",\n",
+                "  \"schema\": \"upanns-serving-bench-v6\",\n",
                 "  \"config\": {{\n",
                 "    \"dataset_n\": {},\n",
                 "    \"nlist\": {},\n",
@@ -1621,6 +2217,8 @@ fn main() {
                 "    \"replicas\": {},\n",
                 "    \"fault\": \"{}\",\n",
                 "    \"hedge_ms\": {},\n",
+                "    \"mutations\": \"{}\",\n",
+                "    \"live_refresh_s\": {},\n",
                 "    \"tenants\": \"{}\"\n",
                 "  }},\n",
                 "  \"engines\": [\n{}\n  ]\n",
@@ -1643,6 +2241,8 @@ fn main() {
             args.replicas,
             args.fault,
             json_num(args.hedge_ms),
+            args.mutations,
+            json_num(LIVE_REFRESH_S),
             args.tenants,
             engines.join(",\n"),
         );

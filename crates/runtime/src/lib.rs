@@ -73,7 +73,7 @@ mod tests {
         StreamSpec::new(n, qps).with_workload(WorkloadSpec::new(n).with_seed(seed))
     }
 
-    fn engines(index: &IvfPqIndex, n: usize) -> Vec<CpuFaissEngine<'_>> {
+    fn engines(index: &IvfPqIndex, n: usize) -> Vec<CpuFaissEngine> {
         (0..n).map(|_| CpuFaissEngine::new(index)).collect()
     }
 

@@ -112,7 +112,7 @@ impl RuntimeMode {
 }
 
 /// Configuration for one pipeline run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// The front-end knobs, shared verbatim with the replay
     /// ([`ServiceConfig`]) so a threaded run and its twin are configured by
@@ -120,6 +120,17 @@ pub struct RuntimeConfig {
     pub service: ServiceConfig,
     /// Which clock drives the run.
     pub mode: RuntimeMode,
+    /// The live-index `(activation, epoch)` schedule
+    /// ([`SnapshotTimeline::epoch_schedule`]) driving result-cache
+    /// invalidation, shared with the replay via
+    /// [`SearchService::with_live_index`]. Empty (the default) for a frozen
+    /// index — every entry sits at epoch 0 and nothing ever invalidates.
+    /// The engines themselves are the caller's: install the same timeline
+    /// into each worker engine before handing them to [`run_pipeline`].
+    ///
+    /// [`SnapshotTimeline::epoch_schedule`]: annkit::mutation::SnapshotTimeline::epoch_schedule
+    /// [`SearchService::with_live_index`]: upanns_serve::SearchService::with_live_index
+    pub epoch_schedule: Vec<(f64, u64)>,
 }
 
 impl RuntimeConfig {
@@ -128,6 +139,7 @@ impl RuntimeConfig {
         Self {
             service,
             mode: RuntimeMode::Wall,
+            epoch_schedule: Vec::new(),
         }
     }
 
@@ -136,7 +148,15 @@ impl RuntimeConfig {
         Self {
             service,
             mode: RuntimeMode::Logical,
+            epoch_schedule: Vec::new(),
         }
+    }
+
+    /// Attaches a live-index epoch schedule (see
+    /// [`epoch_schedule`](Self::epoch_schedule)).
+    pub fn with_epoch_schedule(mut self, schedule: Vec<(f64, u64)>) -> Self {
+        self.epoch_schedule = schedule;
+        self
     }
 }
 
@@ -230,6 +250,10 @@ enum ToCompletion {
         modeled_s: f64,
         lead: bool,
         wait_s: f64,
+        /// Per-member epoch of the snapshot that computed each answer
+        /// (resolved from the query's own arrival — the replay stamps
+        /// identically), aligned with `members`.
+        answer_epochs: Vec<u64>,
         /// Fault-tolerance counters from the engine's `WorkloadStats`
         /// (nonzero only for replicated engines under a fault schedule).
         degraded: u64,
@@ -251,6 +275,8 @@ enum ToAdmission {
         options: QueryOptions,
         neighbors: Vec<Neighbor>,
         ready_at: f64,
+        /// Epoch of the snapshot that computed the answer.
+        epoch: u64,
     },
 }
 
@@ -282,6 +308,8 @@ where
     let workers = engines.len();
     let mode = config.mode;
     let svc = config.service;
+    let epoch_schedule = config.epoch_schedule;
+    let epochs: &[(f64, u64)] = &epoch_schedule;
     // The twin must be lossless: whether a query is shed depends on thread
     // timing, so logical mode widens the waiting room to hold the whole
     // stream. Wall mode sheds exactly as configured.
@@ -320,6 +348,7 @@ where
                     mode,
                     clock,
                     svc,
+                    epochs,
                     queue_capacity,
                     &admission_rx,
                     &to_batcher,
@@ -354,7 +383,17 @@ where
             let to_completion = to_completion.clone();
             let to_dispatcher = to_dispatcher.clone();
             worker_handles.push(scope.spawn(move || {
-                worker_stage(w, engine, stream, mode, clock, &rx, &to_completion, &to_dispatcher)
+                worker_stage(
+                    w,
+                    engine,
+                    stream,
+                    mode,
+                    clock,
+                    epochs,
+                    &rx,
+                    &to_completion,
+                    &to_dispatcher,
+                )
             }));
         }
         // Only the stages hold senders now, so every receiver's disconnect
@@ -368,7 +407,8 @@ where
             completion_stage(stream.len(), &completion_rx, &to_admission, &to_batcher)
         });
 
-        let (cache_hits, cache_misses) = admission.join().expect("admission stage panicked");
+        let (cache_hits, cache_misses, cache_invalidated) =
+            admission.join().expect("admission stage panicked");
         batcher.join().expect("batcher stage panicked");
         let (dispatched_chunks, split_batches) =
             dispatcher.join().expect("dispatcher stage panicked");
@@ -379,6 +419,7 @@ where
         let mut outcome = completion.join().expect("completion stage panicked");
         outcome.cache_hits = cache_hits;
         outcome.cache_misses = cache_misses;
+        outcome.cache_invalidated = cache_invalidated;
         outcome.dispatched_chunks = dispatched_chunks;
         outcome.split_batches = split_batches;
         (outcome, engine_name)
@@ -405,11 +446,12 @@ fn admission_stage<F: FnMut(usize) -> QueryOptions>(
     mode: RuntimeMode,
     clock: WallClock,
     svc: ServiceConfig,
+    epochs: &[(f64, u64)],
     queue_capacity: usize,
     admission_rx: &Receiver<ToAdmission>,
     to_batcher: &SyncSender<ToBatcher>,
     to_completion: &SyncSender<ToCompletion>,
-) -> (u64, u64) {
+) -> (u64, u64, u64) {
     let mut queue = AdmissionQueue::new(queue_capacity);
     for p in &stream.tenant_profiles {
         queue.register(p.id, p.weight);
@@ -424,11 +466,13 @@ fn admission_stage<F: FnMut(usize) -> QueryOptions>(
                     options,
                     neighbors,
                     ready_at,
-                } => cache.insert(
+                    epoch,
+                } => cache.insert_at_epoch(
                     stream.batch.queries.vector(stream_index),
                     &options,
                     neighbors,
                     ready_at,
+                    epoch,
                 ),
             }
         }
@@ -449,8 +493,11 @@ fn admission_stage<F: FnMut(usize) -> QueryOptions>(
         }
         let options = options_of(index);
         let tenant = options.tenant;
-        if let Some((neighbors, ready_at)) = cache.lookup(stream.batch.queries.vector(index), &options)
-        {
+        if let Some((neighbors, ready_at)) = cache.lookup_at_epoch(
+            stream.batch.queries.vector(index),
+            &options,
+            ResultCache::epoch_at(epochs, now),
+        ) {
             // Wall mode has no modeled ready-at guard: the entry physically
             // exists, so the hit is served now. Logical mode keeps the
             // replay's guard so twin latencies stay meaningful.
@@ -487,7 +534,7 @@ fn admission_stage<F: FnMut(usize) -> QueryOptions>(
         // A cache insert after the last arrival can no longer produce a
         // hit; dropping it is harmless.
     }
-    (cache.hits(), cache.misses())
+    (cache.hits(), cache.misses(), cache.invalidated())
 }
 
 /// Stage 2: owns the batch former and the policy; closes windows by real
@@ -666,6 +713,7 @@ fn worker_stage<E: AnnEngine>(
     stream: &QueryStream,
     mode: RuntimeMode,
     clock: WallClock,
+    epochs: &[(f64, u64)],
     rx: &Receiver<ToWorker>,
     to_completion: &SyncSender<ToCompletion>,
     to_dispatcher: &SyncSender<ToDispatcher>,
@@ -686,10 +734,15 @@ fn worker_stage<E: AnnEngine>(
         let started = clock.elapsed_s();
         // The batch close time is the one timestamp identical between this
         // runtime and the replay twin, so fault membership stays a pure
-        // function of the schedule and the request.
+        // function of the schedule and the request. Per-query arrivals ride
+        // along so a live-mutation engine resolves each query's snapshot at
+        // its own arrival — answers stay a pure function of (query,
+        // arrival) even though this pipeline's cache hits (and hence batch
+        // shapes) are thread-timing dependent.
         let request = SearchRequest::new(queries, options)
             .with_id(next_request_id)
-            .with_at(batch.closed_at);
+            .with_at(batch.closed_at)
+            .with_arrivals(batch.members.iter().map(|m| m.arrival_s).collect());
         let response = engine.execute(&request);
         let (finish, wait_s) = match mode {
             RuntimeMode::Wall => {
@@ -700,6 +753,11 @@ fn worker_stage<E: AnnEngine>(
             }
             RuntimeMode::Logical => (batch.closed_at + response.seconds, 0.0),
         };
+        let answer_epochs = batch
+            .members
+            .iter()
+            .map(|m| ResultCache::epoch_at(epochs, m.arrival_s))
+            .collect();
         let _ = to_completion.send(ToCompletion::Executed {
             members: batch.members,
             answers: response.results,
@@ -708,6 +766,7 @@ fn worker_stage<E: AnnEngine>(
             modeled_s: response.seconds,
             lead: chunk.lead,
             wait_s,
+            answer_epochs,
             degraded: response.stats.degraded,
             hedged: response.stats.hedged,
             redispatched: response.stats.redispatched,
@@ -733,6 +792,7 @@ struct Outcome {
     makespan_s: f64,
     cache_hits: u64,
     cache_misses: u64,
+    cache_invalidated: u64,
     dispatched_chunks: usize,
     split_batches: usize,
     degraded: u64,
@@ -769,6 +829,7 @@ fn completion_stage(
         makespan_s: 0.0,
         cache_hits: 0,
         cache_misses: 0,
+        cache_invalidated: 0,
         dispatched_chunks: 0,
         split_batches: 0,
         degraded: 0,
@@ -821,6 +882,7 @@ fn completion_stage(
                 modeled_s,
                 lead,
                 wait_s,
+                answer_epochs,
                 degraded,
                 hedged,
                 redispatched,
@@ -840,7 +902,9 @@ fn completion_stage(
                         wait_s,
                     });
                 }
-                for (member, neighbors) in members.into_iter().zip(answers) {
+                for ((member, neighbors), epoch) in
+                    members.into_iter().zip(answers).zip(answer_epochs)
+                {
                     let latency = finish_s - member.arrival_s;
                     out.completed += 1;
                     accounted += 1;
@@ -851,6 +915,7 @@ fn completion_stage(
                         options: member.options,
                         neighbors: neighbors.clone(),
                         ready_at: finish_s,
+                        epoch,
                     });
                     feedback(ToBatcher::QueryDone {
                         tenant,
@@ -934,6 +999,7 @@ fn finish_report(
         duplicated: out.duplicated,
         cache_hits: out.cache_hits,
         cache_misses: out.cache_misses,
+        cache_invalidated: out.cache_invalidated,
         dispatched_chunks: out.dispatched_chunks,
         split_batches: out.split_batches,
         degraded: out.degraded,

@@ -111,6 +111,10 @@ pub struct RuntimeReport {
     pub cache_hits: u64,
     /// Cache lookups that found nothing.
     pub cache_misses: u64,
+    /// Cache entries rejected for carrying an older index epoch than the
+    /// arrival's (neither hit nor miss; always 0 without a live-index
+    /// epoch schedule).
+    pub cache_invalidated: u64,
     /// Chunks the dispatcher handed to workers.
     pub dispatched_chunks: usize,
     /// Formed batches split into more than one chunk.

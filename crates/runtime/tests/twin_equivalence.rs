@@ -19,14 +19,15 @@ use annkit::ivf::{IvfPqIndex, IvfPqParams};
 use annkit::synthetic::{SyntheticDataset, SyntheticSpec};
 use annkit::topk::Neighbor;
 use annkit::workload::{
-    MultiTenantSpec, QueryStream, StreamSpec, TenantId, TenantSpec, WorkloadSpec,
+    MultiTenantSpec, MutationSpec, QueryStream, StreamSpec, TenantId, TenantSpec, WorkloadSpec,
 };
 use baselines::cpu::CpuFaissEngine;
-use baselines::engine::QueryOptions;
+use baselines::engine::{AnnEngine, QueryOptions};
 use baselines::gpu::GpuFaissEngine;
 use pim_sim::config::PimConfig;
 use proptest::prelude::*;
 use upanns::builder::{BatchCapacity, UpAnnsBuilder};
+use upanns::compaction::{plan_live_index, CompactionPolicy};
 use upanns::config::UpAnnsConfig;
 use upanns::engine::UpAnnsEngine;
 use upanns::multihost::{shard_ranges, InterconnectModel};
@@ -72,7 +73,7 @@ fn sharded_fixture() -> &'static Vec<IvfPqIndex> {
 
 /// A small PIM-backed engine (the paper's); kept tiny so building one per
 /// worker per case stays cheap.
-fn build_upanns<'a>(index: &'a IvfPqIndex, data: &SyntheticDataset) -> UpAnnsEngine<'a> {
+fn build_upanns(index: &IvfPqIndex, data: &SyntheticDataset) -> UpAnnsEngine {
     UpAnnsBuilder::new(index)
         .with_config(UpAnnsConfig::upanns().with_work_scale(500.0))
         .with_pim_config(PimConfig::with_dpus(64))
@@ -203,6 +204,102 @@ proptest! {
         );
     }
 
+    /// The twin contract survives live index mutation: with a random
+    /// upsert/delete schedule planned into a snapshot timeline (including
+    /// skew-triggered compaction windows), the threaded logical pipeline
+    /// answers identically to the replay and conserves every query. Both
+    /// sides resolve the serving snapshot at the batch close time and stamp
+    /// cache entries with that snapshot's epoch, so batching, chunking and
+    /// worker count still cannot change *what* is answered — only *when*.
+    #[test]
+    fn mutating_stream_twin_matches_replay(
+        engine_kind in 0usize..3,
+        workers in 1usize..=3,
+        n in 20usize..50,
+        seed in 0u64..1_000,
+        upsert_qps in 5.0f64..60.0,
+        delete_qps in 0.0f64..30.0,
+        max_batch in 2usize..16,
+        chunked_bit in 0u8..2,
+    ) {
+        let (data, index) = fixture();
+        let stream = StreamSpec::new(n, 600.0)
+            .with_workload(WorkloadSpec::new(n).with_seed(seed))
+            .with_repeat_fraction(0.3)
+            .generate(data);
+        // Mutations arrive throughout the query stream; the planner turns
+        // them into the epoch-snapshot timeline both runtimes serve from.
+        let mutations = MutationSpec::new(stream.duration())
+            .with_tenant(TenantId(1), upsert_qps, delete_qps)
+            .with_seed(seed ^ 0xA5A5)
+            .generate(data, index.ntotal());
+        let plan = plan_live_index(
+            index,
+            &mutations,
+            (stream.duration() / 8.0).max(1e-6),
+            &CompactionPolicy::default(),
+        );
+
+        let mut config = ServiceConfig::default();
+        config.queue_capacity = config.queue_capacity.max(stream.len());
+        config.batcher.max_batch = max_batch;
+        if chunked_bit == 1 {
+            config.max_chunk = Some(4);
+        }
+
+        macro_rules! compare_live {
+            ($build:expr) => {{
+                let replay = {
+                    let (mut service, accepted) =
+                        SearchService::new($build, config).with_live_index(&plan.timeline);
+                    prop_assert!(accepted, "single-index engines accept timelines");
+                    service.replay(&stream, |i| planned(&stream, i))
+                };
+                let engines: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let mut engine = $build;
+                        prop_assert!(engine.install_timeline(plan.timeline.clone()));
+                        engine
+                    })
+                    .collect();
+                let report = run_pipeline(
+                    engines,
+                    &stream,
+                    |i| planned(&stream, i),
+                    Box::new(FixedPolicy(config.batcher)),
+                    RuntimeConfig::logical(config)
+                        .with_epoch_schedule(plan.timeline.epoch_schedule()),
+                );
+                prop_assert!(report.is_conserving(), "mutating twin lost or duplicated queries");
+                prop_assert_eq!(report.shed, 0, "logical mode is shed-proof under mutation");
+                prop_assert_eq!(report.completed, stream.len());
+                (replay, report)
+            }};
+        }
+
+        let (replay, report) = match engine_kind {
+            0 => compare_live!(CpuFaissEngine::new(index)),
+            1 => compare_live!(GpuFaissEngine::new(index)),
+            _ => compare_live!(build_upanns(index, data)),
+        };
+
+        prop_assert_eq!(replay.results.len(), stream.len());
+        prop_assert_eq!(
+            answer_ids(&replay.results),
+            answer_ids(&report.results),
+            "mutating stream diverged between replay and twin \
+             (engine_kind={}, workers={}, epochs={})",
+            engine_kind,
+            workers,
+            plan.final_epoch
+        );
+        // Hit/miss/invalidation *counts* are deliberately not compared:
+        // the pipeline drains cache inserts asynchronously, so whether a
+        // repeat hits is thread-timing dependent — which is exactly why
+        // answers are made hit-independent (per-arrival snapshot
+        // resolution + exact-epoch cache stamping) instead.
+    }
+
     /// The twin contract survives fault injection: a replicated deployment
     /// under a random outage schedule answers identically in the replay and
     /// the threaded logical pipeline — fault membership is a pure function
@@ -229,7 +326,7 @@ proptest! {
             up_at: down_at + outage_s,
         }]);
         let build = || {
-            let engines: Vec<UpAnnsEngine<'_>> = shards.iter().map(|ix| {
+            let engines: Vec<UpAnnsEngine> = shards.iter().map(|ix| {
                 UpAnnsBuilder::new(ix)
                     .with_config(UpAnnsConfig::upanns().with_work_scale(500.0))
                     .with_pim_config(PimConfig::with_dpus(48))

@@ -5,6 +5,14 @@
 //! key is the query's exact float bits plus the options that shaped the
 //! answer (`k`, `nprobe`): a repeat with a different `k` must miss, because
 //! its neighbor list would differ.
+//!
+//! Under live index mutation, entries also carry the **epoch** of the
+//! snapshot that computed them. A lookup passes the epoch current at the
+//! query's arrival; an entry computed under an older epoch is removed and
+//! counted as **invalidated** — neither a hit (the answer may be stale) nor
+//! a plain miss (the cache did its job; the index moved underneath it).
+//! Frozen-index callers use the epoch-0 wrappers and behave bit-identically
+//! to the pre-mutation cache.
 
 use annkit::topk::Neighbor;
 use baselines::engine::QueryOptions;
@@ -33,6 +41,8 @@ struct CacheEntry {
     /// Simulated time the answer became available (a repeat arriving earlier
     /// must wait for it — no time-travel hits).
     ready_at: f64,
+    /// Index epoch the answer was computed under (0 for a frozen index).
+    epoch: u64,
     last_used: u64,
 }
 
@@ -44,6 +54,7 @@ pub struct ResultCache {
     clock: u64,
     hits: u64,
     misses: u64,
+    invalidated: u64,
 }
 
 impl ResultCache {
@@ -55,13 +66,30 @@ impl ResultCache {
             clock: 0,
             hits: 0,
             misses: 0,
+            invalidated: 0,
         }
+    }
+
+    /// Looks up a query's cached neighbors against a frozen (epoch-0) index.
+    /// Equivalent to [`lookup_at_epoch`](Self::lookup_at_epoch) with epoch 0.
+    pub fn lookup(&mut self, query: &[f32], options: &QueryOptions) -> Option<(Vec<Neighbor>, f64)> {
+        self.lookup_at_epoch(query, options, 0)
     }
 
     /// Looks up a query's cached neighbors, counting a hit or a miss and
     /// refreshing the entry's recency on a hit. A hit returns the neighbors
     /// together with the simulated time the answer became available.
-    pub fn lookup(&mut self, query: &[f32], options: &QueryOptions) -> Option<(Vec<Neighbor>, f64)> {
+    ///
+    /// `current_epoch` is the index epoch active at the query's arrival: an
+    /// entry computed under an older epoch is removed and counted as
+    /// **invalidated** — neither a hit nor a plain miss — and the caller
+    /// recomputes against the fresh snapshot.
+    pub fn lookup_at_epoch(
+        &mut self,
+        query: &[f32],
+        options: &QueryOptions,
+        current_epoch: u64,
+    ) -> Option<(Vec<Neighbor>, f64)> {
         if self.capacity == 0 {
             self.misses += 1;
             return None;
@@ -69,6 +97,11 @@ impl ResultCache {
         self.clock += 1;
         let key = CacheKey::new(query, options);
         match self.entries.get_mut(&key) {
+            Some(entry) if entry.epoch < current_epoch => {
+                self.entries.remove(&key);
+                self.invalidated += 1;
+                None
+            }
             Some(entry) => {
                 entry.last_used = self.clock;
                 self.hits += 1;
@@ -81,14 +114,28 @@ impl ResultCache {
         }
     }
 
-    /// Stores a query's neighbors (available from simulated time `ready_at`),
-    /// evicting the least-recently-used entry when the cache is full.
+    /// Stores a frozen-index (epoch-0) answer. Equivalent to
+    /// [`insert_at_epoch`](Self::insert_at_epoch) with epoch 0.
     pub fn insert(
         &mut self,
         query: &[f32],
         options: &QueryOptions,
         neighbors: Vec<Neighbor>,
         ready_at: f64,
+    ) {
+        self.insert_at_epoch(query, options, neighbors, ready_at, 0);
+    }
+
+    /// Stores a query's neighbors (available from simulated time `ready_at`,
+    /// computed under index epoch `epoch`), evicting the least-recently-used
+    /// entry when the cache is full.
+    pub fn insert_at_epoch(
+        &mut self,
+        query: &[f32],
+        options: &QueryOptions,
+        neighbors: Vec<Neighbor>,
+        ready_at: f64,
+        epoch: u64,
     ) {
         if self.capacity == 0 {
             return;
@@ -110,6 +157,7 @@ impl ResultCache {
             CacheEntry {
                 neighbors,
                 ready_at,
+                epoch,
                 last_used: self.clock,
             },
         );
@@ -138,6 +186,25 @@ impl ResultCache {
     /// Lookups that found nothing.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Lookups that found an entry computed under an older epoch than the
+    /// query's arrival epoch — the entry was dropped and the answer
+    /// recomputed. Neither hits nor misses; always 0 on a frozen index.
+    pub fn invalidated(&self) -> u64 {
+        self.invalidated
+    }
+
+    /// The epoch active at time `t` under an `(activation, epoch)` schedule
+    /// (see [`SnapshotTimeline::epoch_schedule`]): the entry with the largest
+    /// activation `<= t`, or 0 for an empty (frozen-index) schedule. Shared
+    /// by the replay front-end and the threaded runtime's admission stage so
+    /// both stamp and invalidate identically.
+    ///
+    /// [`SnapshotTimeline::epoch_schedule`]: annkit::mutation::SnapshotTimeline::epoch_schedule
+    pub fn epoch_at(schedule: &[(f64, u64)], t: f64) -> u64 {
+        let idx = schedule.partition_point(|(when, _)| *when <= t);
+        idx.checked_sub(1).map_or(0, |i| schedule[i].1)
     }
 
     /// Hits / lookups, 0 when nothing was looked up.
@@ -211,6 +278,47 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.lookup(&a, &opts(10, 8)).unwrap().0[0].id, 9);
         assert!(cache.lookup(&b, &opts(10, 8)).is_some());
+    }
+
+    #[test]
+    fn stale_epoch_entries_are_invalidated_not_missed() {
+        let mut cache = ResultCache::new(8);
+        let q = [1.0f32, 2.0];
+        cache.insert_at_epoch(&q, &opts(10, 8), hit(7), 0.5, 3);
+        // Same-epoch and older-epoch arrivals hit.
+        assert!(cache.lookup_at_epoch(&q, &opts(10, 8), 3).is_some());
+        // A newer-epoch arrival invalidates: the entry is removed and the
+        // rejection is counted separately from hits and misses.
+        assert!(cache.lookup_at_epoch(&q, &opts(10, 8), 4).is_none());
+        assert_eq!(cache.invalidated(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 0));
+        assert!(cache.is_empty(), "the stale entry was dropped");
+        // The next lookup of the same key is a plain miss.
+        assert!(cache.lookup_at_epoch(&q, &opts(10, 8), 4).is_none());
+        assert_eq!((cache.hits(), cache.misses(), cache.invalidated()), (1, 1, 1));
+        // A re-inserted fresh answer hits again.
+        cache.insert_at_epoch(&q, &opts(10, 8), hit(9), 1.0, 4);
+        assert_eq!(cache.lookup_at_epoch(&q, &opts(10, 8), 4).unwrap().0[0].id, 9);
+    }
+
+    #[test]
+    fn epoch_schedule_resolution() {
+        // Empty schedule = frozen index: epoch 0 forever.
+        assert_eq!(ResultCache::epoch_at(&[], 5.0), 0);
+        let schedule = [(f64::NEG_INFINITY, 0), (2.0, 3), (4.0, 7)];
+        assert_eq!(ResultCache::epoch_at(&schedule, 0.0), 0);
+        assert_eq!(ResultCache::epoch_at(&schedule, 2.0), 3);
+        assert_eq!(ResultCache::epoch_at(&schedule, 3.9), 3);
+        assert_eq!(ResultCache::epoch_at(&schedule, 100.0), 7);
+    }
+
+    #[test]
+    fn epoch_zero_wrappers_never_invalidate() {
+        let mut cache = ResultCache::new(8);
+        let q = [1.0f32];
+        cache.insert(&q, &opts(10, 8), hit(1), 0.0);
+        assert!(cache.lookup(&q, &opts(10, 8)).is_some());
+        assert_eq!(cache.invalidated(), 0);
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::batcher::{BatchFormer, BatchFormerConfig, CloseReason, FormedBatch, P
 use crate::cache::ResultCache;
 use crate::controller::{BatchPolicy, FixedPolicy};
 use crate::dispatch::{DispatchOrder, EngineScheduler, QueuedChunk};
+use annkit::mutation::SnapshotTimeline;
 use annkit::topk::Neighbor;
 use annkit::workload::QueryStream;
 use baselines::engine::{AnnEngine, QueryOptions, SearchRequest, TenantId};
@@ -175,6 +176,10 @@ pub struct ServiceReport {
     pub cache_hits: u64,
     /// Cache lookups that found nothing.
     pub cache_misses: u64,
+    /// Cache entries rejected for carrying an older index epoch than the
+    /// arrival's — removed and recomputed, counted as neither hit nor miss.
+    /// Always 0 without an installed [`SnapshotTimeline`].
+    pub cache_invalidated: u64,
     /// Formed batches submitted for dispatch, split by close reason.
     pub size_closed_batches: usize,
     /// Batches closed by the waiting deadline.
@@ -413,6 +418,9 @@ struct ReplayState<'s> {
     slos: SloTable,
     max_chunk: Option<usize>,
     cache: ResultCache,
+    /// The installed timeline's `(activation, epoch)` schedule — empty for a
+    /// frozen index, where every query and cache entry sits at epoch 0.
+    epochs: &'s [(f64, u64)],
     /// `(finish, tenant, queries)` of every executed chunk, pushed in
     /// dispatch order. The serial engine makes finish times non-decreasing
     /// in this order (a `debug_assert` guards it) even though they are not
@@ -500,10 +508,14 @@ impl ReplayState<'_> {
         // The request is stamped with the batch's *close* time — the one
         // timestamp the threaded twin reproduces exactly — so an engine with
         // a fault schedule evaluates host liveness identically in replay and
-        // twin runs.
+        // twin runs. Per-query arrivals ride along so a live-mutation engine
+        // resolves each query's snapshot at its own arrival, keeping every
+        // answer a pure function of (query, arrival) no matter how the
+        // twin's asynchronous cache happened to shape this batch.
         let request = SearchRequest::new(queries, options)
             .with_id(*next_request_id)
-            .with_at(batch.closed_at);
+            .with_at(batch.closed_at)
+            .with_arrivals(batch.members.iter().map(|m| m.arrival_s).collect());
         let response = engine.execute(&request);
         self.degraded += response.stats.degraded;
         self.hedged += response.stats.hedged;
@@ -542,11 +554,16 @@ impl ReplayState<'_> {
                 tenant,
                 latency_s: latency,
             });
-            self.cache.insert(
+            // The answer was computed against the snapshot active at the
+            // query's own arrival — stamp the entry with that epoch so a
+            // later-epoch arrival invalidates it (and recomputes byte-
+            // identically) instead of serving a stale answer.
+            self.cache.insert_at_epoch(
                 self.stream.batch.queries.vector(member.stream_index),
                 &member.options,
                 neighbors.clone(),
                 finish,
+                ResultCache::epoch_at(self.epochs, member.arrival_s),
             );
             self.results[member.stream_index] = neighbors;
         }
@@ -627,6 +644,9 @@ pub struct SearchService<E: AnnEngine> {
     config: ServiceConfig,
     policy: Box<dyn BatchPolicy>,
     autoscaler: Option<Autoscaler>,
+    /// `(activation, epoch)` schedule of the installed live-index timeline
+    /// (empty for a frozen index) — drives result-cache invalidation.
+    epoch_schedule: Vec<(f64, u64)>,
     next_request_id: u64,
 }
 
@@ -639,8 +659,24 @@ impl<E: AnnEngine> SearchService<E> {
             policy: Box::new(FixedPolicy(config.batcher)),
             config,
             autoscaler: None,
+            epoch_schedule: Vec::new(),
             next_request_id: 0,
         }
+    }
+
+    /// Installs a live-index [`SnapshotTimeline`]: the engine serves each
+    /// request from the snapshot active at its batch-close time (and charges
+    /// compaction-window stalls), while the result cache stamps entries with
+    /// the computing snapshot's epoch and invalidates them when a newer
+    /// epoch's arrival finds them. Returns whether the engine accepted the
+    /// timeline ([`AnnEngine::install_timeline`] — engines without live-
+    /// mutation support decline and keep serving their frozen base; the
+    /// cache-epoch wiring is installed either way, which can only *shrink*
+    /// cache reuse, never serve a stale answer the engine wouldn't).
+    pub fn with_live_index(mut self, timeline: &SnapshotTimeline) -> (Self, bool) {
+        let accepted = self.engine.install_timeline(timeline.clone());
+        self.epoch_schedule = timeline.epoch_schedule();
+        (self, accepted)
     }
 
     /// Attaches a host [`Autoscaler`]: per-query SLO outcomes feed it
@@ -758,6 +794,7 @@ impl<E: AnnEngine> SearchService<E> {
             slos: SloTable::new(stream, config.slo_p99_s),
             max_chunk: config.max_chunk,
             cache: ResultCache::new(config.cache_capacity),
+            epochs: &self.epoch_schedule,
             completions: Vec::new(),
             pending_feedback: Vec::new(),
             latencies: Vec::with_capacity(stream.len()),
@@ -830,9 +867,11 @@ impl<E: AnnEngine> SearchService<E> {
                 tenants_seen.push(tenant);
                 state.former.set_tenant_config(tenant, policy.current_for(tenant));
             }
-            if let Some((cached, ready_at)) =
-                state.cache.lookup(stream.batch.queries.vector(index), &options)
-            {
+            if let Some((cached, ready_at)) = state.cache.lookup_at_epoch(
+                stream.batch.queries.vector(index),
+                &options,
+                ResultCache::epoch_at(state.epochs, arrival),
+            ) {
                 // A repeat arriving before the original answer is ready waits
                 // for it; afterwards the hit costs only the lookup.
                 let finish = arrival.max(ready_at) + config.cache_lookup_s;
@@ -953,6 +992,7 @@ impl<E: AnnEngine> SearchService<E> {
             shed: queue.shed() as usize,
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
+            cache_invalidated: cache.invalidated(),
             size_closed_batches: size_closed,
             deadline_closed_batches: deadline_closed,
             flushed_batches: flushed,
@@ -1083,6 +1123,54 @@ mod tests {
     }
 
     #[test]
+    fn mutation_free_replay_never_invalidates_and_matches_plain_replay() {
+        // The satellite-2 regression: without a live-index timeline the
+        // epoch machinery must be invisible — zero invalidations and
+        // answers identical to the plain replay path.
+        let (_, index) = fixture();
+        let stream = stream(300, 50_000.0, 0.4);
+        let mut plain =
+            SearchService::new(CpuFaissEngine::new(index), ServiceConfig::default());
+        let plain_report = plain.replay_uniform(&stream, QueryOptions::new(10, 4));
+        let frozen = annkit::mutation::SnapshotTimeline::frozen(index);
+        let (mut live, accepted) =
+            SearchService::new(CpuFaissEngine::new(index), ServiceConfig::default())
+                .with_live_index(&frozen);
+        assert!(accepted, "the CPU engine accepts timelines");
+        let live_report = live.replay_uniform(&stream, QueryOptions::new(10, 4));
+        assert_eq!(plain_report.cache_invalidated, 0);
+        assert_eq!(live_report.cache_invalidated, 0);
+        assert_eq!(plain_report.cache_hits, live_report.cache_hits);
+        assert_eq!(plain_report.results, live_report.results);
+        assert_eq!(plain_report.latencies_s, live_report.latencies_s);
+    }
+
+    #[test]
+    fn epoch_boundary_invalidates_cached_repeats() {
+        use annkit::mutation::{MutableIvf, SnapshotTimeline};
+        let (dataset, index) = fixture();
+        // One upsert becomes visible mid-stream: repeats that cached an
+        // epoch-0 answer and re-arrive after the activation must be
+        // invalidated (removed + recomputed), not served stale.
+        let mut live = MutableIvf::new(index);
+        let mut timeline = SnapshotTimeline::new(live.snapshot());
+        live.upsert(dataset.vectors.vector(0), 900_000);
+        let stream = stream(400, 50_000.0, 0.5);
+        timeline.install(stream.duration() / 2.0, live.snapshot());
+        let (mut service, accepted) =
+            SearchService::new(CpuFaissEngine::new(index), ServiceConfig::default())
+                .with_live_index(&timeline);
+        assert!(accepted);
+        let report = service.replay_uniform(&stream, QueryOptions::new(10, 4));
+        assert_eq!(report.completed + report.shed, 400);
+        assert!(report.cache_hits > 0, "repeats within an epoch still hit");
+        assert!(
+            report.cache_invalidated > 0,
+            "repeats across the epoch boundary must invalidate"
+        );
+    }
+
+    #[test]
     fn tiny_queue_sheds_under_overload() {
         let (_, index) = fixture();
         let config = ServiceConfig {
@@ -1118,6 +1206,7 @@ mod tests {
             shed: 50,
             cache_hits: 0,
             cache_misses: 0,
+            cache_invalidated: 0,
             size_closed_batches: 0,
             deadline_closed_batches: 0,
             flushed_batches: 0,

@@ -25,12 +25,12 @@ const NPROBE: usize = 12;
 const K: usize = 10;
 const DPUS: usize = 96;
 
-fn build_engine<'a>(
-    index: &'a IvfPqIndex,
+fn build_engine(
+    index: &IvfPqIndex,
     placement: Option<Placement>,
     history: &Dataset,
     scale: f64,
-) -> UpAnnsEngine<'a> {
+) -> UpAnnsEngine {
     let mut builder = UpAnnsBuilder::new(index)
         .with_config(UpAnnsConfig::upanns().with_work_scale(scale))
         .with_pim_config(PimConfig::with_dpus(DPUS))
@@ -46,7 +46,7 @@ fn build_engine<'a>(
     builder.build()
 }
 
-fn serve(engine: &mut UpAnnsEngine<'_>, batch: &Dataset, label: &str) -> f64 {
+fn serve(engine: &mut UpAnnsEngine, batch: &Dataset, label: &str) -> f64 {
     let out = engine.search_batch(batch, NPROBE, K);
     println!(
         "  {label:<28} QPS {:8.1}   balance max/avg {:.2}",

@@ -18,11 +18,11 @@ const DPUS_PER_HOST: usize = 128;
 
 /// Builds one single-host engine over a shard of the corpus, with globally
 /// unique vector ids.
-fn build_shard_engine<'a>(
-    index: &'a IvfPqIndex,
+fn build_shard_engine(
+    index: &IvfPqIndex,
     history: &Dataset,
     scale: f64,
-) -> UpAnnsEngine<'a> {
+) -> UpAnnsEngine {
     UpAnnsBuilder::new(index)
         .with_config(UpAnnsConfig::upanns().with_work_scale(scale))
         .with_pim_config(PimConfig::with_dpus(DPUS_PER_HOST))
@@ -72,7 +72,7 @@ fn main() {
                 index
             })
             .collect();
-        let engines: Vec<UpAnnsEngine<'_>> = shard_indexes
+        let engines: Vec<UpAnnsEngine> = shard_indexes
             .iter()
             .map(|ix| build_shard_engine(ix, &history, scale))
             .collect();

@@ -6,9 +6,9 @@ Usage:
 
 Each file is dispatched on its top-level "schema" tag:
 
-* ``upanns-serving-bench-v5`` — the discrete-event replay record written by
+* ``upanns-serving-bench-v6`` — the discrete-event replay record written by
   ``serve --json`` (default replay runtime).
-* ``upanns-runtime-bench-v2`` — the threaded-runtime sweep written by
+* ``upanns-runtime-bench-v3`` — the threaded-runtime sweep written by
   ``serve --runtime threaded --json``.
 
 Checks are structural (required keys, types, row shapes) plus the
@@ -17,12 +17,16 @@ invariants a record must never violate to be worth committing:
 * every runtime row conserves queries (``lost == 0``, ``duplicated == 0``,
   ``completed + shed == num_queries``);
 * counters are non-negative, fractions live in [0, 1];
-* the runtime sweep contains every workload (single, multi, failover) and
-  more than one worker count (otherwise it cannot show scaling);
+* the runtime sweep contains every workload (single, multi, failover,
+  live-mutation) and more than one worker count (otherwise it cannot show
+  scaling);
 * the serving failover row carries a recovery envelope that actually
   recovered, and only failover rows carry one;
-* runtime failover rows ran in deterministic logical mode (the fault
-  schedule lives on the simulated clock).
+* runtime failover and live-mutation rows ran in deterministic logical mode
+  (fault schedules and epoch visibility live on the simulated clock);
+* serving live rows carry the live-mutation audit: ``stale_served == 0``
+  (the snapshot-consistency contract), a recall-vs-staleness curve with the
+  four committed lag buckets, and only live rows carry one.
 
 Exit status 0 when every file validates; 1 with a per-file message
 otherwise. This replaces the old inline ``python3 -m json.tool`` CI calls,
@@ -32,20 +36,33 @@ which only proved the files were JSON.
 import json
 import sys
 
-SERVING_SCHEMA = "upanns-serving-bench-v5"
-RUNTIME_SCHEMA = "upanns-runtime-bench-v2"
+SERVING_SCHEMA = "upanns-serving-bench-v6"
+RUNTIME_SCHEMA = "upanns-runtime-bench-v3"
 
-WORKLOADS = ("single", "multi", "failover")
+SERVING_WORKLOADS = ("single", "multi", "failover", "live-mutation", "live-growth")
+RUNTIME_WORKLOADS = ("single", "multi", "failover", "live-mutation")
+
+# The committed recall-vs-staleness bucket labels, in order.
+STALENESS_LAGS = ("lag=0", "lag=1-10", "lag=11-100", "lag=101+")
 
 SERVING_ROW_KEYS = {
     "name", "workload", "policy", "sustained_qps", "p50_ms", "p99_ms",
     "mean_ms", "slo_miss_fraction", "meets_slo", "all_tenants_meet_slo",
-    "completed", "shed", "cache_hit_rate", "batches", "mean_batch_size",
+    "completed", "shed", "cache_hit_rate", "cache_invalidated", "batches",
+    "mean_batch_size",
     "dispatched_chunks", "mean_chunk_size", "final_max_batch",
     "final_max_delay_ms", "controller_adjustments", "engine_busy_s",
     "degraded", "hedged", "redispatched", "scale_events", "migration_s",
-    "envelope", "tenants",
+    "envelope", "live", "tenants",
 }
+
+LIVE_KEYS = {
+    "final_epoch", "snapshots", "compactions", "mutation_events",
+    "stale_served", "answered_in_window", "p99_steady_ms",
+    "p99_compaction_ms", "recall_vs_staleness",
+}
+
+LIVE_BUCKET_KEYS = {"lag", "queries", "mean_recall"}
 
 ENVELOPE_KEYS = {
     "bucket_s", "t_down", "baseline_attainment", "max_dip", "dip_at",
@@ -56,7 +73,8 @@ RUNTIME_ROW_KEYS = {
     "engine", "workload", "mode", "policy", "workers", "offered_qps",
     "num_queries", "sustained_qps", "p50_ms", "p99_ms", "mean_ms",
     "completed", "shed", "lost", "duplicated", "degraded", "hedged",
-    "redispatched", "cache_hit_rate", "dispatched_chunks", "busy_modeled_s",
+    "redispatched", "cache_hit_rate", "cache_invalidated",
+    "dispatched_chunks", "busy_modeled_s",
     "makespan_s", "emulated_utilization", "tenants",
 }
 
@@ -103,10 +121,11 @@ def check_serving(doc):
     for i, row in enumerate(rows):
         label = f"engines[{i}]"
         check_keys(row, SERVING_ROW_KEYS, label)
-        require(row["workload"] in WORKLOADS,
+        require(row["workload"] in SERVING_WORKLOADS,
                 f"{label}.workload = {row['workload']!r}")
         for key in ("completed", "shed", "batches", "dispatched_chunks",
-                    "degraded", "hedged", "redispatched", "scale_events"):
+                    "degraded", "hedged", "redispatched", "scale_events",
+                    "cache_invalidated"):
             check_count(row[key], f"{label}.{key}")
         for key in ("slo_miss_fraction", "cache_hit_rate"):
             check_fraction(row[key], f"{label}.{key}")
@@ -119,9 +138,50 @@ def check_serving(doc):
         else:
             require(row["envelope"] is None,
                     f"{label} is a {row['workload']} row but carries an envelope")
+        if row["workload"].startswith("live"):
+            check_live(row["live"], row, f"{label}.live")
+        else:
+            require(row["live"] is None,
+                    f"{label} is a {row['workload']} row but carries a live audit")
     workloads = {r["workload"] for r in rows}
-    require(workloads == set(WORKLOADS),
-            f"expected single, multi and failover rows, got {sorted(workloads)}")
+    require(workloads == set(SERVING_WORKLOADS),
+            f"expected {sorted(SERVING_WORKLOADS)} rows, got {sorted(workloads)}")
+
+
+def check_live(live, row, label):
+    """A committed live row must prove the consistency contract held: zero
+    answers differ from their arrival snapshot, mutations actually flowed,
+    and the recall-vs-staleness curve has the committed bucket shape."""
+    check_keys(live, LIVE_KEYS, label)
+    for key in ("final_epoch", "snapshots", "compactions", "mutation_events",
+                "stale_served", "answered_in_window"):
+        check_count(live[key], f"{label}.{key}")
+    require(live["stale_served"] == 0,
+            f"{label}: {live['stale_served']} served answers differ from "
+            "their arrival snapshot — the consistency contract is broken")
+    require(live["mutation_events"] > 0,
+            f"{label}: a live row with no mutations proves nothing")
+    require(live["final_epoch"] > 0, f"{label}.final_epoch = 0")
+    require(live["snapshots"] >= 2,
+            f"{label}: {live['snapshots']} snapshots means no epoch ever "
+            "became visible mid-stream")
+    for key in ("p99_steady_ms", "p99_compaction_ms"):
+        require(isinstance(live[key], (int, float)) and live[key] >= 0,
+                f"{label}.{key} = {live[key]!r}")
+    curve = live["recall_vs_staleness"]
+    require(isinstance(curve, list) and
+            tuple(b.get("lag") for b in curve) == STALENESS_LAGS,
+            f"{label}.recall_vs_staleness lacks the committed lag buckets "
+            f"{STALENESS_LAGS}")
+    for j, bucket in enumerate(curve):
+        blabel = f"{label}.recall_vs_staleness[{j}]"
+        check_keys(bucket, LIVE_BUCKET_KEYS, blabel)
+        check_count(bucket["queries"], f"{blabel}.queries")
+        check_fraction(bucket["mean_recall"], f"{blabel}.mean_recall")
+    answered = sum(b["queries"] for b in curve)
+    require(answered == row["completed"],
+            f"{label}: staleness buckets cover {answered} queries but the "
+            f"row completed {row['completed']}")
 
 
 def check_envelope(env, label):
@@ -157,17 +217,18 @@ def check_runtime(doc):
     for i, row in enumerate(rows):
         label = f"rows[{i}]"
         check_keys(row, RUNTIME_ROW_KEYS, label)
-        require(row["workload"] in WORKLOADS,
+        require(row["workload"] in RUNTIME_WORKLOADS,
                 f"{label}.workload = {row['workload']!r}")
         require(row["mode"] in ("wall", "logical"), f"{label}.mode = {row['mode']!r}")
-        if row["workload"] == "failover":
-            # The fault schedule lives on the simulated clock, so failover
-            # rows are only meaningful (and only deterministic) in logical mode.
+        if row["workload"] in ("failover", "live-mutation"):
+            # Fault schedules and epoch visibility live on the simulated
+            # clock, so these rows are only meaningful (and only
+            # deterministic) in logical mode.
             require(row["mode"] == "logical",
-                    f"{label} is a failover row in {row['mode']!r} mode")
+                    f"{label} is a {row['workload']} row in {row['mode']!r} mode")
         for key in ("completed", "shed", "lost", "duplicated", "workers",
                     "num_queries", "dispatched_chunks", "degraded", "hedged",
-                    "redispatched"):
+                    "redispatched", "cache_invalidated"):
             check_count(row[key], f"{label}.{key}")
         require(row["workers"] >= 1, f"{label}.workers = {row['workers']}")
         # The conservation contract: a committed record proving the runtime
@@ -190,8 +251,8 @@ def check_runtime(doc):
             require(len(row["tenants"]) >= 2,
                     f"{label} is a multi-tenant row with {len(row['tenants'])} tenants")
     workloads = {r["workload"] for r in rows}
-    require(workloads == set(WORKLOADS),
-            f"expected single, multi and failover rows, got {sorted(workloads)}")
+    require(workloads == set(RUNTIME_WORKLOADS),
+            f"expected {sorted(RUNTIME_WORKLOADS)} rows, got {sorted(workloads)}")
     worker_counts = {r["workers"] for r in rows}
     require(len(worker_counts) > 1,
             f"a one-worker-count sweep ({sorted(worker_counts)}) cannot show scaling")

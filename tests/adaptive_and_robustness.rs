@@ -52,7 +52,7 @@ fn build(
     config: UpAnnsConfig,
     dpus: usize,
     placement: Option<Placement>,
-) -> UpAnnsEngine<'static> {
+) -> UpAnnsEngine {
     let mut b = UpAnnsBuilder::new(&fix.index)
         .with_config(config)
         .with_pim_config(PimConfig::with_dpus(dpus))

@@ -46,7 +46,7 @@ fn fixture() -> &'static Fixture {
     })
 }
 
-fn pim_engine(config: UpAnnsConfig) -> UpAnnsEngine<'static> {
+fn pim_engine(config: UpAnnsConfig) -> UpAnnsEngine {
     let fix = fixture();
     UpAnnsBuilder::new(&fix.index)
         .with_config(config)

@@ -43,7 +43,7 @@ fn fixture() -> &'static Fixture {
     })
 }
 
-fn pim_engine(config: UpAnnsConfig) -> UpAnnsEngine<'static> {
+fn pim_engine(config: UpAnnsConfig) -> UpAnnsEngine {
     let fix = fixture();
     UpAnnsBuilder::new(&fix.index)
         .with_config(config)
@@ -143,7 +143,7 @@ fn multihost_execute_honors_per_query_k() {
         index.add(&shard_data, r.start as u64);
         shards.push(index);
     }
-    let hosts: Vec<UpAnnsEngine<'_>> = shards
+    let hosts: Vec<UpAnnsEngine> = shards
         .iter()
         .map(|ix| {
             UpAnnsBuilder::new(ix)

@@ -7,6 +7,7 @@
 //! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
 //! * [`prop_assert!`] / [`prop_assert_eq!`],
 //! * numeric range strategies (`0.0f32..1e6`, `1usize..40`, `0u8..=255`),
+//! * `any::<bool>()` and tuples of strategies (`(any::<bool>(), 0u64..9)`),
 //! * `prop::collection::vec(strategy, size)` with fixed or ranged sizes.
 //!
 //! Inputs are sampled uniformly from a deterministic per-case RNG rather
@@ -61,6 +62,49 @@ macro_rules! impl_range_strategy {
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Types `any::<T>()` can sample uniformly from their whole domain.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> bool {
+        rng.gen()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+/// Uniform strategy over `T`'s whole domain (`any::<bool>()`), mirroring
+/// proptest's `any` for the types with an [`Arbitrary`] impl here.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A, B)(A, B, C)(A, B, C, D));
 
 /// Strategy that always yields a clone of one value.
 #[derive(Debug, Clone)]
@@ -129,7 +173,9 @@ pub mod __rt {
 
 /// Everything a test file needs, mirroring `proptest::prelude`.
 pub mod prelude {
-    pub use crate::{prop, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy,
+    };
 }
 
 #[macro_export]
@@ -204,6 +250,18 @@ mod tests {
             prop_assert!(!v.is_empty() && v.len() < 6);
             prop_assert!(v.iter().all(|&b| b < 8));
             prop_assert_eq!(fixed.len(), 4);
+        }
+
+        /// Tuple strategies sample each component; `any::<bool>()` compiles
+        /// inside collections, the shape mutation suites rely on.
+        #[test]
+        fn tuples_and_any(
+            pair in (0u8..4, 10usize..20),
+            ops in prop::collection::vec((any::<bool>(), 0u64..9), 1..8),
+        ) {
+            prop_assert!(pair.0 < 4 && (10..20).contains(&pair.1));
+            prop_assert!(!ops.is_empty() && ops.len() < 8);
+            prop_assert!(ops.iter().all(|&(_, id)| id < 9));
         }
     }
 
